@@ -1,0 +1,241 @@
+//! Threshold-based change detection over windowed minimum RTTs — the
+//! interception-attack detector of paper §5.2 / Fig. 8.
+//!
+//! The detector computes the minimum RTT over windows of consecutive raw
+//! samples. An attack is **suspected** when the window minimum rises
+//! abruptly relative to the previous window, and **confirmed** only when the
+//! rise sustains for one more window.
+
+use crate::minfilter::{MinFilter, Window};
+use dart_packet::Nanos;
+
+/// Detector configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct ChangeDetectorConfig {
+    /// Samples per window (the paper uses 8).
+    pub window: u32,
+    /// Multiplicative rise that triggers suspicion: a window min above
+    /// `ratio × baseline` is abnormal (e.g. 2.0 = doubling).
+    pub ratio: f64,
+    /// Additive guard: the rise must also exceed this many nanoseconds
+    /// (suppresses alarms on tiny baselines).
+    pub min_rise: Nanos,
+}
+
+impl Default for ChangeDetectorConfig {
+    fn default() -> Self {
+        ChangeDetectorConfig {
+            window: 8,
+            ratio: 2.0,
+            min_rise: 5 * dart_packet::MILLISECOND,
+        }
+    }
+}
+
+/// Detector state/output per offered sample.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Verdict {
+    /// Nothing notable.
+    Normal,
+    /// A window closed with an abrupt min-RTT rise: attack suspected
+    /// (the orange star in Fig. 8).
+    Suspected {
+        /// Baseline (previous window's) min RTT.
+        baseline: Nanos,
+        /// The abnormal window's min RTT.
+        observed: Nanos,
+    },
+    /// The rise sustained for a second window: attack confirmed
+    /// (the red star in Fig. 8).
+    Confirmed {
+        /// Baseline min RTT before the rise.
+        baseline: Nanos,
+        /// The confirming window's min RTT.
+        observed: Nanos,
+        /// Raw samples observed between the first abnormal sample and
+        /// confirmation — the paper's "63 packets" headline metric counts
+        /// packet exchanges; samples are the detector's view of it.
+        samples_to_confirm: u64,
+    },
+}
+
+/// The windowed min-RTT change detector.
+#[derive(Clone, Debug)]
+pub struct ChangeDetector {
+    cfg: ChangeDetectorConfig,
+    filter: MinFilter,
+    baseline: Option<Nanos>,
+    suspect: Option<Nanos>, // baseline at suspicion time
+    samples_seen: u64,
+    suspect_sample_idx: u64,
+}
+
+impl ChangeDetector {
+    /// Build a detector.
+    pub fn new(cfg: ChangeDetectorConfig) -> ChangeDetector {
+        ChangeDetector {
+            filter: MinFilter::new(Window::Count(cfg.window)),
+            cfg,
+            baseline: None,
+            suspect: None,
+            samples_seen: 0,
+            suspect_sample_idx: 0,
+        }
+    }
+
+    /// Raw samples offered so far.
+    pub fn samples_seen(&self) -> u64 {
+        self.samples_seen
+    }
+
+    /// Current baseline window minimum, if established.
+    pub fn baseline(&self) -> Option<Nanos> {
+        self.baseline
+    }
+
+    fn abnormal(&self, baseline: Nanos, observed: Nanos) -> bool {
+        observed as f64 > baseline as f64 * self.cfg.ratio
+            && observed.saturating_sub(baseline) >= self.cfg.min_rise
+    }
+
+    /// Offer one raw RTT sample.
+    pub fn offer(&mut self, rtt: Nanos, ts: Nanos) -> Verdict {
+        self.samples_seen += 1;
+        let Some(w) = self.filter.offer(rtt, ts) else {
+            return Verdict::Normal;
+        };
+        match (self.baseline, self.suspect) {
+            (None, _) => {
+                self.baseline = Some(w.min_rtt);
+                Verdict::Normal
+            }
+            (Some(base), None) => {
+                if self.abnormal(base, w.min_rtt) {
+                    self.suspect = Some(base);
+                    self.suspect_sample_idx =
+                        self.samples_seen.saturating_sub(self.cfg.window as u64);
+                    Verdict::Suspected {
+                        baseline: base,
+                        observed: w.min_rtt,
+                    }
+                } else {
+                    self.baseline = Some(w.min_rtt);
+                    Verdict::Normal
+                }
+            }
+            (Some(_), Some(suspect_base)) => {
+                if self.abnormal(suspect_base, w.min_rtt) {
+                    // Sustained: confirm, and adopt the new level as the
+                    // baseline so a return to normal can be detected too.
+                    self.suspect = None;
+                    self.baseline = Some(w.min_rtt);
+                    Verdict::Confirmed {
+                        baseline: suspect_base,
+                        observed: w.min_rtt,
+                        samples_to_confirm: self.samples_seen - self.suspect_sample_idx,
+                    }
+                } else {
+                    // A transient outlier window: rescind suspicion.
+                    self.suspect = None;
+                    self.baseline = Some(w.min_rtt);
+                    Verdict::Normal
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dart_packet::MILLISECOND;
+
+    fn det() -> ChangeDetector {
+        ChangeDetector::new(ChangeDetectorConfig {
+            window: 4,
+            ratio: 2.0,
+            min_rise: MILLISECOND,
+        })
+    }
+
+    fn feed(d: &mut ChangeDetector, rtt_ms: u64, n: u32) -> Vec<Verdict> {
+        (0..n)
+            .map(|i| d.offer(rtt_ms * MILLISECOND, i as u64))
+            .collect()
+    }
+
+    #[test]
+    fn steady_rtt_never_alarms() {
+        let mut d = det();
+        for v in feed(&mut d, 25, 40) {
+            assert_eq!(v, Verdict::Normal);
+        }
+    }
+
+    #[test]
+    fn step_change_suspected_then_confirmed() {
+        let mut d = det();
+        feed(&mut d, 25, 8); // two baseline windows
+        let verdicts = feed(&mut d, 120, 8); // attack takes effect
+        let suspected = verdicts
+            .iter()
+            .filter(|v| matches!(v, Verdict::Suspected { .. }))
+            .count();
+        let confirmed: Vec<_> = verdicts
+            .iter()
+            .filter_map(|v| match v {
+                Verdict::Confirmed {
+                    baseline,
+                    observed,
+                    samples_to_confirm,
+                } => Some((*baseline, *observed, *samples_to_confirm)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(suspected, 1);
+        assert_eq!(confirmed.len(), 1);
+        let (base, obs, n) = confirmed[0];
+        assert_eq!(base, 25 * MILLISECOND);
+        assert_eq!(obs, 120 * MILLISECOND);
+        // Suspected after one window, confirmed after the next: 8 samples.
+        assert_eq!(n, 8);
+    }
+
+    #[test]
+    fn single_outlier_window_rescinds() {
+        let mut d = det();
+        feed(&mut d, 25, 8);
+        feed(&mut d, 120, 4); // one bad window → suspected
+        let verdicts = feed(&mut d, 25, 8); // back to normal
+        assert!(verdicts
+            .iter()
+            .all(|v| !matches!(v, Verdict::Confirmed { .. })));
+    }
+
+    #[test]
+    fn small_rises_below_guard_ignored() {
+        let mut d = ChangeDetector::new(ChangeDetectorConfig {
+            window: 4,
+            ratio: 1.1,
+            min_rise: 50 * MILLISECOND,
+        });
+        feed(&mut d, 10, 8);
+        // 10 → 15 ms rise: above ratio but below the 50 ms guard.
+        for v in feed(&mut d, 15, 8) {
+            assert_eq!(v, Verdict::Normal);
+        }
+    }
+
+    #[test]
+    fn baseline_tracks_downward_shifts() {
+        let mut d = det();
+        feed(&mut d, 100, 8);
+        feed(&mut d, 20, 8); // improvement: no alarm, baseline follows
+        assert_eq!(d.baseline(), Some(20 * MILLISECOND));
+        // A later rise is judged against the NEW baseline.
+        let verdicts = feed(&mut d, 100, 8);
+        assert!(verdicts
+            .iter()
+            .any(|v| matches!(v, Verdict::Suspected { .. })));
+    }
+}

@@ -1,0 +1,224 @@
+//! Congestion and misbehavior monitors over the engine's event stream
+//! (paper §3.1: collapse frequency as a congestion indicator; §7:
+//! optimistic-ACK detection).
+
+use dart_core::EngineEvent;
+use dart_packet::{FlowKey, Nanos};
+use std::collections::HashMap;
+
+/// Configuration of the collapse-frequency congestion monitor.
+#[derive(Clone, Copy, Debug)]
+pub struct CongestionConfig {
+    /// Sliding window length.
+    pub window: Nanos,
+    /// Collapses within one window that flag a flow as congested.
+    pub collapse_threshold: u32,
+}
+
+impl Default for CongestionConfig {
+    fn default() -> Self {
+        CongestionConfig {
+            window: dart_packet::SECOND,
+            collapse_threshold: 4,
+        }
+    }
+}
+
+/// A flagged congestion episode.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CongestionAlert {
+    /// The congested flow.
+    pub flow: FlowKey,
+    /// Collapses observed in the window.
+    pub collapses: u32,
+    /// When the threshold was crossed.
+    pub ts: Nanos,
+}
+
+#[derive(Default)]
+struct FlowWindow {
+    events: std::collections::VecDeque<Nanos>,
+    alerted_in_window: bool,
+}
+
+/// Tracks range-collapse frequency per flow (the §3.1 congestion signal).
+pub struct CongestionMonitor {
+    cfg: CongestionConfig,
+    flows: HashMap<FlowKey, FlowWindow>,
+    total_collapses: u64,
+}
+
+impl CongestionMonitor {
+    /// Build a monitor.
+    pub fn new(cfg: CongestionConfig) -> CongestionMonitor {
+        CongestionMonitor {
+            cfg,
+            flows: HashMap::new(),
+            total_collapses: 0,
+        }
+    }
+
+    /// Total collapses observed.
+    pub fn total_collapses(&self) -> u64 {
+        self.total_collapses
+    }
+
+    /// Offer an engine event; returns an alert when a flow crosses the
+    /// threshold (once per window).
+    pub fn offer(&mut self, ev: &EngineEvent) -> Option<CongestionAlert> {
+        let EngineEvent::RangeCollapse { flow, ts, .. } = ev else {
+            return None;
+        };
+        self.total_collapses += 1;
+        let fw = self.flows.entry(flow.canonical()).or_default();
+        fw.events.push_back(*ts);
+        let horizon = ts.saturating_sub(self.cfg.window);
+        while fw.events.front().is_some_and(|t| *t < horizon) {
+            fw.events.pop_front();
+            fw.alerted_in_window = false;
+        }
+        if fw.events.len() as u32 >= self.cfg.collapse_threshold && !fw.alerted_in_window {
+            fw.alerted_in_window = true;
+            return Some(CongestionAlert {
+                flow: *flow,
+                collapses: fw.events.len() as u32,
+                ts: *ts,
+            });
+        }
+        None
+    }
+
+    /// Collapse count currently inside each flow's window.
+    pub fn snapshot(&self) -> Vec<(FlowKey, u32)> {
+        let mut v: Vec<_> = self
+            .flows
+            .iter()
+            .map(|(f, w)| (*f, w.events.len() as u32))
+            .collect();
+        v.sort_by_key(|(f, _)| *f);
+        v
+    }
+}
+
+/// Flags flows sending optimistic ACKs (§7: misbehaving receivers
+/// manipulating the sender; one ACK beyond the edge can be a glitch, a
+/// pattern is an attack).
+pub struct OptimisticAckReporter {
+    threshold: u32,
+    counts: HashMap<FlowKey, u32>,
+}
+
+impl OptimisticAckReporter {
+    /// Flag a flow after `threshold` optimistic ACKs.
+    pub fn new(threshold: u32) -> OptimisticAckReporter {
+        assert!(threshold > 0);
+        OptimisticAckReporter {
+            threshold,
+            counts: HashMap::new(),
+        }
+    }
+
+    /// Offer an engine event; returns the flow when it crosses the
+    /// threshold (exactly once).
+    pub fn offer(&mut self, ev: &EngineEvent) -> Option<FlowKey> {
+        let EngineEvent::OptimisticAck { flow, .. } = ev else {
+            return None;
+        };
+        let c = self.counts.entry(flow.canonical()).or_insert(0);
+        *c += 1;
+        (*c == self.threshold).then_some(*flow)
+    }
+
+    /// All flows and their optimistic-ACK counts.
+    pub fn counts(&self) -> Vec<(FlowKey, u32)> {
+        let mut v: Vec<_> = self.counts.iter().map(|(f, c)| (*f, *c)).collect();
+        v.sort_by_key(|(f, _)| *f);
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dart_packet::{MILLISECOND, SECOND};
+
+    fn flow() -> FlowKey {
+        FlowKey::from_raw(0x0a08_0001, 40400, 0x5db8_d822, 443)
+    }
+
+    fn collapse(ts: Nanos) -> EngineEvent {
+        EngineEvent::RangeCollapse {
+            flow: flow(),
+            ts,
+            from_retransmission: true,
+        }
+    }
+
+    #[test]
+    fn threshold_crossing_alerts_once_per_window() {
+        let mut m = CongestionMonitor::new(CongestionConfig {
+            window: SECOND,
+            collapse_threshold: 3,
+        });
+        assert!(m.offer(&collapse(0)).is_none());
+        assert!(m.offer(&collapse(100 * MILLISECOND)).is_none());
+        let alert = m.offer(&collapse(200 * MILLISECOND)).expect("alert");
+        assert_eq!(alert.collapses, 3);
+        // Further collapses in the same window stay quiet.
+        assert!(m.offer(&collapse(300 * MILLISECOND)).is_none());
+        assert_eq!(m.total_collapses(), 4);
+    }
+
+    #[test]
+    fn window_expiry_rearms_the_alert() {
+        let mut m = CongestionMonitor::new(CongestionConfig {
+            window: SECOND,
+            collapse_threshold: 2,
+        });
+        m.offer(&collapse(0));
+        assert!(m.offer(&collapse(1)).is_some());
+        // Two seconds later: old events expired; a fresh burst alerts again.
+        assert!(m.offer(&collapse(2 * SECOND)).is_none());
+        assert!(m.offer(&collapse(2 * SECOND + 1)).is_some());
+    }
+
+    #[test]
+    fn both_collapse_causes_count() {
+        let mut m = CongestionMonitor::new(CongestionConfig {
+            window: SECOND,
+            collapse_threshold: 2,
+        });
+        m.offer(&EngineEvent::RangeCollapse {
+            flow: flow(),
+            ts: 0,
+            from_retransmission: false,
+        });
+        assert!(m.offer(&collapse(1)).is_some());
+    }
+
+    #[test]
+    fn optimistic_reporter_flags_exactly_once() {
+        let mut r = OptimisticAckReporter::new(3);
+        let ev = EngineEvent::OptimisticAck {
+            flow: flow(),
+            ts: 0,
+        };
+        assert!(r.offer(&ev).is_none());
+        assert!(r.offer(&ev).is_none());
+        assert_eq!(r.offer(&ev), Some(flow()));
+        assert!(r.offer(&ev).is_none(), "flag only once");
+        assert_eq!(r.counts()[0].1, 4);
+    }
+
+    #[test]
+    fn non_matching_events_ignored() {
+        let mut m = CongestionMonitor::new(CongestionConfig::default());
+        let mut r = OptimisticAckReporter::new(1);
+        let opt = EngineEvent::OptimisticAck {
+            flow: flow(),
+            ts: 0,
+        };
+        assert!(m.offer(&opt).is_none());
+        assert!(r.offer(&collapse(0)).is_none());
+    }
+}

@@ -1,0 +1,186 @@
+//! Windowed min-filtering of RTT samples (paper §3.3).
+//!
+//! Tracking the minimum RTT over a window separates propagation delay from
+//! transient queueing and end-host delays (delayed ACKs, §7). The filter can
+//! window either by **sample count** (Fig. 8 uses windows of 8 consecutive
+//! samples) or by **time**.
+
+use dart_packet::Nanos;
+
+/// How a window closes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Window {
+    /// Close after `n` samples.
+    Count(u32),
+    /// Close when a sample arrives `d` nanoseconds or more after the
+    /// window opened.
+    Time(Nanos),
+}
+
+/// A closed window's summary.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WindowMin {
+    /// Minimum RTT observed in the window.
+    pub min_rtt: Nanos,
+    /// Samples in the window.
+    pub count: u32,
+    /// Timestamp of the first sample in the window.
+    pub start_ts: Nanos,
+    /// Timestamp of the last sample in the window.
+    pub end_ts: Nanos,
+}
+
+/// Streaming windowed-minimum filter.
+#[derive(Clone, Debug)]
+pub struct MinFilter {
+    window: Window,
+    current_min: Nanos,
+    count: u32,
+    start_ts: Nanos,
+    last_ts: Nanos,
+}
+
+impl MinFilter {
+    /// Create a filter with the given windowing policy.
+    pub fn new(window: Window) -> MinFilter {
+        if let Window::Count(n) = window {
+            assert!(n > 0, "count window must be positive");
+        }
+        MinFilter {
+            window,
+            current_min: Nanos::MAX,
+            count: 0,
+            start_ts: 0,
+            last_ts: 0,
+        }
+    }
+
+    /// The running minimum of the *open* window (`None` when empty).
+    pub fn current_min(&self) -> Option<Nanos> {
+        (self.count > 0).then_some(self.current_min)
+    }
+
+    /// Samples in the open window.
+    pub fn current_count(&self) -> u32 {
+        self.count
+    }
+
+    /// Offer a sample; returns the closed window's summary when this sample
+    /// completes (count mode) or begins a new window (time mode).
+    pub fn offer(&mut self, rtt: Nanos, ts: Nanos) -> Option<WindowMin> {
+        match self.window {
+            Window::Count(n) => {
+                if self.count == 0 {
+                    self.start_ts = ts;
+                    self.current_min = Nanos::MAX;
+                }
+                self.current_min = self.current_min.min(rtt);
+                self.count += 1;
+                self.last_ts = ts;
+                if self.count >= n {
+                    let out = WindowMin {
+                        min_rtt: self.current_min,
+                        count: self.count,
+                        start_ts: self.start_ts,
+                        end_ts: ts,
+                    };
+                    self.count = 0;
+                    Some(out)
+                } else {
+                    None
+                }
+            }
+            Window::Time(d) => {
+                let mut closed = None;
+                if self.count > 0 && ts.saturating_sub(self.start_ts) >= d {
+                    closed = Some(WindowMin {
+                        min_rtt: self.current_min,
+                        count: self.count,
+                        start_ts: self.start_ts,
+                        end_ts: self.last_ts,
+                    });
+                    self.count = 0;
+                }
+                if self.count == 0 {
+                    self.start_ts = ts;
+                    self.current_min = Nanos::MAX;
+                }
+                self.current_min = self.current_min.min(rtt);
+                self.count += 1;
+                self.last_ts = ts;
+                closed
+            }
+        }
+    }
+
+    /// Close and return the open window, if any (end of stream).
+    pub fn flush(&mut self) -> Option<WindowMin> {
+        if self.count == 0 {
+            return None;
+        }
+        let out = WindowMin {
+            min_rtt: self.current_min,
+            count: self.count,
+            start_ts: self.start_ts,
+            end_ts: self.last_ts,
+        };
+        self.count = 0;
+        Some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn count_window_closes_on_nth_sample() {
+        let mut f = MinFilter::new(Window::Count(3));
+        assert!(f.offer(30, 1).is_none());
+        assert!(f.offer(10, 2).is_none());
+        let w = f.offer(20, 3).unwrap();
+        assert_eq!(w.min_rtt, 10);
+        assert_eq!(w.count, 3);
+        assert_eq!(w.start_ts, 1);
+        assert_eq!(w.end_ts, 3);
+        // Next window starts fresh.
+        assert!(f.offer(99, 4).is_none());
+        assert_eq!(f.current_min(), Some(99));
+    }
+
+    #[test]
+    fn time_window_closes_on_elapsed() {
+        let mut f = MinFilter::new(Window::Time(100));
+        assert!(f.offer(50, 0).is_none());
+        assert!(f.offer(40, 60).is_none());
+        // 150 - 0 >= 100: previous window closes, this sample opens the next.
+        let w = f.offer(70, 150).unwrap();
+        assert_eq!(w.min_rtt, 40);
+        assert_eq!(w.count, 2);
+        assert_eq!(f.current_min(), Some(70));
+    }
+
+    #[test]
+    fn flush_returns_partial_window() {
+        let mut f = MinFilter::new(Window::Count(8));
+        f.offer(25, 1);
+        f.offer(15, 2);
+        let w = f.flush().unwrap();
+        assert_eq!(w.min_rtt, 15);
+        assert_eq!(w.count, 2);
+        assert!(f.flush().is_none());
+    }
+
+    #[test]
+    fn empty_filter_has_no_min() {
+        let f = MinFilter::new(Window::Count(8));
+        assert_eq!(f.current_min(), None);
+        assert_eq!(f.current_count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_count_window_rejected() {
+        MinFilter::new(Window::Count(0));
+    }
+}

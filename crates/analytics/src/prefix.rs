@@ -1,0 +1,153 @@
+//! Per-prefix RTT aggregation (paper §3.1/§3.3): grouping samples by the
+//! remote /24 (or any prefix length) gives a more complete view of a target
+//! subnet's congestion than any single flow, and is the granularity the
+//! min-filtering use case monitors.
+
+use crate::minfilter::{MinFilter, Window, WindowMin};
+use dart_core::RttSample;
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+/// An IPv4 prefix (network address + length).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct Prefix {
+    /// Network address with host bits zeroed.
+    pub net: u32,
+    /// Prefix length in bits.
+    pub len: u8,
+}
+
+impl Prefix {
+    /// The prefix of `addr` at length `len`.
+    pub fn of(addr: Ipv4Addr, len: u8) -> Prefix {
+        assert!(len <= 32);
+        let mask = if len == 0 {
+            0
+        } else {
+            u32::MAX << (32 - len as u32)
+        };
+        Prefix {
+            net: u32::from(addr) & mask,
+            len,
+        }
+    }
+
+    /// True when `addr` falls inside this prefix.
+    pub fn contains(&self, addr: Ipv4Addr) -> bool {
+        Prefix::of(addr, self.len).net == self.net
+    }
+}
+
+impl std::fmt::Display for Prefix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}", Ipv4Addr::from(self.net), self.len)
+    }
+}
+
+/// Aggregates RTT samples into per-remote-prefix windowed minima.
+pub struct PrefixAggregator {
+    prefix_len: u8,
+    window: Window,
+    filters: HashMap<Prefix, MinFilter>,
+    counts: HashMap<Prefix, u64>,
+}
+
+impl PrefixAggregator {
+    /// Aggregate at `prefix_len` with the given windowing policy.
+    pub fn new(prefix_len: u8, window: Window) -> PrefixAggregator {
+        assert!(prefix_len <= 32);
+        PrefixAggregator {
+            prefix_len,
+            window,
+            filters: HashMap::new(),
+            counts: HashMap::new(),
+        }
+    }
+
+    /// Offer a sample; the remote side is the sample flow's destination
+    /// (the data packet's receiver). Returns a closed window for the
+    /// sample's prefix, if one completed.
+    pub fn offer(&mut self, sample: &RttSample) -> Option<(Prefix, WindowMin)> {
+        let prefix = Prefix::of(sample.flow.dst_ip, self.prefix_len);
+        *self.counts.entry(prefix).or_insert(0) += 1;
+        let filter = self
+            .filters
+            .entry(prefix)
+            .or_insert_with(|| MinFilter::new(self.window));
+        filter.offer(sample.rtt, sample.ts).map(|w| (prefix, w))
+    }
+
+    /// Samples seen per prefix.
+    pub fn count(&self, prefix: &Prefix) -> u64 {
+        self.counts.get(prefix).copied().unwrap_or(0)
+    }
+
+    /// Number of distinct prefixes observed.
+    pub fn prefixes(&self) -> usize {
+        self.filters.len()
+    }
+
+    /// Current open-window minimum per prefix (control-plane snapshot).
+    pub fn snapshot(&self) -> Vec<(Prefix, Option<u64>)> {
+        let mut v: Vec<_> = self
+            .filters
+            .iter()
+            .map(|(p, f)| (*p, f.current_min()))
+            .collect();
+        v.sort_by_key(|(p, _)| *p);
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dart_packet::{FlowKey, SeqNum};
+
+    fn sample(dst: Ipv4Addr, rtt: u64, ts: u64) -> RttSample {
+        RttSample {
+            flow: FlowKey::new(Ipv4Addr::new(10, 0, 0, 1), 40000, dst, 443),
+            eack: SeqNum(1),
+            rtt,
+            ts,
+        }
+    }
+
+    #[test]
+    fn prefix_of_masks_host_bits() {
+        let p = Prefix::of(Ipv4Addr::new(93, 184, 216, 34), 24);
+        assert_eq!(p.to_string(), "93.184.216.0/24");
+        assert!(p.contains(Ipv4Addr::new(93, 184, 216, 99)));
+        assert!(!p.contains(Ipv4Addr::new(93, 184, 217, 34)));
+    }
+
+    #[test]
+    fn zero_length_prefix_contains_everything() {
+        let p = Prefix::of(Ipv4Addr::new(1, 2, 3, 4), 0);
+        assert!(p.contains(Ipv4Addr::new(255, 255, 255, 255)));
+    }
+
+    #[test]
+    fn samples_group_by_remote_prefix() {
+        let mut agg = PrefixAggregator::new(24, Window::Count(2));
+        let a1 = Ipv4Addr::new(93, 184, 216, 10);
+        let a2 = Ipv4Addr::new(93, 184, 216, 20); // same /24
+        let b = Ipv4Addr::new(8, 8, 8, 8);
+        assert!(agg.offer(&sample(a1, 30, 1)).is_none());
+        assert!(agg.offer(&sample(b, 99, 2)).is_none());
+        let (p, w) = agg.offer(&sample(a2, 20, 3)).expect("window closes");
+        assert_eq!(p, Prefix::of(a1, 24));
+        assert_eq!(w.min_rtt, 20);
+        assert_eq!(agg.prefixes(), 2);
+        assert_eq!(agg.count(&Prefix::of(b, 24)), 1);
+    }
+
+    #[test]
+    fn snapshot_lists_open_windows() {
+        let mut agg = PrefixAggregator::new(16, Window::Count(10));
+        agg.offer(&sample(Ipv4Addr::new(1, 1, 1, 1), 42, 1));
+        let snap = agg.snapshot();
+        assert_eq!(snap.len(), 1);
+        assert_eq!(snap[0].1, Some(42));
+    }
+}

@@ -1,0 +1,41 @@
+//! # dart-baselines
+//!
+//! The comparators the paper evaluates Dart against:
+//!
+//! * [`tcptrace::TcpTrace`] — the offline software ground truth (§6.1):
+//!   unlimited memory, full per-flow segment lists, sequence unwrapping,
+//!   Karn-style retransmission exclusion, and an optional emulation of real
+//!   tcptrace's quadrant double-sample quirk.
+//! * [`strawman::Strawman`] — the §2.1 strawman (after Chen et al. \[12\]):
+//!   one hash table, no ambiguity handling, timeout/evict-on-collision
+//!   memory management with its documented bias against long RTTs.
+//! * [`fridge::Fridge`] — a Zheng-et-al-style unbiased delay sampler (§8),
+//!   emitting correction-weighted samples.
+//! * [`dapper::Dapper`] — a Dapper-style one-packet-per-window tracker (§8).
+//! * [`lean::LeanRtt`] — a Liu-et-al-style sum-based average-RTT estimator
+//!   (§8), O(1) state but fragile to loss and ACK thinning.
+//! * [`pping::Pping`] — a pping-style TCP-timestamp matcher (§8), blind to
+//!   option-less traffic and quantized by the sender's timestamp clock.
+//!
+//! `tcptrace_const` — the constant-per-flow-state variant the paper actually
+//! sweeps against in §6.2 — is Dart itself with unlimited tables:
+//! `dart_core::DartConfig::unlimited()`.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod dapper;
+pub mod fridge;
+pub mod lean;
+pub mod pping;
+pub mod seglist;
+pub mod strawman;
+pub mod tcptrace;
+
+pub use dapper::{Dapper, DapperConfig, DapperStats};
+pub use fridge::{Fridge, FridgeConfig, FridgeStats, WeightedSample};
+pub use lean::{LeanEstimate, LeanRtt};
+pub use pping::{Pping, PpingConfig, PpingStats};
+pub use seglist::{SegOutcome, Segment, SegmentList, SeqUnwrapper};
+pub use strawman::{Strawman, StrawmanConfig, StrawmanStats};
+pub use tcptrace::{run_trace as run_tcptrace, TcpTrace, TcpTraceConfig, TcpTraceStats};

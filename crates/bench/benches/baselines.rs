@@ -1,0 +1,65 @@
+//! Side-by-side processing cost of Dart and every baseline on the same
+//! trace — the software-performance context for §1's "RTT monitoring in
+//! software is computationally expensive".
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use dart_baselines::{Fridge, FridgeConfig, Strawman, StrawmanConfig, TcpTrace, TcpTraceConfig};
+use dart_bench::{standard_trace, TraceScale};
+use dart_core::{DartConfig, DartEngine, RttSample};
+
+fn baseline_costs(c: &mut Criterion) {
+    let trace = standard_trace(TraceScale::Small);
+    let mut g = c.benchmark_group("baselines");
+    g.throughput(Throughput::Elements(trace.len() as u64));
+    g.sample_size(10);
+
+    g.bench_function("dart_constrained", |b| {
+        b.iter(|| {
+            let mut engine =
+                DartEngine::new(DartConfig::default().with_rt(1 << 13).with_pt(1 << 12, 1));
+            let mut sink: Vec<RttSample> = Vec::new();
+            engine.process_trace(trace.packets.iter(), &mut sink);
+            sink.len()
+        });
+    });
+
+    g.bench_function("tcptrace", |b| {
+        b.iter(|| {
+            let mut tt = TcpTrace::new(TcpTraceConfig::default());
+            let mut sink: Vec<RttSample> = Vec::new();
+            tt.process_trace(trace.packets.iter(), &mut sink);
+            sink.len()
+        });
+    });
+
+    g.bench_function("strawman", |b| {
+        b.iter(|| {
+            let mut sm = Strawman::new(StrawmanConfig {
+                slots: 1 << 12,
+                ..StrawmanConfig::default()
+            });
+            let mut sink: Vec<RttSample> = Vec::new();
+            sm.process_trace(trace.packets.iter(), &mut sink);
+            sink.len()
+        });
+    });
+
+    g.bench_function("fridge", |b| {
+        b.iter(|| {
+            let mut fr = Fridge::new(FridgeConfig {
+                slots: 1 << 12,
+                ..FridgeConfig::default()
+            });
+            let mut n = 0u64;
+            for p in &trace.packets {
+                fr.process(p, &mut |_| n += 1);
+            }
+            n
+        });
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, baseline_costs);
+criterion_main!(benches);

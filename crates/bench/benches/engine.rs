@@ -1,0 +1,46 @@
+//! Engine throughput: packets/second through the Dart pipeline in its
+//! hardware-shaped and idealized configurations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dart_bench::{standard_trace, TraceScale};
+use dart_core::{DartConfig, DartEngine, RttSample};
+
+fn engine_throughput(c: &mut Criterion) {
+    let trace = standard_trace(TraceScale::Small);
+    let mut g = c.benchmark_group("engine_throughput");
+    g.throughput(Throughput::Elements(trace.len() as u64));
+    g.sample_size(10);
+
+    let configs: Vec<(&str, DartConfig)> = vec![
+        ("unlimited", DartConfig::unlimited()),
+        (
+            "constrained_pt12",
+            DartConfig::default().with_rt(1 << 13).with_pt(1 << 12, 1),
+        ),
+        (
+            "constrained_pt8",
+            DartConfig::default().with_rt(1 << 13).with_pt(1 << 8, 1),
+        ),
+        (
+            "constrained_8stage",
+            DartConfig::default()
+                .with_rt(1 << 13)
+                .with_pt(1 << 12, 8)
+                .with_max_recirc(4),
+        ),
+    ];
+    for (name, cfg) in configs {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &cfg, |b, cfg| {
+            b.iter(|| {
+                let mut engine = DartEngine::new(*cfg);
+                let mut sink: Vec<RttSample> = Vec::new();
+                engine.process_trace(trace.packets.iter(), &mut sink);
+                sink.len()
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, engine_throughput);
+criterion_main!(benches);

@@ -1,0 +1,104 @@
+//! One Criterion bench per paper artifact: times the regeneration of each
+//! table/figure at small scale, so `cargo bench` exercises the entire
+//! evaluation pipeline end to end.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dart_analytics::{ChangeDetector, ChangeDetectorConfig, RttDistribution, Verdict};
+use dart_bench::{
+    run_fig9_variant, run_point, standard_trace, sweep_config, tcptrace_const, Fig9Variant,
+    TraceScale,
+};
+use dart_core::{run_trace, DartConfig, Leg};
+use dart_sim::scenario::{interception, AttackConfig};
+use dart_switch::{dart_program, estimate, DartProgramParams, TargetProfile};
+
+fn figures(c: &mut Criterion) {
+    let scale = TraceScale::Small;
+    let trace = standard_trace(scale);
+    let (baseline, _) = tcptrace_const(&trace.packets);
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+
+    g.bench_function("table1_resources", |b| {
+        b.iter(|| {
+            let prog = dart_program(DartProgramParams {
+                spans_egress: true,
+                ..DartProgramParams::default()
+            });
+            estimate(&prog, &TargetProfile::tofino1()).fits()
+        });
+    });
+
+    g.bench_function("fig6_internal_leg", |b| {
+        b.iter(|| {
+            let cfg = DartConfig::default()
+                .with_leg(Leg::Internal)
+                .with_rt(scale.rt_large())
+                .with_pt(scale.pt_fixed() * 8, 1);
+            run_trace(cfg, &trace.packets).0.len()
+        });
+    });
+
+    g.bench_function("fig8_attack_detection", |b| {
+        let attack = interception(AttackConfig {
+            rounds: 60,
+            attack_at: 6_000_000_000,
+            ..AttackConfig::default()
+        });
+        b.iter(|| {
+            let (samples, _) = run_trace(DartConfig::default(), &attack.packets);
+            let mut det = ChangeDetector::new(ChangeDetectorConfig::default());
+            samples
+                .iter()
+                .filter(|s| matches!(det.offer(s.rtt, s.ts), Verdict::Confirmed { .. }))
+                .count()
+        });
+    });
+
+    g.bench_function("fig9_four_way", |b| {
+        b.iter(|| {
+            let d = run_fig9_variant(Fig9Variant::DartMinusSyn, &trace.packets);
+            let t = run_fig9_variant(Fig9Variant::TcptraceMinusSyn, &trace.packets);
+            let mut dist = RttDistribution::from_samples(d.iter().map(|s| s.rtt));
+            (t.len(), dist.percentile(99.0))
+        });
+    });
+
+    g.bench_function("fig11_pt_size_point", |b| {
+        b.iter(|| {
+            run_point(
+                sweep_config(scale, scale.pt_fixed(), 1, 1),
+                &trace.packets,
+                &baseline,
+            )
+            .fraction_collected
+        });
+    });
+
+    g.bench_function("fig12_stage_point", |b| {
+        b.iter(|| {
+            run_point(
+                sweep_config(scale, scale.pt_fixed(), 8, 1),
+                &trace.packets,
+                &baseline,
+            )
+            .fraction_collected
+        });
+    });
+
+    g.bench_function("fig13_recirc_point", |b| {
+        b.iter(|| {
+            run_point(
+                sweep_config(scale, scale.pt_fixed(), 8, 8),
+                &trace.packets,
+                &baseline,
+            )
+            .fraction_collected
+        });
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, figures);
+criterion_main!(benches);

@@ -1,0 +1,89 @@
+//! Micro-benchmarks of the two core data structures: Range Tracker updates
+//! and Packet Tracker insert/match, per operation.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use dart_core::{PacketTracker, PtMode, RangeTracker, RtMode};
+use dart_packet::{FlowKey, SeqNum, SignatureWidth};
+
+fn flows(n: u32) -> Vec<FlowKey> {
+    (0..n)
+        .map(|i| {
+            FlowKey::from_raw(
+                0x0a00_0000 + i,
+                40_000 + (i % 20_000) as u16,
+                0x5db8_d822,
+                443,
+            )
+        })
+        .collect()
+}
+
+fn rt_ops(c: &mut Criterion) {
+    let fl = flows(4096);
+    let mut g = c.benchmark_group("range_tracker");
+    g.throughput(Throughput::Elements(fl.len() as u64 * 3));
+    for (name, mode) in [
+        ("constrained_64k", RtMode::Constrained { slots: 1 << 16 }),
+        ("unlimited", RtMode::Unlimited),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let mut rt = RangeTracker::new(mode, SignatureWidth::W32);
+                let mut acc = 0u64;
+                for (i, f) in fl.iter().enumerate() {
+                    let s = (i as u32) * 1000;
+                    acc += rt.on_seq(f, SeqNum(s), SeqNum(s + 500)).track() as u64;
+                    acc += rt.on_seq(f, SeqNum(s + 500), SeqNum(s + 1000)).track() as u64;
+                    acc += rt.on_ack(f, SeqNum(s + 500), true).match_pt() as u64;
+                }
+                acc
+            });
+        });
+    }
+    g.finish();
+}
+
+fn pt_ops(c: &mut Criterion) {
+    let fl = flows(4096);
+    let sigs: Vec<_> = fl
+        .iter()
+        .map(|f| f.signature(SignatureWidth::W32))
+        .collect();
+    let mut g = c.benchmark_group("packet_tracker");
+    g.throughput(Throughput::Elements(fl.len() as u64 * 2));
+    for (name, mode) in [
+        (
+            "constrained_1stage",
+            PtMode::Constrained {
+                slots: 1 << 14,
+                stages: 1,
+            },
+        ),
+        (
+            "constrained_8stage",
+            PtMode::Constrained {
+                slots: 1 << 14,
+                stages: 8,
+            },
+        ),
+        ("unlimited", PtMode::Unlimited),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let mut pt = PacketTracker::new(mode);
+                let mut hits = 0u64;
+                for ((f, sig), i) in fl.iter().zip(&sigs).zip(0u64..) {
+                    pt.insert_new(f, *sig, SeqNum(1000), i);
+                }
+                for (f, sig) in fl.iter().zip(&sigs) {
+                    hits += pt.match_ack(f, *sig, SeqNum(1000)).is_some() as u64;
+                }
+                hits
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, rt_ops, pt_ops);
+criterion_main!(benches);

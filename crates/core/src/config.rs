@@ -1,0 +1,250 @@
+//! Configuration of a Dart engine instance.
+
+use dart_packet::{Nanos, SignatureWidth};
+
+/// Whether handshake packets (SYN / SYN-ACK) are monitored.
+///
+/// Skipping them (`Skip`, the deployed default) makes Dart robust to SYN
+/// floods and saves Range Tracker memory for the 72.5% of campus connections
+/// that never complete a handshake, at the cost of ~4% of samples (paper
+/// §3.1, Fig. 10).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum SynPolicy {
+    /// Track SYN/SYN-ACK like data packets (`+SYN` in Fig. 9/10).
+    Include,
+    /// Ignore any packet with the SYN flag (`-SYN`, the default).
+    #[default]
+    Skip,
+}
+
+/// Which leg of the path is measured (paper §2.1, Fig. 1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Leg {
+    /// Monitor ↔ Internet: data outbound, ACKs inbound (the paper's §6
+    /// evaluation setting).
+    #[default]
+    External,
+    /// Campus host ↔ monitor: data inbound, ACKs outbound (§5's wired vs
+    /// wireless experiment).
+    Internal,
+    /// Both legs simultaneously; dual-role packets cost one recirculation
+    /// each, as in the hardware prototype (§5).
+    Both,
+}
+
+/// Range Tracker sizing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RtMode {
+    /// Fully associative, unbounded: the `tcptrace_const` idealization
+    /// used as the §6 baseline.
+    Unlimited,
+    /// A one-way associative hash table of `slots` entries, as on hardware.
+    Constrained {
+        /// Number of slots.
+        slots: usize,
+    },
+}
+
+/// Packet Tracker sizing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PtMode {
+    /// Fully associative, unbounded.
+    Unlimited,
+    /// `slots` total entries divided evenly across `stages` one-way
+    /// associative stages (paper §6.2).
+    Constrained {
+        /// Total slots across all stages.
+        slots: usize,
+        /// Number of stages (1 = the Tofino 1 layout).
+        stages: usize,
+    },
+}
+
+/// Full engine configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct DartConfig {
+    /// Handshake policy.
+    pub syn_policy: SynPolicy,
+    /// Measured leg.
+    pub leg: Leg,
+    /// Range Tracker mode.
+    pub rt: RtMode,
+    /// Packet Tracker mode.
+    pub pt: PtMode,
+    /// Flow-signature width in constrained tables.
+    pub sig_width: SignatureWidth,
+    /// Maximum recirculations per evicted record (paper §3.2's safeguard;
+    /// swept in Fig. 13). Zero disables recirculation entirely.
+    pub max_recirc: u32,
+    /// Delay before a recirculated record re-enters the ingress pipeline.
+    pub recirc_delay: Nanos,
+    /// Slots in the small fully-associative victim cache holding evicted
+    /// records before they cost a recirculation (§3.2/§7's "small cache of
+    /// heavy flows after the RT"). Zero disables the cache.
+    pub victim_cache: usize,
+    /// Enable the §7 recirculation-avoidance approximation: evicted records
+    /// are validated against a *copy* of the Range Tracker placed after the
+    /// Packet Tracker instead of recirculating. The copy lags the original
+    /// by this sync delay, so validation is approximate — it trades
+    /// recirculation bandwidth for memory and a little accuracy.
+    pub rt_copy_sync: Option<Nanos>,
+}
+
+impl Default for DartConfig {
+    /// The paper's chosen operating point: `-SYN`, external leg, large RT,
+    /// 2^17-slot single-stage PT, one recirculation allowed.
+    fn default() -> Self {
+        DartConfig {
+            syn_policy: SynPolicy::Skip,
+            leg: Leg::External,
+            rt: RtMode::Constrained { slots: 1 << 20 },
+            pt: PtMode::Constrained {
+                slots: 1 << 17,
+                stages: 1,
+            },
+            sig_width: SignatureWidth::W32,
+            max_recirc: 1,
+            recirc_delay: 10_000, // 10 µs: a handful of pipeline passes
+            victim_cache: 0,
+            rt_copy_sync: None,
+        }
+    }
+}
+
+impl DartConfig {
+    /// The unlimited-memory idealization (`tcptrace_const`): fully
+    /// associative RT and PT, no evictions, no recirculations.
+    pub fn unlimited() -> DartConfig {
+        DartConfig {
+            rt: RtMode::Unlimited,
+            pt: PtMode::Unlimited,
+            ..DartConfig::default()
+        }
+    }
+
+    /// Builder-style: set the SYN policy.
+    pub fn with_syn(mut self, p: SynPolicy) -> Self {
+        self.syn_policy = p;
+        self
+    }
+
+    /// Builder-style: set the measured leg.
+    pub fn with_leg(mut self, leg: Leg) -> Self {
+        self.leg = leg;
+        self
+    }
+
+    /// Builder-style: constrained PT with `slots` total and `stages` stages.
+    pub fn with_pt(mut self, slots: usize, stages: usize) -> Self {
+        assert!(stages >= 1, "PT needs at least one stage");
+        assert!(slots >= stages, "PT needs at least one slot per stage");
+        self.pt = PtMode::Constrained { slots, stages };
+        self
+    }
+
+    /// Builder-style: constrained RT with `slots` entries.
+    pub fn with_rt(mut self, slots: usize) -> Self {
+        assert!(slots >= 1, "RT needs at least one slot");
+        self.rt = RtMode::Constrained { slots };
+        self
+    }
+
+    /// Builder-style: set the recirculation cap.
+    pub fn with_max_recirc(mut self, n: u32) -> Self {
+        self.max_recirc = n;
+        self
+    }
+
+    /// Builder-style: enable the victim cache with `slots` entries.
+    pub fn with_victim_cache(mut self, slots: usize) -> Self {
+        self.victim_cache = slots;
+        self
+    }
+
+    /// Builder-style: enable the RT-copy approximation with the given sync
+    /// delay.
+    pub fn with_rt_copy(mut self, sync: Nanos) -> Self {
+        self.rt_copy_sync = Some(sync);
+        self
+    }
+
+    /// True when a data packet traveling `dir` should be processed as SEQ.
+    pub fn seq_role_active(&self, dir: dart_packet::Direction) -> bool {
+        use dart_packet::Direction::*;
+        match self.leg {
+            Leg::External => dir == Outbound,
+            Leg::Internal => dir == Inbound,
+            Leg::Both => true,
+        }
+    }
+
+    /// True when an ACK traveling `dir` should be processed as ACK.
+    pub fn ack_role_active(&self, dir: dart_packet::Direction) -> bool {
+        use dart_packet::Direction::*;
+        match self.leg {
+            Leg::External => dir == Inbound,
+            Leg::Internal => dir == Outbound,
+            Leg::Both => true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dart_packet::Direction;
+
+    #[test]
+    fn default_matches_paper_operating_point() {
+        let c = DartConfig::default();
+        assert_eq!(c.syn_policy, SynPolicy::Skip);
+        assert_eq!(c.leg, Leg::External);
+        assert_eq!(
+            c.pt,
+            PtMode::Constrained {
+                slots: 1 << 17,
+                stages: 1
+            }
+        );
+        assert_eq!(c.max_recirc, 1);
+    }
+
+    #[test]
+    fn unlimited_has_no_tables() {
+        let c = DartConfig::unlimited();
+        assert_eq!(c.rt, RtMode::Unlimited);
+        assert_eq!(c.pt, PtMode::Unlimited);
+    }
+
+    #[test]
+    fn external_leg_roles() {
+        let c = DartConfig::default();
+        assert!(c.seq_role_active(Direction::Outbound));
+        assert!(!c.seq_role_active(Direction::Inbound));
+        assert!(c.ack_role_active(Direction::Inbound));
+        assert!(!c.ack_role_active(Direction::Outbound));
+    }
+
+    #[test]
+    fn internal_leg_roles_are_mirrored() {
+        let c = DartConfig::default().with_leg(Leg::Internal);
+        assert!(c.seq_role_active(Direction::Inbound));
+        assert!(c.ack_role_active(Direction::Outbound));
+        assert!(!c.seq_role_active(Direction::Outbound));
+    }
+
+    #[test]
+    fn both_legs_activate_everything() {
+        let c = DartConfig::default().with_leg(Leg::Both);
+        for d in [Direction::Inbound, Direction::Outbound] {
+            assert!(c.seq_role_active(d));
+            assert!(c.ack_role_active(d));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one stage")]
+    fn zero_stages_rejected() {
+        DartConfig::default().with_pt(1024, 0);
+    }
+}

@@ -1,0 +1,867 @@
+//! The Dart engine: Range Tracker → Packet Tracker → analytics, with lazy
+//! eviction and second-chance recirculation (paper Fig. 3 / Fig. 5).
+
+use crate::config::{DartConfig, Leg, PtMode, SynPolicy};
+use crate::filter::FlowFilter;
+use crate::packet_tracker::{PacketTracker, PtInsert, PtRecord};
+use crate::range::{AckVerdict, MeasurementRange, SeqVerdict};
+use crate::range_tracker::{RangeTracker, RtAckOutcome, RtSeqOutcome};
+use crate::sample::{RttSample, SampleSink};
+use crate::stats::EngineStats;
+use dart_packet::{FlowSignature, Nanos, PacketId, PacketMeta};
+use dart_switch::RecircPort;
+use std::collections::{HashMap, VecDeque};
+
+/// A notable per-flow event the engine can report to the analytics module
+/// beyond RTT samples: range collapses are the §3.1 congestion indicator
+/// ("Dart can be adjusted to report the frequency of measurement range
+/// collapses for a flow"), and optimistic ACKs the §7 misbehaving-receiver
+/// signal.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EngineEvent {
+    /// A flow's measurement range collapsed.
+    RangeCollapse {
+        /// Data-direction flow key.
+        flow: dart_packet::FlowKey,
+        /// When it happened.
+        ts: Nanos,
+        /// True when inferred from a retransmitted data packet, false when
+        /// from a duplicate ACK.
+        from_retransmission: bool,
+    },
+    /// An ACK arrived for bytes beyond the right edge (§7: a receiver
+    /// trying to accelerate the sender).
+    OptimisticAck {
+        /// Data-direction flow key.
+        flow: dart_packet::FlowKey,
+        /// When it happened.
+        ts: Nanos,
+    },
+}
+
+/// Receiver of [`EngineEvent`]s.
+pub type EventSink = Box<dyn FnMut(EngineEvent)>;
+
+/// Analytics hook deciding whether an evicted record is worth recirculating
+/// (§3.3 "Preemptively discard useless samples"). Return `false` to drop the
+/// record instead of spending recirculation bandwidth on it.
+pub trait RecircFilter {
+    /// Should `rec`, evicted at time `now`, be recirculated?
+    fn should_recirculate(&mut self, rec: &PtRecord, now: Nanos) -> bool;
+}
+
+/// A filter that recirculates everything (the default).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RecirculateAll;
+
+impl RecircFilter for RecirculateAll {
+    fn should_recirculate(&mut self, _rec: &PtRecord, _now: Nanos) -> bool {
+        true
+    }
+}
+
+/// A record traveling the recirculation loop: the evicted PT record plus the
+/// identity of its displacer (for cycle detection) and its re-entry time.
+#[derive(Clone, Copy, Debug)]
+struct RecircEntry {
+    rec: PtRecord,
+    displaced_by: PacketId,
+    ready: Nanos,
+}
+
+/// The §7 approximate Range Tracker copy: shadows the main RT with a sync
+/// lag, letting evicted records be validated at the end of the pipeline
+/// instead of recirculating.
+struct RtCopy {
+    sync: Nanos,
+    shadow: HashMap<FlowSignature, MeasurementRange>,
+    pending: VecDeque<(Nanos, FlowSignature, MeasurementRange)>,
+}
+
+impl RtCopy {
+    fn new(sync: Nanos) -> RtCopy {
+        RtCopy {
+            sync,
+            shadow: HashMap::new(),
+            pending: VecDeque::new(),
+        }
+    }
+
+    /// Queue a write-through from the main RT; it lands after the sync lag.
+    fn record(&mut self, now: Nanos, sig: FlowSignature, range: MeasurementRange) {
+        self.pending.push_back((now + self.sync, sig, range));
+    }
+
+    /// Apply every write whose sync point has passed.
+    fn drain(&mut self, now: Nanos) {
+        while self.pending.front().is_some_and(|(at, _, _)| *at <= now) {
+            let (_, sig, range) = self.pending.pop_front().expect("peeked");
+            self.shadow.insert(sig, range);
+        }
+    }
+
+    /// Approximate validity: is `eack` inside the (possibly stale) range?
+    fn validate(&mut self, now: Nanos, rec: &PtRecord) -> bool {
+        self.drain(now);
+        self.shadow
+            .get(&rec.sig)
+            .is_some_and(|r| rec.eack.in_range(r.left, r.right))
+    }
+}
+
+/// The Dart engine. Feed it packets in capture order via
+/// [`DartEngine::process`]; it emits [`RttSample`]s into the supplied sink.
+pub struct DartEngine {
+    cfg: DartConfig,
+    rt: RangeTracker,
+    pt: PacketTracker,
+    recirc: RecircPort<RecircEntry>,
+    filter: Box<dyn RecircFilter>,
+    flow_filter: FlowFilter,
+    /// Small fully-associative cache of evicted records (§7) — FIFO.
+    victim_cache: VecDeque<PtRecord>,
+    rt_copy: Option<RtCopy>,
+    events: Option<EventSink>,
+    stats: EngineStats,
+}
+
+impl DartEngine {
+    /// Build an engine with the given configuration.
+    pub fn new(cfg: DartConfig) -> DartEngine {
+        Self::with_filter(cfg, Box::new(RecirculateAll))
+    }
+
+    /// Build an engine with an analytics recirculation filter (§3.3).
+    pub fn with_filter(cfg: DartConfig, filter: Box<dyn RecircFilter>) -> DartEngine {
+        DartEngine {
+            rt: RangeTracker::new(cfg.rt, cfg.sig_width),
+            pt: PacketTracker::new(cfg.pt),
+            recirc: RecircPort::new(cfg.max_recirc),
+            filter,
+            flow_filter: FlowFilter::all(),
+            victim_cache: VecDeque::new(),
+            rt_copy: cfg.rt_copy_sync.map(RtCopy::new),
+            events: None,
+            stats: EngineStats::default(),
+            cfg,
+        }
+    }
+
+    /// Subscribe to per-flow [`EngineEvent`]s (collapses, optimistic ACKs).
+    pub fn set_event_sink(&mut self, sink: EventSink) {
+        self.events = Some(sink);
+    }
+
+    fn emit(&mut self, ev: EngineEvent) {
+        if let Some(sink) = &mut self.events {
+            sink(ev);
+        }
+    }
+
+    /// Install the operator's flow-selection rules (§4). Replaces any
+    /// previous rule set; takes effect immediately, no redeploy needed.
+    pub fn set_flow_filter(&mut self, filter: FlowFilter) {
+        self.flow_filter = filter;
+    }
+
+    /// The installed flow-selection rules.
+    pub fn flow_filter(&self) -> &FlowFilter {
+        &self.flow_filter
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &DartConfig {
+        &self.cfg
+    }
+
+    /// Accumulated counters.
+    pub fn stats(&self) -> &EngineStats {
+        &self.stats
+    }
+
+    /// Live Range Tracker entries.
+    pub fn rt_occupancy(&self) -> usize {
+        self.rt.occupancy()
+    }
+
+    /// Live Packet Tracker records.
+    pub fn pt_occupancy(&self) -> usize {
+        self.pt.occupancy()
+    }
+
+    /// Process one packet in capture order.
+    pub fn process(&mut self, pkt: &PacketMeta, sink: &mut dyn SampleSink) {
+        self.drain_recirc_until(pkt.ts);
+        self.stats.packets += 1;
+
+        if self.cfg.syn_policy == SynPolicy::Skip && pkt.is_syn() {
+            self.stats.syn_skipped += 1;
+            return;
+        }
+        if !self.flow_filter.matches(&pkt.flow) {
+            self.stats.filtered_flows += 1;
+            return;
+        }
+
+        // ACK role first: an acknowledgment refers to previously seen data,
+        // while the SEQ role introduces new bytes.
+        let ack_fired = self.cfg.ack_role_active(pkt.dir) && pkt.is_ack() && {
+            self.handle_ack(pkt, sink);
+            true
+        };
+        let seq_fired = self.cfg.seq_role_active(pkt.dir) && pkt.is_seq() && {
+            self.handle_seq(pkt);
+            true
+        };
+        // In both-legs mode a dual-role packet costs one recirculation to be
+        // re-processed with a pseudo header (§5).
+        if ack_fired && seq_fired && self.cfg.leg == Leg::Both {
+            self.stats.dual_role_recirc += 1;
+        }
+    }
+
+    /// Process an entire trace.
+    pub fn process_trace<'a>(
+        &mut self,
+        packets: impl IntoIterator<Item = &'a PacketMeta>,
+        sink: &mut dyn SampleSink,
+    ) {
+        for p in packets {
+            self.process(p, sink);
+        }
+        self.flush();
+    }
+
+    /// Drain the recirculation loop at end of trace.
+    pub fn flush(&mut self) {
+        self.drain_recirc_until(Nanos::MAX);
+    }
+
+    fn handle_seq(&mut self, pkt: &PacketMeta) {
+        let eack = pkt.eack();
+        let outcome = self.rt.on_seq(&pkt.flow, pkt.seq, eack);
+        match outcome {
+            RtSeqOutcome::Created | RtSeqOutcome::Ruled(SeqVerdict::Extend) => {}
+            RtSeqOutcome::Ruled(SeqVerdict::HoleReset) => self.stats.seq_hole_reset += 1,
+            RtSeqOutcome::Ruled(SeqVerdict::Retransmission) => {
+                self.stats.seq_retransmission += 1;
+                self.stats.range_collapses += 1;
+                self.emit(EngineEvent::RangeCollapse {
+                    flow: pkt.flow,
+                    ts: pkt.ts,
+                    from_retransmission: true,
+                });
+            }
+            RtSeqOutcome::Ruled(SeqVerdict::Wraparound) => self.stats.seq_wraparound += 1,
+            RtSeqOutcome::Collision => self.stats.seq_rt_collision += 1,
+        }
+        if !outcome.track() {
+            self.sync_rt_copy(pkt);
+            return;
+        }
+        self.sync_rt_copy(pkt);
+        self.stats.seq_tracked += 1;
+        let sig = self.rt.sig(&pkt.flow);
+        let result = self.pt.insert_new(&pkt.flow, sig, eack, pkt.ts);
+        let inserted_id = PacketId::new(sig, eack);
+        self.account_insert(result, inserted_id, pkt.ts);
+    }
+
+    /// Write-through the flow's current range to the §7 RT copy (applied
+    /// after the sync lag).
+    fn sync_rt_copy(&mut self, pkt: &PacketMeta) {
+        if self.rt_copy.is_none() {
+            return;
+        }
+        let data_flow = if self.cfg.seq_role_active(pkt.dir) && pkt.is_seq() {
+            pkt.flow
+        } else {
+            pkt.flow.reverse()
+        };
+        if let Some(range) = self.rt.peek(&data_flow) {
+            let sig = self.rt.sig(&data_flow);
+            if let Some(copy) = &mut self.rt_copy {
+                copy.record(pkt.ts, sig, range);
+            }
+        }
+    }
+
+    fn handle_ack(&mut self, pkt: &PacketMeta, sink: &mut dyn SampleSink) {
+        let data_flow = pkt.flow.reverse();
+        match self.rt.on_ack(&data_flow, pkt.ack, pkt.is_pure_ack()) {
+            RtAckOutcome::Ruled(AckVerdict::Advance) => {
+                self.stats.ack_advanced += 1;
+                let sig = self.rt.sig(&data_flow);
+                let hit = self.pt.match_ack(&data_flow, sig, pkt.ack).or_else(|| {
+                    // Victim cache (§7): evicted records get matched here
+                    // instead of being lost to a missed recirculation.
+                    let id = PacketId::new(sig, pkt.ack);
+                    self.victim_cache
+                        .iter()
+                        .position(|r| r.id() == id)
+                        .map(|pos| {
+                            self.stats.victim_cache_hits += 1;
+                            self.victim_cache
+                                .remove(pos)
+                                .expect("position just found")
+                                .ts
+                        })
+                });
+                if let Some(ts0) = hit {
+                    self.stats.pt_matched += 1;
+                    self.stats.samples += 1;
+                    sink.on_sample(RttSample {
+                        flow: data_flow,
+                        eack: pkt.ack,
+                        rtt: pkt.ts.saturating_sub(ts0),
+                        ts: pkt.ts,
+                    });
+                }
+            }
+            RtAckOutcome::Ruled(AckVerdict::DuplicateCollapse) => {
+                self.stats.ack_duplicate += 1;
+                self.stats.range_collapses += 1;
+                self.emit(EngineEvent::RangeCollapse {
+                    flow: data_flow,
+                    ts: pkt.ts,
+                    from_retransmission: false,
+                });
+            }
+            RtAckOutcome::Ruled(AckVerdict::Stale) => self.stats.ack_stale += 1,
+            RtAckOutcome::Ruled(AckVerdict::Optimistic) => {
+                self.stats.ack_optimistic += 1;
+                self.emit(EngineEvent::OptimisticAck {
+                    flow: data_flow,
+                    ts: pkt.ts,
+                });
+            }
+            RtAckOutcome::NoFlow => self.stats.ack_no_flow += 1,
+        }
+        self.sync_rt_copy(pkt);
+    }
+
+    fn account_insert(&mut self, result: PtInsert, inserted_id: PacketId, now: Nanos) {
+        match result {
+            PtInsert::Stored => self.stats.pt_stored += 1,
+            PtInsert::StoredEvicting(old) => {
+                self.stats.pt_displaced += 1;
+                self.evict(old, inserted_id, now);
+            }
+            PtInsert::CycleBroken { .. } => self.stats.recirc_cycles_broken += 1,
+        }
+    }
+
+    /// Route an evicted record toward the recirculation port, applying (in
+    /// order) the victim cache, the RT-copy validity check, the analytics
+    /// filter, and the per-record trip cap.
+    fn evict(&mut self, old: PtRecord, displaced_by: PacketId, now: Nanos) {
+        // §7 victim cache: park the record; the oldest cached record spills
+        // toward the recirculation path when the cache is full.
+        let old = if self.cfg.victim_cache > 0 {
+            self.victim_cache.push_back(old);
+            self.stats.victim_cached += 1;
+            if self.victim_cache.len() <= self.cfg.victim_cache {
+                return;
+            }
+            self.victim_cache.pop_front().expect("cache nonempty")
+        } else {
+            old
+        };
+        // §7 RT copy: validate here instead of spending a recirculation.
+        if let Some(copy) = &mut self.rt_copy {
+            if copy.validate(now, &old) {
+                if old.trips >= self.cfg.max_recirc {
+                    self.stats.recirc_cap_dropped += 1;
+                    return;
+                }
+                let mut rec = old;
+                rec.trips += 1;
+                self.stats.rt_copy_reinserted += 1;
+                let result = self.pt.insert_recirculated(rec, Some(displaced_by));
+                self.account_insert(result, rec.id(), now);
+            } else {
+                self.stats.rt_copy_dropped += 1;
+            }
+            return;
+        }
+        if !self.filter.should_recirculate(&old, now) {
+            self.stats.recirc_filtered += 1;
+            return;
+        }
+        let entry = RecircEntry {
+            rec: old,
+            displaced_by,
+            ready: now + self.cfg.recirc_delay,
+        };
+        match self.recirc.submit(entry, old.trips) {
+            Ok(()) => self.stats.recirc_issued += 1,
+            Err(_) => self.stats.recirc_cap_dropped += 1,
+        }
+    }
+
+    /// Re-admit recirculated records whose re-entry time has arrived.
+    fn drain_recirc_until(&mut self, now: Nanos) {
+        while self.recirc.peek().is_some_and(|e| e.record.ready <= now) {
+            let popped = self.recirc.pop().expect("peeked entry present");
+            let mut rec = popped.record.rec;
+            rec.trips = popped.trips;
+            // Second chance: re-consult the Range Tracker (Fig. 5, event 5).
+            if !self.rt.revalidate(rec.sig, rec.eack) {
+                self.stats.recirc_stale_dropped += 1;
+                continue;
+            }
+            let displaced_by = popped.record.displaced_by;
+            let result = self.pt.insert_recirculated(rec, Some(displaced_by));
+            if matches!(result, PtInsert::Stored | PtInsert::StoredEvicting(_)) {
+                self.stats.recirc_reinserted += 1;
+            }
+            self.account_insert(result, rec.id(), popped.record.ready.min(now));
+        }
+    }
+}
+
+/// Convenience: run a full trace through a fresh engine and return the
+/// samples plus final statistics.
+pub fn run_trace(cfg: DartConfig, packets: &[PacketMeta]) -> (Vec<RttSample>, EngineStats) {
+    let mut engine = DartEngine::new(cfg);
+    let mut samples = Vec::new();
+    engine.process_trace(packets.iter(), &mut samples);
+    (samples, *engine.stats())
+}
+
+// The engine in unlimited mode never evicts, so `PtMode::Unlimited` combined
+// with recirculation settings is harmless; assert that invariant in tests.
+#[allow(unused_imports)]
+use PtMode as _PtModeUsedInDocs;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dart_packet::{Direction, FlowKey, PacketBuilder, SeqNum};
+
+    fn flow(n: u32) -> FlowKey {
+        // Campus client (outbound data goes toward the internet server).
+        FlowKey::from_raw(0x0a00_0000 + n, 40000, 0x5db8_d822, 443)
+    }
+
+    /// Build a clean request/response exchange on the external leg:
+    /// outbound data at t, inbound ACK at t + rtt.
+    fn data_ack(f: FlowKey, seq: u32, len: u32, t: Nanos, rtt: Nanos) -> [PacketMeta; 2] {
+        let data = PacketBuilder::new(f, t)
+            .seq(seq)
+            .payload(len)
+            .dir(Direction::Outbound)
+            .build();
+        let ack = PacketBuilder::new(f.reverse(), t + rtt)
+            .ack(seq + len)
+            .dir(Direction::Inbound)
+            .build();
+        [data, ack]
+    }
+
+    #[test]
+    fn clean_exchange_produces_exact_sample() {
+        for cfg in [DartConfig::unlimited(), DartConfig::default()] {
+            let f = flow(1);
+            let pkts: Vec<_> = data_ack(f, 1000, 500, 1_000_000, 25_000_000).into();
+            let (samples, stats) = run_trace(cfg, &pkts);
+            assert_eq!(samples.len(), 1, "cfg {cfg:?}");
+            assert_eq!(samples[0].rtt, 25_000_000);
+            assert_eq!(samples[0].flow, f);
+            assert_eq!(samples[0].eack, SeqNum(1500));
+            assert_eq!(stats.samples, 1);
+            assert_eq!(stats.seq_tracked, 1);
+        }
+    }
+
+    #[test]
+    fn syn_skip_ignores_handshake() {
+        let f = flow(2);
+        let syn = PacketBuilder::new(f, 0)
+            .seq(99u32)
+            .syn()
+            .dir(Direction::Outbound)
+            .build();
+        let syn_ack = PacketBuilder::new(f.reverse(), 10_000_000)
+            .seq(499u32)
+            .ack(100u32)
+            .syn()
+            .dir(Direction::Inbound)
+            .build();
+        let hs_ack = PacketBuilder::new(f, 20_000_000)
+            .ack(500u32)
+            .dir(Direction::Outbound)
+            .build();
+        let (samples, stats) = run_trace(DartConfig::default(), &[syn, syn_ack, hs_ack]);
+        assert!(samples.is_empty());
+        assert_eq!(stats.syn_skipped, 2);
+        // The bare handshake ACK is an ACK for a flow we never tracked.
+        assert_eq!(stats.ack_no_flow, 0); // inbound leg only acks outbound data
+    }
+
+    #[test]
+    fn syn_include_collects_handshake_rtt() {
+        let f = flow(3);
+        let syn = PacketBuilder::new(f, 0)
+            .seq(99u32)
+            .syn()
+            .dir(Direction::Outbound)
+            .build();
+        let syn_ack = PacketBuilder::new(f.reverse(), 30_000_000)
+            .seq(499u32)
+            .ack(100u32)
+            .syn()
+            .dir(Direction::Inbound)
+            .build();
+        let cfg = DartConfig::unlimited().with_syn(SynPolicy::Include);
+        let (samples, _) = run_trace(cfg, &[syn, syn_ack]);
+        // The SYN-ACK acknowledges the SYN: external-leg handshake RTT.
+        assert_eq!(samples.len(), 1);
+        assert_eq!(samples[0].rtt, 30_000_000);
+        assert_eq!(samples[0].eack, SeqNum(100));
+    }
+
+    #[test]
+    fn retransmission_yields_no_sample() {
+        let f = flow(4);
+        let d1 = PacketBuilder::new(f, 0)
+            .seq(0u32)
+            .payload(100)
+            .dir(Direction::Outbound)
+            .build();
+        // Retransmission of the same bytes.
+        let d2 = PacketBuilder::new(f, 5_000_000)
+            .seq(0u32)
+            .payload(100)
+            .dir(Direction::Outbound)
+            .build();
+        let ack = PacketBuilder::new(f.reverse(), 10_000_000)
+            .ack(100u32)
+            .dir(Direction::Inbound)
+            .build();
+        let (samples, stats) = run_trace(DartConfig::unlimited(), &[d1, d2, ack]);
+        assert!(samples.is_empty(), "ambiguous ACK must not sample");
+        assert_eq!(stats.seq_retransmission, 1);
+        // Two collapses: the retransmission, then the ACK landing on the
+        // collapsed edge (classified as a duplicate ACK).
+        assert_eq!(stats.range_collapses, 2);
+        assert_eq!(stats.ack_duplicate, 1);
+    }
+
+    #[test]
+    fn cumulative_ack_samples_last_segment_only() {
+        let f = flow(5);
+        let d1 = PacketBuilder::new(f, 0)
+            .seq(0u32)
+            .payload(100)
+            .dir(Direction::Outbound)
+            .build();
+        let d2 = PacketBuilder::new(f, 1_000_000)
+            .seq(100u32)
+            .payload(100)
+            .dir(Direction::Outbound)
+            .build();
+        let d3 = PacketBuilder::new(f, 2_000_000)
+            .seq(200u32)
+            .payload(100)
+            .dir(Direction::Outbound)
+            .build();
+        let ack = PacketBuilder::new(f.reverse(), 20_000_000)
+            .ack(300u32)
+            .dir(Direction::Inbound)
+            .build();
+        let (samples, stats) = run_trace(DartConfig::unlimited(), &[d1, d2, d3, ack]);
+        assert_eq!(samples.len(), 1);
+        assert_eq!(samples[0].eack, SeqNum(300));
+        assert_eq!(samples[0].rtt, 18_000_000);
+        assert_eq!(stats.seq_tracked, 3);
+    }
+
+    #[test]
+    fn reordering_dup_acks_suppress_inflated_sample() {
+        // P1..P4 sent; P2 reordered: receiver dup-acks P1, then cumulatively
+        // acks through P4. The cumulative ACK must not sample P4 (paper §2.2).
+        let f = flow(6);
+        let mk = |seq: u32, t: Nanos| {
+            PacketBuilder::new(f, t)
+                .seq(seq)
+                .payload(100)
+                .dir(Direction::Outbound)
+                .build()
+        };
+        let ack = |n: u32, t: Nanos| {
+            PacketBuilder::new(f.reverse(), t)
+                .ack(n)
+                .dir(Direction::Inbound)
+                .build()
+        };
+        let pkts = [
+            mk(0, 0),
+            mk(100, 1_000_000),
+            mk(200, 2_000_000),
+            mk(300, 3_000_000),
+            ack(100, 10_000_000), // acks P1
+            ack(100, 11_000_000), // dup ack (P2 missing at receiver)
+            ack(400, 30_000_000), // P2 arrived; cumulative ack through P4
+        ];
+        let (samples, stats) = run_trace(DartConfig::unlimited(), &pkts);
+        assert_eq!(samples.len(), 1, "only P1's ACK may sample");
+        assert_eq!(samples[0].eack, SeqNum(100));
+        // Two duplicate-ACK classifications: the true dup-ACK at 100, and
+        // the later cumulative ACK landing exactly on the collapsed edge
+        // (ambiguous, correctly unsampled).
+        assert_eq!(stats.ack_duplicate, 2);
+        assert_eq!(stats.samples, 1);
+    }
+
+    #[test]
+    fn optimistic_ack_is_ignored() {
+        let f = flow(7);
+        let d = PacketBuilder::new(f, 0)
+            .seq(0u32)
+            .payload(100)
+            .dir(Direction::Outbound)
+            .build();
+        let early = PacketBuilder::new(f.reverse(), 1_000_000)
+            .ack(500u32)
+            .dir(Direction::Inbound)
+            .build();
+        let (samples, stats) = run_trace(DartConfig::unlimited(), &[d, early]);
+        assert!(samples.is_empty());
+        assert_eq!(stats.ack_optimistic, 1);
+    }
+
+    #[test]
+    fn internal_leg_mirrors_roles() {
+        // Data inbound, ACK outbound: only the Internal leg samples it.
+        let server = FlowKey::from_raw(0x5db8_d822, 443, 0x0a00_0001, 40000);
+        let d = PacketBuilder::new(server, 0)
+            .seq(0u32)
+            .payload(100)
+            .dir(Direction::Inbound)
+            .build();
+        let a = PacketBuilder::new(server.reverse(), 2_000_000)
+            .ack(100u32)
+            .dir(Direction::Outbound)
+            .build();
+        let ext = run_trace(DartConfig::unlimited(), &[d, a]);
+        assert!(ext.0.is_empty());
+        let int = run_trace(DartConfig::unlimited().with_leg(Leg::Internal), &[d, a]);
+        assert_eq!(int.0.len(), 1);
+        assert_eq!(int.0[0].rtt, 2_000_000);
+    }
+
+    #[test]
+    fn both_legs_counts_dual_role_recirculation() {
+        // A piggyback packet (data + ACK) in Both mode costs a recirculation.
+        let f = flow(8);
+        let d1 = PacketBuilder::new(f, 0)
+            .seq(0u32)
+            .payload(10)
+            .dir(Direction::Outbound)
+            .build();
+        let piggy = PacketBuilder::new(f.reverse(), 3_000_000)
+            .seq(900u32)
+            .payload(20)
+            .ack(10u32)
+            .dir(Direction::Inbound)
+            .build();
+        let cfg = DartConfig::unlimited().with_leg(Leg::Both);
+        let (samples, stats) = run_trace(cfg, &[d1, piggy]);
+        assert_eq!(samples.len(), 1);
+        assert_eq!(stats.dual_role_recirc, 1);
+    }
+
+    #[test]
+    fn eviction_recirculation_and_second_chance() {
+        // A 1-slot PT forces every second tracked packet to evict the first.
+        // The evicted record is still valid, recirculates, and (cycle) the
+        // older record wins the slot back — so the FIRST packet's ACK still
+        // samples.
+        let fa = flow(9);
+        let fb = flow(10);
+        let cfg = DartConfig::default()
+            .with_rt(1 << 12)
+            .with_pt(1, 1)
+            .with_max_recirc(4);
+        let da = PacketBuilder::new(fa, 0)
+            .seq(0u32)
+            .payload(100)
+            .dir(Direction::Outbound)
+            .build();
+        let db = PacketBuilder::new(fb, 1_000_000)
+            .seq(0u32)
+            .payload(100)
+            .dir(Direction::Outbound)
+            .build();
+        let aa = PacketBuilder::new(fa.reverse(), 50_000_000)
+            .ack(100u32)
+            .dir(Direction::Inbound)
+            .build();
+        let (samples, stats) = run_trace(cfg, &[da, db, aa]);
+        assert_eq!(stats.pt_displaced, 1);
+        assert_eq!(stats.recirc_issued, 1);
+        // After recirculation the old record displaced the new one (cycle
+        // broken in favor of the older record), so fa's ACK samples.
+        assert_eq!(samples.len(), 1);
+        assert_eq!(samples[0].flow, fa);
+        assert_eq!(stats.recirc_cycles_broken, 1);
+    }
+
+    #[test]
+    fn recirc_cap_drops_records() {
+        let fa = flow(11);
+        let fb = flow(12);
+        let cfg = DartConfig::default().with_pt(1, 1).with_max_recirc(0);
+        let da = PacketBuilder::new(fa, 0)
+            .seq(0u32)
+            .payload(100)
+            .dir(Direction::Outbound)
+            .build();
+        let db = PacketBuilder::new(fb, 1_000_000)
+            .seq(0u32)
+            .payload(100)
+            .dir(Direction::Outbound)
+            .build();
+        let (_, stats) = run_trace(cfg, &[da, db]);
+        assert_eq!(stats.recirc_cap_dropped, 1);
+        assert_eq!(stats.recirc_issued, 0);
+    }
+
+    #[test]
+    fn stale_recirculated_record_self_destructs() {
+        // Flow A sends two segments through a 1-slot PT: the second displaces
+        // the first, which recirculates, comes back still valid, and wins the
+        // slot back via cycle-breaking (it is older). A cumulative ACK then
+        // moves A's left edge past it; when flow B later evicts it, the
+        // recirculated record must self-destruct at the RT check.
+        let fa = flow(13);
+        let fb = flow(14);
+        let cfg = DartConfig::default().with_pt(1, 1).with_max_recirc(4);
+        let pkts = [
+            PacketBuilder::new(fa, 0)
+                .seq(0u32)
+                .payload(100)
+                .dir(Direction::Outbound)
+                .build(),
+            PacketBuilder::new(fa, 1_000_000)
+                .seq(100u32)
+                .payload(100)
+                .dir(Direction::Outbound)
+                .build(),
+            PacketBuilder::new(fa.reverse(), 5_000_000)
+                .ack(200u32)
+                .dir(Direction::Inbound)
+                .build(),
+            // Flow B evicts the squatting eack=100 record.
+            PacketBuilder::new(fb, 60_000_000)
+                .seq(0u32)
+                .payload(100)
+                .dir(Direction::Outbound)
+                .build(),
+        ];
+        let (samples, stats) = run_trace(cfg, &pkts);
+        // The cycle-break kept the older record (eack=100) and dropped
+        // eack=200, so the cumulative ACK finds nothing: no samples — the
+        // price of a 1-slot PT.
+        assert!(samples.is_empty());
+        assert_eq!(stats.recirc_cycles_broken, 1);
+        // eack=100's record was evicted by flow B, recirculated, and died:
+        // its eACK is below the advanced left edge.
+        assert_eq!(stats.recirc_stale_dropped, 1);
+    }
+
+    #[test]
+    fn filter_drops_instead_of_recirculating() {
+        struct DropAll;
+        impl RecircFilter for DropAll {
+            fn should_recirculate(&mut self, _: &PtRecord, _: Nanos) -> bool {
+                false
+            }
+        }
+        let cfg = DartConfig::default().with_pt(1, 1).with_max_recirc(4);
+        let mut engine = DartEngine::with_filter(cfg, Box::new(DropAll));
+        let mut sink: Vec<RttSample> = Vec::new();
+        let fa = flow(15);
+        let fb = flow(16);
+        engine.process(
+            &PacketBuilder::new(fa, 0)
+                .seq(0u32)
+                .payload(100)
+                .dir(Direction::Outbound)
+                .build(),
+            &mut sink,
+        );
+        engine.process(
+            &PacketBuilder::new(fb, 1)
+                .seq(0u32)
+                .payload(100)
+                .dir(Direction::Outbound)
+                .build(),
+            &mut sink,
+        );
+        assert_eq!(engine.stats().recirc_filtered, 1);
+        assert_eq!(engine.stats().recirc_issued, 0);
+    }
+
+    #[test]
+    fn flush_drains_pending_recirculations() {
+        let cfg = DartConfig::default().with_pt(1, 1).with_max_recirc(8);
+        let mut engine = DartEngine::new(cfg);
+        let mut sink: Vec<RttSample> = Vec::new();
+        let fa = flow(17);
+        let fb = flow(18);
+        engine.process(
+            &PacketBuilder::new(fa, 0)
+                .seq(0u32)
+                .payload(100)
+                .dir(Direction::Outbound)
+                .build(),
+            &mut sink,
+        );
+        engine.process(
+            &PacketBuilder::new(fb, 1)
+                .seq(0u32)
+                .payload(100)
+                .dir(Direction::Outbound)
+                .build(),
+            &mut sink,
+        );
+        assert_eq!(engine.stats().recirc_issued, 1);
+        engine.flush();
+        // The recirculated record was processed (reinserted or cycled).
+        let s = engine.stats();
+        assert_eq!(
+            s.recirc_issued,
+            s.recirc_stale_dropped + s.recirc_reinserted + s.recirc_cycles_broken
+        );
+    }
+
+    #[test]
+    fn sequence_wraparound_foregoes_top_samples() {
+        let f = flow(19);
+        let pkts = [
+            PacketBuilder::new(f, 0)
+                .seq(u32::MAX - 199)
+                .payload(100)
+                .dir(Direction::Outbound)
+                .build(),
+            // This one wraps: [MAX-99, 100).
+            PacketBuilder::new(f, 1_000_000)
+                .seq(u32::MAX - 99)
+                .payload(200)
+                .dir(Direction::Outbound)
+                .build(),
+            // ACK for the pre-wrap packet: left edge was reset to 0, so this
+            // is stale — the foregone sample.
+            PacketBuilder::new(f.reverse(), 5_000_000)
+                .ack(u32::MAX - 99)
+                .dir(Direction::Inbound)
+                .build(),
+        ];
+        let (samples, stats) = run_trace(DartConfig::unlimited(), &pkts);
+        assert!(samples.is_empty());
+        assert_eq!(stats.seq_wraparound, 1);
+        assert_eq!(stats.ack_stale, 1);
+    }
+}

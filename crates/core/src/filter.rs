@@ -1,0 +1,201 @@
+//! Operator flow selection (paper §4, "Specifying target flows"): rules
+//! installable from the control plane restricting which flows Dart tracks,
+//! by source/destination prefix and port range — no recompilation or
+//! redeployment needed.
+//!
+//! On hardware this is the ternary `flow_select` table; here it is a rule
+//! list evaluated against each packet's data-direction flow key.
+
+use dart_packet::FlowKey;
+use std::net::Ipv4Addr;
+use std::ops::RangeInclusive;
+
+/// One match criterion on an address.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PrefixMatch {
+    net: u32,
+    mask: u32,
+}
+
+impl PrefixMatch {
+    /// Match addresses inside `addr/len`.
+    pub fn new(addr: Ipv4Addr, len: u8) -> PrefixMatch {
+        assert!(len <= 32, "prefix length out of range");
+        let mask = if len == 0 {
+            0
+        } else {
+            u32::MAX << (32 - len as u32)
+        };
+        PrefixMatch {
+            net: u32::from(addr) & mask,
+            mask,
+        }
+    }
+
+    /// Does `addr` fall inside this prefix?
+    pub fn matches(&self, addr: Ipv4Addr) -> bool {
+        u32::from(addr) & self.mask == self.net
+    }
+}
+
+/// One flow-selection rule; unspecified fields are wildcards. The rule is
+/// evaluated against the **data-direction** flow key (src = data sender).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FlowRule {
+    /// Source prefix (data sender side).
+    pub src: Option<PrefixMatch>,
+    /// Destination prefix (data receiver side).
+    pub dst: Option<PrefixMatch>,
+    /// Source port range.
+    pub src_ports: Option<RangeInclusive<u16>>,
+    /// Destination port range.
+    pub dst_ports: Option<RangeInclusive<u16>>,
+}
+
+impl FlowRule {
+    /// Match everything.
+    pub fn any() -> FlowRule {
+        FlowRule::default()
+    }
+
+    /// Restrict to a destination prefix.
+    pub fn to_prefix(addr: Ipv4Addr, len: u8) -> FlowRule {
+        FlowRule {
+            dst: Some(PrefixMatch::new(addr, len)),
+            ..FlowRule::default()
+        }
+    }
+
+    /// Restrict to a destination port.
+    pub fn to_port(port: u16) -> FlowRule {
+        FlowRule {
+            dst_ports: Some(port..=port),
+            ..FlowRule::default()
+        }
+    }
+
+    /// Does `flow` satisfy every specified criterion?
+    pub fn matches(&self, flow: &FlowKey) -> bool {
+        self.src.is_none_or(|p| p.matches(flow.src_ip))
+            && self.dst.is_none_or(|p| p.matches(flow.dst_ip))
+            && self
+                .src_ports
+                .as_ref()
+                .is_none_or(|r| r.contains(&flow.src_port))
+            && self
+                .dst_ports
+                .as_ref()
+                .is_none_or(|r| r.contains(&flow.dst_port))
+    }
+}
+
+/// The installed rule set: a flow is tracked when **any** rule matches
+/// either direction of the connection (ACKs travel opposite to data). An
+/// empty rule set tracks everything — the default deployment.
+#[derive(Clone, Debug, Default)]
+pub struct FlowFilter {
+    rules: Vec<FlowRule>,
+}
+
+impl FlowFilter {
+    /// Track everything.
+    pub fn all() -> FlowFilter {
+        FlowFilter::default()
+    }
+
+    /// Build from rules.
+    pub fn new(rules: impl IntoIterator<Item = FlowRule>) -> FlowFilter {
+        FlowFilter {
+            rules: rules.into_iter().collect(),
+        }
+    }
+
+    /// Install an additional rule at runtime (the control-plane call).
+    pub fn install(&mut self, rule: FlowRule) {
+        self.rules.push(rule);
+    }
+
+    /// Remove all rules (back to track-everything).
+    pub fn clear(&mut self) {
+        self.rules.clear();
+    }
+
+    /// Number of installed rules.
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// True when no rules are installed (track everything).
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// Should packets of this data-direction flow be tracked?
+    pub fn matches(&self, data_flow: &FlowKey) -> bool {
+        if self.rules.is_empty() {
+            return true;
+        }
+        let rev = data_flow.reverse();
+        self.rules
+            .iter()
+            .any(|r| r.matches(data_flow) || r.matches(&rev))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flow(src: [u8; 4], sport: u16, dst: [u8; 4], dport: u16) -> FlowKey {
+        FlowKey::new(Ipv4Addr::from(src), sport, Ipv4Addr::from(dst), dport)
+    }
+
+    #[test]
+    fn empty_filter_tracks_everything() {
+        let f = FlowFilter::all();
+        assert!(f.is_empty());
+        assert!(f.matches(&flow([10, 0, 0, 1], 1, [8, 8, 8, 8], 2)));
+    }
+
+    #[test]
+    fn prefix_rule_matches_either_direction() {
+        let f = FlowFilter::new([FlowRule::to_prefix(Ipv4Addr::new(93, 184, 216, 0), 24)]);
+        // Data toward the prefix.
+        assert!(f.matches(&flow([10, 0, 0, 1], 1, [93, 184, 216, 34], 443)));
+        // Data *from* the prefix (reverse direction of the same connection).
+        assert!(f.matches(&flow([93, 184, 216, 34], 443, [10, 0, 0, 1], 1)));
+        // Unrelated flow.
+        assert!(!f.matches(&flow([10, 0, 0, 1], 1, [1, 1, 1, 1], 443)));
+    }
+
+    #[test]
+    fn port_ranges_and_conjunction() {
+        let rule = FlowRule {
+            dst: Some(PrefixMatch::new(Ipv4Addr::new(10, 9, 0, 0), 16)),
+            dst_ports: Some(440..=450),
+            ..FlowRule::default()
+        };
+        let f = FlowFilter::new([rule]);
+        assert!(f.matches(&flow([1, 2, 3, 4], 9999, [10, 9, 1, 1], 443)));
+        assert!(!f.matches(&flow([1, 2, 3, 4], 9999, [10, 9, 1, 1], 80)));
+        assert!(!f.matches(&flow([1, 2, 3, 4], 9999, [10, 8, 1, 1], 443)));
+    }
+
+    #[test]
+    fn rules_are_disjunctive() {
+        let mut f = FlowFilter::new([FlowRule::to_port(443)]);
+        f.install(FlowRule::to_port(80));
+        assert_eq!(f.len(), 2);
+        assert!(f.matches(&flow([1, 1, 1, 1], 5, [2, 2, 2, 2], 443)));
+        assert!(f.matches(&flow([1, 1, 1, 1], 5, [2, 2, 2, 2], 80)));
+        assert!(!f.matches(&flow([1, 1, 1, 1], 5, [2, 2, 2, 2], 22)));
+        f.clear();
+        assert!(f.matches(&flow([1, 1, 1, 1], 5, [2, 2, 2, 2], 22)));
+    }
+
+    #[test]
+    fn zero_length_prefix_is_wildcard() {
+        let p = PrefixMatch::new(Ipv4Addr::new(1, 2, 3, 4), 0);
+        assert!(p.matches(Ipv4Addr::new(255, 255, 255, 255)));
+    }
+}

@@ -1,0 +1,60 @@
+//! # dart-core
+//!
+//! The paper's contribution: **Dart** (Data-plane Actionable Round-trip
+//! Times), an inline, real-time, continuous RTT measurement system
+//! (Sengupta, Kim, Rexford — SIGCOMM 2022).
+//!
+//! The engine matches TCP data packets with their acknowledgments under
+//! hardware constraints — one-way associative register tables, no revisiting
+//! memory, bounded recirculation — while staying correct under TCP
+//! retransmission, reordering, cumulative/duplicate ACKs, optimistic ACKs,
+//! and sequence wraparound:
+//!
+//! * [`range::MeasurementRange`] — the per-flow Fig. 4 state machine;
+//! * [`range_tracker::RangeTracker`] — the RT table (§3.1);
+//! * [`packet_tracker::PacketTracker`] — the PT table with lazy eviction
+//!   (§3.2);
+//! * [`engine::DartEngine`] — the full pipeline with second-chance
+//!   recirculation, cycle detection, and the analytics discard hook (§3.3).
+//!
+//! ```
+//! use dart_core::{DartConfig, DartEngine, RttSample};
+//! use dart_packet::{Direction, FlowKey, PacketBuilder};
+//!
+//! let flow = FlowKey::from_raw(0x0a000001, 44123, 0x5db8d822, 443);
+//! let data = PacketBuilder::new(flow, 0)
+//!     .seq(0u32).payload(1460).dir(Direction::Outbound).build();
+//! let ack = PacketBuilder::new(flow.reverse(), 23_000_000)
+//!     .ack(1460u32).dir(Direction::Inbound).build();
+//!
+//! let mut engine = DartEngine::new(DartConfig::default());
+//! let mut samples: Vec<RttSample> = Vec::new();
+//! engine.process(&data, &mut samples);
+//! engine.process(&ack, &mut samples);
+//! assert_eq!(samples[0].rtt, 23_000_000); // 23 ms
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod config;
+pub mod engine;
+pub mod filter;
+pub mod packet_tracker;
+pub mod pt_salu;
+pub mod range;
+pub mod range_tracker;
+pub mod rt_salu;
+pub mod sample;
+pub mod stats;
+
+pub use config::{DartConfig, Leg, PtMode, RtMode, SynPolicy};
+pub use engine::{run_trace, DartEngine, EngineEvent, EventSink, RecircFilter, RecirculateAll};
+pub use filter::{FlowFilter, FlowRule, PrefixMatch};
+pub use packet_tracker::{PacketTracker, PtInsert, PtRecord};
+pub use pt_salu::{SaluPtSlot, SlotRecord};
+pub use range::{AckVerdict, MeasurementRange, SeqVerdict};
+pub use range_tracker::{RangeTracker, RtAckOutcome, RtSeqOutcome};
+pub use rt_salu::SaluRangeTracker;
+pub use sample::{RttSample, SampleSink};
+pub use stats::EngineStats;

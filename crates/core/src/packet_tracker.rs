@@ -1,0 +1,498 @@
+//! The Packet Tracker (PT) table: outstanding data packets awaiting ACKs.
+//!
+//! Each tracked data packet is stored keyed by (flow signature, expected
+//! ACK) with its arrival timestamp (paper Fig. 2). Two modes:
+//!
+//! * **Unlimited** — fully associative and unbounded, keyed by the exact
+//!   (4-tuple, eACK); the §6.1 idealization.
+//! * **Constrained** — `stages` one-way associative register arrays, each
+//!   indexed by an independent hash. A packet gets one register access per
+//!   stage per pass, so insertion probes the record's slot in each stage
+//!   for an empty home; only when every probed slot is occupied does it
+//!   displace the occupant of its *entry stage*, which must then
+//!   recirculate for re-validation (§3.2). Incumbents in other stages are
+//!   never displaced — "older records are preferred" (§6.2). With one
+//!   recirculation allowed, splitting a fixed-size PT into more stages
+//!   strands stale records in the later stages (Fig. 12's degradation);
+//!   allowing more recirculations lets each trip enter one stage later,
+//!   displacing and cleaning those squatters (Fig. 13's recovery).
+
+use crate::config::PtMode;
+use dart_packet::{FlowKey, FlowSignature, Nanos, PacketId, SeqNum};
+use dart_switch::{HashUnit, RegisterArray};
+use std::collections::HashMap;
+
+/// One constrained-mode PT record.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PtRecord {
+    /// Flow signature (data direction).
+    pub sig: FlowSignature,
+    /// Expected ACK number.
+    pub eack: SeqNum,
+    /// Arrival timestamp of the data packet.
+    pub ts: Nanos,
+    /// Recirculation trips this record has survived.
+    pub trips: u32,
+}
+
+impl PtRecord {
+    /// The record's identity.
+    pub fn id(&self) -> PacketId {
+        PacketId::new(self.sig, self.eack)
+    }
+}
+
+/// Result of inserting a record into the PT.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PtInsert {
+    /// Stored without displacing anyone (an empty probed slot, or refresh
+    /// of a duplicate identity).
+    Stored,
+    /// Every probed slot was full: stored at the entry stage; the displaced
+    /// occupant must be recirculated (or dropped) by the caller.
+    StoredEvicting(PtRecord),
+    /// Eviction cycle detected (§3.2): the incumbent is the record this one
+    /// displaced earlier. The older of the two was kept, the younger
+    /// dropped; nothing recirculates.
+    CycleBroken {
+        /// True when the incumbent survived (the inserting record was
+        /// dropped).
+        kept_incumbent: bool,
+    },
+}
+
+enum PtStore {
+    Unlimited(HashMap<(FlowKey, SeqNum), Nanos>),
+    Constrained {
+        stages: Vec<RegisterArray<PtRecord>>,
+        hashers: Vec<HashUnit>,
+    },
+}
+
+/// The Packet Tracker table.
+pub struct PacketTracker {
+    store: PtStore,
+}
+
+impl PacketTracker {
+    /// Build a tracker in the given mode.
+    pub fn new(mode: PtMode) -> PacketTracker {
+        let store = match mode {
+            PtMode::Unlimited => PtStore::Unlimited(HashMap::new()),
+            PtMode::Constrained { slots, stages } => {
+                assert!(stages >= 1 && slots >= stages);
+                let per_stage = slots / stages;
+                let arrays = (0..stages)
+                    .map(|_| RegisterArray::new("packet_tracker", per_stage))
+                    .collect();
+                let hashers = (0..stages)
+                    .map(|s| HashUnit::new(0xB0 + s as u32, 32))
+                    .collect();
+                PtStore::Constrained {
+                    stages: arrays,
+                    hashers,
+                }
+            }
+        };
+        PacketTracker { store }
+    }
+
+    fn index(hashers: &[HashUnit], stage: usize, size: usize, id: &PacketId) -> usize {
+        let mut key = [0u8; 12];
+        key[0..8].copy_from_slice(&id.sig.raw().to_le_bytes());
+        key[8..12].copy_from_slice(&id.eack.raw().to_le_bytes());
+        hashers[stage].index(&key, size)
+    }
+
+    /// Insert a freshly tracked data packet. `flow` keys the unlimited
+    /// store exactly; constrained mode uses only the signature.
+    pub fn insert_new(
+        &mut self,
+        flow: &FlowKey,
+        sig: FlowSignature,
+        eack: SeqNum,
+        ts: Nanos,
+    ) -> PtInsert {
+        match &mut self.store {
+            PtStore::Unlimited(map) => {
+                map.insert((*flow, eack), ts);
+                PtInsert::Stored
+            }
+            PtStore::Constrained { .. } => self.insert_constrained(
+                PtRecord {
+                    sig,
+                    eack,
+                    ts,
+                    trips: 0,
+                },
+                None,
+                0,
+            ),
+        }
+    }
+
+    /// Re-insert a recirculated record that passed RT re-validation.
+    /// `displaced_by` is the identity of the record that evicted it, used
+    /// for cycle detection.
+    ///
+    /// Each recirculation trip enters the pipeline one stage later
+    /// (`trips mod stages`), so repeated passes probe *alternate locations*
+    /// (§6.2, Fig. 13) — and, crucially, displace later-stage squatters,
+    /// forcing stale records out to re-validation.
+    pub fn insert_recirculated(
+        &mut self,
+        rec: PtRecord,
+        displaced_by: Option<PacketId>,
+    ) -> PtInsert {
+        match &mut self.store {
+            PtStore::Unlimited(_) => {
+                unreachable!("unlimited PT never evicts, so nothing recirculates")
+            }
+            PtStore::Constrained { stages, .. } => {
+                let entry = rec.trips as usize % stages.len();
+                self.insert_constrained(rec, displaced_by, entry)
+            }
+        }
+    }
+
+    fn insert_constrained(
+        &mut self,
+        rec: PtRecord,
+        displaced_by: Option<PacketId>,
+        entry_stage: usize,
+    ) -> PtInsert {
+        let PtStore::Constrained { stages, hashers } = &mut self.store else {
+            unreachable!()
+        };
+        let n = stages.len();
+        let size = stages[0].size();
+
+        // Probe pass: one access per stage, looking for an empty home (or a
+        // duplicate of ourselves to refresh) from the entry stage onward.
+        #[allow(clippy::needless_range_loop)] // stage index feeds the hash choice
+        for s in entry_stage..n {
+            let idx = Self::index(hashers, s, size, &rec.id());
+            match stages[s].read(idx).copied() {
+                None => {
+                    stages[s].write(idx, rec);
+                    return PtInsert::Stored;
+                }
+                Some(o) if o.id() == rec.id() => {
+                    // Same identity (e.g. tracking restarted on the same
+                    // byte range): refresh the timestamp.
+                    stages[s].write(idx, rec);
+                    return PtInsert::Stored;
+                }
+                Some(_) => {}
+            }
+        }
+
+        // Every probed slot is occupied: displace the entry-stage occupant.
+        let idx0 = Self::index(hashers, entry_stage, size, &rec.id());
+        let occupant = stages[entry_stage]
+            .read(idx0)
+            .copied()
+            .expect("probed occupied just above");
+        if displaced_by == Some(occupant.id()) {
+            // Cycle: the incumbent is the record that displaced us. Keep
+            // the older record, drop the younger, recirculate nothing
+            // (§3.2's cycle detector).
+            if occupant.ts <= rec.ts {
+                return PtInsert::CycleBroken {
+                    kept_incumbent: true,
+                };
+            }
+            stages[entry_stage].write(idx0, rec);
+            return PtInsert::CycleBroken {
+                kept_incumbent: false,
+            };
+        }
+        stages[entry_stage].write(idx0, rec);
+        PtInsert::StoredEvicting(occupant)
+    }
+
+    /// Match an arriving ACK: look up (flow/sig, ack) in every stage and
+    /// remove the record on a hit, returning its stored timestamp.
+    pub fn match_ack(&mut self, flow: &FlowKey, sig: FlowSignature, ack: SeqNum) -> Option<Nanos> {
+        match &mut self.store {
+            PtStore::Unlimited(map) => map.remove(&(*flow, ack)),
+            PtStore::Constrained { stages, hashers } => {
+                let id = PacketId::new(sig, ack);
+                let size = stages[0].size();
+                #[allow(clippy::needless_range_loop)] // stage index feeds the hash choice
+                for s in 0..stages.len() {
+                    let idx = Self::index(hashers, s, size, &id);
+                    let hit =
+                        matches!(stages[s].read(idx), Some(r) if r.sig == sig && r.eack == ack);
+                    if hit {
+                        return stages[s].clear(idx).map(|r| r.ts);
+                    }
+                }
+                None
+            }
+        }
+    }
+
+    /// Live records (control-plane visibility).
+    pub fn occupancy(&self) -> usize {
+        match &self.store {
+            PtStore::Unlimited(map) => map.len(),
+            PtStore::Constrained { stages, .. } => stages.iter().map(|s| s.occupancy()).sum(),
+        }
+    }
+
+    /// Total slots (`usize::MAX` for unlimited mode).
+    pub fn capacity(&self) -> usize {
+        match &self.store {
+            PtStore::Unlimited(_) => usize::MAX,
+            PtStore::Constrained { stages, .. } => stages.iter().map(|s| s.size()).sum(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dart_packet::SignatureWidth;
+
+    fn flow(n: u32) -> FlowKey {
+        FlowKey::from_raw(0x0a00_0000 + n, 40000, 0x0808_0808, 443)
+    }
+
+    fn sig(n: u32) -> FlowSignature {
+        flow(n).signature(SignatureWidth::W32)
+    }
+
+    fn rec(n: u32, eack: u32, ts: Nanos) -> PtRecord {
+        PtRecord {
+            sig: sig(n),
+            eack: SeqNum(eack),
+            ts,
+            trips: 0,
+        }
+    }
+
+    #[test]
+    fn unlimited_insert_and_match() {
+        let mut pt = PacketTracker::new(PtMode::Unlimited);
+        assert_eq!(
+            pt.insert_new(&flow(1), sig(1), SeqNum(100), 500),
+            PtInsert::Stored
+        );
+        assert_eq!(pt.occupancy(), 1);
+        assert_eq!(pt.match_ack(&flow(1), sig(1), SeqNum(100)), Some(500));
+        assert_eq!(pt.occupancy(), 0);
+        // Second match misses: the record was consumed.
+        assert_eq!(pt.match_ack(&flow(1), sig(1), SeqNum(100)), None);
+    }
+
+    #[test]
+    fn constrained_single_slot_displaces() {
+        let mut pt = PacketTracker::new(PtMode::Constrained {
+            slots: 1,
+            stages: 1,
+        });
+        assert_eq!(
+            pt.insert_new(&flow(1), sig(1), SeqNum(100), 10),
+            PtInsert::Stored
+        );
+        // A different record contends for the single slot.
+        match pt.insert_new(&flow(2), sig(2), SeqNum(200), 20) {
+            PtInsert::StoredEvicting(old) => {
+                assert_eq!(old.sig, sig(1));
+                assert_eq!(old.ts, 10);
+            }
+            other => panic!("expected eviction, got {other:?}"),
+        }
+        // The new record is resident.
+        assert_eq!(pt.match_ack(&flow(2), sig(2), SeqNum(200)), Some(20));
+    }
+
+    #[test]
+    fn duplicate_identity_refreshes_timestamp() {
+        let mut pt = PacketTracker::new(PtMode::Constrained {
+            slots: 1,
+            stages: 1,
+        });
+        pt.insert_new(&flow(1), sig(1), SeqNum(100), 10);
+        assert_eq!(
+            pt.insert_new(&flow(1), sig(1), SeqNum(100), 99),
+            PtInsert::Stored
+        );
+        assert_eq!(pt.match_ack(&flow(1), sig(1), SeqNum(100)), Some(99));
+    }
+
+    #[test]
+    fn cycle_keeps_older_record() {
+        let mut pt = PacketTracker::new(PtMode::Constrained {
+            slots: 1,
+            stages: 1,
+        });
+        pt.insert_new(&flow(1), sig(1), SeqNum(100), 10);
+        // New record displaces the old one.
+        let old = match pt.insert_new(&flow(2), sig(2), SeqNum(200), 20) {
+            PtInsert::StoredEvicting(o) => o,
+            other => panic!("{other:?}"),
+        };
+        // The displaced (older) record recirculates back, targeting the slot
+        // now held by its displacer: cycle. The older record wins.
+        let res = pt.insert_recirculated(old, Some(PacketId::new(sig(2), SeqNum(200))));
+        assert_eq!(
+            res,
+            PtInsert::CycleBroken {
+                kept_incumbent: false
+            }
+        );
+        assert_eq!(pt.match_ack(&flow(1), sig(1), SeqNum(100)), Some(10));
+        assert_eq!(pt.match_ack(&flow(2), sig(2), SeqNum(200)), None);
+    }
+
+    #[test]
+    fn cycle_keeps_incumbent_when_incumbent_older() {
+        let mut pt = PacketTracker::new(PtMode::Constrained {
+            slots: 1,
+            stages: 1,
+        });
+        pt.insert_new(&flow(1), sig(1), SeqNum(100), 50);
+        let old = match pt.insert_new(&flow(2), sig(2), SeqNum(200), 5) {
+            PtInsert::StoredEvicting(o) => o,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(old.ts, 50);
+        // Incumbent (ts=5) is older than the recirculated record (ts=50).
+        let res = pt.insert_recirculated(old, Some(PacketId::new(sig(2), SeqNum(200))));
+        assert_eq!(
+            res,
+            PtInsert::CycleBroken {
+                kept_incumbent: true
+            }
+        );
+        assert_eq!(pt.match_ack(&flow(2), sig(2), SeqNum(200)), Some(5));
+    }
+
+    #[test]
+    fn multi_stage_probe_finds_later_stage_home() {
+        // 4 slots in 2 stages of 2. Find two records whose stage-1 slots
+        // collide: the second must land in its stage-2 slot (probe-for-
+        // empty), leaving both matchable with no eviction.
+        let mut found = None;
+        'outer: for a in 0..200u32 {
+            for b in (a + 1)..200u32 {
+                let mut probe = PacketTracker::new(PtMode::Constrained {
+                    slots: 2,
+                    stages: 1,
+                });
+                probe.insert_new(&flow(a), sig(a), SeqNum(1), 1);
+                if let PtInsert::StoredEvicting(_) =
+                    probe.insert_new(&flow(b), sig(b), SeqNum(1), 2)
+                {
+                    found = Some((a, b));
+                    break 'outer;
+                }
+            }
+        }
+        let (a, b) = found.expect("no stage-1-colliding pair found");
+        let mut pt = PacketTracker::new(PtMode::Constrained {
+            slots: 4,
+            stages: 2,
+        });
+        assert_eq!(
+            pt.insert_new(&flow(a), sig(a), SeqNum(1), 1),
+            PtInsert::Stored
+        );
+        assert_eq!(
+            pt.insert_new(&flow(b), sig(b), SeqNum(1), 2),
+            PtInsert::Stored,
+            "second record probes into stage 2 instead of evicting"
+        );
+        assert_eq!(pt.match_ack(&flow(a), sig(a), SeqNum(1)), Some(1));
+        assert_eq!(pt.match_ack(&flow(b), sig(b), SeqNum(1)), Some(2));
+    }
+
+    #[test]
+    fn recirculated_record_enters_at_rotated_stage() {
+        // With 2 stages, a record on its first recirculation (trips = 1)
+        // enters at stage 2: it probes only stage 2 and displaces there if
+        // full.
+        let mut found = None;
+        'outer: for a in 0..200u32 {
+            for b in (a + 1)..200u32 {
+                let mut probe = PacketTracker::new(PtMode::Constrained {
+                    slots: 2,
+                    stages: 1,
+                });
+                probe.insert_new(&flow(a), sig(a), SeqNum(1), 1);
+                if let PtInsert::StoredEvicting(_) =
+                    probe.insert_new(&flow(b), sig(b), SeqNum(1), 2)
+                {
+                    found = Some((a, b));
+                    break 'outer;
+                }
+            }
+        }
+        let (a, b) = found.expect("no colliding pair");
+        let mut pt = PacketTracker::new(PtMode::Constrained {
+            slots: 4,
+            stages: 2,
+        });
+        pt.insert_new(&flow(a), sig(a), SeqNum(1), 1);
+        pt.insert_new(&flow(b), sig(b), SeqNum(1), 2); // lands in stage 2
+                                                       // A recirculated record with trips = 1 targets stage 2 directly and,
+                                                       // finding it occupied by b, displaces b.
+        let rec = PtRecord {
+            sig: sig(b),
+            eack: SeqNum(9),
+            ts: 3,
+            trips: 1,
+        };
+        match pt.insert_recirculated(rec, Some(PacketId::new(sig(77), SeqNum(77)))) {
+            PtInsert::Stored => {
+                // b's stage-2 slot differed from rec's: fine, both live.
+                assert_eq!(pt.match_ack(&flow(b), sig(b), SeqNum(1)), Some(2));
+            }
+            PtInsert::StoredEvicting(old) => {
+                assert_eq!(old.sig, sig(b));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn match_miss_returns_none() {
+        let mut pt = PacketTracker::new(PtMode::Constrained {
+            slots: 8,
+            stages: 1,
+        });
+        pt.insert_new(&flow(1), sig(1), SeqNum(100), 10);
+        assert_eq!(pt.match_ack(&flow(1), sig(1), SeqNum(101)), None);
+        assert_eq!(pt.match_ack(&flow(9), sig(9), SeqNum(100)), None);
+    }
+
+    #[test]
+    fn capacity_and_occupancy() {
+        let pt = PacketTracker::new(PtMode::Constrained {
+            slots: 64,
+            stages: 4,
+        });
+        assert_eq!(pt.capacity(), 64);
+        assert_eq!(pt.occupancy(), 0);
+        assert_eq!(PacketTracker::new(PtMode::Unlimited).capacity(), usize::MAX);
+    }
+
+    #[test]
+    fn eviction_preserves_record_contents() {
+        let mut pt = PacketTracker::new(PtMode::Constrained {
+            slots: 1,
+            stages: 1,
+        });
+        let mut r = rec(7, 777, 42);
+        r.trips = 3;
+        pt.insert_recirculated(r, None);
+        match pt.insert_new(&flow(8), sig(8), SeqNum(1), 50) {
+            PtInsert::StoredEvicting(old) => {
+                assert_eq!(old, r); // trips and ts intact
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+}

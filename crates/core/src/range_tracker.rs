@@ -1,0 +1,328 @@
+//! The Range Tracker (RT) table: per-flow measurement ranges.
+//!
+//! The RT decides, for every data packet, whether it can produce an
+//! unambiguous RTT sample (paper §3.1), and re-validates evicted Packet
+//! Tracker records during recirculation (§3.2). Two modes exist:
+//!
+//! * **Unlimited** — fully associative, unbounded, keyed by the exact
+//!   4-tuple. This is the `tcptrace_const` idealization of §6.1.
+//! * **Constrained** — a one-way associative register array indexed by a
+//!   hash of the 32-bit flow signature, exactly one slot per flow, with
+//!   hash collisions resolved by favoring the incumbent unless its range
+//!   has collapsed (a collapsed entry "can be safely deleted or
+//!   overwritten", §3.1).
+
+use crate::config::RtMode;
+use crate::range::{AckVerdict, MeasurementRange, SeqVerdict};
+use dart_packet::{FlowKey, FlowSignature, SeqNum, SignatureWidth};
+use dart_switch::{HashUnit, RegisterArray};
+use std::collections::HashMap;
+
+/// Outcome of offering a data packet to the RT.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RtSeqOutcome {
+    /// A fresh entry was created for this flow; track the packet.
+    Created,
+    /// The existing range ruled (Fig. 4); track iff `SeqVerdict::track()`.
+    Ruled(SeqVerdict),
+    /// The slot is held by a different live flow; the packet is not
+    /// tracked (older flows are favored, §7).
+    Collision,
+}
+
+impl RtSeqOutcome {
+    /// Should the packet be inserted into the Packet Tracker?
+    pub fn track(self) -> bool {
+        match self {
+            RtSeqOutcome::Created => true,
+            RtSeqOutcome::Ruled(v) => v.track(),
+            RtSeqOutcome::Collision => false,
+        }
+    }
+}
+
+/// Outcome of offering an ACK to the RT.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RtAckOutcome {
+    /// The range ruled on the ACK.
+    Ruled(AckVerdict),
+    /// No entry for this flow (never created, overwritten, or signature
+    /// mismatch); the ACK is ignored.
+    NoFlow,
+}
+
+impl RtAckOutcome {
+    /// Should the Packet Tracker be consulted for a sample?
+    pub fn match_pt(self) -> bool {
+        matches!(self, RtAckOutcome::Ruled(AckVerdict::Advance))
+    }
+}
+
+/// One constrained-mode RT record.
+#[derive(Clone, Copy, Debug)]
+struct RtEntry {
+    sig: FlowSignature,
+    range: MeasurementRange,
+}
+
+enum RtStore {
+    Unlimited(HashMap<FlowKey, MeasurementRange>),
+    Constrained {
+        slots: RegisterArray<RtEntry>,
+        hasher: HashUnit,
+    },
+}
+
+/// The Range Tracker table.
+pub struct RangeTracker {
+    store: RtStore,
+    sig_width: SignatureWidth,
+}
+
+impl RangeTracker {
+    /// Build a tracker in the given mode.
+    pub fn new(mode: RtMode, sig_width: SignatureWidth) -> RangeTracker {
+        let store = match mode {
+            RtMode::Unlimited => RtStore::Unlimited(HashMap::new()),
+            RtMode::Constrained { slots } => RtStore::Constrained {
+                slots: RegisterArray::new("range_tracker", slots),
+                hasher: HashUnit::new(0xA0, 32),
+            },
+        };
+        RangeTracker { store, sig_width }
+    }
+
+    /// The data-plane signature of a flow under this tracker's width.
+    pub fn sig(&self, flow: &FlowKey) -> FlowSignature {
+        flow.signature(self.sig_width)
+    }
+
+    fn index(hasher: &HashUnit, size: usize, sig: FlowSignature) -> usize {
+        hasher.index(&sig.raw().to_le_bytes(), size)
+    }
+
+    /// Offer a data packet occupying `[seq, eack)` on `flow`.
+    pub fn on_seq(&mut self, flow: &FlowKey, seq: SeqNum, eack: SeqNum) -> RtSeqOutcome {
+        match &mut self.store {
+            RtStore::Unlimited(map) => match map.get_mut(flow) {
+                Some(range) => RtSeqOutcome::Ruled(range.on_seq(seq, eack)),
+                None => {
+                    map.insert(*flow, MeasurementRange::open(seq, eack));
+                    RtSeqOutcome::Created
+                }
+            },
+            RtStore::Constrained { slots, hasher } => {
+                let sig = flow.signature(self.sig_width);
+                let idx = Self::index(hasher, slots.size(), sig);
+                slots.rmw(idx, |old| match old {
+                    Some(mut e) if e.sig == sig => {
+                        let v = e.range.on_seq(seq, eack);
+                        (Some(e), RtSeqOutcome::Ruled(v))
+                    }
+                    Some(e) if !e.range.is_collapsed() => {
+                        // Different live flow holds the slot: favor it.
+                        (Some(e), RtSeqOutcome::Collision)
+                    }
+                    _ => {
+                        // Empty, or a collapsed entry we may overwrite.
+                        let e = RtEntry {
+                            sig,
+                            range: MeasurementRange::open(seq, eack),
+                        };
+                        (Some(e), RtSeqOutcome::Created)
+                    }
+                })
+            }
+        }
+    }
+
+    /// Offer an ACK numbered `ack` for the data-direction `flow`; `pure`
+    /// marks a payload-free ACK (required for duplicate-ACK inference).
+    pub fn on_ack(&mut self, flow: &FlowKey, ack: SeqNum, pure: bool) -> RtAckOutcome {
+        match &mut self.store {
+            RtStore::Unlimited(map) => match map.get_mut(flow) {
+                Some(range) => RtAckOutcome::Ruled(range.on_ack(ack, pure)),
+                None => RtAckOutcome::NoFlow,
+            },
+            RtStore::Constrained { slots, hasher } => {
+                let sig = flow.signature(self.sig_width);
+                let idx = Self::index(hasher, slots.size(), sig);
+                slots.rmw(idx, |old| match old {
+                    Some(mut e) if e.sig == sig => {
+                        let v = e.range.on_ack(ack, pure);
+                        (Some(e), RtAckOutcome::Ruled(v))
+                    }
+                    other => (other, RtAckOutcome::NoFlow),
+                })
+            }
+        }
+    }
+
+    /// Re-validate an evicted Packet Tracker record during recirculation
+    /// (§3.2): is `eack` still inside the flow's measurement range
+    /// `(left, right]`? A recirculated record carries only its flow
+    /// signature, so that is all this check may use. Unlimited mode never
+    /// evicts, hence never recirculates; it conservatively answers `false`.
+    pub fn revalidate(&mut self, sig: FlowSignature, eack: SeqNum) -> bool {
+        match &mut self.store {
+            RtStore::Unlimited(_) => false,
+            RtStore::Constrained { slots, hasher } => {
+                let idx = Self::index(hasher, slots.size(), sig);
+                match slots.read(idx) {
+                    Some(e) if e.sig == sig => eack.in_range(e.range.left, e.range.right),
+                    _ => false,
+                }
+            }
+        }
+    }
+
+    /// Current number of live entries (control-plane visibility; drives the
+    /// Fig. 10 memory-saving report).
+    pub fn occupancy(&self) -> usize {
+        match &self.store {
+            RtStore::Unlimited(map) => map.len(),
+            RtStore::Constrained { slots, .. } => slots.occupancy(),
+        }
+    }
+
+    /// Read a flow's current range, if present (tests / control plane).
+    pub fn peek(&mut self, flow: &FlowKey) -> Option<MeasurementRange> {
+        match &mut self.store {
+            RtStore::Unlimited(map) => map.get(flow).copied(),
+            RtStore::Constrained { slots, hasher } => {
+                let sig = flow.signature(self.sig_width);
+                let idx = Self::index(hasher, slots.size(), sig);
+                match slots.read(idx) {
+                    Some(e) if e.sig == sig => Some(e.range),
+                    _ => None,
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flow(n: u32) -> FlowKey {
+        FlowKey::from_raw(0x0a00_0000 + n, 40000 + (n as u16 % 1000), 0x0808_0808, 443)
+    }
+
+    fn rt_unlimited() -> RangeTracker {
+        RangeTracker::new(RtMode::Unlimited, SignatureWidth::W32)
+    }
+
+    fn rt_small(slots: usize) -> RangeTracker {
+        RangeTracker::new(RtMode::Constrained { slots }, SignatureWidth::W32)
+    }
+
+    #[test]
+    fn creates_then_rules() {
+        for mut rt in [rt_unlimited(), rt_small(64)] {
+            let f = flow(1);
+            assert_eq!(rt.on_seq(&f, SeqNum(0), SeqNum(100)), RtSeqOutcome::Created);
+            assert_eq!(
+                rt.on_seq(&f, SeqNum(100), SeqNum(200)),
+                RtSeqOutcome::Ruled(SeqVerdict::Extend)
+            );
+            assert_eq!(
+                rt.on_ack(&f, SeqNum(100), true),
+                RtAckOutcome::Ruled(AckVerdict::Advance)
+            );
+            assert_eq!(rt.occupancy(), 1);
+        }
+    }
+
+    #[test]
+    fn ack_without_flow_is_ignored() {
+        for mut rt in [rt_unlimited(), rt_small(64)] {
+            assert_eq!(rt.on_ack(&flow(2), SeqNum(10), true), RtAckOutcome::NoFlow);
+            assert!(!rt.on_ack(&flow(2), SeqNum(10), true).match_pt());
+        }
+    }
+
+    #[test]
+    fn revalidate_tracks_range_movement() {
+        let mut rt = rt_small(64);
+        let f = flow(3);
+        let sig = rt.sig(&f);
+        rt.on_seq(&f, SeqNum(0), SeqNum(100));
+        rt.on_seq(&f, SeqNum(100), SeqNum(200));
+        assert!(rt.revalidate(sig, SeqNum(100)));
+        assert!(rt.revalidate(sig, SeqNum(200)));
+        // ACK 150 moves the left edge past eACK 100.
+        rt.on_ack(&f, SeqNum(150), true);
+        assert!(!rt.revalidate(sig, SeqNum(100)));
+        assert!(rt.revalidate(sig, SeqNum(200)));
+        // Unknown flow is never valid.
+        let gsig = rt.sig(&flow(4));
+        assert!(!rt.revalidate(gsig, SeqNum(100)));
+    }
+
+    #[test]
+    fn revalidate_false_after_collapse() {
+        let mut rt = rt_small(64);
+        let f = flow(5);
+        let sig = rt.sig(&f);
+        rt.on_seq(&f, SeqNum(0), SeqNum(100));
+        rt.on_seq(&f, SeqNum(100), SeqNum(200));
+        assert!(rt.revalidate(sig, SeqNum(200)));
+        // Duplicate ACK collapses the range; everything becomes stale.
+        rt.on_ack(&f, SeqNum(0), true);
+        assert!(!rt.revalidate(sig, SeqNum(200)));
+    }
+
+    #[test]
+    fn collision_favors_live_incumbent() {
+        // Two flows forced into the same slot of a 1-slot table.
+        let mut rt = rt_small(1);
+        let a = flow(10);
+        let b = flow(11);
+        assert_eq!(rt.on_seq(&a, SeqNum(0), SeqNum(100)), RtSeqOutcome::Created);
+        assert_eq!(
+            rt.on_seq(&b, SeqNum(0), SeqNum(100)),
+            RtSeqOutcome::Collision
+        );
+        assert!(!rt.on_seq(&b, SeqNum(100), SeqNum(200)).track());
+        // ACKs for the interloper miss too (signature mismatch).
+        assert_eq!(rt.on_ack(&b, SeqNum(100), true), RtAckOutcome::NoFlow);
+    }
+
+    #[test]
+    fn collapsed_incumbent_is_overwritten() {
+        let mut rt = rt_small(1);
+        let a = flow(10);
+        let b = flow(11);
+        rt.on_seq(&a, SeqNum(0), SeqNum(100));
+        // Retransmission collapses a's range.
+        rt.on_seq(&a, SeqNum(0), SeqNum(100));
+        assert!(rt.peek(&a).unwrap().is_collapsed());
+        // b may now claim the slot.
+        assert_eq!(rt.on_seq(&b, SeqNum(0), SeqNum(50)), RtSeqOutcome::Created);
+        assert!(rt.peek(&b).is_some());
+        assert!(rt.peek(&a).is_none());
+    }
+
+    #[test]
+    fn unlimited_never_collides() {
+        let mut rt = rt_unlimited();
+        for n in 0..1000 {
+            assert_eq!(
+                rt.on_seq(&flow(n), SeqNum(0), SeqNum(100)),
+                RtSeqOutcome::Created
+            );
+        }
+        assert_eq!(rt.occupancy(), 1000);
+    }
+
+    #[test]
+    fn outcome_track_matrix() {
+        assert!(RtSeqOutcome::Created.track());
+        assert!(RtSeqOutcome::Ruled(SeqVerdict::Extend).track());
+        assert!(RtSeqOutcome::Ruled(SeqVerdict::HoleReset).track());
+        assert!(!RtSeqOutcome::Ruled(SeqVerdict::Retransmission).track());
+        assert!(!RtSeqOutcome::Ruled(SeqVerdict::Wraparound).track());
+        assert!(!RtSeqOutcome::Collision.track());
+    }
+}

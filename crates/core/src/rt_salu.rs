@@ -1,0 +1,399 @@
+//! The Range Tracker as a chain of stateful-ALU accesses — the §4
+//! implementability proof, executable.
+//!
+//! The paper states the RT "spread\[s\] across 3 component tables, and
+//! therefore 3 stages" because each register allows one access per pass and
+//! updates must happen in sequence: the right edge is maxed first, then the
+//! left edge is decided against the *old* right edge. This module expresses
+//! exactly that decomposition using [`dart_switch::SaluProgram`]s — two
+//! condition units and two predicated updates per access, gateway-selected
+//! program variants, metadata carried between stages — and the test suite
+//! proves it bit-equivalent to the behavioural
+//! [`crate::range::MeasurementRange`] on arbitrary packet sequences.
+//!
+//! Stage layout per packet:
+//!
+//! ```text
+//! SEQ:  gateway(raw eack < seq?) ──► right-edge SALU ──► left-edge SALU
+//!         wraparound variant          max(right,eack)     hole/collapse
+//! ACK:  right-edge SALU (read) ──► gateway(optimistic?) ──► left-edge SALU
+//!         old right + compare          skip if beyond        dup/advance
+//! ```
+
+use crate::range::{AckVerdict, SeqVerdict};
+use dart_switch::{Cmp, Condition, Guard, Operand, OutputSel, SaluProgram, Update};
+
+/// Right-edge SALU for data packets: `right = max(right, eack)`, exporting
+/// the old right edge and the "extended" condition (phv0 = seq, phv1 = eack).
+fn seq_right_program() -> SaluProgram {
+    SaluProgram {
+        cond0: Some(Condition {
+            a: Operand::Phv1, // eack
+            b: Operand::Reg,  // right
+            cmp: Cmp::CircGt,
+        }),
+        cond1: None,
+        updates: [
+            Some(Update {
+                guard: Guard::c0(),
+                value: Operand::Phv1,
+            }),
+            None,
+        ],
+        output: OutputSel::OldReg,
+    }
+}
+
+/// Left-edge SALU for data packets that extended the right edge
+/// (phv0 = seq, phv1 = old right): on a hole, snap left to seq.
+fn seq_left_extended_program() -> SaluProgram {
+    SaluProgram {
+        cond0: Some(Condition {
+            a: Operand::Phv0, // seq
+            b: Operand::Phv1, // old right
+            cmp: Cmp::CircGt,
+        }),
+        cond1: None,
+        updates: [
+            Some(Update {
+                guard: Guard::c0(),
+                value: Operand::Phv0,
+            }),
+            None,
+        ],
+        output: OutputSel::Conditions,
+    }
+}
+
+/// Left-edge SALU for retransmissions: collapse to the (unchanged) right
+/// edge carried as phv1.
+fn seq_left_collapse_program() -> SaluProgram {
+    SaluProgram {
+        cond0: None,
+        cond1: None,
+        updates: [
+            Some(Update {
+                guard: Guard::ALWAYS,
+                value: Operand::Phv1,
+            }),
+            None,
+        ],
+        output: OutputSel::NewReg,
+    }
+}
+
+/// Wraparound variant (gateway: raw eack < raw seq): right := eack.
+fn seq_right_wrap_program() -> SaluProgram {
+    SaluProgram {
+        cond0: None,
+        cond1: None,
+        updates: [
+            Some(Update {
+                guard: Guard::ALWAYS,
+                value: Operand::Phv1,
+            }),
+            None,
+        ],
+        output: OutputSel::NewReg,
+    }
+}
+
+/// Wraparound variant: left := 0.
+fn seq_left_wrap_program() -> SaluProgram {
+    SaluProgram {
+        cond0: None,
+        cond1: None,
+        updates: [
+            Some(Update {
+                guard: Guard::ALWAYS,
+                value: Operand::Const(0),
+            }),
+            None,
+        ],
+        output: OutputSel::NewReg,
+    }
+}
+
+/// Right-edge SALU for ACKs: read-only, exports the old right edge and the
+/// "optimistic" condition (phv0 = ack).
+fn ack_right_program() -> SaluProgram {
+    SaluProgram {
+        cond0: Some(Condition {
+            a: Operand::Phv0, // ack
+            b: Operand::Reg,  // right
+            cmp: Cmp::CircGt,
+        }),
+        cond1: None,
+        updates: [None, None],
+        output: OutputSel::OldReg,
+    }
+}
+
+/// Left-edge SALU for in-window pure ACKs (phv0 = ack, phv1 = old right):
+/// c0 = duplicate (ack == left) → collapse; else c1 = above-left → advance.
+fn ack_left_pure_program() -> SaluProgram {
+    SaluProgram {
+        cond0: Some(Condition {
+            a: Operand::Phv0,
+            b: Operand::Reg,
+            cmp: Cmp::Eq,
+        }),
+        cond1: Some(Condition {
+            a: Operand::Phv0,
+            b: Operand::Reg,
+            cmp: Cmp::CircGt,
+        }),
+        updates: [
+            Some(Update {
+                guard: Guard::c0(),
+                value: Operand::Phv1, // collapse: left = right
+            }),
+            Some(Update {
+                guard: Guard::c1_and_not_c0(),
+                value: Operand::Phv0, // advance
+            }),
+        ],
+        output: OutputSel::Conditions,
+    }
+}
+
+/// Left-edge SALU for ACKs piggybacked on data: same classification but the
+/// duplicate case must NOT collapse (a data packet re-asserting the edge is
+/// not a TCP dup-ACK).
+fn ack_left_piggyback_program() -> SaluProgram {
+    SaluProgram {
+        cond0: Some(Condition {
+            a: Operand::Phv0,
+            b: Operand::Reg,
+            cmp: Cmp::Eq,
+        }),
+        cond1: Some(Condition {
+            a: Operand::Phv0,
+            b: Operand::Reg,
+            cmp: Cmp::CircGt,
+        }),
+        updates: [
+            Some(Update {
+                guard: Guard::c1_and_not_c0(),
+                value: Operand::Phv0,
+            }),
+            None,
+        ],
+        output: OutputSel::Conditions,
+    }
+}
+
+/// A Range Tracker entry realized as two SALU-driven registers plus the
+/// occupancy handled by the (separately modeled) signature stage.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SaluRangeTracker {
+    right: u32,
+    left: u32,
+    occupied: bool,
+}
+
+impl SaluRangeTracker {
+    /// Fresh, unoccupied entry.
+    pub fn new() -> SaluRangeTracker {
+        SaluRangeTracker::default()
+    }
+
+    /// Current `(left, right)` registers.
+    pub fn edges(&self) -> Option<(u32, u32)> {
+        self.occupied.then_some((self.left, self.right))
+    }
+
+    /// Process a data packet through the stage chain.
+    pub fn on_seq(&mut self, seq: u32, eack: u32) -> SeqVerdict {
+        if !self.occupied {
+            // Table miss: the signature stage initializes both registers.
+            self.occupied = true;
+            self.left = seq;
+            self.right = eack;
+            return SeqVerdict::Extend;
+        }
+        // Gateway: raw-compare wraparound check on the PHV alone.
+        if eack < seq {
+            seq_right_wrap_program().execute(&mut self.right, [seq, eack]);
+            seq_left_wrap_program().execute(&mut self.left, [seq, eack]);
+            return SeqVerdict::Wraparound;
+        }
+        // Stage 1: right edge. Exports old right + "extended" bit.
+        let r = seq_right_program().execute(&mut self.right, [seq, eack]);
+        let old_right = r.output;
+        if r.c0 {
+            // Stage 2 (extended variant): hole detection against old right.
+            let l = seq_left_extended_program().execute(&mut self.left, [seq, old_right]);
+            if l.c0 {
+                SeqVerdict::HoleReset
+            } else {
+                SeqVerdict::Extend
+            }
+        } else {
+            // Stage 2 (retransmission variant): collapse.
+            seq_left_collapse_program().execute(&mut self.left, [seq, old_right]);
+            SeqVerdict::Retransmission
+        }
+    }
+
+    /// Process an ACK through the stage chain. `pure` selects the
+    /// left-stage program variant (a gateway on the payload-length field).
+    pub fn on_ack(&mut self, ack: u32, pure: bool) -> Option<AckVerdict> {
+        if !self.occupied {
+            return None;
+        }
+        // Stage 1: read right edge, optimistic check.
+        let r = ack_right_program().execute(&mut self.right, [ack, 0]);
+        if r.c0 {
+            return Some(AckVerdict::Optimistic);
+        }
+        let old_right = r.output;
+        // Stage 2: duplicate/advance/stale against the left edge.
+        let prog = if pure {
+            ack_left_pure_program()
+        } else {
+            ack_left_piggyback_program()
+        };
+        let l = prog.execute(&mut self.left, [ack, old_right]);
+        Some(if l.c0 {
+            if pure {
+                AckVerdict::DuplicateCollapse
+            } else {
+                AckVerdict::Stale
+            }
+        } else if l.c1 {
+            AckVerdict::Advance
+        } else {
+            AckVerdict::Stale
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::range::MeasurementRange;
+    use dart_packet::SeqNum;
+
+    /// Drive both implementations with the same operations and compare
+    /// edges + verdicts after every step.
+    fn check_equivalence(base: u32, ops: &[(bool, u32, u32, bool)]) {
+        let mut salu = SaluRangeTracker::new();
+        let mut model: Option<MeasurementRange> = None;
+        for &(is_seq, off, len, pure) in ops {
+            if is_seq {
+                let seq = base.wrapping_add(off);
+                let eack = seq.wrapping_add(len);
+                let sv = salu.on_seq(seq, eack);
+                let mv = match &mut model {
+                    None => {
+                        model = Some(MeasurementRange::open(SeqNum(seq), SeqNum(eack)));
+                        SeqVerdict::Extend
+                    }
+                    Some(m) => m.on_seq(SeqNum(seq), SeqNum(eack)),
+                };
+                assert_eq!(sv, mv, "seq verdict mismatch at seq={seq} eack={eack}");
+            } else if let Some(m) = &mut model {
+                let ack = base.wrapping_add(off);
+                let sv = salu.on_ack(ack, pure).expect("occupied");
+                let mv = m.on_ack(SeqNum(ack), pure);
+                assert_eq!(sv, mv, "ack verdict mismatch at ack={ack}");
+            }
+            if let Some(m) = &model {
+                assert_eq!(
+                    salu.edges(),
+                    Some((m.left.raw(), m.right.raw())),
+                    "edge mismatch"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn equivalent_on_the_papers_scenarios() {
+        // Fig 4a/4b: normal operation.
+        check_equivalence(
+            1000,
+            &[
+                (true, 0, 500, false),
+                (true, 500, 500, false),
+                (false, 500, 0, true),
+                (true, 1000, 500, false),
+                (false, 1500, 0, true),
+            ],
+        );
+        // Fig 4c: retransmission then recovery.
+        check_equivalence(
+            1000,
+            &[
+                (true, 0, 500, false),
+                (true, 0, 500, false),   // retransmission → collapse
+                (false, 500, 0, true),   // dup at collapsed edge
+                (true, 500, 500, false), // recovery
+                (false, 1000, 0, true),
+            ],
+        );
+        // Fig 4d: hole.
+        check_equivalence(
+            1000,
+            &[
+                (true, 0, 100, false),
+                (true, 200, 100, false), // hole: [200,300)
+                (false, 100, 0, true),   // stale (below new left)
+                (false, 300, 0, true),   // advance
+            ],
+        );
+        // Optimistic + piggyback edge reassertion.
+        check_equivalence(
+            1000,
+            &[
+                (true, 0, 100, false),
+                (false, 900, 0, true), // optimistic
+                (false, 0, 0, false),  // piggyback at left edge: no collapse
+                (false, 0, 0, true),   // pure dup at left edge: collapse
+            ],
+        );
+    }
+
+    #[test]
+    fn equivalent_across_wraparound() {
+        check_equivalence(
+            u32::MAX - 700,
+            &[
+                (true, 0, 500, false),
+                (true, 500, 400, false), // crosses zero → wraparound reset
+                (false, 200, 0, true),
+                (true, 900, 300, false),
+            ],
+        );
+    }
+
+    #[test]
+    fn exhaustive_small_space_equivalence() {
+        // Brute-force short op sequences over a tiny offset space: every
+        // combination of 4 operations.
+        let offs = [0u32, 100, 200];
+        let lens = [100u32, 200];
+        let mut checked = 0;
+        for a in 0..2usize {
+            for &o1 in &offs {
+                for &l1 in &lens {
+                    for b in 0..2usize {
+                        for &o2 in &offs {
+                            for &l2 in &lens {
+                                let ops = [
+                                    (true, 0, 200, false), // establish
+                                    (a == 0, o1, l1, true),
+                                    (b == 0, o2, l2, true),
+                                ];
+                                check_equivalence(5000, &ops);
+                                checked += 1;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        assert!(checked > 100);
+    }
+}

@@ -1,0 +1,87 @@
+//! RTT samples: the engine's output.
+
+use dart_packet::{FlowKey, Nanos, SeqNum};
+
+/// One round-trip time measurement: a data packet matched with its ACK.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RttSample {
+    /// Flow key in the *data* direction.
+    pub flow: FlowKey,
+    /// The acknowledgment number that closed the sample.
+    pub eack: SeqNum,
+    /// Measured round-trip time.
+    pub rtt: Nanos,
+    /// Arrival time of the ACK at the monitor (sample emission time).
+    pub ts: Nanos,
+}
+
+impl RttSample {
+    /// RTT in fractional milliseconds (for reports).
+    pub fn rtt_ms(&self) -> f64 {
+        self.rtt as f64 / 1e6
+    }
+}
+
+/// A sink receiving samples as the engine emits them.
+///
+/// The analytics module implements this; tests and the harness use
+/// `Vec<RttSample>`.
+pub trait SampleSink {
+    /// Receive one sample.
+    fn on_sample(&mut self, sample: RttSample);
+}
+
+impl SampleSink for Vec<RttSample> {
+    fn on_sample(&mut self, sample: RttSample) {
+        self.push(sample);
+    }
+}
+
+impl<F: FnMut(RttSample)> SampleSink for F {
+    fn on_sample(&mut self, sample: RttSample) {
+        self(sample)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rtt_ms_converts() {
+        let s = RttSample {
+            flow: FlowKey::from_raw(1, 2, 3, 4),
+            eack: SeqNum(10),
+            rtt: 12_500_000,
+            ts: 0,
+        };
+        assert!((s.rtt_ms() - 12.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn vec_sink_collects() {
+        let mut v: Vec<RttSample> = Vec::new();
+        v.on_sample(RttSample {
+            flow: FlowKey::from_raw(1, 2, 3, 4),
+            eack: SeqNum(1),
+            rtt: 5,
+            ts: 6,
+        });
+        assert_eq!(v.len(), 1);
+    }
+
+    #[test]
+    fn closure_sink_works() {
+        let mut n = 0u32;
+        {
+            let mut sink = |_s: RttSample| n += 1;
+            sink.on_sample(RttSample {
+                flow: FlowKey::from_raw(1, 2, 3, 4),
+                eack: SeqNum(1),
+                rtt: 5,
+                ts: 6,
+            });
+        }
+        assert_eq!(n, 1);
+    }
+}

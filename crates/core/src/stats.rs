@@ -1,0 +1,127 @@
+//! Engine counters: everything the evaluation metrics are computed from.
+
+/// Counters accumulated by a [`crate::engine::DartEngine`] over a run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Packets offered to the engine.
+    pub packets: u64,
+    /// Packets skipped because the SYN flag was set under `SynPolicy::Skip`.
+    pub syn_skipped: u64,
+
+    /// Data packets admitted into the Packet Tracker.
+    pub seq_tracked: u64,
+    /// Data packets rejected as retransmissions (range collapsed).
+    pub seq_retransmission: u64,
+    /// Data packets that reset the range past a hole (tracked).
+    pub seq_hole_reset: u64,
+    /// Data packets that triggered a sequence wraparound reset (untracked).
+    pub seq_wraparound: u64,
+    /// Data packets not tracked because the RT slot was held by another
+    /// live flow (hash collision, older flow favored).
+    pub seq_rt_collision: u64,
+
+    /// ACKs that advanced a left edge and consulted the PT.
+    pub ack_advanced: u64,
+    /// Duplicate ACKs (range collapsed).
+    pub ack_duplicate: u64,
+    /// ACKs below the left edge (ignored).
+    pub ack_stale: u64,
+    /// Optimistic ACKs above the right edge (ignored).
+    pub ack_optimistic: u64,
+    /// ACKs for flows with no RT entry (ignored).
+    pub ack_no_flow: u64,
+
+    /// Range collapses (retransmission + duplicate-ACK inferences) — the
+    /// per-flow congestion indicator §3.1 suggests exporting.
+    pub range_collapses: u64,
+
+    /// PT insertions into an empty slot.
+    pub pt_stored: u64,
+    /// PT displacements (a record evicted an occupant at its entry stage).
+    pub pt_displaced: u64,
+    /// PT matches that produced an RTT sample.
+    pub pt_matched: u64,
+
+    /// Records submitted to the recirculation port.
+    pub recirc_issued: u64,
+    /// Recirculated records found stale at RT re-validation (self-destruct).
+    pub recirc_stale_dropped: u64,
+    /// Recirculated records re-admitted into the PT.
+    pub recirc_reinserted: u64,
+    /// Records dropped at the per-record recirculation cap.
+    pub recirc_cap_dropped: u64,
+    /// Eviction cycles broken by the cycle detector (§3.2).
+    pub recirc_cycles_broken: u64,
+    /// Records dropped by the analytics preemptive-discard filter (§3.3).
+    pub recirc_filtered: u64,
+    /// Dual-role (SEQ+ACK) packets that cost a recirculation in `Leg::Both`
+    /// mode (§5).
+    pub dual_role_recirc: u64,
+    /// Packets ignored because no flow-selection rule matched (§4).
+    pub filtered_flows: u64,
+    /// Evicted records parked in the victim cache (§7).
+    pub victim_cached: u64,
+    /// ACK matches served from the victim cache.
+    pub victim_cache_hits: u64,
+    /// Evicted records re-validated by the RT copy and reinserted without
+    /// recirculating (§7).
+    pub rt_copy_reinserted: u64,
+    /// Evicted records the RT copy declared stale (dropped, no
+    /// recirculation).
+    pub rt_copy_dropped: u64,
+
+    /// RTT samples emitted.
+    pub samples: u64,
+}
+
+impl EngineStats {
+    /// The paper's overhead metric: recirculations incurred per packet
+    /// processed (Fig. 11c/12c/13c).
+    pub fn recirc_per_packet(&self) -> f64 {
+        if self.packets == 0 {
+            0.0
+        } else {
+            (self.recirc_issued + self.dual_role_recirc) as f64 / self.packets as f64
+        }
+    }
+
+    /// Fraction of tracked data packets that eventually produced a sample.
+    pub fn sample_yield(&self) -> f64 {
+        if self.seq_tracked == 0 {
+            0.0
+        } else {
+            self.samples as f64 / self.seq_tracked as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recirc_per_packet_zero_when_idle() {
+        assert_eq!(EngineStats::default().recirc_per_packet(), 0.0);
+    }
+
+    #[test]
+    fn recirc_per_packet_computes_ratio() {
+        let s = EngineStats {
+            packets: 200,
+            recirc_issued: 30,
+            dual_role_recirc: 10,
+            ..EngineStats::default()
+        };
+        assert!((s.recirc_per_packet() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sample_yield_ratio() {
+        let s = EngineStats {
+            seq_tracked: 50,
+            samples: 40,
+            ..EngineStats::default()
+        };
+        assert!((s.sample_yield() - 0.8).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,91 @@
+//! Error types for packet parsing and trace I/O.
+
+use std::fmt;
+use std::io;
+
+/// Errors produced while decoding packets or reading/writing trace files.
+#[derive(Debug)]
+pub enum PacketError {
+    /// Not enough bytes to decode a header at `layer`.
+    Truncated {
+        /// Protocol layer being decoded.
+        layer: &'static str,
+        /// Bytes required.
+        needed: usize,
+        /// Bytes available.
+        got: usize,
+    },
+    /// A header field held an impossible value.
+    Malformed {
+        /// Protocol layer being decoded.
+        layer: &'static str,
+        /// Human-readable reason.
+        reason: &'static str,
+    },
+    /// The packet is valid but not something Dart monitors (non-IPv4,
+    /// non-TCP, fragment, ...).
+    Unsupported {
+        /// What was encountered.
+        what: &'static str,
+    },
+    /// A trace/pcap file is corrupt or has an unknown format.
+    BadTrace(String),
+    /// Underlying I/O failure.
+    Io(io::Error),
+}
+
+impl fmt::Display for PacketError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PacketError::Truncated { layer, needed, got } => {
+                write!(
+                    f,
+                    "truncated {layer} header: need {needed} bytes, got {got}"
+                )
+            }
+            PacketError::Malformed { layer, reason } => {
+                write!(f, "malformed {layer} header: {reason}")
+            }
+            PacketError::Unsupported { what } => write!(f, "unsupported packet: {what}"),
+            PacketError::BadTrace(msg) => write!(f, "bad trace file: {msg}"),
+            PacketError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PacketError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PacketError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for PacketError {
+    fn from(e: io::Error) -> Self {
+        PacketError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = PacketError::Truncated {
+            layer: "tcp",
+            needed: 20,
+            got: 3,
+        };
+        assert!(e.to_string().contains("tcp"));
+        assert!(e.to_string().contains("20"));
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let e: PacketError = io::Error::new(io::ErrorKind::UnexpectedEof, "eof").into();
+        assert!(matches!(e, PacketError::Io(_)));
+    }
+}

@@ -1,0 +1,119 @@
+//! Ethernet II framing, for pcap interop.
+
+use crate::error::PacketError;
+use bytes::BufMut;
+use std::fmt;
+
+/// A 48-bit MAC address.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct MacAddr(pub [u8; 6]);
+
+impl MacAddr {
+    /// The broadcast address ff:ff:ff:ff:ff:ff.
+    pub const BROADCAST: MacAddr = MacAddr([0xFF; 6]);
+}
+
+impl fmt::Debug for MacAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let b = self.0;
+        write!(
+            f,
+            "{:02x}:{:02x}:{:02x}:{:02x}:{:02x}:{:02x}",
+            b[0], b[1], b[2], b[3], b[4], b[5]
+        )
+    }
+}
+
+impl fmt::Display for MacAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// EtherType values.
+pub mod ethertype {
+    /// IPv4.
+    pub const IPV4: u16 = 0x0800;
+    /// IPv6.
+    pub const IPV6: u16 = 0x86DD;
+    /// ARP.
+    pub const ARP: u16 = 0x0806;
+}
+
+/// An Ethernet II header.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct EthernetHeader {
+    /// Destination MAC.
+    pub dst: MacAddr,
+    /// Source MAC.
+    pub src: MacAddr,
+    /// EtherType of the payload.
+    pub ethertype: u16,
+}
+
+impl EthernetHeader {
+    /// Header length in bytes.
+    pub const LEN: usize = 14;
+
+    /// An IPv4 frame header with synthetic MACs (used when synthesizing pcap
+    /// files from simulated traffic).
+    pub fn synthetic_ipv4() -> EthernetHeader {
+        EthernetHeader {
+            dst: MacAddr([0x02, 0, 0, 0, 0, 0x01]),
+            src: MacAddr([0x02, 0, 0, 0, 0, 0x02]),
+            ethertype: ethertype::IPV4,
+        }
+    }
+
+    /// Decode from the front of `buf`.
+    pub fn decode(buf: &[u8]) -> Result<EthernetHeader, PacketError> {
+        if buf.len() < Self::LEN {
+            return Err(PacketError::Truncated {
+                layer: "ethernet",
+                needed: Self::LEN,
+                got: buf.len(),
+            });
+        }
+        let mut dst = [0u8; 6];
+        let mut src = [0u8; 6];
+        dst.copy_from_slice(&buf[0..6]);
+        src.copy_from_slice(&buf[6..12]);
+        let ethertype = u16::from_be_bytes([buf[12], buf[13]]);
+        Ok(EthernetHeader {
+            dst: MacAddr(dst),
+            src: MacAddr(src),
+            ethertype,
+        })
+    }
+
+    /// Encode onto `out`.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.dst.0);
+        out.extend_from_slice(&self.src.0);
+        out.put_u16(self.ethertype);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let hdr = EthernetHeader::synthetic_ipv4();
+        let mut wire = Vec::new();
+        hdr.encode(&mut wire);
+        assert_eq!(wire.len(), EthernetHeader::LEN);
+        assert_eq!(EthernetHeader::decode(&wire).unwrap(), hdr);
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        assert!(EthernetHeader::decode(&[0u8; 13]).is_err());
+    }
+
+    #[test]
+    fn mac_display() {
+        assert_eq!(MacAddr::BROADCAST.to_string(), "ff:ff:ff:ff:ff:ff");
+    }
+}

@@ -1,0 +1,192 @@
+//! IPv6 header codec — the §7 extension path ("Dart can also be extended to
+//! work with IPv6 by adjusting how the payload size is computed").
+//!
+//! The fixed 40-byte header makes payload-size computation *simpler* than
+//! IPv4 (no IHL): `payload_length` is carried explicitly. The cost the
+//! paper notes is elsewhere — the 36-byte 4-tuple must still compress into
+//! the same fixed-width signature, so hash collisions become more likely
+//! relative to the keyspace. The engine itself remains IPv4-keyed; this
+//! codec supports tooling and future extension.
+
+use crate::error::PacketError;
+use bytes::{Buf, BufMut};
+use std::net::Ipv6Addr;
+
+/// A decoded IPv6 fixed header.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Ipv6Header {
+    /// Traffic class.
+    pub traffic_class: u8,
+    /// Flow label (20 bits).
+    pub flow_label: u32,
+    /// Payload length in bytes (everything after the fixed header).
+    pub payload_len: u16,
+    /// Next header (protocol) — TCP is 6, as in IPv4.
+    pub next_header: u8,
+    /// Hop limit.
+    pub hop_limit: u8,
+    /// Source address.
+    pub src: Ipv6Addr,
+    /// Destination address.
+    pub dst: Ipv6Addr,
+}
+
+impl Ipv6Header {
+    /// Fixed header length in bytes.
+    pub const LEN: usize = 40;
+
+    /// Decode from the front of `buf`.
+    pub fn decode(buf: &[u8]) -> Result<Ipv6Header, PacketError> {
+        if buf.len() < Self::LEN {
+            return Err(PacketError::Truncated {
+                layer: "ipv6",
+                needed: Self::LEN,
+                got: buf.len(),
+            });
+        }
+        let mut b = buf;
+        let vtcfl = b.get_u32();
+        if vtcfl >> 28 != 6 {
+            return Err(PacketError::Malformed {
+                layer: "ipv6",
+                reason: "version is not 6",
+            });
+        }
+        let traffic_class = ((vtcfl >> 20) & 0xFF) as u8;
+        let flow_label = vtcfl & 0xF_FFFF;
+        let payload_len = b.get_u16();
+        let next_header = b.get_u8();
+        let hop_limit = b.get_u8();
+        let mut src = [0u8; 16];
+        let mut dst = [0u8; 16];
+        src.copy_from_slice(&buf[8..24]);
+        dst.copy_from_slice(&buf[24..40]);
+        Ok(Ipv6Header {
+            traffic_class,
+            flow_label,
+            payload_len,
+            next_header,
+            hop_limit,
+            src: Ipv6Addr::from(src),
+            dst: Ipv6Addr::from(dst),
+        })
+    }
+
+    /// Encode onto `out`.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        let vtcfl =
+            (6u32 << 28) | ((self.traffic_class as u32) << 20) | (self.flow_label & 0xF_FFFF);
+        out.put_u32(vtcfl);
+        out.put_u16(self.payload_len);
+        out.put_u8(self.next_header);
+        out.put_u8(self.hop_limit);
+        out.extend_from_slice(&self.src.octets());
+        out.extend_from_slice(&self.dst.octets());
+    }
+
+    /// TCP payload size given a TCP header of `tcp_header_len` bytes —
+    /// the §7 "adjusted payload size computation": one subtraction, no
+    /// lookup table needed.
+    pub fn tcp_payload_len(&self, tcp_header_len: usize) -> u16 {
+        self.payload_len.saturating_sub(tcp_header_len as u16)
+    }
+
+    /// The 36-byte signature input (src + dst + ports supplied separately),
+    /// mirroring what an IPv6 Dart would feed its hash units.
+    pub fn signature_input(&self, src_port: u16, dst_port: u16) -> [u8; 36] {
+        let mut b = [0u8; 36];
+        b[0..16].copy_from_slice(&self.src.octets());
+        b[16..32].copy_from_slice(&self.dst.octets());
+        b[32..34].copy_from_slice(&src_port.to_be_bytes());
+        b[34..36].copy_from_slice(&dst_port.to_be_bytes());
+        b
+    }
+}
+
+impl Default for Ipv6Header {
+    fn default() -> Self {
+        Ipv6Header {
+            traffic_class: 0,
+            flow_label: 0,
+            payload_len: 0,
+            next_header: crate::ipv4::protocol::TCP,
+            hop_limit: 64,
+            src: Ipv6Addr::UNSPECIFIED,
+            dst: Ipv6Addr::UNSPECIFIED,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flow::fnv1a_64;
+
+    #[test]
+    fn round_trip() {
+        let hdr = Ipv6Header {
+            traffic_class: 0x2E,
+            flow_label: 0xABCDE,
+            payload_len: 1440,
+            hop_limit: 57,
+            src: "2001:db8::1".parse().unwrap(),
+            dst: "2607:f8b0:4004:800::200e".parse().unwrap(),
+            ..Ipv6Header::default()
+        };
+        let mut wire = Vec::new();
+        hdr.encode(&mut wire);
+        assert_eq!(wire.len(), Ipv6Header::LEN);
+        assert_eq!(Ipv6Header::decode(&wire).unwrap(), hdr);
+    }
+
+    #[test]
+    fn rejects_wrong_version() {
+        let mut wire = Vec::new();
+        Ipv6Header::default().encode(&mut wire);
+        wire[0] = 0x45; // IPv4 version nibble
+        assert!(matches!(
+            Ipv6Header::decode(&wire).unwrap_err(),
+            PacketError::Malformed { layer: "ipv6", .. }
+        ));
+    }
+
+    #[test]
+    fn rejects_truncated() {
+        assert!(Ipv6Header::decode(&[0u8; 39]).is_err());
+    }
+
+    #[test]
+    fn payload_size_is_one_subtraction() {
+        let hdr = Ipv6Header {
+            payload_len: 1460,
+            ..Ipv6Header::default()
+        };
+        assert_eq!(hdr.tcp_payload_len(20), 1440);
+        assert_eq!(hdr.tcp_payload_len(2000), 0); // saturates
+    }
+
+    #[test]
+    fn flow_label_masked_to_20_bits() {
+        let hdr = Ipv6Header {
+            flow_label: 0xFFF_FFFF, // over-wide
+            ..Ipv6Header::default()
+        };
+        let mut wire = Vec::new();
+        hdr.encode(&mut wire);
+        let back = Ipv6Header::decode(&wire).unwrap();
+        assert_eq!(back.flow_label, 0xF_FFFF);
+    }
+
+    #[test]
+    fn signature_input_spans_full_tuple() {
+        let hdr = Ipv6Header {
+            src: "2001:db8::1".parse().unwrap(),
+            dst: "2001:db8::2".parse().unwrap(),
+            ..Ipv6Header::default()
+        };
+        let a = hdr.signature_input(443, 50000);
+        let b = hdr.signature_input(443, 50001);
+        assert_ne!(fnv1a_64(&a), fnv1a_64(&b), "ports must affect the hash");
+        assert_eq!(a.len(), 36);
+    }
+}

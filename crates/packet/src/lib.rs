@@ -1,0 +1,39 @@
+//! # dart-packet
+//!
+//! Packet substrate for the Dart reproduction: protocol header types,
+//! wrapping TCP sequence arithmetic, flow identification and data-plane
+//! signatures, wire-format parsing, and trace I/O (native format + libpcap).
+//!
+//! Everything downstream — the Dart engine, the baselines, the simulator,
+//! and the benchmark harness — speaks [`PacketMeta`], the monitor's compact
+//! view of one TCP packet.
+//!
+//! ```
+//! use dart_packet::{FlowKey, PacketBuilder, SeqNum};
+//!
+//! let flow = FlowKey::from_raw(0x0a000001, 443, 0xc0a80001, 55000);
+//! let data = PacketBuilder::new(flow, 1_000_000).seq(100u32).payload(1460).build();
+//! assert_eq!(data.eack(), SeqNum(1560));
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod error;
+pub mod ethernet;
+pub mod flow;
+pub mod ipv4;
+pub mod ipv6;
+pub mod meta;
+pub mod parse;
+pub mod payload;
+pub mod pcap;
+pub mod seq;
+pub mod tcp;
+pub mod trace;
+
+pub use error::PacketError;
+pub use flow::{FlowKey, FlowSignature, PacketId, SignatureWidth};
+pub use meta::{Direction, Nanos, PacketBuilder, PacketMeta, MICROSECOND, MILLISECOND, SECOND};
+pub use seq::SeqNum;
+pub use tcp::TcpFlags;

@@ -1,0 +1,269 @@
+//! [`PacketMeta`]: the per-packet record every component of this repository
+//! exchanges — the monitor's view of one TCP packet.
+//!
+//! A monitoring device does not need payload bytes; it needs the flow key,
+//! sequence/ack numbers, payload length, flags, and a timestamp. This struct
+//! is what the parser produces from wire bytes, what the simulator's vantage
+//! point captures, what trace files store, and what the Dart engine and the
+//! baselines consume.
+
+use crate::flow::FlowKey;
+use crate::seq::SeqNum;
+use crate::tcp::TcpFlags;
+use std::fmt;
+
+/// Nanosecond timestamps, as provided by the Tofino (paper §8 notes Dart
+/// reports RTTs at nanosecond granularity).
+pub type Nanos = u64;
+
+/// One second in [`Nanos`].
+pub const SECOND: Nanos = 1_000_000_000;
+/// One millisecond in [`Nanos`].
+pub const MILLISECOND: Nanos = 1_000_000;
+/// One microsecond in [`Nanos`].
+pub const MICROSECOND: Nanos = 1_000;
+
+/// Which leg of the path a packet's *data direction* belongs to, relative to
+/// the monitoring device (paper §2.1, Fig. 1).
+///
+/// For a monitor near a campus gateway: data flowing from an internal host
+/// toward the Internet is `Outbound`; matching it with the returning ACK
+/// measures the **external** leg. Data flowing in toward a campus host is
+/// `Inbound`; matching it with the host's ACK measures the **internal** leg.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum Direction {
+    /// Traveling from the internal network toward the Internet.
+    Outbound,
+    /// Traveling from the Internet toward the internal network.
+    Inbound,
+}
+
+impl Direction {
+    /// The opposite direction.
+    pub fn flip(self) -> Direction {
+        match self {
+            Direction::Outbound => Direction::Inbound,
+            Direction::Inbound => Direction::Outbound,
+        }
+    }
+}
+
+/// The monitor's view of one TCP packet.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct PacketMeta {
+    /// Capture timestamp at the monitoring device, in nanoseconds.
+    pub ts: Nanos,
+    /// Flow 4-tuple in the packet's own direction of travel.
+    pub flow: FlowKey,
+    /// TCP sequence number.
+    pub seq: SeqNum,
+    /// TCP acknowledgment number (meaningful when `flags.is_ack()`).
+    pub ack: SeqNum,
+    /// TCP payload bytes carried.
+    pub payload_len: u32,
+    /// TCP control flags.
+    pub flags: TcpFlags,
+    /// Direction of travel relative to the monitor.
+    pub dir: Direction,
+    /// RFC 7323 timestamp option `(TSval, TSecr)`, when present. Dart does
+    /// not use it (paper §8: often coarse or absent); the `pping` baseline
+    /// does.
+    pub tsopt: Option<(u32, u32)>,
+}
+
+impl PacketMeta {
+    /// The expected ACK number for this packet's data: `seq + payload_len`,
+    /// plus one for SYN/FIN which occupy sequence space.
+    #[inline]
+    pub fn eack(&self) -> SeqNum {
+        let mut len = self.payload_len;
+        if self.flags.is_syn() {
+            len += 1;
+        }
+        if self.flags.is_fin() {
+            len += 1;
+        }
+        self.seq.add(len)
+    }
+
+    /// True when this packet advances the sender's sequence space and can
+    /// therefore await an acknowledgment: it carries payload or a SYN/FIN.
+    #[inline]
+    pub fn is_seq(&self) -> bool {
+        self.payload_len > 0 || self.flags.is_syn() || self.flags.is_fin()
+    }
+
+    /// True when this packet carries an acknowledgment usable for matching.
+    #[inline]
+    pub fn is_ack(&self) -> bool {
+        self.flags.is_ack()
+    }
+
+    /// True when the SYN flag is set (SYN or SYN-ACK) — the packets Dart's
+    /// `-SYN` policy skips entirely.
+    #[inline]
+    pub fn is_syn(&self) -> bool {
+        self.flags.is_syn()
+    }
+
+    /// A pure ACK: acknowledgment with no sequence-space consumption.
+    #[inline]
+    pub fn is_pure_ack(&self) -> bool {
+        self.is_ack() && !self.is_seq()
+    }
+}
+
+impl fmt::Display for PacketMeta {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{:>12}ns] {} {} seq={} ack={} len={}",
+            self.ts, self.flow, self.flags, self.seq, self.ack, self.payload_len
+        )
+    }
+}
+
+/// Builder for [`PacketMeta`], used pervasively in tests and the simulator.
+#[derive(Clone, Debug)]
+pub struct PacketBuilder {
+    meta: PacketMeta,
+}
+
+impl PacketBuilder {
+    /// Start a packet on `flow` at time `ts`.
+    pub fn new(flow: FlowKey, ts: Nanos) -> Self {
+        PacketBuilder {
+            meta: PacketMeta {
+                ts,
+                flow,
+                seq: SeqNum::ZERO,
+                ack: SeqNum::ZERO,
+                payload_len: 0,
+                flags: TcpFlags::EMPTY,
+                dir: Direction::Outbound,
+                tsopt: None,
+            },
+        }
+    }
+
+    /// Set the sequence number.
+    pub fn seq(mut self, seq: impl Into<SeqNum>) -> Self {
+        self.meta.seq = seq.into();
+        self
+    }
+
+    /// Set the acknowledgment number and the ACK flag.
+    pub fn ack(mut self, ack: impl Into<SeqNum>) -> Self {
+        self.meta.ack = ack.into();
+        self.meta.flags = self.meta.flags | TcpFlags::ACK;
+        self
+    }
+
+    /// Set the payload length.
+    pub fn payload(mut self, len: u32) -> Self {
+        self.meta.payload_len = len;
+        self
+    }
+
+    /// Union in extra flags.
+    pub fn flags(mut self, flags: TcpFlags) -> Self {
+        self.meta.flags = self.meta.flags | flags;
+        self
+    }
+
+    /// Set the SYN flag.
+    pub fn syn(self) -> Self {
+        self.flags(TcpFlags::SYN)
+    }
+
+    /// Set the FIN flag.
+    pub fn fin(self) -> Self {
+        self.flags(TcpFlags::FIN)
+    }
+
+    /// Set the direction of travel.
+    pub fn dir(mut self, dir: Direction) -> Self {
+        self.meta.dir = dir;
+        self
+    }
+
+    /// Attach an RFC 7323 timestamp option.
+    pub fn tsopt(mut self, tsval: u32, tsecr: u32) -> Self {
+        self.meta.tsopt = Some((tsval, tsecr));
+        self
+    }
+
+    /// Finish building.
+    pub fn build(self) -> PacketMeta {
+        self.meta
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flow::FlowKey;
+
+    fn flow() -> FlowKey {
+        FlowKey::from_raw(0x0a000001, 443, 0x0a000002, 50000)
+    }
+
+    #[test]
+    fn eack_counts_payload() {
+        let p = PacketBuilder::new(flow(), 0)
+            .seq(1000u32)
+            .payload(500)
+            .build();
+        assert_eq!(p.eack(), SeqNum(1500));
+        assert!(p.is_seq());
+        assert!(!p.is_ack());
+    }
+
+    #[test]
+    fn eack_counts_syn_and_fin() {
+        let syn = PacketBuilder::new(flow(), 0).seq(99u32).syn().build();
+        assert_eq!(syn.eack(), SeqNum(100));
+        assert!(syn.is_seq());
+        let fin = PacketBuilder::new(flow(), 0)
+            .seq(200u32)
+            .payload(10)
+            .fin()
+            .build();
+        assert_eq!(fin.eack(), SeqNum(211));
+    }
+
+    #[test]
+    fn pure_ack_classification() {
+        let a = PacketBuilder::new(flow(), 5).ack(4242u32).build();
+        assert!(a.is_pure_ack());
+        assert!(a.is_ack());
+        assert!(!a.is_seq());
+        let piggy = PacketBuilder::new(flow(), 5).ack(1u32).payload(7).build();
+        assert!(!piggy.is_pure_ack());
+        assert!(piggy.is_seq());
+        assert!(piggy.is_ack());
+    }
+
+    #[test]
+    fn eack_wraps() {
+        let p = PacketBuilder::new(flow(), 0)
+            .seq(u32::MAX - 99)
+            .payload(200)
+            .build();
+        assert_eq!(p.eack(), SeqNum(100));
+    }
+
+    #[test]
+    fn tsopt_builder_attaches_option() {
+        let p = PacketBuilder::new(flow(), 0).tsopt(1234, 5678).build();
+        assert_eq!(p.tsopt, Some((1234, 5678)));
+        let q = PacketBuilder::new(flow(), 0).build();
+        assert_eq!(q.tsopt, None);
+    }
+
+    #[test]
+    fn direction_flip() {
+        assert_eq!(Direction::Inbound.flip(), Direction::Outbound);
+        assert_eq!(Direction::Outbound.flip(), Direction::Inbound);
+    }
+}

@@ -1,0 +1,256 @@
+//! Wire-format parsing: Ethernet/IPv4/TCP frames → [`PacketMeta`], and the
+//! reverse synthesis used to write pcap files from simulated traffic.
+
+use crate::error::PacketError;
+use crate::ethernet::{ethertype, EthernetHeader};
+use crate::flow::FlowKey;
+use crate::ipv4::{protocol, Ipv4Header};
+use crate::meta::{Direction, Nanos, PacketMeta};
+use crate::tcp::TcpHeader;
+
+/// A classifier deciding each packet's [`Direction`] relative to the monitor,
+/// typically from the source address (e.g. "10.0.0.0/8 is internal").
+pub trait DirectionClassifier {
+    /// Classify a packet by its flow key.
+    fn classify(&self, flow: &FlowKey) -> Direction;
+}
+
+/// Classifies by internal IPv4 prefixes: a packet *from* an internal address
+/// is outbound, everything else inbound.
+#[derive(Clone, Debug, Default)]
+pub struct PrefixClassifier {
+    prefixes: Vec<(u32, u32)>, // (network, mask)
+}
+
+impl PrefixClassifier {
+    /// Build from `(address, prefix_len)` pairs describing the internal side.
+    pub fn new(prefixes: impl IntoIterator<Item = (std::net::Ipv4Addr, u8)>) -> Self {
+        let prefixes = prefixes
+            .into_iter()
+            .map(|(addr, len)| {
+                let mask = if len == 0 {
+                    0
+                } else {
+                    u32::MAX << (32 - len as u32)
+                };
+                (u32::from(addr) & mask, mask)
+            })
+            .collect();
+        PrefixClassifier { prefixes }
+    }
+
+    /// True when `addr` is inside any internal prefix.
+    pub fn is_internal(&self, addr: std::net::Ipv4Addr) -> bool {
+        let a = u32::from(addr);
+        self.prefixes.iter().any(|&(net, mask)| a & mask == net)
+    }
+}
+
+impl DirectionClassifier for PrefixClassifier {
+    fn classify(&self, flow: &FlowKey) -> Direction {
+        if self.is_internal(flow.src_ip) {
+            Direction::Outbound
+        } else {
+            Direction::Inbound
+        }
+    }
+}
+
+/// Parse a full Ethernet frame into a [`PacketMeta`].
+///
+/// Returns [`PacketError::Unsupported`] for non-IPv4 ethertypes, non-TCP
+/// protocols, and IP fragments other than the first — the same traffic a
+/// Dart deployment would pass through unmonitored.
+pub fn parse_ethernet_frame(
+    ts: Nanos,
+    frame: &[u8],
+    classifier: &dyn DirectionClassifier,
+) -> Result<PacketMeta, PacketError> {
+    let eth = EthernetHeader::decode(frame)?;
+    if eth.ethertype != ethertype::IPV4 {
+        return Err(PacketError::Unsupported {
+            what: "non-ipv4 ethertype",
+        });
+    }
+    parse_ipv4_packet(ts, &frame[EthernetHeader::LEN..], classifier)
+}
+
+/// Parse an IPv4 packet (starting at the IP header) into a [`PacketMeta`].
+pub fn parse_ipv4_packet(
+    ts: Nanos,
+    packet: &[u8],
+    classifier: &dyn DirectionClassifier,
+) -> Result<PacketMeta, PacketError> {
+    let ip = Ipv4Header::decode(packet)?;
+    if ip.proto != protocol::TCP {
+        return Err(PacketError::Unsupported {
+            what: "non-tcp protocol",
+        });
+    }
+    if ip.flags_frag & 0x1FFF != 0 {
+        return Err(PacketError::Unsupported {
+            what: "ip fragment",
+        });
+    }
+    let tcp_bytes = &packet[ip.header_len()..];
+    let tcp = TcpHeader::decode(tcp_bytes)?;
+    let payload_len = ip.payload_len().saturating_sub(tcp.header_len()) as u32;
+    let flow = FlowKey::new(ip.src, tcp.src_port, ip.dst, tcp.dst_port);
+    let dir = classifier.classify(&flow);
+    Ok(PacketMeta {
+        ts,
+        flow,
+        seq: tcp.seq,
+        ack: tcp.ack,
+        payload_len,
+        flags: tcp.flags,
+        dir,
+        tsopt: tcp.timestamps(),
+    })
+}
+
+/// Synthesize an Ethernet/IPv4/TCP frame from a [`PacketMeta`], with a dummy
+/// payload of the recorded length. Used when exporting simulated traffic to
+/// pcap for inspection with standard tools.
+pub fn synthesize_frame(meta: &PacketMeta) -> Vec<u8> {
+    let options = match meta.tsopt {
+        Some((tsval, tsecr)) => TcpHeader::timestamp_option(tsval, tsecr),
+        None => Vec::new(),
+    };
+    let opt_padded = options.len().div_ceil(4) * 4;
+    let tcp = TcpHeader {
+        src_port: meta.flow.src_port,
+        dst_port: meta.flow.dst_port,
+        seq: meta.seq,
+        ack: meta.ack,
+        data_offset: ((TcpHeader::MIN_LEN + opt_padded) / 4) as u8,
+        flags: meta.flags,
+        options,
+        ..TcpHeader::default()
+    };
+    let total_len = (Ipv4Header::MIN_LEN + tcp.header_len()) as u16 + meta.payload_len as u16;
+    let ip = Ipv4Header {
+        total_len,
+        src: meta.flow.src_ip,
+        dst: meta.flow.dst_ip,
+        proto: protocol::TCP,
+        ..Ipv4Header::default()
+    };
+    let mut frame = Vec::with_capacity(EthernetHeader::LEN + total_len as usize);
+    EthernetHeader::synthetic_ipv4().encode(&mut frame);
+    ip.encode(&mut frame);
+    tcp.encode(&mut frame);
+    frame.resize(frame.len() + meta.payload_len as usize, 0);
+    frame
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::meta::PacketBuilder;
+    use crate::tcp::TcpFlags;
+    use std::net::Ipv4Addr;
+
+    fn classifier() -> PrefixClassifier {
+        PrefixClassifier::new([(Ipv4Addr::new(10, 0, 0, 0), 8)])
+    }
+
+    #[test]
+    fn prefix_classifier_directions() {
+        let c = classifier();
+        assert!(c.is_internal(Ipv4Addr::new(10, 1, 2, 3)));
+        assert!(!c.is_internal(Ipv4Addr::new(8, 8, 8, 8)));
+        let outbound = FlowKey::new(Ipv4Addr::new(10, 0, 0, 5), 1, Ipv4Addr::new(1, 1, 1, 1), 2);
+        assert_eq!(c.classify(&outbound), Direction::Outbound);
+        assert_eq!(c.classify(&outbound.reverse()), Direction::Inbound);
+    }
+
+    #[test]
+    fn synthesize_then_parse_round_trips() {
+        let meta = PacketBuilder::new(
+            FlowKey::new(
+                Ipv4Addr::new(10, 0, 0, 9),
+                50000,
+                Ipv4Addr::new(93, 184, 216, 34),
+                443,
+            ),
+            123_456_789,
+        )
+        .seq(1000u32)
+        .ack(2000u32)
+        .payload(137)
+        .flags(TcpFlags::PSH)
+        .build();
+        let frame = synthesize_frame(&meta);
+        let parsed = parse_ethernet_frame(meta.ts, &frame, &classifier()).unwrap();
+        assert_eq!(parsed, meta);
+    }
+
+    #[test]
+    fn timestamp_option_survives_synthesis() {
+        let meta = PacketBuilder::new(
+            FlowKey::new(Ipv4Addr::new(10, 0, 0, 9), 1, Ipv4Addr::new(1, 1, 1, 1), 2),
+            42,
+        )
+        .seq(7u32)
+        .payload(99)
+        .tsopt(0xDEAD, 0xBEEF)
+        .build();
+        let frame = synthesize_frame(&meta);
+        let parsed = parse_ethernet_frame(42, &frame, &classifier()).unwrap();
+        assert_eq!(parsed, meta);
+        assert_eq!(parsed.tsopt, Some((0xDEAD, 0xBEEF)));
+    }
+
+    #[test]
+    fn non_tcp_is_unsupported() {
+        let meta = PacketBuilder::new(
+            FlowKey::new(Ipv4Addr::new(10, 0, 0, 9), 1, Ipv4Addr::new(1, 1, 1, 1), 2),
+            0,
+        )
+        .build();
+        let mut frame = synthesize_frame(&meta);
+        frame[EthernetHeader::LEN + 9] = protocol::UDP; // rewrite protocol field
+                                                        // Checksum now wrong, but decode doesn't verify; protocol check fires first.
+        assert!(matches!(
+            parse_ethernet_frame(0, &frame, &classifier()).unwrap_err(),
+            PacketError::Unsupported {
+                what: "non-tcp protocol"
+            }
+        ));
+    }
+
+    #[test]
+    fn fragments_are_unsupported() {
+        let meta = PacketBuilder::new(
+            FlowKey::new(Ipv4Addr::new(10, 0, 0, 9), 1, Ipv4Addr::new(1, 1, 1, 1), 2),
+            0,
+        )
+        .build();
+        let mut frame = synthesize_frame(&meta);
+        // Set a nonzero fragment offset.
+        frame[EthernetHeader::LEN + 6] = 0x00;
+        frame[EthernetHeader::LEN + 7] = 0x10;
+        assert!(matches!(
+            parse_ethernet_frame(0, &frame, &classifier()).unwrap_err(),
+            PacketError::Unsupported {
+                what: "ip fragment"
+            }
+        ));
+    }
+
+    #[test]
+    fn payload_len_recovered_from_lengths() {
+        // A pure ACK has payload 0 even though the frame has no padding info.
+        let meta = PacketBuilder::new(
+            FlowKey::new(Ipv4Addr::new(10, 0, 0, 9), 1, Ipv4Addr::new(1, 1, 1, 1), 2),
+            7,
+        )
+        .ack(999u32)
+        .build();
+        let frame = synthesize_frame(&meta);
+        let parsed = parse_ethernet_frame(7, &frame, &classifier()).unwrap();
+        assert_eq!(parsed.payload_len, 0);
+        assert!(parsed.is_pure_ack());
+    }
+}

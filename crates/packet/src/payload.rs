@@ -1,0 +1,129 @@
+//! Payload-size computation, including the lookup-table optimization from
+//! the hardware prototype (paper §4, "Computing the payload size").
+//!
+//! On the Tofino, subtracting IP and TCP header lengths from the total IP
+//! length costs multiple pipeline stages, so the prototype pre-computes the
+//! TCP payload size for the common cases — IHL of 5 words, total length
+//! 40–1480 bytes, TCP data offset 5–15 words — and stores them in a lookup
+//! table, falling back to arithmetic otherwise. We reproduce both paths and
+//! prove them equivalent by test; the switch resource model charges the LUT
+//! accordingly.
+
+/// Payload size by direct arithmetic — the "expensive" data-plane path.
+#[inline]
+pub fn payload_len_arithmetic(total_len: u16, ihl: u8, data_offset: u8) -> u16 {
+    total_len.saturating_sub((ihl as u16 + data_offset as u16) * 4)
+}
+
+/// A pre-computed payload-size lookup table over the common header shapes.
+///
+/// Covers IHL = 5 and total length in `40..=1480` crossed with TCP data
+/// offset in `5..=15`. Queries outside that envelope answer `None`,
+/// signalling the caller to take the arithmetic fallback.
+pub struct PayloadSizeLut {
+    /// `table[(total_len - MIN_TOTAL) * N_OFFSETS + (data_offset - 5)]`
+    table: Vec<u16>,
+}
+
+const MIN_TOTAL: u16 = 40;
+const MAX_TOTAL: u16 = 1480;
+const MIN_OFF: u8 = 5;
+const MAX_OFF: u8 = 15;
+const N_OFFSETS: usize = (MAX_OFF - MIN_OFF + 1) as usize;
+
+impl PayloadSizeLut {
+    /// Build the table (done once at "compile time" of the pipeline).
+    pub fn build() -> PayloadSizeLut {
+        let rows = (MAX_TOTAL - MIN_TOTAL + 1) as usize;
+        let mut table = vec![0u16; rows * N_OFFSETS];
+        for total in MIN_TOTAL..=MAX_TOTAL {
+            for off in MIN_OFF..=MAX_OFF {
+                let idx = (total - MIN_TOTAL) as usize * N_OFFSETS + (off - MIN_OFF) as usize;
+                table[idx] = payload_len_arithmetic(total, 5, off);
+            }
+        }
+        PayloadSizeLut { table }
+    }
+
+    /// Number of entries in the table (drives the SRAM estimate in the
+    /// switch resource model).
+    pub fn entries(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Look up the payload size; `None` when the headers fall outside the
+    /// pre-computed envelope (uncommon IHL, jumbo or tiny totals).
+    #[inline]
+    pub fn lookup(&self, total_len: u16, ihl: u8, data_offset: u8) -> Option<u16> {
+        if ihl != 5
+            || !(MIN_TOTAL..=MAX_TOTAL).contains(&total_len)
+            || !(MIN_OFF..=MAX_OFF).contains(&data_offset)
+        {
+            return None;
+        }
+        let idx = (total_len - MIN_TOTAL) as usize * N_OFFSETS + (data_offset - MIN_OFF) as usize;
+        Some(self.table[idx])
+    }
+
+    /// Payload size via the fast path with arithmetic fallback — the
+    /// behaviour of the deployed prototype.
+    #[inline]
+    pub fn payload_len(&self, total_len: u16, ihl: u8, data_offset: u8) -> u16 {
+        self.lookup(total_len, ihl, data_offset)
+            .unwrap_or_else(|| payload_len_arithmetic(total_len, ihl, data_offset))
+    }
+}
+
+impl Default for PayloadSizeLut {
+    fn default() -> Self {
+        Self::build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lut_matches_arithmetic_over_entire_envelope() {
+        let lut = PayloadSizeLut::build();
+        for total in MIN_TOTAL..=MAX_TOTAL {
+            for off in MIN_OFF..=MAX_OFF {
+                assert_eq!(
+                    lut.lookup(total, 5, off),
+                    Some(payload_len_arithmetic(total, 5, off)),
+                    "total={total} off={off}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn out_of_envelope_falls_back() {
+        let lut = PayloadSizeLut::build();
+        assert_eq!(lut.lookup(1500, 5, 5), None); // jumbo-ish total
+        assert_eq!(lut.lookup(100, 6, 5), None); // IP options
+        assert_eq!(lut.payload_len(1500, 5, 5), 1500 - 40);
+        assert_eq!(lut.payload_len(100, 6, 5), 100 - 44);
+    }
+
+    #[test]
+    fn saturates_instead_of_underflowing() {
+        assert_eq!(payload_len_arithmetic(30, 5, 5), 0);
+    }
+
+    #[test]
+    fn typical_mss_segment() {
+        let lut = PayloadSizeLut::build();
+        // 1460-byte MSS segment: 20 IP + 20 TCP + 1440... check a full 1480.
+        assert_eq!(lut.payload_len(1480, 5, 5), 1440);
+        // With timestamps (data offset 8): 1480 - 20 - 32 = 1428.
+        assert_eq!(lut.payload_len(1480, 5, 8), 1428);
+    }
+
+    #[test]
+    fn table_size_is_stable() {
+        // (1480-40+1) totals x 11 offsets — the SRAM budget Table 1 charges.
+        assert_eq!(PayloadSizeLut::build().entries(), 1441 * 11);
+    }
+}

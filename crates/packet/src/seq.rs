@@ -1,0 +1,223 @@
+//! Wrapping 32-bit TCP sequence-number arithmetic.
+//!
+//! TCP sequence numbers live in a 32-bit circular space. Comparisons must be
+//! performed modulo 2^32 with a signed-distance convention (RFC 793 / RFC
+//! 7323): `a` is *before* `b` when the signed difference `a - b` is negative.
+//! Dart's Range Tracker depends on these comparisons to classify every data
+//! and acknowledgment packet, and on explicit wraparound detection to reset
+//! the measurement range (paper §4, "TCP sequence number wraparound").
+
+use std::fmt;
+
+/// A TCP sequence number in the 32-bit circular space.
+///
+/// All ordering operations are modular: [`SeqNum::lt`], [`SeqNum::leq`], etc.
+/// compare positions on the circle, not raw integers. `Ord` is deliberately
+/// **not** implemented — linear ordering of circular quantities is the exact
+/// bug class this type exists to prevent.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct SeqNum(pub u32);
+
+impl SeqNum {
+    /// The zero sequence number.
+    pub const ZERO: SeqNum = SeqNum(0);
+
+    /// Construct from a raw wire value.
+    #[inline]
+    pub const fn new(raw: u32) -> Self {
+        SeqNum(raw)
+    }
+
+    /// The raw 32-bit wire value.
+    #[inline]
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+
+    /// Advance by `n` bytes, wrapping modulo 2^32.
+    #[inline]
+    pub const fn add(self, n: u32) -> SeqNum {
+        SeqNum(self.0.wrapping_add(n))
+    }
+
+    /// Step back by `n` bytes, wrapping modulo 2^32.
+    #[inline]
+    pub const fn sub(self, n: u32) -> SeqNum {
+        SeqNum(self.0.wrapping_sub(n))
+    }
+
+    /// Signed circular distance from `other` to `self`.
+    ///
+    /// Positive when `self` is ahead of `other` (within half the space),
+    /// negative when behind. The magnitude is meaningful only for distances
+    /// below 2^31.
+    #[inline]
+    pub const fn distance(self, other: SeqNum) -> i32 {
+        self.0.wrapping_sub(other.0) as i32
+    }
+
+    /// `self < other` in circular order.
+    #[inline]
+    pub const fn lt(self, other: SeqNum) -> bool {
+        self.distance(other) < 0
+    }
+
+    /// `self <= other` in circular order.
+    #[inline]
+    pub const fn leq(self, other: SeqNum) -> bool {
+        self.distance(other) <= 0
+    }
+
+    /// `self > other` in circular order.
+    #[inline]
+    pub const fn gt(self, other: SeqNum) -> bool {
+        self.distance(other) > 0
+    }
+
+    /// `self >= other` in circular order.
+    #[inline]
+    pub const fn geq(self, other: SeqNum) -> bool {
+        self.distance(other) >= 0
+    }
+
+    /// The circular maximum of two sequence numbers.
+    #[inline]
+    pub fn max(self, other: SeqNum) -> SeqNum {
+        if self.geq(other) {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The circular minimum of two sequence numbers.
+    #[inline]
+    pub fn min(self, other: SeqNum) -> SeqNum {
+        if self.leq(other) {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// True when `self` lies in the half-open circular interval
+    /// `(lo, hi]` — the test Dart's Range Tracker applies to decide whether
+    /// an ACK falls inside the current measurement range.
+    #[inline]
+    pub fn in_range(self, lo: SeqNum, hi: SeqNum) -> bool {
+        self.gt(lo) && self.leq(hi)
+    }
+
+    /// Detect a wraparound step: moving from `self` to `next` crosses zero
+    /// going forward (i.e., `next`'s raw value is numerically smaller while
+    /// being circularly ahead).
+    #[inline]
+    pub fn wraps_to(self, next: SeqNum) -> bool {
+        next.raw() < self.raw() && self.lt(next)
+    }
+}
+
+impl fmt::Debug for SeqNum {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SeqNum({})", self.0)
+    }
+}
+
+impl fmt::Display for SeqNum {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u32> for SeqNum {
+    fn from(v: u32) -> Self {
+        SeqNum(v)
+    }
+}
+
+impl From<SeqNum> for u32 {
+    fn from(v: SeqNum) -> Self {
+        v.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_without_wrap() {
+        let a = SeqNum(100);
+        let b = SeqNum(200);
+        assert!(a.lt(b));
+        assert!(a.leq(b));
+        assert!(b.gt(a));
+        assert!(b.geq(a));
+        assert!(!a.gt(b));
+        assert!(a.leq(a));
+        assert!(a.geq(a));
+        assert!(!a.lt(a));
+    }
+
+    #[test]
+    fn ordering_across_wrap() {
+        let near_top = SeqNum(u32::MAX - 10);
+        let past_zero = SeqNum(5);
+        assert!(near_top.lt(past_zero));
+        assert!(past_zero.gt(near_top));
+        assert_eq!(past_zero.distance(near_top), 16);
+    }
+
+    #[test]
+    fn add_and_sub_wrap() {
+        let s = SeqNum(u32::MAX - 1);
+        assert_eq!(s.add(3), SeqNum(1));
+        assert_eq!(SeqNum(1).sub(3), SeqNum(u32::MAX - 1));
+    }
+
+    #[test]
+    fn distance_signs() {
+        assert_eq!(SeqNum(10).distance(SeqNum(4)), 6);
+        assert_eq!(SeqNum(4).distance(SeqNum(10)), -6);
+        assert_eq!(SeqNum(0).distance(SeqNum(0)), 0);
+    }
+
+    #[test]
+    fn circular_max_min() {
+        let near_top = SeqNum(u32::MAX - 2);
+        let past_zero = SeqNum(7);
+        assert_eq!(near_top.max(past_zero), past_zero);
+        assert_eq!(near_top.min(past_zero), near_top);
+        assert_eq!(SeqNum(5).max(SeqNum(9)), SeqNum(9));
+    }
+
+    #[test]
+    fn in_range_half_open() {
+        let lo = SeqNum(100);
+        let hi = SeqNum(200);
+        assert!(!SeqNum(100).in_range(lo, hi)); // left edge excluded
+        assert!(SeqNum(101).in_range(lo, hi));
+        assert!(SeqNum(200).in_range(lo, hi)); // right edge included
+        assert!(!SeqNum(201).in_range(lo, hi));
+        assert!(!SeqNum(50).in_range(lo, hi));
+    }
+
+    #[test]
+    fn in_range_across_wrap() {
+        let lo = SeqNum(u32::MAX - 5);
+        let hi = SeqNum(10);
+        assert!(SeqNum(0).in_range(lo, hi));
+        assert!(SeqNum(10).in_range(lo, hi));
+        assert!(!SeqNum(11).in_range(lo, hi));
+        assert!(!SeqNum(u32::MAX - 5).in_range(lo, hi));
+        assert!(SeqNum(u32::MAX - 4).in_range(lo, hi));
+    }
+
+    #[test]
+    fn wraparound_detection() {
+        assert!(SeqNum(u32::MAX - 100).wraps_to(SeqNum(50)));
+        assert!(!SeqNum(100).wraps_to(SeqNum(200)));
+        // Going backwards across zero is not a forward wrap.
+        assert!(!SeqNum(50).wraps_to(SeqNum(u32::MAX - 100)));
+    }
+}

@@ -1,0 +1,324 @@
+//! Workload models: the statistical shapes behind the synthetic campus
+//! trace (the paper's anonymized Princeton trace substitute — see
+//! DESIGN.md's substitution table).
+//!
+//! Calibration targets come from the paper's published macro-properties:
+//! external RTTs with a ~13–15 ms median, ~40–60 ms p95, ~215 ms p99 and a
+//! long keep-alive tail (Fig. 9b/9c); wired internal RTTs mostly below 1 ms
+//! vs wireless with a >20 ms tail (Fig. 6); 72.5% incomplete handshakes
+//! (Fig. 10); heavy-tailed flow sizes at roughly 100 packets per connection
+//! on average.
+
+use crate::rng::SimRng;
+use dart_packet::{FlowKey, Nanos, MICROSECOND, MILLISECOND};
+use std::net::Ipv4Addr;
+
+/// Subnet class of a campus client (Fig. 6 contrasts the two).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Access {
+    /// Wired office LAN: sub-millisecond internal RTTs.
+    Wired,
+    /// Campus Wi-Fi: milliseconds to tens of milliseconds.
+    Wireless,
+}
+
+/// External (monitor ↔ Internet server) round-trip model: a three-component
+/// mixture of log-normals — CDN-near, regional, and far-away servers.
+#[derive(Clone, Copy, Debug)]
+pub struct ExternalRttModel {
+    weights: [f64; 3],
+    medians_ms: [f64; 3],
+    sigmas: [f64; 3],
+}
+
+impl Default for ExternalRttModel {
+    fn default() -> Self {
+        ExternalRttModel {
+            weights: [0.64, 0.31, 0.05],
+            medians_ms: [9.5, 20.0, 70.0],
+            sigmas: [0.35, 0.40, 0.50],
+        }
+    }
+}
+
+impl ExternalRttModel {
+    /// Draw one external-leg RTT.
+    pub fn sample(&self, rng: &mut SimRng) -> Nanos {
+        let i = rng.pick_weighted(&self.weights);
+        let ms = rng.lognormal(self.medians_ms[i], self.sigmas[i]);
+        (ms.clamp(0.5, 400.0) * MILLISECOND as f64) as Nanos
+    }
+}
+
+/// Internal (campus client ↔ monitor) round-trip model.
+#[derive(Clone, Copy, Debug)]
+pub struct InternalRttModel {
+    /// Wired: a single tight log-normal.
+    wired_median_ms: f64,
+    wired_sigma: f64,
+    /// Wireless: bimodal — good coverage vs contended/roaming.
+    wireless_good_median_ms: f64,
+    wireless_good_sigma: f64,
+    wireless_bad_median_ms: f64,
+    wireless_bad_sigma: f64,
+    wireless_bad_frac: f64,
+}
+
+impl Default for InternalRttModel {
+    fn default() -> Self {
+        InternalRttModel {
+            wired_median_ms: 0.35,
+            wired_sigma: 0.5,
+            wireless_good_median_ms: 2.0,
+            wireless_good_sigma: 0.8,
+            wireless_bad_median_ms: 30.0,
+            wireless_bad_sigma: 0.7,
+            wireless_bad_frac: 0.3,
+        }
+    }
+}
+
+impl InternalRttModel {
+    /// Draw one internal-leg RTT for the given access class.
+    pub fn sample(&self, access: Access, rng: &mut SimRng) -> Nanos {
+        let ms = match access {
+            Access::Wired => rng.lognormal(self.wired_median_ms, self.wired_sigma),
+            Access::Wireless => {
+                if rng.chance(self.wireless_bad_frac) {
+                    rng.lognormal(self.wireless_bad_median_ms, self.wireless_bad_sigma)
+                } else {
+                    rng.lognormal(self.wireless_good_median_ms, self.wireless_good_sigma)
+                }
+            }
+        };
+        (ms.clamp(0.05, 500.0) * MILLISECOND as f64).max(MICROSECOND as f64) as Nanos
+    }
+}
+
+/// Transfer-size model: request sizes, heavy-tailed response sizes, and
+/// rounds per connection.
+#[derive(Clone, Copy, Debug)]
+pub struct SizeModel {
+    /// Median request size in bytes.
+    pub request_median: f64,
+    /// Request size log-sigma.
+    pub request_sigma: f64,
+    /// Mixture weights: small / medium / large responses.
+    pub response_weights: [f64; 3],
+    /// Mean rounds per connection (geometric).
+    pub mean_exchanges: f64,
+    /// Scale factor applied to response sizes (sweeps use it to shrink the
+    /// workload without changing its shape).
+    pub response_scale: f64,
+}
+
+impl Default for SizeModel {
+    fn default() -> Self {
+        SizeModel {
+            request_median: 1400.0,
+            request_sigma: 1.2,
+            response_weights: [0.80, 0.15, 0.05],
+            mean_exchanges: 5.0,
+            response_scale: 1.0,
+        }
+    }
+}
+
+impl SizeModel {
+    /// Draw a request size in bytes.
+    pub fn request(&self, rng: &mut SimRng) -> u64 {
+        rng.lognormal(self.request_median, self.request_sigma)
+            .clamp(50.0, 50_000.0) as u64
+    }
+
+    /// Draw a response size in bytes (heavy-tailed).
+    pub fn response(&self, rng: &mut SimRng) -> u64 {
+        let raw = match rng.pick_weighted(&self.response_weights) {
+            0 => rng.lognormal(8_000.0, 1.2),
+            1 => rng.lognormal(200_000.0, 1.0),
+            _ => rng.pareto(1_000_000.0, 1.3, 50_000_000.0),
+        };
+        ((raw * self.response_scale).clamp(100.0, 100_000_000.0)) as u64
+    }
+
+    /// Draw the number of request/response rounds.
+    pub fn exchanges(&self, rng: &mut SimRng) -> u64 {
+        rng.geometric(1.0 / self.mean_exchanges.max(1.0))
+    }
+}
+
+/// Address allocator for the synthetic campus: wired clients in
+/// 10.8.0.0/16, wireless in 10.9.0.0/16, servers drawn from a pool of
+/// popular /24s (Zipf-ish popularity).
+#[derive(Clone, Debug)]
+pub struct AddressPlan {
+    server_prefixes: Vec<u32>,
+    next_port: u16,
+}
+
+/// The wired client subnet.
+pub const WIRED_SUBNET: (Ipv4Addr, u8) = (Ipv4Addr::new(10, 8, 0, 0), 16);
+/// The wireless client subnet.
+pub const WIRELESS_SUBNET: (Ipv4Addr, u8) = (Ipv4Addr::new(10, 9, 0, 0), 16);
+/// The campus-wide internal prefix (both subnets).
+pub const CAMPUS_PREFIX: (Ipv4Addr, u8) = (Ipv4Addr::new(10, 0, 0, 0), 8);
+
+impl AddressPlan {
+    /// Build a plan with `n_prefixes` server /24s.
+    pub fn new(n_prefixes: usize, rng: &mut SimRng) -> AddressPlan {
+        let mut server_prefixes = Vec::with_capacity(n_prefixes);
+        for _ in 0..n_prefixes {
+            // Public-looking /24 network addresses.
+            let a = rng.range(11, 223) as u32;
+            let b = rng.range(0, 256) as u32;
+            let c = rng.range(0, 256) as u32;
+            server_prefixes.push((a << 24) | (b << 16) | (c << 8));
+        }
+        AddressPlan {
+            server_prefixes,
+            next_port: 32768,
+        }
+    }
+
+    /// Draw a client address in the given access class's subnet.
+    pub fn client(&mut self, access: Access, rng: &mut SimRng) -> Ipv4Addr {
+        let base = match access {
+            Access::Wired => u32::from(WIRED_SUBNET.0),
+            Access::Wireless => u32::from(WIRELESS_SUBNET.0),
+        };
+        Ipv4Addr::from(base | rng.range(2, 60_000) as u32)
+    }
+
+    /// Draw a server address with popularity skew (low-index prefixes are
+    /// hotter, approximating Zipf).
+    pub fn server(&mut self, rng: &mut SimRng) -> Ipv4Addr {
+        let n = self.server_prefixes.len();
+        // x^2 skew toward index 0.
+        let idx = ((rng.unit() * rng.unit()) * n as f64) as usize % n;
+        let host = rng.range(1, 255) as u32;
+        Ipv4Addr::from(self.server_prefixes[idx] | host)
+    }
+
+    /// A fresh ephemeral client port.
+    pub fn port(&mut self) -> u16 {
+        let p = self.next_port;
+        self.next_port = if self.next_port >= 65_000 {
+            32768
+        } else {
+            self.next_port + 1
+        };
+        p
+    }
+
+    /// Build a full flow key for one connection.
+    pub fn flow(&mut self, access: Access, rng: &mut SimRng) -> FlowKey {
+        let client = self.client(access, rng);
+        let server = self.server(rng);
+        let sport = self.port();
+        let dport = if rng.chance(0.85) { 443 } else { 80 };
+        FlowKey::new(client, sport, server, dport)
+    }
+}
+
+/// True when `addr` is a campus-internal address.
+pub fn is_campus(addr: Ipv4Addr) -> bool {
+    u32::from(addr) >> 24 == 10
+}
+
+/// True when `addr` is in the wireless subnet.
+pub fn is_wireless(addr: Ipv4Addr) -> bool {
+    u32::from(addr) >> 16 == u32::from(WIRELESS_SUBNET.0) >> 16
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn external_rtt_matches_paper_shape() {
+        let model = ExternalRttModel::default();
+        let mut rng = SimRng::new(11);
+        let mut ms: Vec<f64> = (0..40_000)
+            .map(|_| model.sample(&mut rng) as f64 / 1e6)
+            .collect();
+        ms.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let p = |q: f64| ms[(q * ms.len() as f64) as usize];
+        let median = p(0.5);
+        let p95 = p(0.95);
+        let p99 = p(0.99);
+        // Per-connection draws; the *sample-weighted* trace distribution
+        // (what Fig 9 reports) sits a little higher because big flows
+        // contribute more samples and loss recovery adds delay.
+        assert!((9.0..=16.0).contains(&median), "median {median}");
+        assert!((30.0..=90.0).contains(&p95), "p95 {p95}");
+        assert!((80.0..=220.0).contains(&p99), "p99 {p99}");
+    }
+
+    #[test]
+    fn internal_rtt_contrasts_wired_and_wireless() {
+        let model = InternalRttModel::default();
+        let mut rng = SimRng::new(12);
+        let frac_below = |access: Access, thresh_ms: f64, rng: &mut SimRng| {
+            let n = 20_000;
+            let c = (0..n)
+                .filter(|_| (model.sample(access, rng) as f64 / 1e6) < thresh_ms)
+                .count();
+            c as f64 / n as f64
+        };
+        // Paper Fig. 6: >80% of wired internal RTTs below 1 ms.
+        assert!(frac_below(Access::Wired, 1.0, &mut rng) > 0.8);
+        // Wireless: fewer than 40% below 1 ms...
+        assert!(frac_below(Access::Wireless, 1.0, &mut rng) < 0.4);
+        // ...and more than 20% above 20 ms.
+        assert!(1.0 - frac_below(Access::Wireless, 20.0, &mut rng) > 0.2);
+    }
+
+    #[test]
+    fn sizes_are_heavy_tailed_but_bounded() {
+        let model = SizeModel::default();
+        let mut rng = SimRng::new(13);
+        let sizes: Vec<u64> = (0..20_000).map(|_| model.response(&mut rng)).collect();
+        let mean = sizes.iter().sum::<u64>() as f64 / sizes.len() as f64;
+        let max = *sizes.iter().max().unwrap();
+        assert!(mean > 20_000.0, "mean {mean}");
+        assert!(max <= 100_000_000);
+        assert!(max > 1_000_000, "tail missing: max {max}");
+        for _ in 0..1000 {
+            let r = model.request(&mut rng);
+            assert!((50..=50_000).contains(&r));
+        }
+    }
+
+    #[test]
+    fn address_plan_separates_subnets() {
+        let mut rng = SimRng::new(14);
+        let mut plan = AddressPlan::new(50, &mut rng);
+        let wired = plan.client(Access::Wired, &mut rng);
+        let wireless = plan.client(Access::Wireless, &mut rng);
+        assert!(is_campus(wired) && is_campus(wireless));
+        assert!(!is_wireless(wired));
+        assert!(is_wireless(wireless));
+        let server = plan.server(&mut rng);
+        assert!(!is_campus(server));
+    }
+
+    #[test]
+    fn ports_cycle_in_ephemeral_range() {
+        let mut rng = SimRng::new(15);
+        let mut plan = AddressPlan::new(1, &mut rng);
+        for _ in 0..40_000 {
+            let p = plan.port();
+            assert!((32768..=65_000).contains(&p));
+        }
+    }
+
+    #[test]
+    fn flows_use_web_ports() {
+        let mut rng = SimRng::new(16);
+        let mut plan = AddressPlan::new(10, &mut rng);
+        for _ in 0..100 {
+            let f = plan.flow(Access::Wireless, &mut rng);
+            assert!(f.dst_port == 443 || f.dst_port == 80);
+        }
+    }
+}

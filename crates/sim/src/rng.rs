@@ -1,0 +1,171 @@
+//! Deterministic randomness and the distributions the workload generator
+//! draws from.
+//!
+//! Everything is seeded: a scenario built twice from the same seed yields
+//! byte-identical traces, which the parameter sweeps (Fig. 11–13) rely on to
+//! compare configurations on *the same* input.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Seeded simulation RNG with distribution helpers.
+#[derive(Clone, Debug)]
+pub struct SimRng {
+    rng: StdRng,
+}
+
+impl SimRng {
+    /// Create from a 64-bit seed.
+    pub fn new(seed: u64) -> SimRng {
+        SimRng {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Derive an independent child generator (stable for a given label).
+    pub fn fork(&mut self, label: u64) -> SimRng {
+        SimRng::new(self.rng.gen::<u64>() ^ label.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn unit(&mut self) -> f64 {
+        self.rng.gen::<f64>()
+    }
+
+    /// Bernoulli with probability `p`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        p > 0.0 && self.rng.gen::<f64>() < p
+    }
+
+    /// Uniform integer in `[lo, hi)`.
+    pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(hi > lo);
+        self.rng.gen_range(lo..hi)
+    }
+
+    /// Uniform `u32`.
+    pub fn next_u32(&mut self) -> u32 {
+        self.rng.gen()
+    }
+
+    /// Standard normal via Box–Muller.
+    pub fn normal(&mut self) -> f64 {
+        let u1: f64 = self.rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let u2: f64 = self.rng.gen();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+
+    /// Log-normal with the given *median* and log-space sigma.
+    pub fn lognormal(&mut self, median: f64, sigma: f64) -> f64 {
+        median * (sigma * self.normal()).exp()
+    }
+
+    /// Exponential with the given mean.
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        let u: f64 = self.rng.gen_range(f64::MIN_POSITIVE..1.0);
+        -mean * u.ln()
+    }
+
+    /// Bounded Pareto (heavy-tailed sizes): scale `xm`, shape `alpha`,
+    /// truncated at `cap`.
+    pub fn pareto(&mut self, xm: f64, alpha: f64, cap: f64) -> f64 {
+        let u: f64 = self.rng.gen_range(f64::MIN_POSITIVE..1.0);
+        (xm / u.powf(1.0 / alpha)).min(cap)
+    }
+
+    /// Geometric count ≥ 1 with success probability `p` (mean 1/p).
+    pub fn geometric(&mut self, p: f64) -> u64 {
+        assert!(p > 0.0 && p <= 1.0);
+        let mut n = 1;
+        while !self.chance(p) && n < 10_000 {
+            n += 1;
+        }
+        n
+    }
+
+    /// Pick an index from cumulative weights (mixture components).
+    pub fn pick_weighted(&mut self, weights: &[f64]) -> usize {
+        let total: f64 = weights.iter().sum();
+        let mut x = self.unit() * total;
+        for (i, w) in weights.iter().enumerate() {
+            if x < *w {
+                return i;
+            }
+            x -= w;
+        }
+        weights.len() - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn determinism_from_seed() {
+        let mut a = SimRng::new(42);
+        let mut b = SimRng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u32(), b.next_u32());
+        }
+    }
+
+    #[test]
+    fn forks_are_independent_but_stable() {
+        let mut a = SimRng::new(7);
+        let mut b = SimRng::new(7);
+        let mut fa = a.fork(1);
+        let mut fb = b.fork(1);
+        assert_eq!(fa.next_u32(), fb.next_u32());
+    }
+
+    #[test]
+    fn lognormal_median_is_roughly_right() {
+        let mut r = SimRng::new(1);
+        let mut vals: Vec<f64> = (0..20_000).map(|_| r.lognormal(13.0, 0.8)).collect();
+        vals.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = vals[vals.len() / 2];
+        assert!((median - 13.0).abs() < 1.0, "median {median}");
+    }
+
+    #[test]
+    fn exponential_mean_is_roughly_right() {
+        let mut r = SimRng::new(2);
+        let mean: f64 = (0..20_000).map(|_| r.exponential(5.0)).sum::<f64>() / 20_000.0;
+        assert!((mean - 5.0).abs() < 0.3, "mean {mean}");
+    }
+
+    #[test]
+    fn pareto_respects_scale_and_cap() {
+        let mut r = SimRng::new(3);
+        for _ in 0..1000 {
+            let v = r.pareto(10.0, 1.2, 1000.0);
+            assert!((10.0..=1000.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = SimRng::new(4);
+        assert!(!r.chance(0.0));
+        assert!(r.chance(1.0));
+    }
+
+    #[test]
+    fn geometric_mean_tracks_p() {
+        let mut r = SimRng::new(5);
+        let mean: f64 = (0..20_000).map(|_| r.geometric(0.25) as f64).sum::<f64>() / 20_000.0;
+        assert!((mean - 4.0).abs() < 0.3, "mean {mean}");
+    }
+
+    #[test]
+    fn weighted_pick_in_bounds() {
+        let mut r = SimRng::new(6);
+        let mut counts = [0u32; 3];
+        for _ in 0..3000 {
+            counts[r.pick_weighted(&[1.0, 2.0, 1.0])] += 1;
+        }
+        assert!(counts.iter().all(|&c| c > 0));
+        assert!(counts[1] > counts[0] && counts[1] > counts[2]);
+    }
+}

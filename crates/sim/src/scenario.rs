@@ -1,0 +1,498 @@
+//! Ready-made scenarios: the synthetic campus trace, the interception
+//! attack, and a SYN flood — the workloads behind every figure in the
+//! paper's evaluation.
+
+use crate::endpoint::EndpointCfg;
+use crate::flowgen::{Access, AddressPlan, ExternalRttModel, InternalRttModel, SizeModel};
+use crate::netsim::{simulate, ConnSpec, Exchange, PathParams};
+use crate::rng::SimRng;
+use dart_packet::{FlowKey, Nanos, PacketMeta, MILLISECOND, SECOND};
+use std::net::Ipv4Addr;
+
+/// Per-connection metadata the scenario keeps alongside the trace.
+#[derive(Clone, Debug)]
+pub struct ConnInfo {
+    /// Flow key (client → server).
+    pub flow: FlowKey,
+    /// Access class of the client.
+    pub access: Access,
+    /// Whether a live server existed (false = incomplete handshake).
+    pub complete: bool,
+    /// Whether the handshake actually finished in simulation.
+    pub established: bool,
+    /// Ground-truth base external-leg RTT.
+    pub base_ext_rtt: Nanos,
+    /// Ground-truth base internal-leg RTT.
+    pub base_int_rtt: Nanos,
+    /// Total retransmissions on the connection.
+    pub retransmissions: u64,
+}
+
+/// A generated trace plus its ground truth.
+#[derive(Clone, Debug)]
+pub struct GeneratedTrace {
+    /// Time-ordered packets as captured at the monitor.
+    pub packets: Vec<PacketMeta>,
+    /// Per-connection metadata (parallel to the generating specs).
+    pub conns: Vec<ConnInfo>,
+}
+
+impl GeneratedTrace {
+    /// Number of packets.
+    pub fn len(&self) -> usize {
+        self.packets.len()
+    }
+
+    /// True when no packets were captured.
+    pub fn is_empty(&self) -> bool {
+        self.packets.is_empty()
+    }
+}
+
+/// Configuration of the synthetic campus workload.
+#[derive(Clone, Copy, Debug)]
+pub struct CampusConfig {
+    /// Total connections (complete + incomplete).
+    pub connections: usize,
+    /// Fraction with no live server (the paper's trace: 72.5%).
+    pub incomplete_frac: f64,
+    /// Connection arrivals spread uniformly over this window.
+    pub duration: Nanos,
+    /// Fraction of clients on the wireless subnet.
+    pub wireless_frac: f64,
+    /// Mean per-direction loss probability (drawn per connection).
+    pub mean_loss: f64,
+    /// Per-packet reordering probability.
+    pub reorder: f64,
+    /// Monitor capture-miss probability (creates §7's missed-ACK giants).
+    pub monitor_miss: f64,
+    /// Fraction of complete connections that linger and send keep-alives.
+    pub keepalive_frac: f64,
+    /// Fraction of connections that are uploads (request/response sizes
+    /// swapped): client-to-server bulk data exercises the external leg with
+    /// multi-segment windows, holes, and collapses.
+    pub upload_frac: f64,
+    /// Fraction of connections starting near the top of sequence space
+    /// (forces wraparounds; the paper's trace had 4 in 15 minutes).
+    pub wrap_frac: f64,
+    /// Fraction of connections negotiating RFC 7323 timestamps (paper §8:
+    /// "many services do not use them at all").
+    pub ts_frac: f64,
+    /// Fraction of complete connections whose server silently cuts off
+    /// mid-transfer (§3.2): their in-flight records strand in the PT.
+    pub cutoff_frac: f64,
+    /// Transfer-size model.
+    pub sizes: SizeModel,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for CampusConfig {
+    fn default() -> Self {
+        CampusConfig {
+            connections: 2_000,
+            incomplete_frac: 0.725,
+            duration: 30 * SECOND,
+            wireless_frac: 0.80,
+            mean_loss: 0.011,
+            reorder: 0.005,
+            monitor_miss: 0.008,
+            keepalive_frac: 0.03,
+            upload_frac: 0.12,
+            wrap_frac: 0.003,
+            ts_frac: 0.6,
+            cutoff_frac: 0.015,
+            sizes: SizeModel::default(),
+            seed: 0xDA27,
+        }
+    }
+}
+
+/// Generate the synthetic campus trace.
+pub fn campus(cfg: CampusConfig) -> GeneratedTrace {
+    let mut rng = SimRng::new(cfg.seed);
+    let mut plan = AddressPlan::new(200, &mut rng);
+    let ext_model = ExternalRttModel::default();
+    let int_model = InternalRttModel::default();
+
+    let mut specs = Vec::with_capacity(cfg.connections);
+    let mut metas = Vec::with_capacity(cfg.connections);
+    for _ in 0..cfg.connections {
+        let access = if rng.chance(cfg.wireless_frac) {
+            Access::Wireless
+        } else {
+            Access::Wired
+        };
+        let flow = plan.flow(access, &mut rng);
+        let complete = !rng.chance(cfg.incomplete_frac);
+        let ext_rtt = ext_model.sample(&mut rng);
+        let int_rtt = int_model.sample(access, &mut rng);
+        let loss = (rng.exponential(cfg.mean_loss)).min(0.08);
+        let keepalive = (complete && rng.chance(cfg.keepalive_frac))
+            .then(|| (rng.range(5 * SECOND, 15 * SECOND), rng.range(1, 3) as u32));
+        // Keep-alive (lingering) connections model endpoints behind flaky
+        // capture: the monitor misses some of their ACKs, so the stranded
+        // data packet is finally matched by a keep-alive ACK seconds later
+        // (the paper's Fig. 9c multi-second tail).
+        let monitor_miss = if keepalive.is_some() {
+            0.08
+        } else {
+            cfg.monitor_miss
+        };
+        let path = PathParams {
+            int_owd: int_rtt / 2,
+            ext_owd: ext_rtt / 2,
+            jitter: 0.04,
+            loss_pre: loss / 2.0,
+            loss_post: loss / 2.0,
+            monitor_miss,
+            reorder: cfg.reorder,
+            reorder_extra: 2 * MILLISECOND,
+            ext_owd_step: None,
+        };
+        let n_exchanges = cfg.sizes.exchanges(&mut rng);
+        let upload = rng.chance(cfg.upload_frac);
+        let exchanges: Vec<Exchange> = (0..n_exchanges)
+            .map(|_| {
+                let (a, b) = (cfg.sizes.request(&mut rng), cfg.sizes.response(&mut rng));
+                if upload {
+                    // Bulk upload: heavy data client -> server (capped so a
+                    // single elephant doesn't dominate the sample count).
+                    Exchange {
+                        request: b.min(400_000),
+                        response: a.min(2_000),
+                    }
+                } else {
+                    Exchange {
+                        request: a,
+                        response: b,
+                    }
+                }
+            })
+            .collect();
+        let total_bytes: u64 = exchanges.iter().map(|e| e.request + e.response).sum();
+        // ISS: random; a small fraction is pinned just below the wrap point
+        // so the transfer crosses sequence zero.
+        let server_iss = if rng.chance(cfg.wrap_frac) {
+            u32::MAX.wrapping_sub((total_bytes / 2) as u32)
+        } else {
+            rng.next_u32()
+        };
+        // Incomplete handshakes retry the SYN only twice (observed client
+        // behaviour; keeps their packet share realistic at ~3 SYNs).
+        let endpoint = EndpointCfg {
+            max_retries: if complete { 5 } else { 2 },
+            rto_initial: (200 * MILLISECOND).max(3 * (ext_rtt + int_rtt)),
+            ..EndpointCfg::default()
+        };
+        // Timestamp clocks: mixed granularities as observed in the wild
+        // (1000 Hz common, 100 Hz and 10 Hz legacy stacks).
+        let ts_clocks = rng.chance(cfg.ts_frac).then(|| {
+            let rates = [10u32, 100, 1000];
+            (
+                rates[rng.pick_weighted(&[0.1, 0.3, 0.6])],
+                rates[rng.pick_weighted(&[0.1, 0.3, 0.6])],
+            )
+        });
+        // Silent server cut-off partway through the client's send volume.
+        let server_cutoff =
+            (complete && total_bytes > 2_000 && rng.chance(cfg.cutoff_frac)).then(|| {
+                let c2s: u64 = exchanges.iter().map(|e| e.request).sum();
+                rng.range(c2s / 4 + 1, c2s.max(c2s / 4 + 2))
+            });
+        specs.push(ConnSpec {
+            flow,
+            start: rng.range(0, cfg.duration),
+            path,
+            exchanges,
+            server_alive: complete,
+            endpoint,
+            client_iss: rng.next_u32(),
+            server_iss,
+            keepalive,
+            ts_clocks,
+            server_cutoff,
+        });
+        metas.push((access, complete));
+    }
+
+    let out = simulate(specs, rng.fork(1).next_u32() as u64);
+    let conns = out
+        .reports
+        .iter()
+        .zip(metas)
+        .map(|(r, (access, complete))| ConnInfo {
+            flow: r.flow,
+            access,
+            complete,
+            established: r.established,
+            base_ext_rtt: r.base_ext_rtt,
+            base_int_rtt: r.base_int_rtt,
+            retransmissions: r.retransmissions,
+        })
+        .collect();
+    GeneratedTrace {
+        packets: out.packets,
+        conns,
+    }
+}
+
+/// Configuration of the §5.2 interception-attack scenario.
+#[derive(Clone, Copy, Debug)]
+pub struct AttackConfig {
+    /// Pre-attack path RTT (the paper observed ≈25 ms Princeton ↔
+    /// Northeastern).
+    pub normal_rtt: Nanos,
+    /// Post-attack RTT through the adversary (≈120 ms via Amsterdam).
+    pub attacked_rtt: Nanos,
+    /// When the BGP hijack takes effect.
+    pub attack_at: Nanos,
+    /// Request/response rounds of the victim connection.
+    pub rounds: usize,
+    /// Gap between rounds.
+    pub round_gap: Nanos,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for AttackConfig {
+    fn default() -> Self {
+        AttackConfig {
+            normal_rtt: 25 * MILLISECOND,
+            attacked_rtt: 120 * MILLISECOND,
+            attack_at: 36 * SECOND,
+            rounds: 240,
+            round_gap: 300 * MILLISECOND,
+            seed: 0xA77AC4,
+        }
+    }
+}
+
+/// Generate the interception-attack trace: a steady stream of short
+/// request/response connections between a campus host and the victim
+/// prefix (one every `round_gap`), with the external-leg delay stepping up
+/// when the hijack takes effect — the PEERING experiment's traffic pattern
+/// seen from the monitor.
+pub fn interception(cfg: AttackConfig) -> GeneratedTrace {
+    let mut rng = SimRng::new(cfg.seed);
+    let client = Ipv4Addr::new(10, 8, 1, 17);
+    let victim = Ipv4Addr::new(184, 164, 240, 9); // PEERING-style prefix
+    let specs: Vec<ConnSpec> = (0..cfg.rounds)
+        .map(|i| {
+            let path = PathParams {
+                int_owd: 300 * dart_packet::MICROSECOND,
+                ext_owd: cfg.normal_rtt / 2,
+                jitter: 0.03,
+                ext_owd_step: Some((cfg.attack_at, cfg.attacked_rtt / 2)),
+                ..PathParams::default()
+            };
+            ConnSpec {
+                flow: FlowKey::new(client, 45_000 + (i % 20_000) as u16, victim, 443),
+                start: i as Nanos * cfg.round_gap,
+                path,
+                exchanges: vec![Exchange {
+                    request: 600,
+                    response: 1400,
+                }],
+                server_alive: true,
+                endpoint: EndpointCfg {
+                    rto_initial: SECOND,
+                    ..EndpointCfg::default()
+                },
+                client_iss: rng.next_u32(),
+                server_iss: rng.next_u32(),
+                keepalive: None,
+                ts_clocks: None,
+                server_cutoff: None,
+            }
+        })
+        .collect();
+    let out = simulate(specs, rng.fork(2).next_u32() as u64);
+    let conns = out
+        .reports
+        .iter()
+        .map(|r| ConnInfo {
+            flow: r.flow,
+            access: Access::Wired,
+            complete: true,
+            established: r.established,
+            base_ext_rtt: r.base_ext_rtt,
+            base_int_rtt: r.base_int_rtt,
+            retransmissions: r.retransmissions,
+        })
+        .collect();
+    GeneratedTrace {
+        packets: out.packets,
+        conns,
+    }
+}
+
+/// Configuration of a SYN flood (robustness experiment, §3.1).
+#[derive(Clone, Copy, Debug)]
+pub struct SynFloodConfig {
+    /// Spoofed SYNs.
+    pub syns: usize,
+    /// Flood duration.
+    pub duration: Nanos,
+    /// Background legitimate connections.
+    pub background: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SynFloodConfig {
+    fn default() -> Self {
+        SynFloodConfig {
+            syns: 20_000,
+            duration: 5 * SECOND,
+            background: 50,
+            seed: 0x5F00D,
+        }
+    }
+}
+
+/// Generate a SYN-flood trace: spoofed single-SYN connections against one
+/// victim server, over a trickle of legitimate traffic.
+pub fn syn_flood(cfg: SynFloodConfig) -> GeneratedTrace {
+    let mut rng = SimRng::new(cfg.seed);
+    let victim = Ipv4Addr::new(93, 184, 216, 34);
+    let mut specs = Vec::with_capacity(cfg.syns + cfg.background);
+    let mut metas = Vec::with_capacity(specs.capacity());
+    for _ in 0..cfg.syns {
+        // Spoofed source: random campus-looking address, no retries (the
+        // attacker fires and forgets).
+        let flow = FlowKey::new(
+            Ipv4Addr::from(0x0a00_0000 | rng.range(2, 1 << 24) as u32),
+            rng.range(1024, 65_535) as u16,
+            victim,
+            443,
+        );
+        specs.push(ConnSpec {
+            flow,
+            start: rng.range(0, cfg.duration),
+            path: PathParams::default(),
+            exchanges: vec![],
+            server_alive: false,
+            endpoint: EndpointCfg {
+                max_retries: 0,
+                ..EndpointCfg::default()
+            },
+            client_iss: rng.next_u32(),
+            server_iss: 0,
+            keepalive: None,
+            ts_clocks: None,
+            server_cutoff: None,
+        });
+        metas.push((Access::Wired, false));
+    }
+    let mut plan = AddressPlan::new(20, &mut rng);
+    let sizes = SizeModel::default();
+    for _ in 0..cfg.background {
+        let flow = plan.flow(Access::Wireless, &mut rng);
+        specs.push(ConnSpec {
+            flow,
+            start: rng.range(0, cfg.duration),
+            path: PathParams::default(),
+            exchanges: vec![Exchange {
+                request: sizes.request(&mut rng),
+                response: sizes.response(&mut rng).min(100_000),
+            }],
+            server_alive: true,
+            endpoint: EndpointCfg::default(),
+            client_iss: rng.next_u32(),
+            server_iss: rng.next_u32(),
+            keepalive: None,
+            ts_clocks: None,
+            server_cutoff: None,
+        });
+        metas.push((Access::Wireless, true));
+    }
+    let out = simulate(specs, rng.fork(3).next_u32() as u64);
+    let conns = out
+        .reports
+        .iter()
+        .zip(metas)
+        .map(|(r, (access, complete))| ConnInfo {
+            flow: r.flow,
+            access,
+            complete,
+            established: r.established,
+            base_ext_rtt: r.base_ext_rtt,
+            base_int_rtt: r.base_int_rtt,
+            retransmissions: r.retransmissions,
+        })
+        .collect();
+    GeneratedTrace {
+        packets: out.packets,
+        conns,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flowgen::is_wireless;
+
+    #[test]
+    fn campus_trace_has_paper_macro_shape() {
+        let cfg = CampusConfig {
+            connections: 400,
+            duration: 10 * SECOND,
+            ..CampusConfig::default()
+        };
+        let t = campus(cfg);
+        assert!(!t.is_empty());
+        // Time-ordered.
+        assert!(t.packets.windows(2).all(|w| w[0].ts <= w[1].ts));
+        // Incomplete-handshake share near the configured 72.5%.
+        let incomplete = t.conns.iter().filter(|c| !c.complete).count();
+        let frac = incomplete as f64 / t.conns.len() as f64;
+        assert!((0.65..=0.80).contains(&frac), "incomplete {frac}");
+        // Complete connections got established.
+        assert!(t.conns.iter().filter(|c| c.complete).all(|c| c.established));
+        // Both subnets appear.
+        assert!(t.conns.iter().any(|c| is_wireless(c.flow.src_ip)));
+        assert!(t.conns.iter().any(|c| !is_wireless(c.flow.src_ip)));
+    }
+
+    #[test]
+    fn campus_trace_deterministic() {
+        let cfg = CampusConfig {
+            connections: 60,
+            duration: 2 * SECOND,
+            ..CampusConfig::default()
+        };
+        let a = campus(cfg);
+        let b = campus(cfg);
+        assert_eq!(a.packets, b.packets);
+    }
+
+    #[test]
+    fn interception_trace_steps_delay() {
+        let cfg = AttackConfig {
+            rounds: 120,
+            attack_at: 3 * SECOND,
+            round_gap: 100 * MILLISECOND,
+            ..AttackConfig::default()
+        };
+        let t = interception(cfg);
+        assert!(!t.is_empty());
+        // Data flows both before and after the attack instant.
+        assert!(t.packets.first().unwrap().ts < cfg.attack_at);
+        assert!(t.packets.last().unwrap().ts > cfg.attack_at);
+    }
+
+    #[test]
+    fn syn_flood_is_mostly_syns() {
+        let t = syn_flood(SynFloodConfig {
+            syns: 500,
+            background: 5,
+            duration: SECOND,
+            ..SynFloodConfig::default()
+        });
+        let syn_count = t.packets.iter().filter(|p| p.flags.is_syn()).count();
+        assert!(syn_count >= 500);
+        let frac = syn_count as f64 / t.packets.len() as f64;
+        assert!(frac > 0.5, "syn fraction {frac}");
+    }
+}

@@ -1,0 +1,239 @@
+//! A QUIC-like flow generator with the RFC 9000 §17.4 latency spin bit —
+//! the §7 extension path for measuring RTTs on traffic that hides sequence
+//! and acknowledgment numbers.
+//!
+//! Mechanics: the client sends each packet with the spin bit set to the
+//! *complement* of the last bit it saw from the server; the server echoes
+//! the last bit it saw from the client. The observable bit therefore flips
+//! once per round trip in each direction, and an on-path observer can clock
+//! RTTs from edge to edge — at most one sample per RTT.
+
+use crate::rng::SimRng;
+use dart_packet::{Direction, FlowKey, Nanos};
+
+/// One observed QUIC-like packet (the monitor's view; QUIC exposes no
+/// sequence/ack numbers, only the spin bit).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SpinPacket {
+    /// Capture timestamp at the monitor.
+    pub ts: Nanos,
+    /// Flow key in the packet's direction of travel.
+    pub flow: FlowKey,
+    /// Direction relative to the monitor.
+    pub dir: Direction,
+    /// The latency spin bit.
+    pub spin: bool,
+}
+
+/// Spin-bit flow generation parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct SpinFlowConfig {
+    /// Flow key (client → server).
+    pub flow: FlowKey,
+    /// One-way delay client ↔ monitor.
+    pub int_owd: Nanos,
+    /// One-way delay monitor ↔ server.
+    pub ext_owd: Nanos,
+    /// Packets per second each endpoint sends (paced stream).
+    pub rate_pps: u64,
+    /// Total duration.
+    pub duration: Nanos,
+    /// Per-packet loss probability (end to end).
+    pub loss: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SpinFlowConfig {
+    fn default() -> Self {
+        SpinFlowConfig {
+            flow: FlowKey::from_raw(0x0a08_0001, 50_443, 0x5db8_d822, 443),
+            int_owd: dart_packet::MILLISECOND / 2,
+            ext_owd: 10 * dart_packet::MILLISECOND,
+            rate_pps: 200,
+            duration: 2 * dart_packet::SECOND,
+            loss: 0.0,
+            seed: 0x5917,
+        }
+    }
+}
+
+/// Generate the monitor-observed packet stream of one spin-bit flow.
+///
+/// Each endpoint sends a paced stream; the spin state follows RFC 9000:
+/// the client initiates flips (complementing the server's echo), the server
+/// reflects. Packets are captured at the monitor between the two legs.
+pub fn spin_flow(cfg: SpinFlowConfig) -> Vec<SpinPacket> {
+    let mut rng = SimRng::new(cfg.seed);
+    let gap = 1_000_000_000 / cfg.rate_pps.max(1);
+    let rtt = 2 * (cfg.int_owd + cfg.ext_owd);
+
+    // The endpoints' spin state evolves in continuous time; model it by
+    // computing, for each send instant, which "spin epoch" the endpoint is
+    // in. The client flips the bit once per RTT (when its own previous bit
+    // completes the loop), so client spin at time t = (t / rtt) odd/even.
+    // The server echoes what it saw one server-side one-way delay ago:
+    // server spin at send time t = client spin at (t - owd_c2s - owd_s2c...)
+    // — i.e. delayed by one client→server one-way delay.
+    let c2s_owd = cfg.int_owd + cfg.ext_owd;
+    let mut out = Vec::new();
+    let mut t = 0;
+    while t < cfg.duration {
+        // Client → server packet, captured at monitor after int leg.
+        let client_spin = (t / rtt) % 2 == 1;
+        if !rng.chance(cfg.loss) {
+            out.push(SpinPacket {
+                ts: t + cfg.int_owd,
+                flow: cfg.flow,
+                dir: Direction::Outbound,
+                spin: client_spin,
+            });
+        }
+        // Server → client packet sent at the same instant: echoes the
+        // client bit it saw one c2s delay ago (false before anything
+        // arrives).
+        let server_spin = if t >= c2s_owd {
+            ((t - c2s_owd) / rtt) % 2 == 1
+        } else {
+            false
+        };
+        if !rng.chance(cfg.loss) {
+            out.push(SpinPacket {
+                ts: t + cfg.ext_owd,
+                flow: cfg.flow.reverse(),
+                dir: Direction::Inbound,
+                spin: server_spin,
+            });
+        }
+        t += gap;
+    }
+    out.sort_by_key(|p| p.ts);
+    out
+}
+
+/// A spin-bit RTT observer (the in-network measurement §7 sketches):
+/// watches ONE direction of the flow and emits the time between consecutive
+/// spin-bit transitions — the spin period equals the RTT.
+#[derive(Clone, Debug)]
+pub struct SpinObserver {
+    dir: Direction,
+    last_bit: Option<bool>,
+    last_edge: Option<Nanos>,
+    /// Samples collected (period between transitions).
+    pub samples: Vec<Nanos>,
+}
+
+impl SpinObserver {
+    /// Observe the given direction.
+    pub fn new(dir: Direction) -> SpinObserver {
+        SpinObserver {
+            dir,
+            last_bit: None,
+            last_edge: None,
+            samples: Vec::new(),
+        }
+    }
+
+    /// Offer one captured packet.
+    pub fn offer(&mut self, pkt: &SpinPacket) {
+        if pkt.dir != self.dir {
+            return;
+        }
+        if self.last_bit != Some(pkt.spin) {
+            if self.last_bit.is_some() {
+                // A transition: one spin period elapsed since the last one.
+                if let Some(prev) = self.last_edge {
+                    self.samples.push(pkt.ts - prev);
+                }
+                self.last_edge = Some(pkt.ts);
+            }
+            self.last_bit = Some(pkt.spin);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dart_packet::MILLISECOND;
+
+    #[test]
+    fn spin_period_equals_rtt() {
+        let cfg = SpinFlowConfig::default(); // RTT = 21 ms
+        let pkts = spin_flow(cfg);
+        assert!(!pkts.is_empty());
+        let mut obs = SpinObserver::new(Direction::Outbound);
+        for p in &pkts {
+            obs.offer(p);
+        }
+        assert!(obs.samples.len() >= 10, "too few spin samples");
+        let rtt = 21 * MILLISECOND;
+        for s in &obs.samples {
+            // Quantized by the packet gap (5 ms at 200 pps).
+            assert!(
+                (*s as i64 - rtt as i64).unsigned_abs() <= 5_000_000,
+                "sample {} far from rtt {}",
+                s,
+                rtt
+            );
+        }
+    }
+
+    #[test]
+    fn at_most_one_sample_per_rtt() {
+        // The §7/§8 limitation: however fast the packets flow, samples come
+        // once per RTT. 2 s / 21 ms ≈ 95 spin periods max.
+        let pkts = spin_flow(SpinFlowConfig::default());
+        let mut obs = SpinObserver::new(Direction::Outbound);
+        for p in &pkts {
+            obs.offer(p);
+        }
+        let packets_one_dir = pkts.iter().filter(|p| p.dir == Direction::Outbound).count();
+        assert!(obs.samples.len() < 100);
+        assert!(packets_one_dir > 350, "plenty of packets, few samples");
+    }
+
+    #[test]
+    fn loss_makes_spin_samples_jitter() {
+        // Losing the packet that carried an edge shifts the observed
+        // transition to the next packet: spin measurements degrade under
+        // loss with no way to detect it (§7: "inferring retransmissions or
+        // reordering is not possible using only the spin bit").
+        let pkts = spin_flow(SpinFlowConfig {
+            loss: 0.3,
+            ..SpinFlowConfig::default()
+        });
+        let mut obs = SpinObserver::new(Direction::Outbound);
+        for p in &pkts {
+            obs.offer(p);
+        }
+        let rtt = 21 * MILLISECOND;
+        let worst = obs
+            .samples
+            .iter()
+            .map(|s| (*s as i64 - rtt as i64).unsigned_abs())
+            .max()
+            .unwrap_or(0);
+        assert!(
+            worst > 5_000_000,
+            "expected visible degradation under loss, worst dev {worst}"
+        );
+    }
+
+    #[test]
+    fn observer_ignores_other_direction() {
+        let pkts = spin_flow(SpinFlowConfig::default());
+        let mut obs = SpinObserver::new(Direction::Inbound);
+        for p in &pkts {
+            obs.offer(p);
+        }
+        assert!(!obs.samples.is_empty());
+        // Only inbound packets contributed.
+        let inbound_edges = obs.samples.len();
+        let mut both = SpinObserver::new(Direction::Outbound);
+        for p in &pkts {
+            both.offer(p);
+        }
+        assert!(both.samples.len().abs_diff(inbound_edges) <= 2);
+    }
+}

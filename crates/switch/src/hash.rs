@@ -1,0 +1,128 @@
+//! Hash units: CRC-based hash function generators, modeling the Tofino's
+//! hash engines.
+//!
+//! Match-action pipelines index register arrays with CRC hashes computed by
+//! dedicated hash units; a P4 program declares one unit per independent hash
+//! it needs (Dart's Table 1 reports "Hash Units" usage). Each [`HashUnit`]
+//! here is a reflected CRC-32 with a seed, so distinct units produce
+//! independent indexings of the same key — which is what gives a multi-stage
+//! Packet Tracker its k "ways".
+
+/// CRC-32 (IEEE, reflected) over `data`, starting from `seed`.
+pub fn crc32(seed: u32, data: &[u8]) -> u32 {
+    let mut crc = !seed;
+    for &b in data {
+        crc ^= b as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// One hardware hash unit: a seeded CRC-32 plus an output bit-width.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HashUnit {
+    seed: u32,
+    bits: u32,
+}
+
+impl HashUnit {
+    /// Create a unit producing `bits`-wide outputs (1..=32). Units with
+    /// different `id`s hash independently.
+    pub fn new(id: u32, bits: u32) -> HashUnit {
+        assert!((1..=32).contains(&bits), "hash output width must be 1..=32");
+        // Derive a well-mixed seed from the unit id.
+        let seed = (id.wrapping_mul(0x9E37_79B9)) ^ 0xDEAD_BEEF;
+        HashUnit { seed, bits }
+    }
+
+    /// Output width in bits.
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// Hash `data` to a `bits`-wide value.
+    #[inline]
+    pub fn hash(&self, data: &[u8]) -> u32 {
+        let h = crc32(self.seed, data);
+        if self.bits == 32 {
+            h
+        } else {
+            h & ((1u32 << self.bits) - 1)
+        }
+    }
+
+    /// Hash `data` to an index in `0..size`. `size` need not be a power of
+    /// two; non-power-of-two sizes use a multiply-shift range reduction.
+    #[inline]
+    pub fn index(&self, data: &[u8], size: usize) -> usize {
+        debug_assert!(size > 0);
+        if size.is_power_of_two() {
+            (crc32(self.seed, data) as usize) & (size - 1)
+        } else {
+            ((crc32(self.seed, data) as u64 * size as u64) >> 32) as usize
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_reference_vector() {
+        // Standard CRC-32 of "123456789" with zero seed is 0xCBF43926.
+        assert_eq!(crc32(0, b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn units_with_different_ids_differ() {
+        let a = HashUnit::new(0, 32);
+        let b = HashUnit::new(1, 32);
+        assert_ne!(a.hash(b"hello"), b.hash(b"hello"));
+    }
+
+    #[test]
+    fn width_masks_output() {
+        let u = HashUnit::new(3, 10);
+        for i in 0u32..100 {
+            assert!(u.hash(&i.to_le_bytes()) < 1024);
+        }
+    }
+
+    #[test]
+    fn index_stays_in_bounds_any_size() {
+        let u = HashUnit::new(7, 32);
+        for size in [1usize, 2, 3, 1000, 1024, 131072] {
+            for i in 0u32..200 {
+                assert!(u.index(&i.to_le_bytes(), size) < size);
+            }
+        }
+    }
+
+    #[test]
+    fn index_distribution_is_roughly_uniform() {
+        let u = HashUnit::new(11, 32);
+        let size = 64;
+        let mut counts = vec![0u32; size];
+        let n = 64_000u32;
+        for i in 0..n {
+            counts[u.index(&i.to_le_bytes(), size)] += 1;
+        }
+        let expected = n / size as u32;
+        for (slot, &c) in counts.iter().enumerate() {
+            assert!(
+                (c as i64 - expected as i64).unsigned_abs() < expected as u64 / 2,
+                "slot {slot} count {c} far from expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "hash output width")]
+    fn zero_width_rejected() {
+        HashUnit::new(0, 0);
+    }
+}

@@ -1,0 +1,34 @@
+//! # dart-switch
+//!
+//! A behavioural model of the programmable-switch substrate Dart runs on:
+//! seeded CRC hash units, stateful register arrays with the one-access-per-
+//! traversal discipline, a bounded recirculation port, and a resource
+//! estimator that compiles a program layout against Tofino-like target
+//! profiles (regenerating the paper's Table 1).
+//!
+//! The Dart engine (`dart-core`) builds its Range Tracker and Packet Tracker
+//! on [`RegisterArray`] + [`HashUnit`] and routes evicted records through
+//! [`RecircPort`], so the hardware constraints the paper grapples with —
+//! one-way associativity, no revisiting memory, bounded recirculation — are
+//! enforced by construction rather than assumed.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod hash;
+pub mod placement;
+pub mod profile;
+pub mod program;
+pub mod recirc;
+pub mod register;
+pub mod resources;
+pub mod salu;
+
+pub use hash::{crc32, HashUnit};
+pub use placement::{dart_dependencies, place, Dependency, Placement, PlacementError, StageLimits};
+pub use profile::TargetProfile;
+pub use program::{dart_program, DartProgramParams, ProgramSpec, TableKind, TableSpec};
+pub use recirc::{RecircPort, RecircStats, Recirculated};
+pub use register::RegisterArray;
+pub use resources::{estimate, ResourceReport};
+pub use salu::{Cmp, Condition, Guard, Operand, OutputSel, SaluProgram, SaluResult, Update};

@@ -1,0 +1,305 @@
+//! Stage placement: assign a program's logical tables to physical
+//! match-action stages, honoring the constraints the paper's §4 grapples
+//! with — sequential dependencies ("memory once accessed cannot be
+//! revisited without recirculation") and per-stage capacity.
+//!
+//! The placer is a greedy first-fit over a dependency-ordered table list:
+//! each table goes in the earliest stage at or after its dependencies'
+//! stages with room left. Dart's RT and PT "spread across 3 component
+//! tables, and therefore 3 stages" (§4) falls out of the chained
+//! dependencies between their components.
+
+use crate::profile::TargetProfile;
+use crate::program::ProgramSpec;
+use std::collections::HashMap;
+
+/// Per-stage capacity limits used by the placer.
+#[derive(Clone, Copy, Debug)]
+pub struct StageLimits {
+    /// SRAM bits per stage.
+    pub sram_bits: u64,
+    /// TCAM bits per stage.
+    pub tcam_bits: u64,
+    /// Hash units per stage.
+    pub hash_units: u32,
+    /// Logical table IDs per stage.
+    pub logical_tables: u32,
+}
+
+impl StageLimits {
+    /// Derive per-stage limits from a target profile (even split).
+    pub fn from_profile(p: &TargetProfile) -> StageLimits {
+        StageLimits {
+            sram_bits: p.sram_bits / p.stages as u64,
+            tcam_bits: p.tcam_bits / p.stages as u64,
+            // The calibrated profiles count hash capacity in coarse blocks
+            // (see `TargetProfile` docs); physically each stage offers at
+            // least four 52-bit slices.
+            hash_units: (p.hash_units / p.stages).max(4),
+            logical_tables: (p.logical_tables / p.stages).max(1),
+        }
+    }
+}
+
+/// A sequential dependency: table `after` may only be placed in a stage
+/// strictly later than table `before` (it consumes the other's result).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Dependency {
+    /// Producing table name.
+    pub before: String,
+    /// Consuming table name.
+    pub after: String,
+}
+
+/// The result of placing a program.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Placement {
+    /// `stage[i]` lists the table names placed in physical stage `i`.
+    pub stages: Vec<Vec<String>>,
+}
+
+impl Placement {
+    /// Number of stages actually used.
+    pub fn stages_used(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// The stage index a table landed in.
+    pub fn stage_of(&self, table: &str) -> Option<usize> {
+        self.stages
+            .iter()
+            .position(|s| s.iter().any(|t| t == table))
+    }
+}
+
+/// Placement failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PlacementError {
+    /// The program needs more stages than the target offers.
+    OutOfStages {
+        /// Stages required.
+        needed: usize,
+        /// Stages available.
+        available: u32,
+    },
+    /// A single table exceeds a stage's capacity outright.
+    TableTooLarge {
+        /// The offending table.
+        table: String,
+    },
+    /// A dependency names an unknown table.
+    UnknownTable {
+        /// The missing name.
+        table: String,
+    },
+}
+
+#[derive(Default, Clone, Copy)]
+struct StageUse {
+    sram: u64,
+    tcam: u64,
+    hash: u32,
+    tables: u32,
+}
+
+/// Greedy first-fit placement of `prog` onto `target` with the given
+/// sequential `deps`.
+pub fn place(
+    prog: &ProgramSpec,
+    target: &TargetProfile,
+    deps: &[Dependency],
+) -> Result<Placement, PlacementError> {
+    let limits = StageLimits::from_profile(target);
+    // Validate dependency names.
+    for d in deps {
+        for name in [&d.before, &d.after] {
+            if !prog.tables.iter().any(|t| &t.name == name) {
+                return Err(PlacementError::UnknownTable {
+                    table: name.clone(),
+                });
+            }
+        }
+    }
+    let mut stage_of: HashMap<&str, usize> = HashMap::new();
+    let mut usage: Vec<StageUse> = Vec::new();
+    let fits = |u: &StageUse, t: &crate::program::TableSpec, l: &StageLimits| {
+        let (sram, tcam) = (t.sram_bits(), t.tcam_bits());
+        u.sram + sram <= l.sram_bits
+            && u.tcam + tcam <= l.tcam_bits
+            && u.hash + t.hash_units <= l.hash_units
+            && u.tables < l.logical_tables
+    };
+    for t in &prog.tables {
+        // Earliest admissible stage: strictly after every dependency.
+        let min_stage = deps
+            .iter()
+            .filter(|d| d.after == t.name)
+            .filter_map(|d| stage_of.get(d.before.as_str()).map(|s| s + 1))
+            .max()
+            .unwrap_or(0);
+        // Single-table feasibility.
+        if !fits(&StageUse::default(), t, &limits) {
+            return Err(PlacementError::TableTooLarge {
+                table: t.name.clone(),
+            });
+        }
+        let mut s = min_stage;
+        loop {
+            if s >= usage.len() {
+                usage.resize(s + 1, StageUse::default());
+            }
+            if fits(&usage[s], t, &limits) {
+                usage[s].sram += t.sram_bits();
+                usage[s].tcam += t.tcam_bits();
+                usage[s].hash += t.hash_units;
+                usage[s].tables += 1;
+                stage_of.insert(&t.name, s);
+                break;
+            }
+            s += 1;
+        }
+    }
+    let used = usage.len();
+    if used > target.stages as usize {
+        return Err(PlacementError::OutOfStages {
+            needed: used,
+            available: target.stages,
+        });
+    }
+    let mut stages = vec![Vec::new(); used];
+    for t in &prog.tables {
+        stages[stage_of[t.name.as_str()]].push(t.name.clone());
+    }
+    Ok(Placement { stages })
+}
+
+/// The sequential dependencies of the Dart program (§4): RT components
+/// chain (signature check → left edge → right edge), PT components chain
+/// and follow the RT, the analytics registers follow the PT.
+pub fn dart_dependencies(prog: &ProgramSpec) -> Vec<Dependency> {
+    let mut deps = Vec::new();
+    let dep = |a: &str, b: &str| Dependency {
+        before: a.into(),
+        after: b.into(),
+    };
+    let has = |n: &str| prog.tables.iter().any(|t| t.name == n);
+    if has("rt_left") {
+        deps.push(dep("rt_sig", "rt_left"));
+        deps.push(dep("rt_left", "rt_right"));
+    }
+    // Each PT stage chains internally and after the RT's last component.
+    for s in 0.. {
+        let sig = format!("pt_sig_{s}");
+        if !has(&sig) {
+            break;
+        }
+        deps.push(dep("rt_right", &sig));
+        deps.push(dep(&sig, &format!("pt_ts_{s}")));
+        deps.push(dep(&format!("pt_ts_{s}"), &format!("pt_valid_{s}")));
+        if s > 0 {
+            deps.push(dep(&format!("pt_valid_{}", s - 1), &format!("pt_sig_{s}")));
+        }
+    }
+    // Analytics follows the PT.
+    if has("an_min_rtt") && has("pt_valid_0") {
+        deps.push(dep("pt_valid_0", "an_min_rtt"));
+        deps.push(dep("an_min_rtt", "an_window"));
+    }
+    deps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::{dart_program, DartProgramParams, TableSpec};
+
+    #[test]
+    fn dart_program_places_on_tofino1() {
+        let prog = dart_program(DartProgramParams {
+            spans_egress: true,
+            ..DartProgramParams::default()
+        });
+        let deps = dart_dependencies(&prog);
+        let placement = place(&prog, &TargetProfile::tofino1(), &deps).expect("fits");
+        assert!(placement.stages_used() <= 12);
+        // §4: RT and PT each spread across 3 stages.
+        let rt_sig = placement.stage_of("rt_sig").unwrap();
+        let rt_left = placement.stage_of("rt_left").unwrap();
+        let rt_right = placement.stage_of("rt_right").unwrap();
+        assert!(rt_sig < rt_left && rt_left < rt_right);
+        let pt_sig = placement.stage_of("pt_sig_0").unwrap();
+        assert!(pt_sig > rt_right, "PT must follow the RT");
+        assert!(placement.stage_of("pt_valid_0").unwrap() > placement.stage_of("pt_ts_0").unwrap());
+    }
+
+    #[test]
+    fn multi_stage_pt_extends_the_chain() {
+        let prog = dart_program(DartProgramParams {
+            pt_entries: 1 << 12,
+            pt_stages: 3,
+            ..DartProgramParams::default()
+        });
+        let deps = dart_dependencies(&prog);
+        let placement = place(&prog, &TargetProfile::tofino2(), &deps).expect("fits");
+        // Each added PT stage costs 3 more pipeline stages in this layout.
+        let first = placement.stage_of("pt_sig_0").unwrap();
+        let last = placement.stage_of("pt_valid_2").unwrap();
+        assert!(last >= first + 8);
+    }
+
+    #[test]
+    fn dependency_on_unknown_table_errors() {
+        let prog = ProgramSpec::new("x").with(TableSpec::action("a"));
+        let deps = vec![Dependency {
+            before: "a".into(),
+            after: "ghost".into(),
+        }];
+        assert_eq!(
+            place(&prog, &TargetProfile::tofino1(), &deps),
+            Err(PlacementError::UnknownTable {
+                table: "ghost".into()
+            })
+        );
+    }
+
+    #[test]
+    fn oversized_chain_runs_out_of_stages() {
+        // A chain of 15 dependent actions cannot fit 12 stages.
+        let mut prog = ProgramSpec::new("chain");
+        for i in 0..15 {
+            prog = prog.with(TableSpec::action(&format!("t{i}")));
+        }
+        let deps: Vec<Dependency> = (1..15)
+            .map(|i| Dependency {
+                before: format!("t{}", i - 1),
+                after: format!("t{i}"),
+            })
+            .collect();
+        match place(&prog, &TargetProfile::tofino1(), &deps) {
+            Err(PlacementError::OutOfStages { needed, available }) => {
+                assert_eq!(needed, 15);
+                assert_eq!(available, 12);
+            }
+            other => panic!("expected OutOfStages, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn giant_table_rejected_outright() {
+        let prog = ProgramSpec::new("big").with(TableSpec::register("huge", 1 << 26, 104, 32));
+        match place(&prog, &TargetProfile::tofino1(), &[]) {
+            Err(PlacementError::TableTooLarge { table }) => assert_eq!(table, "huge"),
+            other => panic!("expected TableTooLarge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn independent_tables_pack_into_one_stage() {
+        let mut prog = ProgramSpec::new("flat");
+        for i in 0..5 {
+            prog = prog.with(TableSpec::action(&format!("a{i}")));
+        }
+        let placement = place(&prog, &TargetProfile::tofino1(), &[]).unwrap();
+        assert_eq!(placement.stages_used(), 1);
+    }
+}

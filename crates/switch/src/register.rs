@@ -1,0 +1,166 @@
+//! Register arrays: stateful per-stage memory with the Tofino's access
+//! discipline.
+//!
+//! A register array lives in exactly one pipeline stage and a packet may
+//! perform **one** read-modify-write on **one** slot as it traverses that
+//! stage (paper §4, "Accessing memory sequentially"). Revisiting a register
+//! requires recirculating the packet. The [`RegisterArray::rmw`] access is
+//! the only pattern the hardware supports; accesses are counted for the
+//! benchmark harness, and the per-access compute constraints live in
+//! [`crate::salu`].
+
+use std::fmt;
+
+/// A fixed-size register array holding `T` per slot.
+pub struct RegisterArray<T> {
+    name: &'static str,
+    slots: Vec<Option<T>>,
+    reads: u64,
+    writes: u64,
+}
+
+impl<T: Clone> RegisterArray<T> {
+    /// Allocate an array of `size` empty slots.
+    pub fn new(name: &'static str, size: usize) -> Self {
+        assert!(size > 0, "register array must have at least one slot");
+        RegisterArray {
+            name,
+            slots: vec![None; size],
+            reads: 0,
+            writes: 0,
+        }
+    }
+
+    /// Array name (for resource reports).
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Number of slots.
+    pub fn size(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Read the slot at `idx`.
+    pub fn read(&mut self, idx: usize) -> Option<&T> {
+        self.reads += 1;
+        self.slots[idx].as_ref()
+    }
+
+    /// Overwrite the slot at `idx`, returning the previous occupant.
+    pub fn write(&mut self, idx: usize, value: T) -> Option<T> {
+        self.writes += 1;
+        self.slots[idx].replace(value)
+    }
+
+    /// Clear the slot at `idx`, returning the previous occupant.
+    pub fn clear(&mut self, idx: usize) -> Option<T> {
+        self.writes += 1;
+        self.slots[idx].take()
+    }
+
+    /// Single-traversal read-modify-write: the only pattern the hardware
+    /// supports. `f` observes the current occupant and returns the new slot
+    /// contents plus a result forwarded to the caller.
+    pub fn rmw<R>(&mut self, idx: usize, f: impl FnOnce(Option<T>) -> (Option<T>, R)) -> R {
+        self.reads += 1;
+        self.writes += 1;
+        let old = self.slots[idx].take();
+        let (new, result) = f(old);
+        self.slots[idx] = new;
+        result
+    }
+
+    /// Number of occupied slots (control-plane visibility only; a real
+    /// data plane cannot scan its registers).
+    pub fn occupancy(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// Total reads performed.
+    pub fn reads(&self) -> u64 {
+        self.reads
+    }
+
+    /// Total writes performed.
+    pub fn writes(&self) -> u64 {
+        self.writes
+    }
+
+    /// Iterate occupied slots (control-plane only).
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &T)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|v| (i, v)))
+    }
+}
+
+impl<T> fmt::Debug for RegisterArray<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RegisterArray")
+            .field("name", &self.name)
+            .field("size", &self.slots.len())
+            .field("reads", &self.reads)
+            .field("writes", &self.writes)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_write_clear() {
+        let mut r: RegisterArray<u32> = RegisterArray::new("t", 4);
+        assert_eq!(r.read(0), None);
+        assert_eq!(r.write(0, 42), None);
+        assert_eq!(r.read(0), Some(&42));
+        assert_eq!(r.write(0, 43), Some(42));
+        assert_eq!(r.clear(0), Some(43));
+        assert_eq!(r.read(0), None);
+    }
+
+    #[test]
+    fn rmw_replaces_and_returns() {
+        let mut r: RegisterArray<u32> = RegisterArray::new("t", 2);
+        r.write(1, 7);
+        let evicted = r.rmw(1, |old| (Some(9), old));
+        assert_eq!(evicted, Some(7));
+        assert_eq!(r.read(1), Some(&9));
+    }
+
+    #[test]
+    fn occupancy_counts() {
+        let mut r: RegisterArray<u8> = RegisterArray::new("t", 8);
+        r.write(1, 1);
+        r.write(5, 2);
+        assert_eq!(r.occupancy(), 2);
+        r.clear(1);
+        assert_eq!(r.occupancy(), 1);
+    }
+
+    #[test]
+    fn access_counters_track() {
+        let mut r: RegisterArray<u8> = RegisterArray::new("t", 2);
+        r.read(0);
+        r.write(0, 1);
+        r.rmw(0, |o| (o, ()));
+        assert_eq!(r.reads(), 2);
+        assert_eq!(r.writes(), 2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_bounds_panics() {
+        let mut r: RegisterArray<u8> = RegisterArray::new("t", 2);
+        r.read(2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one slot")]
+    fn zero_size_rejected() {
+        let _ = RegisterArray::<u8>::new("t", 0);
+    }
+}

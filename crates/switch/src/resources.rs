@@ -1,0 +1,153 @@
+//! Resource-usage estimation: program layout × target profile → the
+//! percentage report of Table 1.
+
+use crate::profile::TargetProfile;
+use crate::program::{ProgramSpec, TableKind};
+use std::fmt;
+
+/// Percentage usage of each resource class, as Table 1 reports.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ResourceReport {
+    /// TCAM bits used / available.
+    pub tcam_pct: f64,
+    /// SRAM bits used / available.
+    pub sram_pct: f64,
+    /// Hash units used / available.
+    pub hash_units_pct: f64,
+    /// Logical table IDs used / available.
+    pub logical_tables_pct: f64,
+    /// Input-crossbar bytes used / available.
+    pub crossbar_pct: f64,
+}
+
+impl ResourceReport {
+    /// True when every resource fits on the target.
+    pub fn fits(&self) -> bool {
+        [
+            self.tcam_pct,
+            self.sram_pct,
+            self.hash_units_pct,
+            self.logical_tables_pct,
+            self.crossbar_pct,
+        ]
+        .iter()
+        .all(|&p| p <= 100.0)
+    }
+}
+
+impl fmt::Display for ResourceReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "TCAM            {:5.1}%", self.tcam_pct)?;
+        writeln!(f, "SRAM            {:5.1}%", self.sram_pct)?;
+        writeln!(f, "Hash Units      {:5.1}%", self.hash_units_pct)?;
+        writeln!(f, "Logical Tables  {:5.1}%", self.logical_tables_pct)?;
+        write!(f, "Input Crossbars {:5.1}%", self.crossbar_pct)
+    }
+}
+
+/// Estimate resource usage of `prog` on `target`.
+pub fn estimate(prog: &ProgramSpec, target: &TargetProfile) -> ResourceReport {
+    let sram: u64 = prog.tables.iter().map(|t| t.sram_bits()).sum();
+    let tcam: u64 = prog.tables.iter().map(|t| t.tcam_bits()).sum();
+    let hash: u32 = prog.hash_units();
+    let logical: u32 = prog.logical_tables();
+    // Crossbar: match keys must be presented to the stage's input crossbar.
+    // Register pairs sharing a key still pay per table (conservative).
+    let crossbar: u64 = prog
+        .tables
+        .iter()
+        .filter(|t| t.kind != TableKind::Action)
+        .map(|t| t.crossbar_bytes())
+        .sum();
+    let pct = |used: f64, avail: f64| {
+        if avail == 0.0 {
+            0.0
+        } else {
+            used / avail * 100.0
+        }
+    };
+    ResourceReport {
+        tcam_pct: pct(tcam as f64, target.tcam_bits as f64),
+        sram_pct: pct(sram as f64, target.sram_bits as f64),
+        hash_units_pct: pct(hash as f64, target.hash_units as f64),
+        logical_tables_pct: pct(logical as f64, target.logical_tables as f64),
+        crossbar_pct: pct(crossbar as f64, target.crossbar_bytes as f64),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::{dart_program, DartProgramParams, TableSpec};
+
+    #[test]
+    fn empty_program_uses_nothing() {
+        let r = estimate(&ProgramSpec::new("empty"), &TargetProfile::tofino1());
+        assert_eq!(r.tcam_pct, 0.0);
+        assert_eq!(r.sram_pct, 0.0);
+        assert!(r.fits());
+    }
+
+    #[test]
+    fn dart_fits_both_targets() {
+        let t1 = estimate(
+            &dart_program(DartProgramParams {
+                spans_egress: true,
+                ..DartProgramParams::default()
+            }),
+            &TargetProfile::tofino1(),
+        );
+        assert!(t1.fits(), "tofino1 report: {t1}");
+        let t2 = estimate(
+            &dart_program(DartProgramParams::default()),
+            &TargetProfile::tofino2(),
+        );
+        assert!(t2.fits(), "tofino2 report: {t2}");
+    }
+
+    #[test]
+    fn tofino1_uses_relatively_more_than_tofino2() {
+        // Table 1's qualitative shape: the Tofino 1 build is more resource
+        // hungry in SRAM/TCAM/logical tables than the Tofino 2 build.
+        let t1 = estimate(
+            &dart_program(DartProgramParams {
+                spans_egress: true,
+                ..DartProgramParams::default()
+            }),
+            &TargetProfile::tofino1(),
+        );
+        let t2 = estimate(
+            &dart_program(DartProgramParams::default()),
+            &TargetProfile::tofino2(),
+        );
+        assert!(t1.sram_pct > t2.sram_pct);
+        assert!(t1.tcam_pct > t2.tcam_pct);
+        assert!(t1.logical_tables_pct > t2.logical_tables_pct);
+    }
+
+    #[test]
+    fn oversized_program_does_not_fit() {
+        let prog = ProgramSpec::new("huge").with(TableSpec::register("r", 1 << 26, 104, 32));
+        let r = estimate(&prog, &TargetProfile::tofino1());
+        assert!(!r.fits());
+        assert!(r.sram_pct > 100.0);
+    }
+
+    #[test]
+    fn report_displays_all_rows() {
+        let r = estimate(
+            &dart_program(DartProgramParams::default()),
+            &TargetProfile::tofino2(),
+        );
+        let s = r.to_string();
+        for label in [
+            "TCAM",
+            "SRAM",
+            "Hash Units",
+            "Logical Tables",
+            "Input Crossbars",
+        ] {
+            assert!(s.contains(label));
+        }
+    }
+}

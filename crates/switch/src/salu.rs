@@ -1,0 +1,323 @@
+//! A stateful-ALU model: the per-stage register compute unit of a
+//! Tofino-like pipeline, with its real constraints.
+//!
+//! One register access gets exactly:
+//!
+//! * **two condition units**, each one comparison between {register value,
+//!   packet value, constant} — circular (wrapping-signed) or exact;
+//! * **predicated updates** for the register value, each guarded by a
+//!   truth table over the two condition bits (the hardware's 4-entry
+//!   predicate vector), first matching guard wins, no guard = keep;
+//! * **one output** forwarded to later stages: the old value, the new
+//!   value, or the condition bits.
+//!
+//! `dart-core` proves (by property test) that the Range Tracker's Fig. 4
+//! state machine decomposes into a chain of these units — the §4 claim
+//! "we spread the RT ... across 3 component tables, and therefore 3
+//! stages" made executable.
+
+/// An operand available to a SALU instruction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Operand {
+    /// The register's stored value (before update).
+    Reg,
+    /// The first packet/metadata input.
+    Phv0,
+    /// The second packet/metadata input.
+    Phv1,
+    /// An immediate.
+    Const(u32),
+}
+
+/// Comparison performed by a condition unit.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Cmp {
+    /// Exact equality.
+    Eq,
+    /// Circular (wrapping-signed) `a > b` — the TCP sequence comparison.
+    CircGt,
+    /// Circular `a >= b`.
+    CircGeq,
+    /// Unsigned `a < b` (raw compare — wraparound detection needs this).
+    RawLt,
+}
+
+/// One condition unit: `cmp(a, b)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Condition {
+    /// Left operand.
+    pub a: Operand,
+    /// Right operand.
+    pub b: Operand,
+    /// Comparison.
+    pub cmp: Cmp,
+}
+
+/// A guard over the two condition bits: a 4-entry truth table indexed by
+/// `(c1 as usize) << 1 | (c0 as usize)` — exactly the hardware predicate
+/// vector.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Guard(pub [bool; 4]);
+
+impl Guard {
+    /// Always true.
+    pub const ALWAYS: Guard = Guard([true; 4]);
+
+    /// True exactly when condition 0 holds.
+    pub fn c0() -> Guard {
+        Guard([false, true, false, true])
+    }
+
+    /// True exactly when condition 0 fails.
+    pub fn not_c0() -> Guard {
+        Guard([true, false, true, false])
+    }
+
+    /// True exactly when condition 1 holds.
+    pub fn c1() -> Guard {
+        Guard([false, false, true, true])
+    }
+
+    /// True when both conditions hold.
+    pub fn c0_and_c1() -> Guard {
+        Guard([false, false, false, true])
+    }
+
+    /// True when c0 fails and c1 holds.
+    pub fn c1_and_not_c0() -> Guard {
+        Guard([false, false, true, false])
+    }
+
+    /// Evaluate against the two condition bits.
+    pub fn eval(&self, c0: bool, c1: bool) -> bool {
+        self.0[((c1 as usize) << 1) | c0 as usize]
+    }
+}
+
+/// One predicated update: when `guard` holds, the register takes `value`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Update {
+    /// Truth-table guard.
+    pub guard: Guard,
+    /// New value operand.
+    pub value: Operand,
+}
+
+/// What the SALU forwards to later stages.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OutputSel {
+    /// The register value before the update.
+    OldReg,
+    /// The register value after the update.
+    NewReg,
+    /// The two condition bits, packed as `c1<<1 | c0`.
+    Conditions,
+}
+
+/// A complete SALU instruction (one register access).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SaluProgram {
+    /// Condition unit 0 (`None` = false).
+    pub cond0: Option<Condition>,
+    /// Condition unit 1 (`None` = false).
+    pub cond1: Option<Condition>,
+    /// Predicated updates (hardware allows two; first matching wins).
+    pub updates: [Option<Update>; 2],
+    /// Output selection.
+    pub output: OutputSel,
+}
+
+/// Result of executing a SALU program.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SaluResult {
+    /// The selected output.
+    pub output: u32,
+    /// Condition bit 0.
+    pub c0: bool,
+    /// Condition bit 1.
+    pub c1: bool,
+    /// The register value after the access.
+    pub new_reg: u32,
+}
+
+impl SaluProgram {
+    fn operand(reg: u32, phv: [u32; 2], op: Operand) -> u32 {
+        match op {
+            Operand::Reg => reg,
+            Operand::Phv0 => phv[0],
+            Operand::Phv1 => phv[1],
+            Operand::Const(c) => c,
+        }
+    }
+
+    fn cond(reg: u32, phv: [u32; 2], c: Option<Condition>) -> bool {
+        let Some(c) = c else { return false };
+        let a = Self::operand(reg, phv, c.a);
+        let b = Self::operand(reg, phv, c.b);
+        match c.cmp {
+            Cmp::Eq => a == b,
+            Cmp::CircGt => (a.wrapping_sub(b) as i32) > 0,
+            Cmp::CircGeq => (a.wrapping_sub(b) as i32) >= 0,
+            Cmp::RawLt => a < b,
+        }
+    }
+
+    /// Execute one access against `reg` with packet inputs `phv`.
+    pub fn execute(&self, reg: &mut u32, phv: [u32; 2]) -> SaluResult {
+        let old = *reg;
+        let c0 = Self::cond(old, phv, self.cond0);
+        let c1 = Self::cond(old, phv, self.cond1);
+        for u in self.updates.iter().flatten() {
+            if u.guard.eval(c0, c1) {
+                *reg = Self::operand(old, phv, u.value);
+                break;
+            }
+        }
+        let output = match self.output {
+            OutputSel::OldReg => old,
+            OutputSel::NewReg => *reg,
+            OutputSel::Conditions => ((c1 as u32) << 1) | c0 as u32,
+        };
+        SaluResult {
+            output,
+            c0,
+            c1,
+            new_reg: *reg,
+        }
+    }
+
+    /// A read-only program: no conditions, no updates, outputs the value.
+    pub fn read() -> SaluProgram {
+        SaluProgram {
+            cond0: None,
+            cond1: None,
+            updates: [None, None],
+            output: OutputSel::OldReg,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_program_changes_nothing() {
+        let mut reg = 42;
+        let r = SaluProgram::read().execute(&mut reg, [7, 9]);
+        assert_eq!(r.output, 42);
+        assert_eq!(reg, 42);
+        assert!(!r.c0 && !r.c1);
+    }
+
+    #[test]
+    fn max_register_in_one_access() {
+        // The classic "right edge = max(right, eack)" update.
+        let max_prog = SaluProgram {
+            cond0: Some(Condition {
+                a: Operand::Phv0,
+                b: Operand::Reg,
+                cmp: Cmp::CircGt,
+            }),
+            cond1: None,
+            updates: [
+                Some(Update {
+                    guard: Guard::c0(),
+                    value: Operand::Phv0,
+                }),
+                None,
+            ],
+            output: OutputSel::OldReg,
+        };
+        let mut reg = 100;
+        let r = max_prog.execute(&mut reg, [150, 0]);
+        assert_eq!(reg, 150);
+        assert_eq!(r.output, 100, "old value still observable");
+        let r = max_prog.execute(&mut reg, [120, 0]);
+        assert_eq!(reg, 150);
+        assert!(!r.c0);
+        // Circular: a value "beyond" the wrap still wins.
+        let mut reg = u32::MAX - 10;
+        max_prog.execute(&mut reg, [5, 0]);
+        assert_eq!(reg, 5);
+    }
+
+    #[test]
+    fn first_matching_update_wins() {
+        let prog = SaluProgram {
+            cond0: Some(Condition {
+                a: Operand::Phv0,
+                b: Operand::Const(10),
+                cmp: Cmp::CircGt,
+            }),
+            cond1: None,
+            updates: [
+                Some(Update {
+                    guard: Guard::c0(),
+                    value: Operand::Const(111),
+                }),
+                Some(Update {
+                    guard: Guard::ALWAYS,
+                    value: Operand::Const(222),
+                }),
+            ],
+            output: OutputSel::NewReg,
+        };
+        let mut reg = 0;
+        assert_eq!(prog.execute(&mut reg, [50, 0]).output, 111);
+        assert_eq!(prog.execute(&mut reg, [5, 0]).output, 222);
+    }
+
+    #[test]
+    fn guards_cover_all_condition_combinations() {
+        assert!(Guard::ALWAYS.eval(false, false));
+        assert!(Guard::c0().eval(true, false));
+        assert!(!Guard::c0().eval(false, true));
+        assert!(Guard::not_c0().eval(false, true));
+        assert!(Guard::c1().eval(false, true));
+        assert!(Guard::c0_and_c1().eval(true, true));
+        assert!(!Guard::c0_and_c1().eval(true, false));
+        assert!(Guard::c1_and_not_c0().eval(false, true));
+        assert!(!Guard::c1_and_not_c0().eval(true, true));
+    }
+
+    #[test]
+    fn conditions_output_packs_bits() {
+        let prog = SaluProgram {
+            cond0: Some(Condition {
+                a: Operand::Phv0,
+                b: Operand::Const(0),
+                cmp: Cmp::Eq,
+            }),
+            cond1: Some(Condition {
+                a: Operand::Phv1,
+                b: Operand::Const(0),
+                cmp: Cmp::Eq,
+            }),
+            updates: [None, None],
+            output: OutputSel::Conditions,
+        };
+        let mut reg = 0;
+        assert_eq!(prog.execute(&mut reg, [0, 1]).output, 0b01);
+        assert_eq!(prog.execute(&mut reg, [1, 0]).output, 0b10);
+        assert_eq!(prog.execute(&mut reg, [0, 0]).output, 0b11);
+    }
+
+    #[test]
+    fn raw_lt_detects_wraparound() {
+        // eack.raw < seq.raw ⇔ the segment crosses zero.
+        let wrap = SaluProgram {
+            cond0: Some(Condition {
+                a: Operand::Phv1, // eack
+                b: Operand::Phv0, // seq
+                cmp: Cmp::RawLt,
+            }),
+            cond1: None,
+            updates: [None, None],
+            output: OutputSel::Conditions,
+        };
+        let mut reg = 0;
+        assert_eq!(wrap.execute(&mut reg, [u32::MAX - 10, 100]).output, 1);
+        assert_eq!(wrap.execute(&mut reg, [100, 200]).output, 0);
+    }
+}

@@ -1,0 +1,13 @@
+//! `dartmon` — continuous RTT monitoring over packet traces, from the
+//! command line. See `dartmon help`.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match dart_tools::parse(&args).and_then(|(cmd, opts)| dart_tools::run(cmd, &opts)) {
+        Ok(report) => print!("{report}"),
+        Err(e) => {
+            eprintln!("dartmon: {e}");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,174 @@
+//! Argument parsing for `dartmon` — plain `std`, no dependencies.
+
+use std::collections::HashMap;
+
+/// A parsed subcommand.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Command {
+    /// Synthesize a campus trace to a file.
+    Generate {
+        /// Output path (`.pcap` or `.trace`).
+        out: String,
+    },
+    /// Run Dart over a trace and report.
+    Analyze {
+        /// Input path.
+        input: String,
+    },
+    /// Dart vs every baseline on one trace.
+    Compare {
+        /// Input path.
+        input: String,
+    },
+    /// Windowed min-RTT change detection over a trace.
+    Detect {
+        /// Input path.
+        input: String,
+    },
+    /// Print the data-plane resource report.
+    Resources,
+    /// Print usage.
+    Help,
+}
+
+/// Option flags shared across subcommands.
+#[derive(Clone, Debug, Default)]
+pub struct Options {
+    flags: HashMap<String, String>,
+}
+
+impl Options {
+    /// Look up `--name value` as a string.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.flags.get(name).map(|s| s.as_str())
+    }
+
+    /// Look up and parse a numeric flag.
+    pub fn get_num<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.flags.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("flag --{name}: cannot parse {v:?}")),
+        }
+    }
+
+    /// Insert (tests).
+    pub fn set(&mut self, name: &str, value: &str) {
+        self.flags.insert(name.into(), value.into());
+    }
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+dartmon — continuous RTT monitoring over packet traces (Dart, SIGCOMM 2022)
+
+USAGE:
+    dartmon <command> [args] [--flag value]...
+
+COMMANDS:
+    generate <out.pcap|out.trace>   synthesize a campus-style trace
+        --connections N   (default 500)     --duration-secs S (default 10)
+        --seed X          (default 0xDA27)
+    analyze <input>                 run Dart, print RTT report
+        --leg external|internal|both (default external)
+        --pt N (slots, default 131072)  --stages K (default 1)
+        --rt N (slots, default 1048576) --max-recirc R (default 1)
+        --csv <path>      dump per-sample CSV
+    compare <input>                 Dart vs tcptrace/strawman/pping/dapper
+    detect <input>                  min-RTT change detection (attack alarm)
+        --window N (samples, default 8)  --ratio F (default 2.0)
+    resources                       Table-1 style resource report
+    help                            this text
+
+Input files may be classic pcap (auto-detected) or the native .trace format.
+The internal side for pcap direction classification defaults to 10.0.0.0/8
+(--internal-prefix A.B.C.D/L to override).
+";
+
+/// Parse an argument vector (without the program name).
+pub fn parse(args: &[String]) -> Result<(Command, Options), String> {
+    let mut pos: Vec<&String> = Vec::new();
+    let mut opts = Options::default();
+    let mut i = 0;
+    while i < args.len() {
+        let a = &args[i];
+        if let Some(name) = a.strip_prefix("--") {
+            let value = args
+                .get(i + 1)
+                .ok_or_else(|| format!("flag --{name} needs a value"))?;
+            opts.flags.insert(name.to_string(), value.to_string());
+            i += 2;
+        } else {
+            pos.push(a);
+            i += 1;
+        }
+    }
+    let cmd = match pos.first().map(|s| s.as_str()) {
+        None | Some("help") => Command::Help,
+        Some("resources") => Command::Resources,
+        Some(c @ ("generate" | "analyze" | "compare" | "detect")) => {
+            let arg = pos
+                .get(1)
+                .ok_or_else(|| format!("{c} needs a file argument"))?
+                .to_string();
+            match c {
+                "generate" => Command::Generate { out: arg },
+                "analyze" => Command::Analyze { input: arg },
+                "compare" => Command::Compare { input: arg },
+                _ => Command::Detect { input: arg },
+            }
+        }
+        Some(other) => return Err(format!("unknown command {other:?} (try `dartmon help`)")),
+    };
+    Ok((cmd, opts))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_subcommands_and_flags() {
+        let (cmd, opts) = parse(&v(&["analyze", "x.pcap", "--pt", "4096"])).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Analyze {
+                input: "x.pcap".into()
+            }
+        );
+        assert_eq!(opts.get_num("pt", 0usize).unwrap(), 4096);
+        assert_eq!(opts.get_num("stages", 7usize).unwrap(), 7);
+    }
+
+    #[test]
+    fn missing_file_argument_errors() {
+        assert!(parse(&v(&["analyze"])).is_err());
+        assert!(parse(&v(&["generate", "--seed", "1"])).is_err());
+    }
+
+    #[test]
+    fn unknown_command_errors() {
+        assert!(parse(&v(&["frobnicate"])).is_err());
+    }
+
+    #[test]
+    fn no_args_is_help() {
+        assert_eq!(parse(&[]).unwrap().0, Command::Help);
+    }
+
+    #[test]
+    fn flag_without_value_errors() {
+        assert!(parse(&v(&["analyze", "x", "--pt"])).is_err());
+    }
+
+    #[test]
+    fn bad_numeric_flag_errors() {
+        let (_, opts) = parse(&v(&["analyze", "x", "--pt", "abc"])).unwrap();
+        assert!(opts.get_num("pt", 0usize).is_err());
+    }
+}

@@ -1,0 +1,345 @@
+//! The `dartmon` subcommand implementations. Each returns the report text
+//! it would print, keeping the logic testable.
+
+use crate::cli::{Command, Options, USAGE};
+use crate::io::{load_file, parse_prefix, save_file};
+use dart_analytics::{ChangeDetector, ChangeDetectorConfig, RttDistribution, Verdict};
+use dart_baselines::{
+    run_tcptrace, Dapper, DapperConfig, Pping, PpingConfig, Strawman, StrawmanConfig,
+    TcpTraceConfig,
+};
+use dart_core::{DartConfig, DartEngine, Leg, RttSample};
+use dart_packet::SECOND;
+use dart_sim::scenario::{campus, CampusConfig};
+use dart_switch::{dart_program, estimate, DartProgramParams, TargetProfile};
+use std::fmt::Write as _;
+use std::net::Ipv4Addr;
+
+/// Execute a parsed command, returning the report text.
+pub fn run(cmd: Command, opts: &Options) -> Result<String, String> {
+    match cmd {
+        Command::Help => Ok(USAGE.to_string()),
+        Command::Resources => resources(),
+        Command::Generate { out } => generate(&out, opts),
+        Command::Analyze { input } => analyze(&input, opts),
+        Command::Compare { input } => compare(&input, opts),
+        Command::Detect { input } => detect(&input, opts),
+    }
+}
+
+fn internal_prefix(opts: &Options) -> Result<(Ipv4Addr, u8), String> {
+    parse_prefix(opts.get("internal-prefix").unwrap_or("10.0.0.0/8"))
+}
+
+fn generate(out: &str, opts: &Options) -> Result<String, String> {
+    let connections = opts.get_num("connections", 500usize)?;
+    let duration_secs = opts.get_num("duration-secs", 10u64)?;
+    let seed = opts.get_num("seed", 0xDA27u64)?;
+    let trace = campus(CampusConfig {
+        connections,
+        duration: duration_secs * SECOND,
+        seed,
+        ..CampusConfig::default()
+    });
+    save_file(out, &trace.packets)?;
+    Ok(format!(
+        "wrote {} packets from {} connections ({} complete) to {out}\n",
+        trace.packets.len(),
+        trace.conns.len(),
+        trace.conns.iter().filter(|c| c.complete).count()
+    ))
+}
+
+fn engine_config(opts: &Options) -> Result<DartConfig, String> {
+    let leg = match opts.get("leg").unwrap_or("external") {
+        "external" => Leg::External,
+        "internal" => Leg::Internal,
+        "both" => Leg::Both,
+        other => return Err(format!("unknown --leg {other:?}")),
+    };
+    let pt = opts.get_num("pt", 1usize << 17)?;
+    let stages = opts.get_num("stages", 1usize)?;
+    let rt = opts.get_num("rt", 1usize << 20)?;
+    let max_recirc = opts.get_num("max-recirc", 1u32)?;
+    Ok(DartConfig::default()
+        .with_leg(leg)
+        .with_rt(rt)
+        .with_pt(pt, stages)
+        .with_max_recirc(max_recirc))
+}
+
+fn analyze(input: &str, opts: &Options) -> Result<String, String> {
+    let (packets, skipped) = load_file(input, internal_prefix(opts)?)?;
+    let cfg = engine_config(opts)?;
+    let mut engine = DartEngine::new(cfg);
+    let mut samples: Vec<RttSample> = Vec::new();
+    engine.process_trace(packets.iter(), &mut samples);
+
+    if let Some(csv) = opts.get("csv") {
+        let mut text = String::from("ts_ns,src,sport,dst,dport,eack,rtt_ns\n");
+        for s in &samples {
+            writeln!(
+                text,
+                "{},{},{},{},{},{},{}",
+                s.ts,
+                s.flow.src_ip,
+                s.flow.src_port,
+                s.flow.dst_ip,
+                s.flow.dst_port,
+                s.eack.raw(),
+                s.rtt
+            )
+            .expect("string write");
+        }
+        std::fs::write(csv, text).map_err(|e| format!("write {csv}: {e}"))?;
+    }
+
+    let stats = engine.stats();
+    let mut dist = RttDistribution::from_samples(samples.iter().map(|s| s.rtt));
+    let mut out = String::new();
+    writeln!(
+        out,
+        "input             : {input} ({} packets, {skipped} skipped)",
+        packets.len()
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "config            : {:?} leg, PT {:?}, RT {:?}, recirc<={}",
+        cfg.leg, cfg.pt, cfg.rt, cfg.max_recirc
+    )
+    .unwrap();
+    writeln!(out, "samples           : {}", dist.len()).unwrap();
+    for (label, p) in [("p50", 50.0), ("p90", 90.0), ("p95", 95.0), ("p99", 99.0)] {
+        if let Some(v) = dist.percentile(p) {
+            writeln!(out, "{label:<18}: {:.3} ms", v as f64 / 1e6).unwrap();
+        }
+    }
+    writeln!(out, "tracked data pkts : {}", stats.seq_tracked).unwrap();
+    writeln!(out, "retransmissions   : {}", stats.seq_retransmission).unwrap();
+    writeln!(out, "range collapses   : {}", stats.range_collapses).unwrap();
+    writeln!(out, "optimistic ACKs   : {}", stats.ack_optimistic).unwrap();
+    writeln!(out, "recirc / packet   : {:.4}", stats.recirc_per_packet()).unwrap();
+    Ok(out)
+}
+
+fn compare(input: &str, opts: &Options) -> Result<String, String> {
+    let (packets, _) = load_file(input, internal_prefix(opts)?)?;
+    let mut out = String::new();
+    writeln!(
+        out,
+        "{:<22} {:>9} {:>10} {:>10}",
+        "tool", "samples", "p50 (ms)", "p99 (ms)"
+    )
+    .unwrap();
+
+    let mut row = |name: &str, samples: Vec<RttSample>| {
+        let mut d = RttDistribution::from_samples(samples.iter().map(|s| s.rtt));
+        writeln!(
+            out,
+            "{name:<22} {:>9} {:>10.2} {:>10.2}",
+            d.len(),
+            d.percentile(50.0).unwrap_or(0) as f64 / 1e6,
+            d.percentile(99.0).unwrap_or(0) as f64 / 1e6
+        )
+        .expect("string write");
+    };
+
+    let (dart, _) = dart_core::run_trace(DartConfig::unlimited(), &packets);
+    row("dart (unlimited)", dart);
+    let cfg = DartConfig::default().with_rt(1 << 16).with_pt(1 << 14, 1);
+    let (dart_hw, _) = dart_core::run_trace(cfg, &packets);
+    row("dart (constrained)", dart_hw);
+    let (tt, _) = run_tcptrace(TcpTraceConfig::default(), &packets);
+    row("tcptrace", tt);
+    let mut sm = Strawman::new(StrawmanConfig {
+        slots: 1 << 14,
+        ..StrawmanConfig::default()
+    });
+    let mut v: Vec<RttSample> = Vec::new();
+    sm.process_trace(packets.iter(), &mut v);
+    row("strawman", v);
+    let mut dp = Dapper::new(DapperConfig::default());
+    let mut v: Vec<RttSample> = Vec::new();
+    dp.process_trace(packets.iter(), &mut v);
+    row("dapper", v);
+    let mut pp = Pping::new(PpingConfig::default());
+    let mut v: Vec<RttSample> = Vec::new();
+    pp.process_trace(packets.iter(), &mut v);
+    row("pping", v);
+    Ok(out)
+}
+
+fn detect(input: &str, opts: &Options) -> Result<String, String> {
+    let (packets, _) = load_file(input, internal_prefix(opts)?)?;
+    let window = opts.get_num("window", 8u32)?;
+    let ratio = opts.get_num("ratio", 2.0f64)?;
+    let (samples, _) = dart_core::run_trace(DartConfig::default(), &packets);
+    let mut det = ChangeDetector::new(ChangeDetectorConfig {
+        window,
+        ratio,
+        ..ChangeDetectorConfig::default()
+    });
+    let mut out = String::new();
+    writeln!(out, "samples: {}", samples.len()).unwrap();
+    for s in &samples {
+        match det.offer(s.rtt, s.ts) {
+            Verdict::Suspected { baseline, observed } => writeln!(
+                out,
+                "t={:9.3}s SUSPECTED min-RTT {:.1} -> {:.1} ms",
+                s.ts as f64 / 1e9,
+                baseline as f64 / 1e6,
+                observed as f64 / 1e6
+            )
+            .expect("string write"),
+            Verdict::Confirmed {
+                baseline,
+                observed,
+                samples_to_confirm,
+            } => writeln!(
+                out,
+                "t={:9.3}s CONFIRMED min-RTT {:.1} -> {:.1} ms ({samples_to_confirm} samples)",
+                s.ts as f64 / 1e9,
+                baseline as f64 / 1e6,
+                observed as f64 / 1e6
+            )
+            .expect("string write"),
+            Verdict::Normal => {}
+        }
+    }
+    if !out.contains("SUSPECTED") {
+        writeln!(out, "no abnormal min-RTT changes detected").unwrap();
+    }
+    Ok(out)
+}
+
+fn resources() -> Result<String, String> {
+    let mut out = String::new();
+    for (name, params, profile) in [
+        (
+            "Tofino 1 (ingress+egress)",
+            DartProgramParams {
+                spans_egress: true,
+                ..DartProgramParams::default()
+            },
+            TargetProfile::tofino1(),
+        ),
+        (
+            "Tofino 2 (ingress only)",
+            DartProgramParams::default(),
+            TargetProfile::tofino2(),
+        ),
+    ] {
+        let report = estimate(&dart_program(params), &profile);
+        writeln!(out, "== {name} ==").unwrap();
+        writeln!(out, "{report}").unwrap();
+        writeln!(out, "fits: {}\n", report.fits()).unwrap();
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cli::parse;
+
+    fn tmp(name: &str) -> String {
+        std::env::temp_dir()
+            .join(name)
+            .to_str()
+            .unwrap()
+            .to_string()
+    }
+
+    fn run_line(line: &[&str]) -> Result<String, String> {
+        let args: Vec<String> = line.iter().map(|s| s.to_string()).collect();
+        let (cmd, opts) = parse(&args)?;
+        run(cmd, &opts)
+    }
+
+    #[test]
+    fn generate_then_analyze_then_compare_then_detect() {
+        let path = tmp("dartmon_e2e.trace");
+        let report = run_line(&[
+            "generate",
+            &path,
+            "--connections",
+            "80",
+            "--duration-secs",
+            "3",
+        ])
+        .unwrap();
+        assert!(report.contains("wrote"));
+
+        let report = run_line(&["analyze", &path]).unwrap();
+        assert!(report.contains("samples"));
+        assert!(report.contains("p50"));
+
+        let report = run_line(&["compare", &path]).unwrap();
+        assert!(report.contains("dart (unlimited)"));
+        assert!(report.contains("tcptrace"));
+        assert!(report.contains("pping"));
+
+        let report = run_line(&["detect", &path]).unwrap();
+        assert!(report.contains("samples:"));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn analyze_writes_csv() {
+        let path = tmp("dartmon_csv.trace");
+        let csv = tmp("dartmon_out.csv");
+        run_line(&[
+            "generate",
+            &path,
+            "--connections",
+            "40",
+            "--duration-secs",
+            "2",
+        ])
+        .unwrap();
+        run_line(&["analyze", &path, "--csv", &csv]).unwrap();
+        let text = std::fs::read_to_string(&csv).unwrap();
+        assert!(text.starts_with("ts_ns,src,sport,dst,dport,eack,rtt_ns"));
+        assert!(text.lines().count() > 1);
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&csv);
+    }
+
+    #[test]
+    fn resources_report_includes_both_targets() {
+        let r = run_line(&["resources"]).unwrap();
+        assert!(r.contains("Tofino 1"));
+        assert!(r.contains("Tofino 2"));
+        assert!(r.contains("SRAM"));
+    }
+
+    #[test]
+    fn help_is_usage() {
+        let r = run_line(&["help"]).unwrap();
+        assert!(r.contains("USAGE"));
+    }
+
+    #[test]
+    fn bad_leg_flag_errors() {
+        let path = tmp("dartmon_badleg.trace");
+        run_line(&[
+            "generate",
+            &path,
+            "--connections",
+            "10",
+            "--duration-secs",
+            "1",
+        ])
+        .unwrap();
+        let err = run_line(&["analyze", &path, "--leg", "sideways"]).unwrap_err();
+        assert!(err.contains("unknown --leg"));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn missing_file_errors_cleanly() {
+        let err = run_line(&["analyze", "/nonexistent/file.trace"]).unwrap_err();
+        assert!(err.contains("read"));
+    }
+}

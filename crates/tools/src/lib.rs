@@ -1,0 +1,15 @@
+//! # dart-tools
+//!
+//! Library backing the `dartmon` command-line tool: trace loading by file
+//! type, report generation for each subcommand. Kept as a library so the
+//! commands are unit-testable without spawning processes.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod cli;
+pub mod commands;
+pub mod io;
+
+pub use cli::{parse, Command, Options};
+pub use commands::run;

@@ -1,0 +1,164 @@
+//! Every monitoring approach the paper discusses, run on the same synthetic
+//! campus trace — the §8 related-work comparison as executable assertions.
+
+use dart::analytics::{CongestionConfig, CongestionMonitor};
+use dart::baselines::{
+    Dapper, DapperConfig, LeanRtt, Pping, PpingConfig, Strawman, StrawmanConfig,
+};
+use dart::core::{run_trace, DartConfig, DartEngine, EngineEvent, Leg, RttSample};
+use dart::sim::scenario::{campus, CampusConfig};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+fn trace() -> dart::sim::scenario::GeneratedTrace {
+    campus(CampusConfig {
+        connections: 600,
+        duration: 10 * dart::packet::SECOND,
+        ts_frac: 0.6,
+        ..CampusConfig::default()
+    })
+}
+
+#[test]
+fn dart_collects_far_more_samples_than_dapper() {
+    // §8: Dapper tracks one packet per window — too few samples per unit
+    // time for windowed analytics.
+    let t = trace();
+    let (dart, _) = run_trace(DartConfig::unlimited(), &t.packets);
+    let mut dapper = Dapper::new(DapperConfig::default());
+    let mut dapper_samples: Vec<RttSample> = Vec::new();
+    dapper.process_trace(t.packets.iter(), &mut dapper_samples);
+    assert!(
+        dart.len() as f64 > dapper_samples.len() as f64 * 1.5,
+        "dart {} vs dapper {}",
+        dart.len(),
+        dapper_samples.len()
+    );
+    assert!(dapper.stats().skipped_busy > 0);
+}
+
+#[test]
+fn pping_is_blind_to_optionless_flows_and_coarse_clocks() {
+    // §8's critiques of timestamp-based measurement, as observable facts.
+    // (pping can out-COUNT Dart on download-heavy traffic because it also
+    // harvests the pure-ACK stream — the problem is coverage and precision,
+    // not volume.)
+    let t = trace();
+    let (dart, _) = run_trace(DartConfig::unlimited(), &t.packets);
+    let mut pping = Pping::new(PpingConfig::default());
+    let mut pping_samples: Vec<RttSample> = Vec::new();
+    pping.process_trace(t.packets.iter(), &mut pping_samples);
+
+    // (1) A large share of traffic carries no option at all — invisible.
+    assert!(pping.stats().no_option > 0, "option-less traffic exists");
+    // (2) Coarse clocks collapse same-tick packets into one TSval.
+    assert!(pping.stats().tsval_repeats > 0, "coarse ticks exist");
+
+    // (3) Entire flows measured by Dart yield *zero* pping samples.
+    let dart_flows: std::collections::HashSet<_> =
+        dart.iter().map(|s| s.flow.canonical()).collect();
+    let pping_flows: std::collections::HashSet<_> =
+        pping_samples.iter().map(|s| s.flow.canonical()).collect();
+    let blind = dart_flows.difference(&pping_flows).count();
+    assert!(
+        blind * 4 >= dart_flows.len(),
+        "expected >=25% of Dart-measured flows invisible to pping: {blind}/{}",
+        dart_flows.len()
+    );
+}
+
+#[test]
+fn lean_average_is_skewed_by_ack_thinning() {
+    // The sum-based estimator's per-flow averages drift from Dart's matched
+    // per-flow averages on real traffic (cumulative/delayed ACKs break its
+    // pairing assumption).
+    let t = trace();
+    let (dart, _) = run_trace(DartConfig::unlimited(), &t.packets);
+    let mut lean = LeanRtt::new(Leg::External);
+    for p in &t.packets {
+        lean.process(p);
+    }
+    // Per-flow matched averages from Dart.
+    let mut per_flow: std::collections::HashMap<_, (u64, u64)> = Default::default();
+    for s in &dart {
+        let e = per_flow.entry(s.flow).or_insert((0, 0));
+        e.0 += s.rtt;
+        e.1 += 1;
+    }
+    let mut compared = 0;
+    let mut skewed = 0;
+    for (flow, (sum, n)) in per_flow {
+        if n < 10 {
+            continue;
+        }
+        let dart_avg = sum / n;
+        if let Some(est) = lean.estimate(&flow) {
+            if let Some(lean_avg) = est.avg_rtt {
+                compared += 1;
+                let err = (lean_avg as f64 - dart_avg as f64).abs() / dart_avg as f64;
+                if err > 0.25 {
+                    skewed += 1;
+                }
+            }
+        }
+    }
+    assert!(compared >= 10, "not enough comparable flows: {compared}");
+    assert!(
+        skewed * 2 > compared,
+        "expected most lean estimates skewed >25%: {skewed}/{compared}"
+    );
+}
+
+#[test]
+fn strawman_emits_samples_dart_refuses() {
+    // On lossy traffic the strawman reports ambiguous retransmission
+    // samples; Dart refuses them by design.
+    let t = trace();
+    let (_, dart_stats) = run_trace(DartConfig::unlimited(), &t.packets);
+    let mut sm = Strawman::new(StrawmanConfig {
+        slots: 1 << 16,
+        timeout: None,
+        ..StrawmanConfig::default()
+    });
+    let mut sm_samples: Vec<RttSample> = Vec::new();
+    sm.process_trace(t.packets.iter(), &mut sm_samples);
+    // Dart saw retransmissions and refused to track them.
+    assert!(dart_stats.seq_retransmission > 0);
+    // The strawman inserted everything anyway.
+    assert!(sm.stats().inserted as usize > dart_stats.seq_tracked as usize);
+}
+
+#[test]
+fn engine_events_drive_the_congestion_monitor() {
+    let t = trace();
+    let events: Rc<RefCell<Vec<EngineEvent>>> = Rc::new(RefCell::new(Vec::new()));
+    let sink = events.clone();
+    let mut engine = DartEngine::new(DartConfig::unlimited());
+    engine.set_event_sink(Box::new(move |ev| sink.borrow_mut().push(ev)));
+    let mut samples: Vec<RttSample> = Vec::new();
+    engine.process_trace(t.packets.iter(), &mut samples);
+
+    let events = events.borrow();
+    assert_eq!(
+        events
+            .iter()
+            .filter(|e| matches!(e, EngineEvent::RangeCollapse { .. }))
+            .count() as u64,
+        engine.stats().range_collapses,
+        "every collapse surfaced as an event"
+    );
+
+    let mut monitor = CongestionMonitor::new(CongestionConfig {
+        window: dart::packet::SECOND,
+        collapse_threshold: 3,
+    });
+    let mut alerts = 0;
+    for ev in events.iter() {
+        if monitor.offer(ev).is_some() {
+            alerts += 1;
+        }
+    }
+    // The lossy campus trace has at least one flow collapsing repeatedly.
+    assert!(alerts > 0, "no congestion alerts on a lossy trace");
+    assert_eq!(monitor.total_collapses(), engine.stats().range_collapses);
+}

