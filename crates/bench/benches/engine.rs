@@ -3,7 +3,9 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use dart_bench::{standard_trace, TraceScale};
-use dart_core::{DartConfig, DartEngine, RttSample};
+use dart_core::{run_trace_sharded, DartConfig, DartEngine, RttSample};
+use dart_packet::SECOND;
+use dart_sim::scenario::{campus, CampusConfig};
 
 fn engine_throughput(c: &mut Criterion) {
     let trace = standard_trace(TraceScale::Small);
@@ -42,5 +44,47 @@ fn engine_throughput(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, engine_throughput);
+/// Sharded vs serial replay. Under `cargo bench` this uses a ~10⁶-packet
+/// campus trace (the size where hand-off overhead is amortized and the
+/// shard comparison is meaningful); under `cargo test`'s `--test` sweep it
+/// drops to the small trace so test runs stay fast.
+fn sharded_vs_serial(c: &mut Criterion) {
+    let test_mode = std::env::args().any(|a| a == "--test");
+    let trace = if test_mode {
+        standard_trace(TraceScale::Small)
+    } else {
+        let t = campus(CampusConfig {
+            connections: 3_200,
+            duration: 60 * SECOND,
+            ..CampusConfig::default()
+        });
+        eprintln!("sharded_vs_serial trace: {} packets", t.len());
+        t
+    };
+    let cfg = DartConfig::default();
+    let mut g = c.benchmark_group("sharded_vs_serial");
+    g.throughput(Throughput::Elements(trace.len() as u64));
+    g.sample_size(5);
+
+    g.bench_function("serial", |b| {
+        b.iter(|| {
+            let mut engine = DartEngine::new(cfg);
+            let mut sink: Vec<RttSample> = Vec::new();
+            engine.process_trace(trace.packets.iter(), &mut sink);
+            sink.len()
+        });
+    });
+    for shards in [2usize, 4, 8] {
+        g.bench_with_input(
+            BenchmarkId::new("sharded", shards),
+            &shards,
+            |b, &shards| {
+                b.iter(|| run_trace_sharded(cfg, shards, &trace.packets).0.len());
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, engine_throughput, sharded_vs_serial);
 criterion_main!(benches);

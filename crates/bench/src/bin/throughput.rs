@@ -1,0 +1,184 @@
+//! Trace-replay throughput of the flow-sharded engine: packets/second and
+//! samples/second for a range of shard counts on the standard campus trace,
+//! written to `BENCH_throughput.json`.
+//!
+//! Flags (all optional):
+//!
+//! * `--shards 1,2,4,8` — shard counts to measure (default `1,2,4,8`;
+//!   `DART_SHARDS` selects a single count when the flag is absent);
+//! * `--iters N` — timed replays per shard count, best-of reported
+//!   (default 3);
+//! * `--out PATH` — output path (default `BENCH_throughput.json`);
+//! * `DART_SCALE` — trace sizing; by default the runner builds a campus
+//!   trace of ≥10⁶ packets regardless of scale.
+//!
+//! Speedup from sharding requires hardware parallelism: the report records
+//! `available_parallelism` so a single-core container's flat numbers read
+//! as what they are.
+
+use dart_bench::TraceScale;
+use dart_core::{run_trace_sharded, DartConfig};
+use dart_packet::SECOND;
+use dart_sim::scenario::{campus, CampusConfig};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+struct Measurement {
+    shards: usize,
+    elapsed_secs: f64,
+    pkts_per_sec: f64,
+    samples_per_sec: f64,
+    samples: usize,
+}
+
+fn parse_args() -> Result<(Vec<usize>, usize, String), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut shard_list: Option<Vec<usize>> = None;
+    let mut iters = 3usize;
+    let mut out = "BENCH_throughput.json".to_string();
+    let mut i = 0;
+    while i < args.len() {
+        let need_value = |i: usize| {
+            args.get(i + 1)
+                .cloned()
+                .ok_or_else(|| format!("flag {} needs a value", args[i]))
+        };
+        match args[i].as_str() {
+            "--shards" => {
+                let v = need_value(i)?;
+                let list: Result<Vec<usize>, _> =
+                    v.split(',').map(|s| s.trim().parse::<usize>()).collect();
+                let list = list.map_err(|_| format!("--shards: cannot parse {v:?}"))?;
+                if list.is_empty() || list.contains(&0) {
+                    return Err("--shards: counts must be ≥ 1".to_string());
+                }
+                shard_list = Some(list);
+                i += 2;
+            }
+            "--iters" => {
+                iters = need_value(i)?
+                    .parse()
+                    .map_err(|_| "--iters: cannot parse".to_string())?;
+                i += 2;
+            }
+            "--out" => {
+                out = need_value(i)?;
+                i += 2;
+            }
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    let shard_list = match shard_list {
+        Some(l) => l,
+        None => match std::env::var("DART_SHARDS") {
+            Ok(v) => vec![v
+                .parse()
+                .map_err(|_| format!("DART_SHARDS: cannot parse {v:?}"))?],
+            Err(_) => vec![1, 2, 4, 8],
+        },
+    };
+    Ok((shard_list, iters.max(1), out))
+}
+
+/// The measured trace: ≥10⁶ packets at default scale, or the standard
+/// trace when `DART_SCALE` is set explicitly.
+fn throughput_trace() -> (String, Vec<dart_packet::PacketMeta>) {
+    match std::env::var("DART_SCALE").as_deref() {
+        Ok(s @ ("small" | "large")) => {
+            let scale = TraceScale::from_env();
+            (s.to_string(), dart_bench::standard_trace(scale).packets)
+        }
+        _ => {
+            // ~10⁶-packet campus trace: the default-figure trace's shape at
+            // a connection count sized for the million-packet mark.
+            let t = campus(CampusConfig {
+                connections: 3_200,
+                duration: 60 * SECOND,
+                ..CampusConfig::default()
+            });
+            ("default-1M".to_string(), t.packets)
+        }
+    }
+}
+
+fn main() {
+    let (shard_list, iters, out_path) = match parse_args() {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("throughput: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    eprintln!("generating campus trace...");
+    let (scale_name, packets) = throughput_trace();
+    let parallelism = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    eprintln!(
+        "trace: {} packets ({scale_name}); host parallelism: {parallelism}",
+        packets.len()
+    );
+
+    let cfg = DartConfig::default();
+    let mut results: Vec<Measurement> = Vec::new();
+    for &shards in &shard_list {
+        // Warm-up replay, then best-of-N timed replays.
+        let (samples, _) = run_trace_sharded(cfg, shards, &packets);
+        let mut best = f64::INFINITY;
+        for _ in 0..iters {
+            let start = Instant::now();
+            let (s, _) = run_trace_sharded(cfg, shards, &packets);
+            let elapsed = start.elapsed().as_secs_f64();
+            assert_eq!(s.len(), samples.len(), "nondeterministic sample count");
+            best = best.min(elapsed);
+        }
+        let m = Measurement {
+            shards,
+            elapsed_secs: best,
+            pkts_per_sec: packets.len() as f64 / best,
+            samples_per_sec: samples.len() as f64 / best,
+            samples: samples.len(),
+        };
+        eprintln!(
+            "shards={:<2} {:>8.3} s   {:>10.0} pkts/s   {:>9.0} samples/s",
+            m.shards, m.elapsed_secs, m.pkts_per_sec, m.samples_per_sec
+        );
+        results.push(m);
+    }
+
+    let mut json = String::new();
+    writeln!(json, "{{").unwrap();
+    writeln!(json, "  \"scenario\": \"campus\",").unwrap();
+    writeln!(json, "  \"scale\": \"{scale_name}\",").unwrap();
+    writeln!(json, "  \"packets\": {},", packets.len()).unwrap();
+    writeln!(json, "  \"iters\": {iters},").unwrap();
+    writeln!(json, "  \"available_parallelism\": {parallelism},").unwrap();
+    writeln!(
+        json,
+        "  \"note\": \"best-of-{iters} wall-clock replays; sharded speedup requires \
+         available_parallelism > 1\","
+    )
+    .unwrap();
+    writeln!(json, "  \"results\": [").unwrap();
+    for (i, m) in results.iter().enumerate() {
+        let comma = if i + 1 < results.len() { "," } else { "" };
+        writeln!(
+            json,
+            "    {{\"shards\": {}, \"elapsed_secs\": {:.6}, \"pkts_per_sec\": {:.1}, \
+             \"samples_per_sec\": {:.1}, \"samples\": {}}}{comma}",
+            m.shards, m.elapsed_secs, m.pkts_per_sec, m.samples_per_sec, m.samples
+        )
+        .unwrap();
+    }
+    writeln!(json, "  ]").unwrap();
+    writeln!(json, "}}").unwrap();
+
+    match std::fs::write(&out_path, &json) {
+        Ok(()) => eprintln!("wrote {out_path}"),
+        Err(e) => {
+            eprintln!("throughput: write {out_path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}

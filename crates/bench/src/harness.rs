@@ -7,7 +7,7 @@
 //! number of doublings. EXPERIMENTS.md records the mapping per figure.
 
 use crate::metrics::AccuracyReport;
-use dart_core::{run_trace, DartConfig, EngineStats, Leg, RttSample, SynPolicy};
+use dart_core::{run_trace, run_trace_sharded, DartConfig, EngineStats, Leg, RttSample, SynPolicy};
 use dart_packet::{PacketMeta, SECOND};
 use dart_sim::scenario::{campus, CampusConfig, GeneratedTrace};
 
@@ -78,6 +78,42 @@ impl TraceScale {
     }
 }
 
+/// Shard count for sharded replays: `--shards N` in `args` wins, then the
+/// `DART_SHARDS` environment variable, then 1 (the serial engine).
+pub fn shards_from(args: &[String]) -> Result<usize, String> {
+    let from_flag = args
+        .iter()
+        .position(|a| a == "--shards")
+        .map(|i| {
+            args.get(i + 1)
+                .ok_or_else(|| "--shards needs a value".to_string())
+                .and_then(|v| {
+                    v.parse::<usize>()
+                        .map_err(|_| format!("--shards: cannot parse {v:?}"))
+                })
+        })
+        .transpose()?;
+    let n = match from_flag {
+        Some(n) => n,
+        None => match std::env::var("DART_SHARDS") {
+            Ok(v) => v
+                .parse::<usize>()
+                .map_err(|_| format!("DART_SHARDS: cannot parse {v:?}"))?,
+            Err(_) => 1,
+        },
+    };
+    if n == 0 {
+        return Err("shard count must be at least 1".to_string());
+    }
+    Ok(n)
+}
+
+/// Shard count from the process's own arguments and environment.
+pub fn shards_from_env() -> Result<usize, String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    shards_from(&args)
+}
+
 /// Generate the standard campus trace for a scale (deterministic).
 pub fn standard_trace(scale: TraceScale) -> GeneratedTrace {
     campus(CampusConfig {
@@ -107,12 +143,36 @@ pub fn sweep_config(
 }
 
 /// Run one sweep point and score it against the baseline.
+///
+/// Honors the `DART_SHARDS` environment knob (like `DART_SCALE` for trace
+/// sizing), so every figure runner can replay sharded; unset means the
+/// serial engine. Panics on an unparseable value — a misconfigured sweep
+/// should stop, not silently fall back to serial.
 pub fn run_point(
     cfg: DartConfig,
     packets: &[PacketMeta],
     baseline: &[RttSample],
 ) -> AccuracyReport {
-    let (samples, stats) = run_trace(cfg, packets);
+    let shards = match std::env::var("DART_SHARDS") {
+        Ok(v) => v
+            .parse::<usize>()
+            .ok()
+            .filter(|&n| n >= 1)
+            .unwrap_or_else(|| panic!("DART_SHARDS: cannot parse {v:?} (want an integer ≥ 1)")),
+        Err(_) => 1,
+    };
+    run_point_sharded(cfg, shards, packets, baseline)
+}
+
+/// [`run_point`] through the flow-sharded engine (`shards == 1` is the
+/// serial engine; see `dart_core::sharded` for the fidelity contract).
+pub fn run_point_sharded(
+    cfg: DartConfig,
+    shards: usize,
+    packets: &[PacketMeta],
+    baseline: &[RttSample],
+) -> AccuracyReport {
+    let (samples, stats) = run_trace_sharded(cfg, shards, packets);
     AccuracyReport::compare(baseline, &samples, &stats)
 }
 
@@ -176,6 +236,31 @@ mod tests {
         let rep = run_point(cfg, &t.packets, &baseline);
         assert!(rep.fraction_collected > 0.3);
         assert!(rep.fraction_collected <= 1.05);
+    }
+
+    #[test]
+    fn shards_flag_wins_over_default() {
+        let args: Vec<String> = vec!["--shards".into(), "4".into()];
+        assert_eq!(shards_from(&args).unwrap(), 4);
+        assert!(shards_from(&["--shards".to_string()]).is_err());
+        assert!(shards_from(&["--shards".to_string(), "0".to_string()]).is_err());
+        assert!(shards_from(&["--shards".to_string(), "x".to_string()]).is_err());
+        // No flag and no env (this test does not set DART_SHARDS): serial.
+        if std::env::var("DART_SHARDS").is_err() {
+            assert_eq!(shards_from(&[]).unwrap(), 1);
+        }
+    }
+
+    #[test]
+    fn sharded_point_matches_serial_point() {
+        let t = standard_trace(TraceScale::Small);
+        let (baseline, _) = tcptrace_const(&t.packets);
+        let cfg = sweep_config(TraceScale::Small, 1 << 10, 1, 1);
+        let serial = run_point(cfg, &t.packets, &baseline);
+        let sharded = run_point_sharded(cfg, 4, &t.packets, &baseline);
+        // Cross-flow collision patterns differ with shard count, but the
+        // overall accuracy must stay in the same regime.
+        assert!((serial.fraction_collected - sharded.fraction_collected).abs() < 0.1);
     }
 
     #[test]

@@ -46,6 +46,7 @@ pub mod range;
 pub mod range_tracker;
 pub mod rt_salu;
 pub mod sample;
+pub mod sharded;
 pub mod stats;
 
 pub use config::{DartConfig, Leg, PtMode, RtMode, SynPolicy};
@@ -57,4 +58,5 @@ pub use range::{AckVerdict, MeasurementRange, SeqVerdict};
 pub use range_tracker::{RangeTracker, RtAckOutcome, RtSeqOutcome};
 pub use rt_salu::SaluRangeTracker;
 pub use sample::{RttSample, SampleSink};
+pub use sharded::{run_trace_sharded, shard_of, ShardedConfig, ShardedDartEngine, ShardedRun};
 pub use stats::EngineStats;

@@ -1,0 +1,410 @@
+//! Flow-sharded parallel Dart engine.
+//!
+//! A hardware Dart instance is a single pipeline; a software replay of a
+//! multi-gigabit trace need not be. This module partitions a capture across
+//! `N` independent [`DartEngine`]s ("shards") keyed by the
+//! direction-independent flow hash ([`FlowKey::symmetric_hash`]), so a data
+//! packet and its ACK — which arrive under reversed 4-tuples — always land
+//! on the same shard. Each shard owns its own Range Tracker, Packet
+//! Tracker, victim cache, and recirculation loop, and is driven by a worker
+//! thread fed over a bounded channel in batches of
+//! [`ShardedConfig::batch_size`] packets.
+//!
+//! ## Fidelity
+//!
+//! Per-flow processing is *identical* to the serial engine: a shard sees
+//! exactly the packets of its flows, in capture order, with their original
+//! timestamps. What changes with the shard count is the **cross-flow**
+//! interaction — hash collisions in the RT/PT and eviction pressure now
+//! happen among the flows of one shard instead of among all flows, so a
+//! constrained configuration produces (slightly) different collision and
+//! eviction counters at different shard counts. Consequences:
+//!
+//! * `shards == 1` is the faithful reproduction of the paper's single
+//!   pipeline: the output is **bit-identical** to [`run_trace`] — same
+//!   samples, same order, same stats.
+//! * Under [`DartConfig::unlimited`] (no collisions, no evictions) every
+//!   shard count yields exactly the serial per-flow samples.
+//! * Under constrained configs, per-flow sample *sets* remain equal except
+//!   where serial cross-flow collisions differ from sharded ones — the
+//!   same caveat any hash-partitioned scale-out of Dart would carry.
+//!
+//! Samples and events come back over per-shard queues tagged with the
+//! global packet index and are merged deterministically — ordered by
+//! (packet index, shard id) — so a sharded run is reproducible regardless
+//! of thread scheduling, and at `shards == 1` the merge is exactly serial
+//! emission order.
+
+use crate::config::DartConfig;
+use crate::engine::{run_trace, DartEngine, EngineEvent};
+use crate::sample::RttSample;
+use crate::stats::EngineStats;
+use dart_packet::{FlowKey, PacketMeta};
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+use std::sync::mpsc::{sync_channel, Receiver};
+use std::thread;
+
+/// Configuration of a sharded replay: the per-shard engine config plus the
+/// partitioning and hand-off parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct ShardedConfig {
+    /// Engine configuration applied to every shard.
+    pub engine: DartConfig,
+    /// Number of independent engine shards (≥ 1).
+    pub shards: usize,
+    /// Packets per hand-off batch. Larger batches amortize channel
+    /// synchronization; smaller ones reduce feeder-to-worker latency.
+    pub batch_size: usize,
+    /// Bounded channel capacity, in batches, per shard. Bounds feeder
+    /// run-ahead so memory stays proportional to
+    /// `shards × queue_depth × batch_size`.
+    pub queue_depth: usize,
+}
+
+impl ShardedConfig {
+    /// Default hand-off parameters for `shards` shards over `engine`.
+    pub fn new(engine: DartConfig, shards: usize) -> ShardedConfig {
+        ShardedConfig {
+            engine,
+            shards,
+            batch_size: 1024,
+            queue_depth: 8,
+        }
+    }
+
+    /// Override the hand-off batch size.
+    pub fn with_batch_size(mut self, batch_size: usize) -> Self {
+        self.batch_size = batch_size;
+        self
+    }
+
+    /// Override the per-shard queue depth (in batches).
+    pub fn with_queue_depth(mut self, queue_depth: usize) -> Self {
+        self.queue_depth = queue_depth;
+        self
+    }
+}
+
+/// Output of a sharded run: merged samples, combined counters, and merged
+/// engine events, all in the deterministic (packet index, shard) order.
+#[derive(Clone, Debug, Default)]
+pub struct ShardedRun {
+    /// RTT samples from every shard, merged into serial emission order.
+    pub samples: Vec<RttSample>,
+    /// Sum of all per-shard counters (see [`EngineStats::merge`]).
+    pub stats: EngineStats,
+    /// Per-flow events (range collapses, optimistic ACKs) from every shard,
+    /// merged into the same deterministic order as the samples.
+    pub events: Vec<EngineEvent>,
+    /// Final counters of each individual shard, in shard order.
+    pub per_shard: Vec<EngineStats>,
+}
+
+/// Which shard a flow belongs to: both directions of a connection map to
+/// the same shard.
+#[inline]
+pub fn shard_of(flow: &FlowKey, shards: usize) -> usize {
+    debug_assert!(shards > 0);
+    (flow.symmetric_hash() % shards as u64) as usize
+}
+
+/// One unit of hand-off: packets tagged with their global trace index.
+type Batch = Vec<(u64, PacketMeta)>;
+
+/// What a worker sends back: index-tagged samples and events, plus the
+/// shard's final counters.
+struct ShardResult {
+    samples: Vec<(u64, RttSample)>,
+    events: Vec<(u64, EngineEvent)>,
+    stats: EngineStats,
+}
+
+/// A flow-sharded Dart engine: `shards` independent [`DartEngine`]s, each
+/// on its own worker thread, partitioned by symmetric flow hash.
+pub struct ShardedDartEngine {
+    cfg: ShardedConfig,
+}
+
+impl ShardedDartEngine {
+    /// Build a sharded engine. Panics when `shards` or `batch_size` is 0.
+    pub fn new(cfg: ShardedConfig) -> ShardedDartEngine {
+        assert!(cfg.shards >= 1, "need at least one shard");
+        assert!(cfg.batch_size >= 1, "batch size must be positive");
+        assert!(cfg.queue_depth >= 1, "queue depth must be positive");
+        ShardedDartEngine { cfg }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &ShardedConfig {
+        &self.cfg
+    }
+
+    /// Replay a trace across the shards and merge the results.
+    ///
+    /// The calling thread acts as the feeder: it partitions packets by
+    /// [`shard_of`], accumulates per-shard batches, and pushes them over
+    /// bounded channels while the workers drain. Workers are scoped to this
+    /// call — no thread outlives it.
+    pub fn run(&self, packets: &[PacketMeta]) -> ShardedRun {
+        let n = self.cfg.shards;
+        let flush_tag = packets.len() as u64;
+        let results: Vec<ShardResult> = thread::scope(|scope| {
+            let mut txs = Vec::with_capacity(n);
+            let mut handles = Vec::with_capacity(n);
+            for _ in 0..n {
+                let (tx, rx) = sync_channel::<Batch>(self.cfg.queue_depth);
+                let engine_cfg = self.cfg.engine;
+                txs.push(tx);
+                handles.push(scope.spawn(move || run_shard(engine_cfg, rx, flush_tag)));
+            }
+
+            let mut bufs: Vec<Batch> = (0..n)
+                .map(|_| Vec::with_capacity(self.cfg.batch_size))
+                .collect();
+            for (idx, pkt) in packets.iter().enumerate() {
+                let shard = shard_of(&pkt.flow, n);
+                bufs[shard].push((idx as u64, *pkt));
+                if bufs[shard].len() >= self.cfg.batch_size {
+                    let full = std::mem::replace(
+                        &mut bufs[shard],
+                        Vec::with_capacity(self.cfg.batch_size),
+                    );
+                    txs[shard].send(full).expect("shard worker hung up");
+                }
+            }
+            for (shard, buf) in bufs.into_iter().enumerate() {
+                if !buf.is_empty() {
+                    txs[shard].send(buf).expect("shard worker hung up");
+                }
+            }
+            // Closing the senders ends each worker's receive loop.
+            drop(txs);
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard worker panicked"))
+                .collect()
+        });
+
+        merge(results)
+    }
+}
+
+/// Worker body: one engine, fed batches until the channel closes.
+fn run_shard(cfg: DartConfig, rx: Receiver<Batch>, flush_tag: u64) -> ShardResult {
+    let mut engine = DartEngine::new(cfg);
+    // The event sink is installed once but must tag events with the packet
+    // being processed; share the current index through a cell.
+    let current = Rc::new(Cell::new(0u64));
+    let events = Rc::new(RefCell::new(Vec::new()));
+    engine.set_event_sink(Box::new({
+        let current = Rc::clone(&current);
+        let events = Rc::clone(&events);
+        move |ev| events.borrow_mut().push((current.get(), ev))
+    }));
+
+    let mut samples: Vec<(u64, RttSample)> = Vec::new();
+    for batch in rx {
+        for (idx, pkt) in batch {
+            current.set(idx);
+            let mut sink = |s: RttSample| samples.push((idx, s));
+            engine.process(&pkt, &mut sink);
+        }
+    }
+    current.set(flush_tag);
+    engine.flush();
+    let stats = *engine.stats();
+    drop(engine); // releases its clone of the event sink's Rc
+    let events = Rc::try_unwrap(events)
+        .expect("event sink still alive")
+        .into_inner();
+    ShardResult {
+        samples,
+        events,
+        stats,
+    }
+}
+
+/// Deterministic merge: order by (global packet index, shard id). A packet
+/// lives on exactly one shard, so the shard tiebreaker only orders
+/// flush-time entries; the stable sort preserves a single packet's own
+/// emission order.
+fn merge(results: Vec<ShardResult>) -> ShardedRun {
+    let mut samples: Vec<(u64, usize, RttSample)> = Vec::new();
+    let mut events: Vec<(u64, usize, EngineEvent)> = Vec::new();
+    let mut per_shard = Vec::with_capacity(results.len());
+    let mut stats = EngineStats::default();
+    for (shard, r) in results.into_iter().enumerate() {
+        samples.extend(r.samples.into_iter().map(|(i, s)| (i, shard, s)));
+        events.extend(r.events.into_iter().map(|(i, e)| (i, shard, e)));
+        stats.merge(&r.stats);
+        per_shard.push(r.stats);
+    }
+    samples.sort_by_key(|&(idx, shard, _)| (idx, shard));
+    events.sort_by_key(|&(idx, shard, _)| (idx, shard));
+    ShardedRun {
+        samples: samples.into_iter().map(|(_, _, s)| s).collect(),
+        events: events.into_iter().map(|(_, _, e)| e).collect(),
+        stats,
+        per_shard,
+    }
+}
+
+/// Convenience mirroring [`run_trace`]: replay `packets` across `shards`
+/// engine shards with default hand-off parameters.
+pub fn run_trace_sharded(
+    cfg: DartConfig,
+    shards: usize,
+    packets: &[PacketMeta],
+) -> (Vec<RttSample>, EngineStats) {
+    if shards <= 1 {
+        // Single shard is definitionally the serial engine; skip the
+        // thread machinery (the equivalence is asserted in tests).
+        return run_trace(cfg, packets);
+    }
+    let out = ShardedDartEngine::new(ShardedConfig::new(cfg, shards)).run(packets);
+    (out.samples, out.stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dart_packet::{Direction, Nanos, PacketBuilder};
+
+    fn flow(n: u32) -> FlowKey {
+        FlowKey::from_raw(0x0a00_0000 + n, 40000 + (n % 1000) as u16, 0x5db8_d822, 443)
+    }
+
+    /// A clean data/ACK exchange for `f` at time `t`.
+    fn data_ack(f: FlowKey, seq: u32, len: u32, t: Nanos, rtt: Nanos) -> [PacketMeta; 2] {
+        let data = PacketBuilder::new(f, t)
+            .seq(seq)
+            .payload(len)
+            .dir(Direction::Outbound)
+            .build();
+        let ack = PacketBuilder::new(f.reverse(), t + rtt)
+            .ack(seq.wrapping_add(len))
+            .dir(Direction::Inbound)
+            .build();
+        [data, ack]
+    }
+
+    /// Interleaved exchanges over `flows` flows, ACKs arriving after later
+    /// flows' data — exercises cross-shard interleaving.
+    fn trace(flows: u32, exchanges: u32) -> Vec<PacketMeta> {
+        let mut pkts = Vec::new();
+        for e in 0..exchanges {
+            for fi in 0..flows {
+                let t = (e as Nanos) * 10_000_000 + (fi as Nanos) * 1_000;
+                let [d, a] = data_ack(flow(fi), e * 1460, 1460, t, 5_000_000);
+                pkts.push(d);
+                pkts.push(a);
+            }
+        }
+        pkts.sort_by_key(|p| p.ts);
+        pkts
+    }
+
+    #[test]
+    fn one_shard_is_bit_identical_to_serial() {
+        let pkts = trace(40, 6);
+        let (serial_samples, serial_stats) = run_trace(DartConfig::default(), &pkts);
+        // Through the full threaded path, not the shards<=1 shortcut.
+        let out = ShardedDartEngine::new(ShardedConfig::new(DartConfig::default(), 1)).run(&pkts);
+        assert_eq!(out.samples, serial_samples);
+        assert_eq!(out.stats, serial_stats);
+    }
+
+    #[test]
+    fn unlimited_config_matches_serial_at_any_shard_count() {
+        let pkts = trace(50, 5);
+        let (serial, _) = run_trace(DartConfig::unlimited(), &pkts);
+        for shards in [2usize, 3, 4, 8] {
+            let (sharded, stats) = run_trace_sharded(DartConfig::unlimited(), shards, &pkts);
+            assert_eq!(sharded, serial, "shards = {shards}");
+            assert_eq!(stats.packets, pkts.len() as u64);
+        }
+    }
+
+    #[test]
+    fn both_directions_land_on_one_shard() {
+        for n in 1..=8usize {
+            for fi in 0..100 {
+                let f = flow(fi);
+                assert_eq!(shard_of(&f, n), shard_of(&f.reverse(), n));
+            }
+        }
+    }
+
+    #[test]
+    fn shards_cover_all_packets() {
+        let pkts = trace(30, 4);
+        let out = ShardedDartEngine::new(ShardedConfig::new(DartConfig::default(), 4)).run(&pkts);
+        assert_eq!(out.stats.packets, pkts.len() as u64);
+        assert_eq!(out.per_shard.len(), 4);
+        let by_shard: u64 = out.per_shard.iter().map(|s| s.packets).sum();
+        assert_eq!(by_shard, pkts.len() as u64);
+        // Every shard must actually receive traffic (30 well-mixed flows
+        // over 4 shards leave an empty shard with probability ~4·(3/4)³⁰).
+        assert!(out.per_shard.iter().all(|s| s.packets > 0));
+    }
+
+    #[test]
+    fn merge_order_is_serial_emission_order() {
+        let pkts = trace(25, 4);
+        let out = ShardedDartEngine::new(
+            ShardedConfig::new(DartConfig::unlimited(), 4).with_batch_size(7),
+        )
+        .run(&pkts);
+        // Samples must be ordered by their ACK's arrival time (ties allowed).
+        assert!(out.samples.windows(2).all(|w| w[0].ts <= w[1].ts));
+    }
+
+    #[test]
+    fn tiny_batches_and_queues_still_complete() {
+        let pkts = trace(20, 3);
+        let out = ShardedDartEngine::new(
+            ShardedConfig::new(DartConfig::unlimited(), 3)
+                .with_batch_size(1)
+                .with_queue_depth(1),
+        )
+        .run(&pkts);
+        let (serial, _) = run_trace(DartConfig::unlimited(), &pkts);
+        assert_eq!(out.samples, serial);
+    }
+
+    #[test]
+    fn events_are_merged_deterministically() {
+        // A retransmission triggers a RangeCollapse event; duplicate the
+        // data packet of a few flows.
+        let mut pkts = Vec::new();
+        for fi in 0..12 {
+            let f = flow(fi);
+            let t = fi as Nanos * 1_000_000;
+            let [d, a] = data_ack(f, 0, 1460, t, 5_000_000);
+            let mut retx = d;
+            retx.ts = t + 1_000;
+            pkts.push(d);
+            pkts.push(retx);
+            pkts.push(a);
+        }
+        pkts.sort_by_key(|p| p.ts);
+        let cfg = DartConfig::unlimited();
+        let a = ShardedDartEngine::new(ShardedConfig::new(cfg, 4)).run(&pkts);
+        let b = ShardedDartEngine::new(ShardedConfig::new(cfg, 4)).run(&pkts);
+        assert!(!a.events.is_empty(), "expected range-collapse events");
+        assert_eq!(a.events, b.events);
+        // And the merged events match the serial engine's (unlimited config:
+        // no cross-flow interaction, so the sets coincide exactly).
+        let (tx, rx) = std::sync::mpsc::channel();
+        let mut engine = DartEngine::new(cfg);
+        engine.set_event_sink(Box::new(move |ev| {
+            let _ = tx.send(ev);
+        }));
+        let mut dump = Vec::new();
+        engine.process_trace(pkts.iter(), &mut dump);
+        drop(engine); // closes the sender so the drain below terminates
+        let serial_events: Vec<EngineEvent> = rx.try_iter().collect();
+        assert_eq!(a.events, serial_events);
+    }
+}

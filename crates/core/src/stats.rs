@@ -74,6 +74,76 @@ pub struct EngineStats {
     pub samples: u64,
 }
 
+/// Defines [`EngineStats::merge`] over every counter field. The exhaustive
+/// destructure (no `..`) makes adding a field without merging it a compile
+/// error.
+macro_rules! merge_counters {
+    ($($field:ident),* $(,)?) => {
+        impl EngineStats {
+            /// Fold another run's counters into this one. Used by the
+            /// sharded engine to combine per-shard stats into a whole-trace
+            /// view.
+            pub fn merge(&mut self, other: &EngineStats) {
+                let EngineStats { $($field),* } = *other;
+                $( self.$field += $field; )*
+            }
+        }
+    };
+}
+
+merge_counters!(
+    packets,
+    syn_skipped,
+    seq_tracked,
+    seq_retransmission,
+    seq_hole_reset,
+    seq_wraparound,
+    seq_rt_collision,
+    ack_advanced,
+    ack_duplicate,
+    ack_stale,
+    ack_optimistic,
+    ack_no_flow,
+    range_collapses,
+    pt_stored,
+    pt_displaced,
+    pt_matched,
+    recirc_issued,
+    recirc_stale_dropped,
+    recirc_reinserted,
+    recirc_cap_dropped,
+    recirc_cycles_broken,
+    recirc_filtered,
+    dual_role_recirc,
+    filtered_flows,
+    victim_cached,
+    victim_cache_hits,
+    rt_copy_reinserted,
+    rt_copy_dropped,
+    samples,
+);
+
+impl std::ops::Add for EngineStats {
+    type Output = EngineStats;
+
+    fn add(mut self, rhs: EngineStats) -> EngineStats {
+        self.merge(&rhs);
+        self
+    }
+}
+
+impl std::ops::AddAssign for EngineStats {
+    fn add_assign(&mut self, rhs: EngineStats) {
+        self.merge(&rhs);
+    }
+}
+
+impl std::iter::Sum for EngineStats {
+    fn sum<I: Iterator<Item = EngineStats>>(iter: I) -> EngineStats {
+        iter.fold(EngineStats::default(), |acc, s| acc + s)
+    }
+}
+
 impl EngineStats {
     /// The paper's overhead metric: recirculations incurred per packet
     /// processed (Fig. 11c/12c/13c).
@@ -113,6 +183,39 @@ mod tests {
             ..EngineStats::default()
         };
         assert!((s.recirc_per_packet() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_adds_every_counter() {
+        let a = EngineStats {
+            packets: 10,
+            samples: 3,
+            recirc_issued: 2,
+            ..EngineStats::default()
+        };
+        let b = EngineStats {
+            packets: 5,
+            samples: 1,
+            ack_advanced: 7,
+            ..EngineStats::default()
+        };
+        let mut m = a;
+        m.merge(&b);
+        assert_eq!(m.packets, 15);
+        assert_eq!(m.samples, 4);
+        assert_eq!(m.recirc_issued, 2);
+        assert_eq!(m.ack_advanced, 7);
+        assert_eq!(m, a + b);
+        assert_eq!(m, [a, b].into_iter().sum());
+        let mut aa = a;
+        aa += b;
+        assert_eq!(aa, m);
+    }
+
+    #[test]
+    fn sum_of_empty_is_default() {
+        let s: EngineStats = std::iter::empty().sum();
+        assert_eq!(s, EngineStats::default());
     }
 
     #[test]

@@ -82,9 +82,28 @@ impl FlowKey {
         *self == *other || *self == other.reverse()
     }
 
+    /// Direction-independent 64-bit hash of the connection: both directions
+    /// of one flow map to the same value, so data packets and their ACKs
+    /// land on the same engine shard. Allocation-free (hashes the canonical
+    /// key's stack-resident wire bytes).
+    ///
+    /// The FNV-1a base hash diffuses poorly into its low bits (correlated
+    /// tuples can collide modulo small shard counts), so the result is
+    /// passed through a SplitMix64-style avalanche finalizer — every input
+    /// bit affects every output bit, making `hash % shards` well balanced.
+    #[inline]
+    pub fn symmetric_hash(&self) -> u64 {
+        let h = fnv1a_64(&self.canonical().to_bytes());
+        let mut z = h;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
     /// The 12-byte wire representation (src ip, dst ip, src port, dst port,
     /// all big-endian) used as hash input — mirrors what the P4 prototype
     /// feeds its hash units.
+    #[inline]
     pub fn to_bytes(&self) -> [u8; 12] {
         let mut b = [0u8; 12];
         b[0..4].copy_from_slice(&self.src_ip.octets());
@@ -95,6 +114,7 @@ impl FlowKey {
     }
 
     /// Compress to a fixed-width data-plane signature.
+    #[inline]
     pub fn signature(&self, width: SignatureWidth) -> FlowSignature {
         FlowSignature::of(self, width)
     }
@@ -160,6 +180,7 @@ pub struct FlowSignature(pub u64);
 
 impl FlowSignature {
     /// Compress `key` with an FNV-1a based mix truncated to `width` bits.
+    #[inline]
     pub fn of(key: &FlowKey, width: SignatureWidth) -> FlowSignature {
         let h = fnv1a_64(&key.to_bytes());
         // Fold the top half in so narrow widths still see all input bits.
@@ -261,6 +282,29 @@ mod tests {
             k.signature(SignatureWidth::W32),
             k.signature(SignatureWidth::W32)
         );
+    }
+
+    #[test]
+    fn symmetric_hash_is_direction_independent() {
+        let k = key();
+        assert_eq!(k.symmetric_hash(), k.reverse().symmetric_hash());
+        let other = FlowKey::from_raw(1, 2, 3, 4);
+        assert_ne!(k.symmetric_hash(), other.symmetric_hash());
+    }
+
+    #[test]
+    fn symmetric_hash_low_bits_are_balanced() {
+        // Correlated tuples (sequential ip + port, the shape a scenario
+        // generator produces) must still spread across `hash % n` — the raw
+        // FNV-1a value does not guarantee this, the finalizer does.
+        let mut buckets = [0u32; 4];
+        for n in 0..256u32 {
+            let k = FlowKey::from_raw(0x0a00_0000 + n, 40000 + n as u16, 0x5db8_d822, 443);
+            buckets[(k.symmetric_hash() % 4) as usize] += 1;
+        }
+        for (i, b) in buckets.iter().enumerate() {
+            assert!((32..=96).contains(b), "bucket {i} holds {b} of 256");
+        }
     }
 
     #[test]

@@ -130,12 +130,14 @@ impl fmt::Display for SeqNum {
 }
 
 impl From<u32> for SeqNum {
+    #[inline]
     fn from(v: u32) -> Self {
         SeqNum(v)
     }
 }
 
 impl From<SeqNum> for u32 {
+    #[inline]
     fn from(v: SeqNum) -> Self {
         v.0
     }

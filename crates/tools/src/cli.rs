@@ -74,6 +74,7 @@ COMMANDS:
         --leg external|internal|both (default external)
         --pt N (slots, default 131072)  --stages K (default 1)
         --rt N (slots, default 1048576) --max-recirc R (default 1)
+        --shards N (flow-sharded parallel engines, default 1 = serial)
         --csv <path>      dump per-sample CSV
     compare <input>                 Dart vs tcptrace/strawman/pping/dapper
     detect <input>                  min-RTT change detection (attack alarm)

@@ -8,7 +8,7 @@ use dart_baselines::{
     run_tcptrace, Dapper, DapperConfig, Pping, PpingConfig, Strawman, StrawmanConfig,
     TcpTraceConfig,
 };
-use dart_core::{DartConfig, DartEngine, Leg, RttSample};
+use dart_core::{run_trace_sharded, DartConfig, Leg, RttSample};
 use dart_packet::SECOND;
 use dart_sim::scenario::{campus, CampusConfig};
 use dart_switch::{dart_program, estimate, DartProgramParams, TargetProfile};
@@ -71,9 +71,11 @@ fn engine_config(opts: &Options) -> Result<DartConfig, String> {
 fn analyze(input: &str, opts: &Options) -> Result<String, String> {
     let (packets, skipped) = load_file(input, internal_prefix(opts)?)?;
     let cfg = engine_config(opts)?;
-    let mut engine = DartEngine::new(cfg);
-    let mut samples: Vec<RttSample> = Vec::new();
-    engine.process_trace(packets.iter(), &mut samples);
+    let shards = opts.get_num("shards", 1usize)?;
+    if shards == 0 {
+        return Err("--shards must be at least 1".to_string());
+    }
+    let (samples, stats) = run_trace_sharded(cfg, shards, &packets);
 
     if let Some(csv) = opts.get("csv") {
         let mut text = String::from("ts_ns,src,sport,dst,dport,eack,rtt_ns\n");
@@ -94,7 +96,6 @@ fn analyze(input: &str, opts: &Options) -> Result<String, String> {
         std::fs::write(csv, text).map_err(|e| format!("write {csv}: {e}"))?;
     }
 
-    let stats = engine.stats();
     let mut dist = RttDistribution::from_samples(samples.iter().map(|s| s.rtt));
     let mut out = String::new();
     writeln!(
@@ -105,7 +106,7 @@ fn analyze(input: &str, opts: &Options) -> Result<String, String> {
     .unwrap();
     writeln!(
         out,
-        "config            : {:?} leg, PT {:?}, RT {:?}, recirc<={}",
+        "config            : {:?} leg, PT {:?}, RT {:?}, recirc<={}, shards={shards}",
         cfg.leg, cfg.pt, cfg.rt, cfg.max_recirc
     )
     .unwrap();
@@ -282,6 +283,28 @@ mod tests {
 
         let report = run_line(&["detect", &path]).unwrap();
         assert!(report.contains("samples:"));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn analyze_sharded_runs_and_reports() {
+        let path = tmp("dartmon_shards.trace");
+        run_line(&[
+            "generate",
+            &path,
+            "--connections",
+            "60",
+            "--duration-secs",
+            "2",
+        ])
+        .unwrap();
+        let serial = run_line(&["analyze", &path]).unwrap();
+        assert!(serial.contains("shards=1"));
+        let sharded = run_line(&["analyze", &path, "--shards", "4"]).unwrap();
+        assert!(sharded.contains("shards=4"));
+        assert!(sharded.contains("p50"));
+        let err = run_line(&["analyze", &path, "--shards", "0"]).unwrap_err();
+        assert!(err.contains("at least 1"));
         let _ = std::fs::remove_file(&path);
     }
 

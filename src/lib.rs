@@ -9,7 +9,8 @@
 //! This facade re-exports the workspace crates:
 //!
 //! * [`core`] (`dart-core`) — the Dart engine: Range Tracker, Packet
-//!   Tracker, lazy eviction with second-chance recirculation;
+//!   Tracker, lazy eviction with second-chance recirculation, and the
+//!   flow-sharded parallel replay engine (`core::sharded`);
 //! * [`packet`] (`dart-packet`) — headers, flow keys, sequence arithmetic,
 //!   pcap/native trace I/O;
 //! * [`switch`] (`dart-switch`) — the programmable-switch model: register

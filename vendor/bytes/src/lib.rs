@@ -1,0 +1,163 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! The container this workspace builds in has no crates.io access, so the
+//! handful of external dependencies are vendored as minimal API-compatible
+//! subsets. This crate provides exactly the [`Buf`]/[`BufMut`] surface the
+//! packet parsers use: big-endian integer reads advancing a `&[u8]` cursor
+//! and big-endian integer writes appending to a `Vec<u8>`.
+//!
+//! Semantics match the real crate for that subset: reads panic when the
+//! buffer has too few bytes remaining, exactly like `bytes::Buf` does.
+
+#![forbid(unsafe_code)]
+
+/// Read access to a buffer of bytes with an advancing cursor.
+pub trait Buf {
+    /// Bytes remaining between the cursor and the end of the buffer.
+    fn remaining(&self) -> usize;
+
+    /// The slice from the cursor onward.
+    fn chunk(&self) -> &[u8];
+
+    /// Advance the cursor by `cnt` bytes. Panics if `cnt > remaining()`.
+    fn advance(&mut self, cnt: usize);
+
+    /// True when at least one byte remains.
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+
+    /// Read one byte and advance.
+    fn get_u8(&mut self) -> u8 {
+        assert!(self.remaining() >= 1, "buffer underflow: get_u8");
+        let v = self.chunk()[0];
+        self.advance(1);
+        v
+    }
+
+    /// Read a big-endian `u16` and advance.
+    fn get_u16(&mut self) -> u16 {
+        assert!(self.remaining() >= 2, "buffer underflow: get_u16");
+        let c = self.chunk();
+        let v = u16::from_be_bytes([c[0], c[1]]);
+        self.advance(2);
+        v
+    }
+
+    /// Read a big-endian `u32` and advance.
+    fn get_u32(&mut self) -> u32 {
+        assert!(self.remaining() >= 4, "buffer underflow: get_u32");
+        let c = self.chunk();
+        let v = u32::from_be_bytes([c[0], c[1], c[2], c[3]]);
+        self.advance(4);
+        v
+    }
+
+    /// Read a big-endian `u64` and advance.
+    fn get_u64(&mut self) -> u64 {
+        assert!(self.remaining() >= 8, "buffer underflow: get_u64");
+        let c = self.chunk();
+        let mut b = [0u8; 8];
+        b.copy_from_slice(&c[..8]);
+        self.advance(8);
+        u64::from_be_bytes(b)
+    }
+
+    /// Copy `dst.len()` bytes into `dst` and advance.
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        assert!(
+            self.remaining() >= dst.len(),
+            "buffer underflow: copy_to_slice"
+        );
+        dst.copy_from_slice(&self.chunk()[..dst.len()]);
+        self.advance(dst.len());
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.len(), "cannot advance past end of buffer");
+        *self = &self[cnt..];
+    }
+}
+
+/// Write access to an append-only byte buffer.
+pub trait BufMut {
+    /// Append raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Append one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Append a big-endian `u16`.
+    fn put_u16(&mut self, v: u16) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Append a big-endian `u32`.
+    fn put_u32(&mut self, v: u32) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Append a big-endian `u64`.
+    fn put_u64(&mut self, v: u64) {
+        self.put_slice(&v.to_be_bytes());
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slice_reads_big_endian_and_advance() {
+        let data = [0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07];
+        let mut b: &[u8] = &data;
+        assert_eq!(b.get_u8(), 0x01);
+        assert_eq!(b.get_u16(), 0x0203);
+        assert_eq!(b.get_u32(), 0x04050607);
+        assert_eq!(b.remaining(), 0);
+        assert!(!b.has_remaining());
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn underflow_panics() {
+        let mut b: &[u8] = &[0x01];
+        let _ = b.get_u16();
+    }
+
+    #[test]
+    fn vec_writes_big_endian() {
+        let mut v: Vec<u8> = Vec::new();
+        v.put_u8(0xAA);
+        v.put_u16(0x0102);
+        v.put_u32(0x03040506);
+        assert_eq!(v, [0xAA, 0x01, 0x02, 0x03, 0x04, 0x05, 0x06]);
+    }
+
+    #[test]
+    fn copy_to_slice_advances() {
+        let mut b: &[u8] = &[1, 2, 3, 4];
+        let mut out = [0u8; 3];
+        b.copy_to_slice(&mut out);
+        assert_eq!(out, [1, 2, 3]);
+        assert_eq!(b.remaining(), 1);
+    }
+}

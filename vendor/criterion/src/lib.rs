@@ -1,0 +1,298 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build container has no crates.io access; this vendored crate keeps
+//! the workspace's `[[bench]]` targets compiling and running with the same
+//! source code. It implements the subset the benches use — benchmark
+//! groups, `bench_function` / `bench_with_input`, `Throughput`,
+//! `BenchmarkId`, `criterion_group!` / `criterion_main!` — as a plain
+//! wall-clock harness: warm up once, time `sample_size` iterations, print
+//! mean time and throughput per benchmark.
+//!
+//! No statistical analysis, outlier detection, or HTML reports. When
+//! invoked with `--test` (as `cargo test --benches` does) each benchmark
+//! body runs exactly once so test sweeps stay fast.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting benchmark
+/// work.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How many units of work one iteration performs, for rate reporting.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements (e.g. packets) per iteration.
+    Elements(u64),
+    /// Bytes per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier, possibly parameterized.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Just the parameter (the group provides the name).
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> BenchmarkId {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Timer handed to benchmark closures.
+pub struct Bencher {
+    samples: u64,
+    /// Mean seconds per iteration, filled by [`Bencher::iter`].
+    mean_secs: f64,
+}
+
+impl Bencher {
+    /// Run the routine: one warm-up call, then `samples` timed calls.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        black_box(routine());
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            black_box(routine());
+        }
+        self.mean_secs = start.elapsed().as_secs_f64() / self.samples as f64;
+    }
+}
+
+fn format_duration(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+fn run_one(
+    label: &str,
+    samples: u64,
+    throughput: Option<Throughput>,
+    f: impl FnOnce(&mut Bencher),
+) {
+    let mut b = Bencher {
+        samples: samples.max(1),
+        mean_secs: 0.0,
+    };
+    f(&mut b);
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) if b.mean_secs > 0.0 => {
+            format!("  ({:.3} Melem/s)", n as f64 / b.mean_secs / 1e6)
+        }
+        Some(Throughput::Bytes(n)) if b.mean_secs > 0.0 => {
+            format!(
+                "  ({:.3} MiB/s)",
+                n as f64 / b.mean_secs / (1024.0 * 1024.0)
+            )
+        }
+        _ => String::new(),
+    };
+    println!("{label:<48} {}{rate}", format_duration(b.mean_secs));
+}
+
+/// The harness. Construct through [`Criterion::default`] (the
+/// `criterion_group!` macro does).
+pub struct Criterion {
+    test_mode: bool,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        let mut test_mode = false;
+        let mut filter = None;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => test_mode = true,
+                // Harness flags cargo passes; ignore.
+                a if a.starts_with('-') => {}
+                a => filter = Some(a.to_string()),
+            }
+        }
+        Criterion { test_mode, filter }
+    }
+}
+
+impl Criterion {
+    fn effective_samples(&self, requested: u64) -> u64 {
+        if self.test_mode {
+            1
+        } else {
+            requested.max(1)
+        }
+    }
+
+    fn matches(&self, label: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| label.contains(f))
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            sample_size: 10,
+            c: self,
+        }
+    }
+
+    /// Run one stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        if self.matches(&id.id) {
+            let samples = self.effective_samples(10);
+            run_one(&id.id, samples, None, |b| f(b));
+        }
+        self
+    }
+}
+
+/// A group of related benchmarks sharing throughput and sample settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: u64,
+    c: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declare per-iteration work for rate reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Set the number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n as u64;
+        self
+    }
+
+    /// Set the measurement time budget. Accepted for API compatibility;
+    /// this harness times a fixed iteration count instead.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.into().id);
+        if self.c.matches(&label) {
+            let samples = self.c.effective_samples(self.sample_size);
+            run_one(&label, samples, self.throughput, |b| f(b));
+        }
+        self
+    }
+
+    /// Run one benchmark with an explicit input value.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.into().id);
+        if self.c.matches(&label) {
+            let samples = self.c.effective_samples(self.sample_size);
+            run_one(&label, samples, self.throughput, |b| f(b, input));
+        }
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+/// Bundle benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Entry point running one or more groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_times_and_counts() {
+        let mut total = 0u64;
+        run_one("test/label", 3, Some(Throughput::Elements(10)), |b| {
+            b.iter(|| {
+                total += 1;
+            });
+        });
+        // 1 warmup + 3 timed.
+        assert_eq!(total, 4);
+    }
+
+    #[test]
+    fn benchmark_id_forms() {
+        assert_eq!(BenchmarkId::new("g", 4).id, "g/4");
+        assert_eq!(BenchmarkId::from_parameter("x").id, "x");
+        assert_eq!(BenchmarkId::from("s").id, "s");
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert!(format_duration(2.0).ends_with(" s"));
+        assert!(format_duration(2e-3).ends_with(" ms"));
+        assert!(format_duration(2e-6).ends_with(" µs"));
+        assert!(format_duration(2e-9).ends_with(" ns"));
+    }
+}

@@ -1,0 +1,592 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build container has no crates.io access, so this vendored crate
+//! provides the subset of proptest this workspace uses: the [`proptest!`]
+//! macro (typed params and `pat in strategy` params, optional
+//! `#![proptest_config(...)]`), `prop_assert*` / `prop_assume!`, tuple and
+//! range strategies, `any::<T>()`, `prop::collection::vec`, and
+//! `Strategy::prop_map`.
+//!
+//! Differences from the real crate, deliberate and documented:
+//!
+//! * **No shrinking.** A failing case reports its seed and iteration index
+//!   instead of a minimized input. Failures stay reproducible because the
+//!   per-test RNG seed is derived deterministically from the test name.
+//! * **Sampling only.** Strategies are plain samplers (`fn sample(&self,
+//!   rng) -> Value`), not value trees.
+//! * `any::<f64>()` samples the unit interval rather than the full bit
+//!   space (unused in this workspace).
+
+#![forbid(unsafe_code)]
+
+pub mod strategy {
+    //! The [`Strategy`] trait and combinators.
+
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    /// A source of random values of one type.
+    pub trait Strategy {
+        /// The type of value this strategy produces.
+        type Value;
+
+        /// Draw one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transform produced values with a function.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Discard values failing a predicate (re-sampling, bounded).
+        fn prop_filter<F: Fn(&Self::Value) -> bool>(
+            self,
+            whence: &'static str,
+            f: F,
+        ) -> Filter<Self, F>
+        where
+            Self: Sized,
+        {
+            Filter {
+                inner: self,
+                f,
+                whence,
+            }
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+
+        fn sample(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_filter`].
+    pub struct Filter<S, F> {
+        inner: S,
+        f: F,
+        whence: &'static str,
+    }
+
+    impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+        type Value = S::Value;
+
+        fn sample(&self, rng: &mut TestRng) -> S::Value {
+            for _ in 0..1_000 {
+                let v = self.inner.sample(rng);
+                if (self.f)(&v) {
+                    return v;
+                }
+            }
+            panic!(
+                "prop_filter rejected 1000 consecutive samples: {}",
+                self.whence
+            );
+        }
+    }
+
+    /// A strategy producing one fixed value.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    rng.rng().gen_range(self.clone())
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    rng.rng().gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    range_strategy!(u8, u16, u32, u64, usize);
+
+    impl Strategy for std::ops::Range<f64> {
+        type Value = f64;
+
+        fn sample(&self, rng: &mut TestRng) -> f64 {
+            rng.rng().gen_range(self.clone())
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.sample(rng),)+)
+                }
+            }
+        };
+    }
+
+    tuple_strategy!(A);
+    tuple_strategy!(A, B);
+    tuple_strategy!(A, B, C);
+    tuple_strategy!(A, B, C, D);
+    tuple_strategy!(A, B, C, D, E);
+    tuple_strategy!(A, B, C, D, E, F);
+    tuple_strategy!(A, B, C, D, E, F, G);
+    tuple_strategy!(A, B, C, D, E, F, G, H);
+}
+
+pub mod arbitrary {
+    //! `any::<T>()`: uniform sampling over a type's natural domain.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    /// Types with a default sampling strategy.
+    pub trait Arbitrary: Sized {
+        /// Draw one arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! int_arbitrary {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.rng().gen::<u64>() as $t
+                }
+            }
+        )*};
+    }
+
+    int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.rng().gen::<bool>()
+        }
+    }
+
+    impl Arbitrary for f64 {
+        /// Unit interval (divergence from upstream; unused here).
+        fn arbitrary(rng: &mut TestRng) -> f64 {
+            rng.rng().gen::<f64>()
+        }
+    }
+
+    /// The strategy behind [`any`].
+    pub struct Any<T>(std::marker::PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// A strategy producing arbitrary values of `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(std::marker::PhantomData)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    /// A range of collection sizes.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // exclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty collection size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> SizeRange {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end() + 1,
+            }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a sampled length.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// A strategy producing vectors whose elements come from `element` and
+    /// whose length is drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.rng().gen_range(self.size.lo..self.size.hi);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod test_runner {
+    //! Case execution: config, RNG, and the error type `prop_assert*`
+    //! macros return.
+
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Runner configuration (the subset this workspace sets).
+    #[derive(Clone, Copy, Debug)]
+    pub struct ProptestConfig {
+        /// Number of accepted cases to run per property.
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases.
+        pub fn with_cases(cases: u32) -> ProptestConfig {
+            ProptestConfig { cases }
+        }
+    }
+
+    /// The RNG handed to strategies.
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        inner: StdRng,
+    }
+
+    impl TestRng {
+        /// Deterministic per-test generator: the seed is derived from the
+        /// test's name so runs are reproducible without a seed file.
+        pub fn for_test(name: &str) -> TestRng {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            TestRng {
+                inner: StdRng::seed_from_u64(h),
+            }
+        }
+
+        /// Access the underlying generator.
+        pub fn rng(&mut self) -> &mut StdRng {
+            &mut self.inner
+        }
+    }
+
+    /// Run one property to completion: draw inputs from `strat` until
+    /// `config.cases` cases have been accepted, panicking on the first
+    /// failure. Routing the case closure through this generic function
+    /// pins its argument type to `S::Value`, so `proptest!`-generated
+    /// closures need no parameter annotations.
+    pub fn run_property<S: crate::strategy::Strategy>(
+        name: &str,
+        config: ProptestConfig,
+        strat: S,
+        mut case: impl FnMut(S::Value) -> Result<(), TestCaseError>,
+    ) {
+        let mut rng = TestRng::for_test(name);
+        let mut accepted: u32 = 0;
+        let mut rejected: u32 = 0;
+        while accepted < config.cases {
+            match case(strat.sample(&mut rng)) {
+                Ok(()) => accepted += 1,
+                Err(TestCaseError::Reject) => {
+                    rejected += 1;
+                    assert!(
+                        rejected <= config.cases.saturating_mul(20).max(1_000),
+                        "prop_assume! rejected too many inputs \
+                         ({accepted} accepted, {rejected} rejected)"
+                    );
+                }
+                Err(TestCaseError::Fail(msg)) => {
+                    panic!("property {name} failed at case {accepted}:\n{msg}")
+                }
+            }
+        }
+    }
+
+    /// Why a test case did not pass.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// `prop_assume!` rejected the input; the case is re-drawn.
+        Reject,
+        /// An assertion failed.
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        /// Build a failure with a message.
+        pub fn fail(msg: impl Into<String>) -> TestCaseError {
+            TestCaseError::Fail(msg.into())
+        }
+
+        /// Build a rejection.
+        pub fn reject() -> TestCaseError {
+            TestCaseError::Reject
+        }
+    }
+}
+
+pub mod prop {
+    //! The `prop::` namespace as the prelude exposes it.
+
+    pub use crate::collection;
+}
+
+pub mod prelude {
+    //! Everything a property test file imports.
+
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::collection::SizeRange;
+    pub use crate::prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Assert a condition inside a property; on failure the case aborts with a
+/// message (no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {{
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    }};
+}
+
+/// Assert two expressions are equal inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        if !(*a == *b) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                stringify!($a),
+                stringify!($b),
+                a,
+                b
+            )));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        if !(*a == *b) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                $($fmt)*
+            )));
+        }
+    }};
+}
+
+/// Assert two expressions are unequal inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        if *a == *b {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: {} != {}\n  both: {:?}",
+                stringify!($a),
+                stringify!($b),
+                a
+            )));
+        }
+    }};
+}
+
+/// Reject the current inputs; the runner draws a fresh case instead.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {{
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject());
+        }
+    }};
+}
+
+/// Define property tests. Supports `name: Type` (shorthand for
+/// `any::<Type>()`) and `pattern in strategy` parameters, plus an optional
+/// leading `#![proptest_config(...)]`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!(($cfg); $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!(($crate::test_runner::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+/// Internal: expand each `fn` in a `proptest!` block.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($cfg:expr);) => {};
+    (($cfg:expr); $(#[$meta:meta])* fn $name:ident($($params:tt)*) $body:block $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            $crate::__proptest_case!(($cfg), $name, $body, [], [], $($params)*);
+        }
+        $crate::__proptest_fns!(($cfg); $($rest)*);
+    };
+}
+
+/// Internal: parse one property's parameter list, then run its cases.
+///
+/// Patterns are accumulated as `tt`s (every supported pattern — an
+/// identifier or a parenthesized tuple — is a single token tree), which
+/// lets captured fragments be re-matched on each munch step.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_case {
+    // Munch `name: Type` params.
+    (($cfg:expr), $name:ident, $body:block, [$($pats:tt,)*], [$($strats:expr,)*], $p:ident : $ty:ty, $($rest:tt)*) => {
+        $crate::__proptest_case!(($cfg), $name, $body,
+            [$($pats,)* $p,], [$($strats,)* $crate::arbitrary::any::<$ty>(),], $($rest)*)
+    };
+    (($cfg:expr), $name:ident, $body:block, [$($pats:tt,)*], [$($strats:expr,)*], $p:ident : $ty:ty) => {
+        $crate::__proptest_case!(($cfg), $name, $body,
+            [$($pats,)* $p,], [$($strats,)* $crate::arbitrary::any::<$ty>(),],)
+    };
+    // Munch `pattern in strategy` params.
+    (($cfg:expr), $name:ident, $body:block, [$($pats:tt,)*], [$($strats:expr,)*], $p:tt in $strat:expr, $($rest:tt)*) => {
+        $crate::__proptest_case!(($cfg), $name, $body,
+            [$($pats,)* $p,], [$($strats,)* $strat,], $($rest)*)
+    };
+    (($cfg:expr), $name:ident, $body:block, [$($pats:tt,)*], [$($strats:expr,)*], $p:tt in $strat:expr) => {
+        $crate::__proptest_case!(($cfg), $name, $body,
+            [$($pats,)* $p,], [$($strats,)* $strat,],)
+    };
+    // All params parsed: run the cases.
+    (($cfg:expr), $name:ident, $body:block, [$($pats:tt,)*], [$($strats:expr,)*],) => {
+        $crate::test_runner::run_property(
+            concat!(module_path!(), "::", stringify!($name)),
+            $cfg,
+            ($($strats,)*),
+            |($($pats,)*)| {
+                $body
+                ::std::result::Result::Ok(())
+            },
+        )
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn composite() -> impl Strategy<Value = (u32, Vec<bool>)> {
+        (0u32..100, prop::collection::vec(any::<bool>(), 1..10))
+    }
+
+    proptest! {
+        #[test]
+        fn typed_params_sample_full_domain(a: u32, b: bool) {
+            let _ = b;
+            prop_assert!(u64::from(a) <= u64::from(u32::MAX));
+        }
+
+        #[test]
+        fn range_and_vec_strategies(x in 5u32..10, v in prop::collection::vec(0u8..3, 2..5)) {
+            prop_assert!((5..10).contains(&x));
+            prop_assert!((2..5).contains(&v.len()));
+            for e in v {
+                prop_assert!(e < 3);
+            }
+        }
+
+        #[test]
+        fn tuple_pattern_and_prop_map((n, flags) in composite().prop_map(|(n, v)| (n * 2, v))) {
+            prop_assert!(n % 2 == 0);
+            prop_assert!(!flags.is_empty());
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(n in 0u32..100) {
+            prop_assume!(n % 2 == 0);
+            prop_assert!(n % 2 == 0);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(7))]
+
+        #[test]
+        fn config_cases_respected(_x in 0u32..10) {
+            // Runs exactly 7 cases; nothing to assert beyond not panicking.
+        }
+    }
+
+    #[test]
+    fn deterministic_per_test_name() {
+        let mut a = TestRng::for_test("alpha");
+        let mut b = TestRng::for_test("alpha");
+        let s = 0u64..1_000_000;
+        use crate::strategy::Strategy;
+        assert_eq!(s.sample(&mut a), s.sample(&mut b));
+    }
+}
