@@ -78,34 +78,38 @@ impl TraceScale {
     }
 }
 
+/// Parse one shard-count value. `source` names where the value came from
+/// (`--shards` or `DART_SHARDS`) so both paths report identical,
+/// attributable errors.
+fn parse_shard_count(source: &str, v: &str) -> Result<usize, String> {
+    match v.parse::<usize>() {
+        Err(_) => Err(format!(
+            "{source}: cannot parse {v:?} (want an integer ≥ 1)"
+        )),
+        Ok(0) => Err(format!("{source}: shard count must be at least 1")),
+        Ok(n) => Ok(n),
+    }
+}
+
+/// Shard count from the `DART_SHARDS` environment variable alone; unset
+/// means 1 (the serial engine).
+pub fn shards_from_env_var() -> Result<usize, String> {
+    match std::env::var("DART_SHARDS") {
+        Ok(v) => parse_shard_count("DART_SHARDS", &v),
+        Err(_) => Ok(1),
+    }
+}
+
 /// Shard count for sharded replays: `--shards N` in `args` wins, then the
 /// `DART_SHARDS` environment variable, then 1 (the serial engine).
 pub fn shards_from(args: &[String]) -> Result<usize, String> {
-    let from_flag = args
-        .iter()
-        .position(|a| a == "--shards")
-        .map(|i| {
-            args.get(i + 1)
-                .ok_or_else(|| "--shards needs a value".to_string())
-                .and_then(|v| {
-                    v.parse::<usize>()
-                        .map_err(|_| format!("--shards: cannot parse {v:?}"))
-                })
-        })
-        .transpose()?;
-    let n = match from_flag {
-        Some(n) => n,
-        None => match std::env::var("DART_SHARDS") {
-            Ok(v) => v
-                .parse::<usize>()
-                .map_err(|_| format!("DART_SHARDS: cannot parse {v:?}"))?,
-            Err(_) => 1,
-        },
-    };
-    if n == 0 {
-        return Err("shard count must be at least 1".to_string());
+    if let Some(i) = args.iter().position(|a| a == "--shards") {
+        let v = args
+            .get(i + 1)
+            .ok_or_else(|| "--shards needs a value".to_string())?;
+        return parse_shard_count("--shards", v);
     }
-    Ok(n)
+    shards_from_env_var()
 }
 
 /// Shard count from the process's own arguments and environment.
@@ -153,14 +157,7 @@ pub fn run_point(
     packets: &[PacketMeta],
     baseline: &[RttSample],
 ) -> AccuracyReport {
-    let shards = match std::env::var("DART_SHARDS") {
-        Ok(v) => v
-            .parse::<usize>()
-            .ok()
-            .filter(|&n| n >= 1)
-            .unwrap_or_else(|| panic!("DART_SHARDS: cannot parse {v:?} (want an integer ≥ 1)")),
-        Err(_) => 1,
-    };
+    let shards = shards_from_env_var().unwrap_or_else(|e| panic!("{e}"));
     run_point_sharded(cfg, shards, packets, baseline)
 }
 
@@ -248,7 +245,33 @@ mod tests {
         // No flag and no env (this test does not set DART_SHARDS): serial.
         if std::env::var("DART_SHARDS").is_err() {
             assert_eq!(shards_from(&[]).unwrap(), 1);
+            assert_eq!(shards_from_env_var().unwrap(), 1);
         }
+    }
+
+    #[test]
+    fn shard_count_errors_are_uniform_and_attributed() {
+        // Both the flag and env paths go through the same parser, so the
+        // wording differs only in the attributed source.
+        let flag_err = parse_shard_count("--shards", "abc").unwrap_err();
+        let env_err = parse_shard_count("DART_SHARDS", "abc").unwrap_err();
+        assert_eq!(
+            flag_err,
+            "--shards: cannot parse \"abc\" (want an integer ≥ 1)"
+        );
+        assert_eq!(
+            env_err,
+            "DART_SHARDS: cannot parse \"abc\" (want an integer ≥ 1)"
+        );
+        assert_eq!(
+            parse_shard_count("--shards", "0").unwrap_err(),
+            "--shards: shard count must be at least 1"
+        );
+        assert_eq!(
+            parse_shard_count("DART_SHARDS", "0").unwrap_err(),
+            "DART_SHARDS: shard count must be at least 1"
+        );
+        assert_eq!(parse_shard_count("--shards", "8").unwrap(), 8);
     }
 
     #[test]

@@ -23,7 +23,7 @@ pub mod harness;
 pub mod metrics;
 
 pub use harness::{
-    run_fig9_variant, run_point, run_point_sharded, shards_from, shards_from_env, standard_trace,
-    sweep_config, tcptrace_const, Fig9Variant, TraceScale,
+    run_fig9_variant, run_point, run_point_sharded, shards_from, shards_from_env,
+    shards_from_env_var, standard_trace, sweep_config, tcptrace_const, Fig9Variant, TraceScale,
 };
 pub use metrics::AccuracyReport;

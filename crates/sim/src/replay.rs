@@ -7,9 +7,42 @@ use dart_packet::trace::TraceReader;
 use dart_packet::{PacketError, PacketMeta};
 use std::io::Read;
 
+/// A transformation applied to a captured packet sequence between loading
+/// and consumption — the seam where fault injectors (packet drop,
+/// duplication, reordering, truncation) plug into the replay path without
+/// the consumer knowing the trace was doctored.
+///
+/// Implementations must be deterministic for a given internal state (e.g.
+/// seeded RNG): replaying the same stored trace through the same transform
+/// twice must yield identical packet sequences, since every differential
+/// harness downstream relies on byte-reproducible inputs.
+pub trait TraceTransform {
+    /// Consume the captured packets and return the transformed sequence.
+    fn apply(&mut self, packets: Vec<PacketMeta>) -> Vec<PacketMeta>;
+}
+
+/// The no-op transform: replay the capture as stored.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Identity;
+
+impl TraceTransform for Identity {
+    fn apply(&mut self, packets: Vec<PacketMeta>) -> Vec<PacketMeta> {
+        packets
+    }
+}
+
 /// Read an entire native trace from a reader.
 pub fn load_native<R: Read>(reader: R) -> Result<Vec<PacketMeta>, PacketError> {
     TraceReader::new(reader)?.packets().collect()
+}
+
+/// Read a native trace and pass it through `transform` — the replay-side
+/// fault-injection hook.
+pub fn load_native_with<R: Read>(
+    reader: R,
+    transform: &mut dyn TraceTransform,
+) -> Result<Vec<PacketMeta>, PacketError> {
+    Ok(transform.apply(load_native(reader)?))
 }
 
 /// Read an entire pcap capture, parsing Ethernet/IPv4/TCP frames and
@@ -34,6 +67,17 @@ pub fn load_pcap<R: Read>(
         }
     }
     Ok((packets, skipped))
+}
+
+/// Read a pcap capture and pass the parsed packets through `transform` —
+/// the pcap-side fault-injection hook.
+pub fn load_pcap_with<R: Read>(
+    reader: R,
+    classifier: &dyn DirectionClassifier,
+    transform: &mut dyn TraceTransform,
+) -> Result<(Vec<PacketMeta>, u64), PacketError> {
+    let (packets, skipped) = load_pcap(reader, classifier)?;
+    Ok((transform.apply(packets), skipped))
 }
 
 /// Write packets as a pcap file (synthesized Ethernet frames).
@@ -66,6 +110,28 @@ mod tests {
         let bytes = trace::to_bytes(&t.packets);
         let back = load_native(&bytes[..]).unwrap();
         assert_eq!(back, t.packets);
+    }
+
+    #[test]
+    fn transform_hook_sees_and_replaces_the_capture() {
+        struct KeepHalf;
+        impl TraceTransform for KeepHalf {
+            fn apply(&mut self, packets: Vec<PacketMeta>) -> Vec<PacketMeta> {
+                let keep = packets.len() / 2;
+                packets.into_iter().take(keep).collect()
+            }
+        }
+        let t = campus(CampusConfig {
+            connections: 20,
+            duration: dart_packet::SECOND,
+            ..CampusConfig::default()
+        });
+        let bytes = trace::to_bytes(&t.packets);
+        let full = load_native_with(&bytes[..], &mut Identity).unwrap();
+        assert_eq!(full, t.packets);
+        let half = load_native_with(&bytes[..], &mut KeepHalf).unwrap();
+        assert_eq!(half.len(), t.packets.len() / 2);
+        assert_eq!(half[..], t.packets[..half.len()]);
     }
 
     #[test]

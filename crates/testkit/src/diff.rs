@@ -1,0 +1,333 @@
+//! The differential runner: every implementation, one faulted capture, two
+//! invariants.
+//!
+//! For a given (possibly faulted) trace the runner executes the serial
+//! [`DartEngine`], the [`ShardedDartEngine`] at each requested shard count,
+//! and the `tcptrace` / `fridge` baselines, scores each sample stream
+//! against the [`oracle`](crate::oracle), and checks:
+//!
+//! * **Soundness** — the engine emits no sample the oracle classifies as
+//!   [`Impossible`](crate::oracle::SampleClass::Impossible). Table pressure
+//!   may lose samples or (with collapse state evicted) emit *ambiguous*
+//!   ones, but a fabricated RTT is a bug at any table size. Configurations
+//!   that alias flows on purpose (16-bit signatures) get an explicit
+//!   `impossible_budget` instead of zero.
+//! * **Bounded loss** — every oracle-valid sample the engine misses must be
+//!   accounted for by its own [`EngineStats`] counters: the closing ACK of
+//!   a missed sample was necessarily classified by the engine as advanced-
+//!   but-unmatched, duplicate, stale, optimistic, or flowless. Recall may
+//!   degrade under pressure, but only in ways the counters admit to.
+//!
+//! Baselines are scored for the accuracy table (EXPERIMENTS.md) but only
+//! checked for soundness when their design promises it (`tcptrace` stores
+//! real transmission times; `fridge` may alias across flows, so it is
+//! reported, not asserted).
+
+use crate::faults::{FaultConfig, FaultInjector, FaultLog};
+use crate::oracle::{run_oracle, OracleConfig, OracleReport, ScoreCard};
+use dart_baselines::{run_tcptrace, Fridge, FridgeConfig, TcpTraceConfig};
+use dart_core::{run_trace, run_trace_sharded, DartConfig, EngineStats, RttSample};
+use dart_packet::PacketMeta;
+use dart_sim::TraceTransform;
+use std::fmt;
+
+/// What to run and how strictly to judge it.
+#[derive(Clone, Debug)]
+pub struct DiffConfig {
+    /// Engine configuration shared by the serial and sharded runs.
+    pub engine: DartConfig,
+    /// Shard counts to exercise (1 = the serial fast path).
+    pub shards: Vec<usize>,
+    /// Impossible samples tolerated per Dart run. Zero for 32-bit
+    /// signatures; small and explicit for aliasing sweeps (W16).
+    pub impossible_budget: u64,
+    /// Also score the `tcptrace` and `fridge` baselines.
+    pub baselines: bool,
+}
+
+impl Default for DiffConfig {
+    fn default() -> Self {
+        DiffConfig {
+            engine: DartConfig::default(),
+            shards: vec![1, 4],
+            impossible_budget: 0,
+            baselines: true,
+        }
+    }
+}
+
+/// One implementation's verdict against the oracle.
+#[derive(Clone, Debug)]
+pub struct EngineOutcome {
+    /// Display name (`dart`, `dart-sharded-4`, `tcptrace`, `fridge`).
+    pub name: String,
+    /// Sample classification and precision/recall accounting.
+    pub card: ScoreCard,
+    /// Engine counters (None for baselines).
+    pub stats: Option<EngineStats>,
+    /// Bounded-loss budget derived from `stats` (None for baselines).
+    pub loss_budget: Option<u64>,
+    /// Soundness verdict; `None` means not asserted for this runner.
+    pub sound: Option<bool>,
+    /// Bounded-loss verdict; `None` means not asserted for this runner.
+    pub loss_bounded: Option<bool>,
+}
+
+impl EngineOutcome {
+    /// True unless an asserted invariant failed.
+    pub fn ok(&self) -> bool {
+        self.sound != Some(false) && self.loss_bounded != Some(false)
+    }
+}
+
+/// The full differential verdict for one trace.
+#[derive(Clone, Debug)]
+pub struct DiffReport {
+    /// Size of the oracle's valid sample set.
+    pub oracle_valid: u64,
+    /// Per-implementation outcomes, Dart engines first.
+    pub outcomes: Vec<EngineOutcome>,
+    /// What the fault injector did, when one was used.
+    pub faults: Option<FaultLog>,
+}
+
+impl DiffReport {
+    /// True when every asserted invariant held.
+    pub fn pass(&self) -> bool {
+        self.outcomes.iter().all(EngineOutcome::ok)
+    }
+
+    /// The outcomes that violated an invariant.
+    pub fn failures(&self) -> Vec<&EngineOutcome> {
+        self.outcomes.iter().filter(|o| !o.ok()).collect()
+    }
+}
+
+impl fmt::Display for DiffReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "oracle: {} valid samples", self.oracle_valid)?;
+        if let Some(log) = &self.faults {
+            writeln!(
+                f,
+                "faults: {} dropped, {} duplicated, {} reordered{}",
+                log.dropped,
+                log.duplicated,
+                log.reordered,
+                match log.truncated_to {
+                    Some(n) => format!(", truncated to {n} packets"),
+                    None => String::new(),
+                }
+            )?;
+        }
+        writeln!(
+            f,
+            "{:<16} {:>7} {:>7} {:>7} {:>7} {:>9} {:>8} {:>7} {:>7}",
+            "runner", "exact", "ambig", "cross", "imposs", "precision", "recall", "sound", "loss"
+        )?;
+        for o in &self.outcomes {
+            let verdict = |v: Option<bool>| match v {
+                Some(true) => "ok",
+                Some(false) => "FAIL",
+                None => "-",
+            };
+            writeln!(
+                f,
+                "{:<16} {:>7} {:>7} {:>7} {:>7} {:>9.4} {:>8.4} {:>7} {:>7}",
+                o.name,
+                o.card.exact,
+                o.card.ambiguous,
+                o.card.cross_anchored,
+                o.card.impossible,
+                o.card.precision(),
+                o.card.recall(),
+                verdict(o.sound),
+                verdict(o.loss_bounded),
+            )?;
+        }
+        write!(f, "verdict: {}", if self.pass() { "PASS" } else { "FAIL" })
+    }
+}
+
+/// The bounded-loss budget a run's own counters admit to: the closing ACK
+/// of every missed valid sample is in exactly one of these buckets.
+/// (`seq_wraparound` covers samples the oracle takes across a wrap that
+/// Dart deliberately forgoes by resetting the range.)
+pub fn loss_budget(stats: &EngineStats) -> u64 {
+    stats.ack_advanced.saturating_sub(stats.pt_matched)
+        + stats.ack_duplicate
+        + stats.ack_stale
+        + stats.ack_optimistic
+        + stats.ack_no_flow
+        + stats.seq_wraparound
+}
+
+fn judge_engine(
+    name: String,
+    samples: &[RttSample],
+    stats: EngineStats,
+    oracle: &OracleReport,
+    impossible_budget: u64,
+) -> EngineOutcome {
+    let card = oracle.score(samples);
+    let budget = loss_budget(&stats);
+    EngineOutcome {
+        name,
+        // Dart matches exact left edges only, so a cross-anchored sample
+        // is as much a bug as a fabricated one.
+        sound: Some(card.impossible + card.cross_anchored <= impossible_budget),
+        loss_bounded: Some(card.missed() <= budget),
+        card,
+        stats: Some(stats),
+        loss_budget: Some(budget),
+    }
+}
+
+/// Run every configured implementation over `packets` (already faulted or
+/// clean) and judge them against the oracle.
+pub fn run_diff(cfg: &DiffConfig, packets: &[PacketMeta]) -> DiffReport {
+    let oracle = run_oracle(
+        OracleConfig {
+            syn_policy: cfg.engine.syn_policy,
+            leg: cfg.engine.leg,
+        },
+        packets,
+    );
+
+    let mut outcomes = Vec::new();
+    for &shards in &cfg.shards {
+        let (samples, stats) = if shards <= 1 {
+            run_trace(cfg.engine, packets)
+        } else {
+            run_trace_sharded(cfg.engine, shards, packets)
+        };
+        let name = if shards <= 1 {
+            "dart".to_string()
+        } else {
+            format!("dart-sharded-{shards}")
+        };
+        outcomes.push(judge_engine(
+            name,
+            &samples,
+            stats,
+            &oracle,
+            cfg.impossible_budget,
+        ));
+    }
+
+    if cfg.baselines {
+        let (tt_samples, _) = run_tcptrace(
+            TcpTraceConfig {
+                syn_policy: cfg.engine.syn_policy,
+                leg: cfg.engine.leg,
+                quadrant_quirk: false,
+            },
+            packets,
+        );
+        let card = oracle.score(&tt_samples);
+        outcomes.push(EngineOutcome {
+            name: "tcptrace".to_string(),
+            // tcptrace stores real transmission timestamps, so it promises
+            // anchored samples: soundness is asserted, loss is not (it has
+            // no loss-accounting counters).
+            sound: Some(card.impossible == 0),
+            loss_bounded: None,
+            card,
+            stats: None,
+            loss_budget: None,
+        });
+
+        let fr_samples = fridge_samples_with_ts(cfg, packets);
+        let card = oracle.score(&fr_samples);
+        outcomes.push(EngineOutcome {
+            name: "fridge".to_string(),
+            // Fridge aliases flows by design (single-slot hashing, no
+            // retransmission exclusion): scored, never asserted.
+            sound: None,
+            loss_bounded: None,
+            card,
+            stats: None,
+            loss_budget: None,
+        });
+    }
+
+    DiffReport {
+        oracle_valid: oracle.valid_count() as u64,
+        outcomes,
+        faults: None,
+    }
+}
+
+fn fridge_samples_with_ts(cfg: &DiffConfig, packets: &[PacketMeta]) -> Vec<RttSample> {
+    let mut fridge = Fridge::new(FridgeConfig {
+        syn_policy: cfg.engine.syn_policy,
+        leg: cfg.engine.leg,
+        ..FridgeConfig::default()
+    });
+    let mut out = Vec::new();
+    for p in packets {
+        let ts = p.ts;
+        fridge.process(p, &mut |w| {
+            out.push(RttSample {
+                flow: w.flow,
+                eack: w.eack,
+                rtt: w.rtt,
+                ts,
+            });
+        });
+    }
+    out
+}
+
+/// Apply a seeded fault configuration to `packets`, then run the
+/// differential suite on the faulted capture (which oracle and engines
+/// share — see the module docs on capture-relative truth).
+pub fn run_diff_faulted(
+    cfg: &DiffConfig,
+    fault: FaultConfig,
+    packets: &[PacketMeta],
+) -> DiffReport {
+    let mut injector = FaultInjector::new(fault);
+    let faulted = injector.apply(packets.to_vec());
+    let mut report = run_diff(cfg, &faulted);
+    report.faults = Some(injector.log());
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dart_sim::scenario::{campus, CampusConfig};
+
+    fn trace(seed: u64) -> Vec<PacketMeta> {
+        campus(CampusConfig {
+            connections: 60,
+            duration: dart_packet::SECOND,
+            seed,
+            ..CampusConfig::default()
+        })
+        .packets
+    }
+
+    #[test]
+    fn clean_trace_passes_both_invariants() {
+        let report = run_diff(&DiffConfig::default(), &trace(1));
+        assert!(report.pass(), "clean trace must pass:\n{report}");
+        assert!(report.oracle_valid > 0, "campus trace has valid samples");
+    }
+
+    #[test]
+    fn faulted_trace_still_passes() {
+        let report = run_diff_faulted(&DiffConfig::default(), FaultConfig::stress(9), &trace(2));
+        assert!(report.pass(), "faulted trace must pass:\n{report}");
+        assert!(report.faults.unwrap().dropped > 0);
+    }
+
+    #[test]
+    fn report_renders_every_runner() {
+        let report = run_diff(&DiffConfig::default(), &trace(3));
+        let text = report.to_string();
+        for name in ["dart", "dart-sharded-4", "tcptrace", "fridge", "verdict"] {
+            assert!(text.contains(name), "missing {name} in:\n{text}");
+        }
+    }
+}

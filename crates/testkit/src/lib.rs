@@ -1,0 +1,54 @@
+//! # dart-testkit
+//!
+//! The differential-testing kit for the Dart reproduction: every RTT
+//! engine in this workspace, run against an omniscient oracle over the
+//! same (optionally fault-injected) capture, with failing traces shrunk to
+//! minimal replayable reproducers.
+//!
+//! The pieces (see DESIGN.md §5b for the fidelity contract):
+//!
+//! * [`oracle`] — unbounded-memory ground truth: the exact valid sample
+//!   set for a capture, and per-sample classification of engine output as
+//!   exact / ambiguous / impossible;
+//! * [`faults`] — seeded, deterministic trace faults (drop, duplicate,
+//!   reorder, truncate) via the `dart_sim::TraceTransform` seam, plus
+//!   doctored engine configs and `dart-switch`-derived register sweeps;
+//! * [`diff`] — the differential runner checking **soundness** (no
+//!   fabricated samples) and **bounded loss** (missed samples accounted
+//!   for by `EngineStats` counters) across serial, sharded, and baseline
+//!   implementations;
+//! * [`shrink`] — `ddmin` trace minimization writing reproducers under
+//!   `tests/shrunk/`;
+//! * [`broken`] — an intentionally unsound engine proving the harness
+//!   catches what it claims to catch.
+//!
+//! ```
+//! use dart_sim::scenario::{campus, CampusConfig};
+//! use dart_testkit::{run_diff, DiffConfig};
+//!
+//! let trace = campus(CampusConfig {
+//!     connections: 20,
+//!     duration: dart_packet::SECOND,
+//!     ..CampusConfig::default()
+//! });
+//! let report = run_diff(&DiffConfig::default(), &trace.packets);
+//! assert!(report.pass());
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod broken;
+pub mod diff;
+pub mod faults;
+pub mod oracle;
+pub mod shrink;
+
+pub use broken::run_trace_skewed;
+pub use diff::{loss_budget, run_diff, run_diff_faulted, DiffConfig, DiffReport, EngineOutcome};
+pub use faults::{
+    apply_config_fault, register_sweep, ConfigFault, FaultConfig, FaultInjector, FaultLog,
+    PT_RECORD_BITS,
+};
+pub use oracle::{run_oracle, OracleConfig, OracleReport, SampleClass, ScoreCard};
+pub use shrink::{ddmin, shrink_and_save, shrunk_dir, write_artifact};

@@ -25,6 +25,11 @@ pub enum Command {
         /// Input path.
         input: String,
     },
+    /// Differential check: every engine vs. the ground-truth oracle.
+    Diff {
+        /// Input path.
+        input: String,
+    },
     /// Print the data-plane resource report.
     Resources,
     /// Print usage.
@@ -79,6 +84,11 @@ COMMANDS:
     compare <input>                 Dart vs tcptrace/strawman/pping/dapper
     detect <input>                  min-RTT change detection (attack alarm)
         --window N (samples, default 8)  --ratio F (default 2.0)
+    diff <input>                    engines vs. ground-truth oracle (testkit)
+        --shards N        (also run flow-sharded engine, default 4)
+        --fault-seed X    (inject seeded drop/dup/reorder faults first)
+        --impossible-budget B (tolerated fabricated samples, default 0)
+        plus the analyze engine flags (--leg/--pt/--rt/--stages/--max-recirc)
     resources                       Table-1 style resource report
     help                            this text
 
@@ -108,7 +118,7 @@ pub fn parse(args: &[String]) -> Result<(Command, Options), String> {
     let cmd = match pos.first().map(|s| s.as_str()) {
         None | Some("help") => Command::Help,
         Some("resources") => Command::Resources,
-        Some(c @ ("generate" | "analyze" | "compare" | "detect")) => {
+        Some(c @ ("generate" | "analyze" | "compare" | "detect" | "diff")) => {
             let arg = pos
                 .get(1)
                 .ok_or_else(|| format!("{c} needs a file argument"))?
@@ -117,6 +127,7 @@ pub fn parse(args: &[String]) -> Result<(Command, Options), String> {
                 "generate" => Command::Generate { out: arg },
                 "analyze" => Command::Analyze { input: arg },
                 "compare" => Command::Compare { input: arg },
+                "diff" => Command::Diff { input: arg },
                 _ => Command::Detect { input: arg },
             }
         }

@@ -12,6 +12,7 @@ use dart_core::{run_trace_sharded, DartConfig, Leg, RttSample};
 use dart_packet::SECOND;
 use dart_sim::scenario::{campus, CampusConfig};
 use dart_switch::{dart_program, estimate, DartProgramParams, TargetProfile};
+use dart_testkit::{run_diff, run_diff_faulted, DiffConfig, FaultConfig};
 use std::fmt::Write as _;
 use std::net::Ipv4Addr;
 
@@ -24,6 +25,7 @@ pub fn run(cmd: Command, opts: &Options) -> Result<String, String> {
         Command::Analyze { input } => analyze(&input, opts),
         Command::Compare { input } => compare(&input, opts),
         Command::Detect { input } => detect(&input, opts),
+        Command::Diff { input } => diff(&input, opts),
     }
 }
 
@@ -168,6 +170,34 @@ fn compare(input: &str, opts: &Options) -> Result<String, String> {
     let mut v: Vec<RttSample> = Vec::new();
     pp.process_trace(packets.iter(), &mut v);
     row("pping", v);
+    Ok(out)
+}
+
+fn diff(input: &str, opts: &Options) -> Result<String, String> {
+    let (packets, _) = load_file(input, internal_prefix(opts)?)?;
+    let shards = opts.get_num("shards", 4usize)?;
+    if shards == 0 {
+        return Err("--shards must be at least 1".to_string());
+    }
+    let cfg = DiffConfig {
+        engine: engine_config(opts)?,
+        shards: if shards == 1 {
+            vec![1]
+        } else {
+            vec![1, shards]
+        },
+        impossible_budget: opts.get_num("impossible-budget", 0u64)?,
+        baselines: true,
+    };
+    let report = match opts.get("fault-seed") {
+        None => run_diff(&cfg, &packets),
+        Some(_) => {
+            let seed = opts.get_num("fault-seed", 0u64)?;
+            run_diff_faulted(&cfg, FaultConfig::stress(seed), &packets)
+        }
+    };
+    let mut out = report.to_string();
+    out.push('\n');
     Ok(out)
 }
 
@@ -327,6 +357,31 @@ mod tests {
         assert!(text.lines().count() > 1);
         let _ = std::fs::remove_file(&path);
         let _ = std::fs::remove_file(&csv);
+    }
+
+    #[test]
+    fn diff_reports_pass_on_clean_and_faulted_traces() {
+        let path = tmp("dartmon_diff.trace");
+        run_line(&[
+            "generate",
+            &path,
+            "--connections",
+            "50",
+            "--duration-secs",
+            "2",
+        ])
+        .unwrap();
+        let clean = run_line(&["diff", &path]).unwrap();
+        assert!(clean.contains("oracle:"));
+        assert!(clean.contains("dart-sharded-4"));
+        assert!(clean.contains("tcptrace"));
+        assert!(clean.contains("verdict: PASS"));
+        let faulted = run_line(&["diff", &path, "--fault-seed", "9"]).unwrap();
+        assert!(faulted.contains("faults:"));
+        assert!(faulted.contains("verdict: PASS"));
+        let err = run_line(&["diff", &path, "--shards", "0"]).unwrap_err();
+        assert!(err.contains("at least 1"));
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -3,8 +3,8 @@
 //! ones.
 
 use dart::core::{
-    run_trace, AckVerdict, DartConfig, MeasurementRange, PacketTracker, PtInsert, PtMode,
-    SaluRangeTracker, SeqVerdict,
+    run_trace, AckVerdict, DartConfig, EngineStats, MeasurementRange, PacketTracker, PtInsert,
+    PtMode, SaluRangeTracker, SeqVerdict,
 };
 use dart::packet::{
     Direction, FlowKey, PacketBuilder, PacketMeta, SeqNum, SignatureWidth, TcpFlags,
@@ -43,6 +43,154 @@ proptest! {
             dx > 0 && dx <= len
         };
         prop_assert_eq!(x.in_range(lo, hi), expected);
+    }
+}
+
+// --------------------------------------------- FlowKey::symmetric_hash --
+
+proptest! {
+    /// Both directions of a connection hash identically, for ANY 4-tuple —
+    /// the property that lets the RT/PT index a connection from either leg
+    /// and the sharded engine keep a flow's two legs on one shard.
+    #[test]
+    fn symmetric_hash_is_direction_independent(
+        src_ip: u32, src_port: u16, dst_ip: u32, dst_port: u16,
+    ) {
+        let k = FlowKey::from_raw(src_ip, src_port, dst_ip, dst_port);
+        prop_assert_eq!(k.symmetric_hash(), k.reverse().symmetric_hash());
+        // reverse() is an involution, so the canonical form is well-defined.
+        prop_assert_eq!(k.reverse().reverse(), k);
+    }
+
+    /// Shard balance under *correlated* tuples: sequential client hosts in
+    /// one subnet opening sequential ephemeral ports to one server — the
+    /// address-plan shape the campus generator emits, and exactly the input
+    /// that collapsed low-bit-degenerate hashes onto a few shards before
+    /// the SplitMix64 finalizer. A chi-squared statistic over `hash % m`
+    /// must stay far below the degenerate regime for every shard count the
+    /// sharded engine is run with.
+    #[test]
+    fn symmetric_hash_low_bits_balance_correlated_tuples(
+        subnet in 0u32..(1 << 24),
+        port_base in 1024u16..40_000,
+    ) {
+        const FLOWS: usize = 2_048;
+        const SERVER: u32 = 0x5db8_d822;
+        let hashes: Vec<u64> = (0..FLOWS)
+            .map(|i| {
+                // 16 ephemeral ports per host, hosts sequential in a /24-ish
+                // block — both fields stride by 1.
+                let host = (subnet << 8) | (i as u32 / 16);
+                let port = port_base.wrapping_add(i as u16);
+                FlowKey::from_raw(host, port, SERVER, 443).symmetric_hash()
+            })
+            .collect();
+        for m in [2usize, 4, 8] {
+            let mut buckets = vec![0u64; m];
+            for h in &hashes {
+                buckets[(*h % m as u64) as usize] += 1;
+            }
+            let expected = FLOWS as f64 / m as f64;
+            let chi2: f64 = buckets
+                .iter()
+                .map(|&o| {
+                    let d = o as f64 - expected;
+                    d * d / expected
+                })
+                .sum();
+            // 99.99th percentile of chi^2 with df=7 is ~29; a degenerate
+            // hash scores in the thousands (~FLOWS * (m-1)). 100 separates
+            // the regimes with no flake risk.
+            prop_assert!(
+                chi2 < 100.0,
+                "hash % {} unbalanced: buckets {:?} (chi2 {:.1})",
+                m, buckets, chi2
+            );
+        }
+    }
+}
+
+// --------------------------------------------------- EngineStats::merge --
+
+/// Fully randomized counters. The exhaustive struct literal (no `..`)
+/// breaks the build if a counter is added without extending this strategy,
+/// mirroring the `merge_counters!` guarantee.
+fn engine_stats() -> impl Strategy<Value = EngineStats> {
+    // Bounded well under u64::MAX / 4 so sums of a few stats cannot wrap.
+    prop::collection::vec(0u64..(1 << 40), 29).prop_map(|v| {
+        let mut it = v.into_iter();
+        let mut n = move || it.next().unwrap();
+        EngineStats {
+            packets: n(),
+            syn_skipped: n(),
+            seq_tracked: n(),
+            seq_retransmission: n(),
+            seq_hole_reset: n(),
+            seq_wraparound: n(),
+            seq_rt_collision: n(),
+            ack_advanced: n(),
+            ack_duplicate: n(),
+            ack_stale: n(),
+            ack_optimistic: n(),
+            ack_no_flow: n(),
+            range_collapses: n(),
+            pt_stored: n(),
+            pt_displaced: n(),
+            pt_matched: n(),
+            recirc_issued: n(),
+            recirc_stale_dropped: n(),
+            recirc_reinserted: n(),
+            recirc_cap_dropped: n(),
+            recirc_cycles_broken: n(),
+            recirc_filtered: n(),
+            dual_role_recirc: n(),
+            filtered_flows: n(),
+            victim_cached: n(),
+            victim_cache_hits: n(),
+            rt_copy_reinserted: n(),
+            rt_copy_dropped: n(),
+            samples: n(),
+        }
+    })
+}
+
+proptest! {
+    /// `default` is the identity of `merge`, on both sides.
+    #[test]
+    fn stats_merge_identity(s in engine_stats()) {
+        let mut left = s;
+        left.merge(&EngineStats::default());
+        prop_assert_eq!(left, s);
+        let mut right = EngineStats::default();
+        right.merge(&s);
+        prop_assert_eq!(right, s);
+    }
+
+    /// Shard merge order cannot matter: commutative and associative, so
+    /// the sharded engine's fold is well-defined for any shard ordering.
+    #[test]
+    fn stats_merge_commutes_and_associates(
+        a in engine_stats(), b in engine_stats(), c in engine_stats(),
+    ) {
+        prop_assert_eq!(a + b, b + a);
+        prop_assert_eq!((a + b) + c, a + (b + c));
+    }
+
+    /// `Sum`, `Add`, `AddAssign`, and `merge` agree on randomized stats.
+    #[test]
+    fn stats_sum_agrees_with_merge(
+        a in engine_stats(), b in engine_stats(), c in engine_stats(),
+    ) {
+        let summed: EngineStats = [a, b, c].into_iter().sum();
+        prop_assert_eq!(summed, a + b + c);
+        let mut merged = a;
+        merged.merge(&b);
+        merged.merge(&c);
+        prop_assert_eq!(summed, merged);
+        let mut assigned = a;
+        assigned += b;
+        assigned += c;
+        prop_assert_eq!(summed, assigned);
     }
 }
 

@@ -9,9 +9,13 @@
 //!
 //! Differences from the real crate, deliberate and documented:
 //!
-//! * **No shrinking.** A failing case reports its seed and iteration index
-//!   instead of a minimized input. Failures stay reproducible because the
-//!   per-test RNG seed is derived deterministically from the test name.
+//! * **No shrinking.** A failing case reports its per-case seed instead of
+//!   a minimized input. Every case draws from an independent RNG seeded
+//!   from `(test name, case index)`, so one `u64` reproduces one case.
+//! * **Regression persistence, like upstream.** A failing case's seed is
+//!   appended to `proptest-regressions/<test-name>.txt` under the test
+//!   binary's working directory (the crate root under `cargo test`);
+//!   committed seeds are replayed before fresh random cases on every run.
 //! * **Sampling only.** Strategies are plain samplers (`fn sample(&self,
 //!   rng) -> Value`), not value trees.
 //! * `any::<f64>()` samples the unit interval rather than the full bit
@@ -278,11 +282,12 @@ pub mod collection {
 }
 
 pub mod test_runner {
-    //! Case execution: config, RNG, and the error type `prop_assert*`
-    //! macros return.
+    //! Case execution: config, RNG, regression persistence, and the error
+    //! type `prop_assert*` macros return.
 
     use rand::rngs::StdRng;
     use rand::SeedableRng;
+    use std::path::PathBuf;
 
     /// Runner configuration (the subset this workspace sets).
     #[derive(Clone, Copy, Debug)]
@@ -314,13 +319,13 @@ pub mod test_runner {
         /// Deterministic per-test generator: the seed is derived from the
         /// test's name so runs are reproducible without a seed file.
         pub fn for_test(name: &str) -> TestRng {
-            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-            for b in name.bytes() {
-                h ^= b as u64;
-                h = h.wrapping_mul(0x0000_0100_0000_01b3);
-            }
+            TestRng::from_seed(seed_from_name(name))
+        }
+
+        /// A generator reproducing exactly one case from its reported seed.
+        pub fn from_seed(seed: u64) -> TestRng {
             TestRng {
-                inner: StdRng::seed_from_u64(h),
+                inner: StdRng::seed_from_u64(seed),
             }
         }
 
@@ -330,22 +335,111 @@ pub mod test_runner {
         }
     }
 
-    /// Run one property to completion: draw inputs from `strat` until
-    /// `config.cases` cases have been accepted, panicking on the first
-    /// failure. Routing the case closure through this generic function
-    /// pins its argument type to `S::Value`, so `proptest!`-generated
-    /// closures need no parameter annotations.
+    /// FNV-1a of the test name: the base of its case-seed sequence.
+    fn seed_from_name(name: &str) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+
+    /// SplitMix64 over `(base, draw index)`: every case gets an
+    /// independent, individually replayable seed.
+    fn case_seed(base: u64, index: u64) -> u64 {
+        let mut z = base.wrapping_add(index.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Seed file for one property, relative to the test binary's working
+    /// directory (the crate root under `cargo test`). `::` separators in
+    /// the property name become `__` so the file name stays portable.
+    fn regression_path(name: &str) -> PathBuf {
+        let file: String = name
+            .chars()
+            .map(|c| {
+                if c.is_ascii_alphanumeric() || c == '-' || c == '_' {
+                    c
+                } else {
+                    '_'
+                }
+            })
+            .collect();
+        PathBuf::from("proptest-regressions").join(format!("{file}.txt"))
+    }
+
+    /// Persisted seeds for a property: one decimal `u64` per line, `#`
+    /// comments and blank lines ignored. Missing file means no seeds.
+    fn load_regressions(name: &str) -> Vec<u64> {
+        let Ok(text) = std::fs::read_to_string(regression_path(name)) else {
+            return Vec::new();
+        };
+        text.lines()
+            .map(str::trim)
+            .filter(|l| !l.is_empty() && !l.starts_with('#'))
+            .filter_map(|l| l.parse::<u64>().ok())
+            .collect()
+    }
+
+    /// Append a failing seed to the property's regression file so future
+    /// runs replay it first. Returns the path written, or `None` if the
+    /// filesystem refused (the failure still panics either way).
+    fn persist_regression(name: &str, seed: u64) -> Option<PathBuf> {
+        use std::io::Write;
+        let path = regression_path(name);
+        std::fs::create_dir_all(path.parent()?).ok()?;
+        let fresh = !path.exists();
+        let mut f = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .ok()?;
+        if fresh {
+            writeln!(
+                f,
+                "# Seeds for failing cases of {name}.\n\
+                 # Replayed before random cases on every run; commit this file."
+            )
+            .ok()?;
+        }
+        writeln!(f, "{seed}").ok()?;
+        Some(path)
+    }
+
+    /// Run one property to completion: replay any persisted regression
+    /// seeds, then draw inputs from `strat` until `config.cases` cases
+    /// have been accepted, panicking on the first failure. A fresh
+    /// failure's seed is appended to the property's regression file.
+    /// Routing the case closure through this generic function pins its
+    /// argument type to `S::Value`, so `proptest!`-generated closures need
+    /// no parameter annotations.
     pub fn run_property<S: crate::strategy::Strategy>(
         name: &str,
         config: ProptestConfig,
         strat: S,
         mut case: impl FnMut(S::Value) -> Result<(), TestCaseError>,
     ) {
-        let mut rng = TestRng::for_test(name);
+        for seed in load_regressions(name) {
+            match case(strat.sample(&mut TestRng::from_seed(seed))) {
+                Ok(()) | Err(TestCaseError::Reject) => {}
+                Err(TestCaseError::Fail(msg)) => panic!(
+                    "property {name} failed replaying persisted seed {seed} \
+                     (from {}):\n{msg}",
+                    regression_path(name).display()
+                ),
+            }
+        }
+        let base = seed_from_name(name);
+        let mut drawn: u64 = 0;
         let mut accepted: u32 = 0;
         let mut rejected: u32 = 0;
         while accepted < config.cases {
-            match case(strat.sample(&mut rng)) {
+            let seed = case_seed(base, drawn);
+            drawn += 1;
+            match case(strat.sample(&mut TestRng::from_seed(seed))) {
                 Ok(()) => accepted += 1,
                 Err(TestCaseError::Reject) => {
                     rejected += 1;
@@ -356,7 +450,14 @@ pub mod test_runner {
                     );
                 }
                 Err(TestCaseError::Fail(msg)) => {
-                    panic!("property {name} failed at case {accepted}:\n{msg}")
+                    let note = match persist_regression(name, seed) {
+                        Some(p) => format!("persisted to {}", p.display()),
+                        None => "could not persist seed".to_string(),
+                    };
+                    panic!(
+                        "property {name} failed at case {accepted} \
+                         with seed {seed} ({note}):\n{msg}"
+                    )
                 }
             }
         }
@@ -380,6 +481,45 @@ pub mod test_runner {
         /// Build a rejection.
         pub fn reject() -> TestCaseError {
             TestCaseError::Reject
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use rand::Rng;
+
+        #[test]
+        fn case_seeds_are_deterministic_and_distinct() {
+            let base = seed_from_name("some::property");
+            assert_eq!(case_seed(base, 3), case_seed(base, 3));
+            assert_ne!(case_seed(base, 3), case_seed(base, 4));
+            assert_ne!(case_seed(base, 0), seed_from_name("other::property"));
+        }
+
+        #[test]
+        fn seed_replays_one_case_exactly() {
+            let seed = case_seed(seed_from_name("replay::me"), 17);
+            let a: u64 = TestRng::from_seed(seed).rng().gen();
+            let b: u64 = TestRng::from_seed(seed).rng().gen();
+            assert_eq!(a, b);
+        }
+
+        #[test]
+        fn regression_file_round_trips() {
+            let name = "vendor_selftest::regression_file_round_trips";
+            let path = regression_path(name);
+            assert_eq!(
+                path.file_name().unwrap().to_str().unwrap(),
+                "vendor_selftest__regression_file_round_trips.txt"
+            );
+            let _ = std::fs::remove_file(&path);
+            assert!(load_regressions(name).is_empty());
+            let written = persist_regression(name, 42).expect("persist");
+            assert_eq!(written, path);
+            persist_regression(name, 7).expect("persist again");
+            assert_eq!(load_regressions(name), vec![42, 7]);
+            std::fs::remove_file(&path).expect("cleanup");
         }
     }
 }
