@@ -113,12 +113,7 @@ mod tests {
     use dart_packet::{FlowKey, SeqNum, SignatureWidth};
 
     fn sample(rtt: Nanos, ts: Nanos) -> RttSample {
-        RttSample {
-            flow: FlowKey::from_raw(1, 2, 3, 4),
-            eack: SeqNum(1),
-            rtt,
-            ts,
-        }
+        RttSample::new(FlowKey::from_raw(1, 2, 3, 4), SeqNum(1), rtt, ts)
     }
 
     fn rec(ts: Nanos) -> PtRecord {

@@ -105,12 +105,12 @@ mod tests {
     use dart_packet::{FlowKey, SeqNum};
 
     fn sample(dst: Ipv4Addr, rtt: u64, ts: u64) -> RttSample {
-        RttSample {
-            flow: FlowKey::new(Ipv4Addr::new(10, 0, 0, 1), 40000, dst, 443),
-            eack: SeqNum(1),
+        RttSample::new(
+            FlowKey::new(Ipv4Addr::new(10, 0, 0, 1), 40000, dst, 443),
+            SeqNum(1),
             rtt,
             ts,
-        }
+        )
     }
 
     #[test]

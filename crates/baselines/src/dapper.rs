@@ -6,7 +6,7 @@
 //! window, so long-RTT or windowed analytics see far too few samples per
 //! unit time compared to Dart's per-packet tracking.
 
-use dart_core::{Leg, RttSample, SampleSink, SynPolicy};
+use dart_core::{EngineStats, Leg, RttMonitor, RttSample, SampleSink, SynPolicy};
 use dart_packet::{FlowKey, Nanos, PacketMeta, SeqNum};
 use std::collections::HashMap;
 
@@ -83,12 +83,12 @@ impl Dapper {
                 if pkt.ack.geq(armed.eack) {
                     self.armed.remove(&data_flow);
                     self.stats.samples += 1;
-                    sink.on_sample(RttSample {
-                        flow: data_flow,
-                        eack: armed.eack,
-                        rtt: pkt.ts.saturating_sub(armed.ts),
-                        ts: pkt.ts,
-                    });
+                    sink.on_sample(RttSample::new(
+                        data_flow,
+                        armed.eack,
+                        pkt.ts.saturating_sub(armed.ts),
+                        pkt.ts,
+                    ));
                 }
             }
         }
@@ -108,15 +108,28 @@ impl Dapper {
             }
         }
     }
+}
 
-    /// Process a whole trace.
-    pub fn process_trace<'a>(
-        &mut self,
-        packets: impl IntoIterator<Item = &'a PacketMeta>,
-        sink: &mut dyn SampleSink,
-    ) {
-        for p in packets {
-            self.process(p, sink);
+impl RttMonitor for Dapper {
+    fn name(&self) -> &str {
+        "dapper"
+    }
+
+    fn describe(&self) -> String {
+        "Dapper: one outstanding data packet per flow, one sample per window (SOSR '17)".to_string()
+    }
+
+    fn on_packet(&mut self, pkt: &PacketMeta, sink: &mut dyn SampleSink) {
+        self.process(pkt, sink);
+    }
+
+    fn flush(&mut self, _sink: &mut dyn SampleSink) {}
+
+    fn stats(&self) -> EngineStats {
+        EngineStats {
+            packets: self.stats.packets,
+            samples: self.stats.samples,
+            ..EngineStats::default()
         }
     }
 }

@@ -12,7 +12,7 @@
 //! Unlike Dart, the fridge neither validates against TCP ambiguities nor
 //! avoids tracking useless packets — the ablation benches contrast the two.
 
-use dart_core::{Leg, SynPolicy};
+use dart_core::{EngineStats, Leg, RttMonitor, RttSample, SampleSink, SampleWeight, SynPolicy};
 use dart_packet::{FlowKey, Nanos, PacketMeta, SeqNum, SignatureWidth};
 use dart_switch::HashUnit;
 
@@ -25,8 +25,19 @@ pub struct WeightedSample {
     pub eack: SeqNum,
     /// Measured round-trip time.
     pub rtt: Nanos,
+    /// Arrival time of the closing ACK.
+    pub ts: Nanos,
     /// Inverse-survival-probability correction weight (≥ 1).
     pub weight: f64,
+}
+
+/// The weight rides along as quantized [`SampleWeight`] metadata, so
+/// fridge output fits the common [`SampleSink`] contract without losing
+/// its corrections.
+impl From<WeightedSample> for RttSample {
+    fn from(w: WeightedSample) -> RttSample {
+        RttSample::new(w.flow, w.eack, w.rtt, w.ts).with_weight(SampleWeight::from_f64(w.weight))
+    }
 }
 
 /// Fridge configuration.
@@ -114,8 +125,9 @@ impl Fridge {
         (-(k as f64) * (1.0 - 1.0 / m).ln()).exp()
     }
 
-    /// Process one packet, emitting weighted samples through `sink`.
-    pub fn process(&mut self, pkt: &PacketMeta, sink: &mut dyn FnMut(WeightedSample)) {
+    /// Process one packet, emitting weight-carrying [`RttSample`]s through
+    /// the common sink.
+    pub fn process(&mut self, pkt: &PacketMeta, sink: &mut dyn SampleSink) {
         self.stats.packets += 1;
         if self.cfg.syn_policy == SynPolicy::Skip && pkt.is_syn() {
             return;
@@ -127,12 +139,16 @@ impl Fridge {
                 if e.sig == sig && e.eack == pkt.ack {
                     self.table[idx] = None;
                     self.stats.samples += 1;
-                    sink(WeightedSample {
-                        flow: data_flow,
-                        eack: pkt.ack,
-                        rtt: pkt.ts.saturating_sub(e.ts),
-                        weight: self.weight(self.insertions - e.birth),
-                    });
+                    sink.on_sample(
+                        WeightedSample {
+                            flow: data_flow,
+                            eack: pkt.ack,
+                            rtt: pkt.ts.saturating_sub(e.ts),
+                            ts: pkt.ts,
+                            weight: self.weight(self.insertions - e.birth),
+                        }
+                        .into(),
+                    );
                 }
             }
         }
@@ -150,6 +166,31 @@ impl Fridge {
                 birth: self.insertions,
             });
             self.stats.inserted += 1;
+        }
+    }
+}
+
+impl RttMonitor for Fridge {
+    fn name(&self) -> &str {
+        "fridge"
+    }
+
+    fn describe(&self) -> String {
+        "Fridge: evict-on-collision sampler with inverse-survival correction weights (APoCS '22)"
+            .to_string()
+    }
+
+    fn on_packet(&mut self, pkt: &PacketMeta, sink: &mut dyn SampleSink) {
+        self.process(pkt, sink);
+    }
+
+    fn flush(&mut self, _sink: &mut dyn SampleSink) {}
+
+    fn stats(&self) -> EngineStats {
+        EngineStats {
+            packets: self.stats.packets,
+            samples: self.stats.samples,
+            ..EngineStats::default()
         }
     }
 }
@@ -188,25 +229,26 @@ mod tests {
             slots: 64,
             ..FridgeConfig::default()
         });
-        let mut out = Vec::new();
+        let mut out: Vec<RttSample> = Vec::new();
         fr.process(
             &PacketBuilder::new(f, 0)
                 .seq(0u32)
                 .payload(100)
                 .dir(Direction::Outbound)
                 .build(),
-            &mut |s| out.push(s),
+            &mut out,
         );
         fr.process(
             &PacketBuilder::new(f.reverse(), 9_000)
                 .ack(100u32)
                 .dir(Direction::Inbound)
                 .build(),
-            &mut |s| out.push(s),
+            &mut out,
         );
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].rtt, 9_000);
-        assert!((out[0].weight - 1.0).abs() < 1e-12);
+        assert_eq!(out[0].ts, 9_000);
+        assert!(out[0].weight.is_unit());
     }
 
     #[test]
@@ -216,14 +258,14 @@ mod tests {
             slots: 64,
             ..FridgeConfig::default()
         });
-        let mut out = Vec::new();
+        let mut out: Vec<RttSample> = Vec::new();
         fr.process(
             &PacketBuilder::new(f, 0)
                 .seq(0u32)
                 .payload(100)
                 .dir(Direction::Outbound)
                 .build(),
-            &mut |s| out.push(s),
+            &mut out,
         );
         // 50 intervening insertions from other flows.
         for n in 2..52 {
@@ -233,7 +275,7 @@ mod tests {
                     .payload(100)
                     .dir(Direction::Outbound)
                     .build(),
-                &mut |s| out.push(s),
+                &mut out,
             );
         }
         fr.process(
@@ -241,16 +283,33 @@ mod tests {
                 .ack(100u32)
                 .dir(Direction::Inbound)
                 .build(),
-            &mut |s| out.push(s),
+            &mut out,
         );
         if let Some(s) = out.last() {
             // Survived ≥ some insertions: weight strictly above 1 unless it
             // was never threatened... it must be > 1 when k > 0.
-            assert!(s.weight >= 1.0);
+            assert!(s.weight.as_f64() >= 1.0);
         }
         // The entry may have been evicted (then no sample) — either way the
         // stats add up.
         assert_eq!(fr.stats().inserted, 51);
+    }
+
+    #[test]
+    fn weighted_sample_converts_without_losing_the_weight() {
+        let w = WeightedSample {
+            flow: flow(9),
+            eack: SeqNum(1460),
+            rtt: 12_000,
+            ts: 13_000,
+            weight: 2.5,
+        };
+        let s = RttSample::from(w);
+        assert_eq!(s.flow, w.flow);
+        assert_eq!(s.eack, w.eack);
+        assert_eq!(s.rtt, w.rtt);
+        assert_eq!(s.ts, w.ts);
+        assert!((s.weight.as_f64() - 2.5).abs() < 1e-9);
     }
 
     #[test]
@@ -262,6 +321,7 @@ mod tests {
             ..FridgeConfig::default()
         });
         let mut evictions_seen = false;
+        let mut out: Vec<RttSample> = Vec::new();
         for t in 0..100u64 {
             fr.process(
                 &PacketBuilder::new(flow(t as u32), t)
@@ -269,7 +329,7 @@ mod tests {
                     .payload(100)
                     .dir(Direction::Outbound)
                     .build(),
-                &mut |_| {},
+                &mut out,
             );
         }
         if fr.stats().evicted > 0 {

@@ -9,8 +9,8 @@
 //! which is exactly the §8 critique this implementation lets the benches
 //! demonstrate.
 
-use dart_core::Leg;
-use dart_packet::{FlowKey, Nanos, PacketMeta};
+use dart_core::{EngineStats, Leg, RttMonitor, RttSample, SampleSink};
+use dart_packet::{FlowKey, Nanos, PacketMeta, SeqNum};
 use std::collections::HashMap;
 
 /// Per-flow running sums.
@@ -26,6 +26,9 @@ struct Sums {
 pub struct LeanRtt {
     leg: Leg,
     flows: HashMap<FlowKey, Sums>,
+    packets: u64,
+    last_ts: Nanos,
+    flushed: bool,
 }
 
 /// A flow's average-RTT estimate.
@@ -48,6 +51,9 @@ impl LeanRtt {
         LeanRtt {
             leg,
             flows: HashMap::new(),
+            packets: 0,
+            last_ts: 0,
+            flushed: false,
         }
     }
 
@@ -55,6 +61,8 @@ impl LeanRtt {
     /// aggregates).
     pub fn process(&mut self, pkt: &PacketMeta) {
         use dart_packet::Direction::*;
+        self.packets += 1;
+        self.last_ts = self.last_ts.max(pkt.ts);
         let (seq_dir, ack_dir) = match self.leg {
             Leg::External => (Outbound, Inbound),
             Leg::Internal => (Inbound, Outbound),
@@ -107,6 +115,54 @@ impl LeanRtt {
         let ack_mean = s.ack_ts_sum / s.ack_count as u128;
         let data_mean = s.data_ts_sum / s.data_count as u128;
         ack_mean.checked_sub(data_mean).map(|d| d as Nanos)
+    }
+}
+
+/// Streamed through the common trait, lean has no per-packet output: its
+/// sketch only yields aggregates, so the sink sees one sample per flow —
+/// the average-RTT estimate — at [`RttMonitor::flush`], ordered by flow
+/// key for reproducibility (its `eack` is meaningless and set to zero).
+impl RttMonitor for LeanRtt {
+    fn name(&self) -> &str {
+        "lean"
+    }
+
+    fn describe(&self) -> String {
+        "Lean: O(1)-per-flow timestamp sums, per-flow average-RTT estimates at flush (APoCS '20)"
+            .to_string()
+    }
+
+    fn on_packet(&mut self, pkt: &PacketMeta, _sink: &mut dyn SampleSink) {
+        self.process(pkt);
+    }
+
+    fn flush(&mut self, sink: &mut dyn SampleSink) {
+        if self.flushed {
+            return;
+        }
+        self.flushed = true;
+        let mut estimates = self.estimates();
+        estimates.sort_unstable_by_key(|e| e.flow);
+        for e in estimates {
+            if let Some(avg) = e.avg_rtt {
+                sink.on_sample(RttSample::new(e.flow, SeqNum(0), avg, self.last_ts));
+            }
+        }
+    }
+
+    fn stats(&self) -> EngineStats {
+        EngineStats {
+            packets: self.packets,
+            samples: if self.flushed {
+                self.flows
+                    .values()
+                    .filter(|s| Self::compute(s).is_some())
+                    .count() as u64
+            } else {
+                0
+            },
+            ..EngineStats::default()
+        }
     }
 }
 

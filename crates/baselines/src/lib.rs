@@ -28,6 +28,7 @@ pub mod dapper;
 pub mod fridge;
 pub mod lean;
 pub mod pping;
+pub mod registry;
 pub mod seglist;
 pub mod strawman;
 pub mod tcptrace;
@@ -36,6 +37,7 @@ pub use dapper::{Dapper, DapperConfig, DapperStats};
 pub use fridge::{Fridge, FridgeConfig, FridgeStats, WeightedSample};
 pub use lean::{LeanEstimate, LeanRtt};
 pub use pping::{Pping, PpingConfig, PpingStats};
-pub use seglist::{SegOutcome, Segment, SegmentList, SeqUnwrapper};
+pub use registry::{BuiltEngine, EngineEntry, EngineRegistry, Judgement};
+pub use seglist::{SegListMonitor, SegOutcome, Segment, SegmentList, SeqUnwrapper};
 pub use strawman::{Strawman, StrawmanConfig, StrawmanStats};
 pub use tcptrace::{run_trace as run_tcptrace, TcpTrace, TcpTraceConfig, TcpTraceStats};

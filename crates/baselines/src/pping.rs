@@ -12,7 +12,7 @@
 //! * the monitor cannot know the clock rate, so it cannot convert TSval
 //!   deltas to absolute time — only capture-time deltas are usable.
 
-use dart_core::{Leg, RttSample, SampleSink};
+use dart_core::{EngineStats, Leg, RttMonitor, RttSample, SampleSink};
 use dart_packet::{FlowKey, Nanos, PacketMeta, SeqNum};
 use std::collections::HashMap;
 
@@ -96,12 +96,12 @@ impl Pping {
                 if let Some(t0) = st.pending.remove(&tsecr) {
                     st.order.retain(|v| *v != tsecr);
                     self.stats.samples += 1;
-                    sink.on_sample(RttSample {
-                        flow: data_flow,
-                        eack: SeqNum(tsecr), // the echoed tick, not a byte
-                        rtt: pkt.ts.saturating_sub(t0),
-                        ts: pkt.ts,
-                    });
+                    sink.on_sample(RttSample::new(
+                        data_flow,
+                        SeqNum(tsecr), // the echoed tick, not a byte
+                        pkt.ts.saturating_sub(t0),
+                        pkt.ts,
+                    ));
                 }
             }
         }
@@ -122,15 +122,29 @@ impl Pping {
             }
         }
     }
+}
 
-    /// Process a whole trace.
-    pub fn process_trace<'a>(
-        &mut self,
-        packets: impl IntoIterator<Item = &'a PacketMeta>,
-        sink: &mut dyn SampleSink,
-    ) {
-        for p in packets {
-            self.process(p, sink);
+impl RttMonitor for Pping {
+    fn name(&self) -> &str {
+        "pping"
+    }
+
+    fn describe(&self) -> String {
+        "pping: RFC 7323 TSval/TSecr matching, quantized by the sender's timestamp clock"
+            .to_string()
+    }
+
+    fn on_packet(&mut self, pkt: &PacketMeta, sink: &mut dyn SampleSink) {
+        self.process(pkt, sink);
+    }
+
+    fn flush(&mut self, _sink: &mut dyn SampleSink) {}
+
+    fn stats(&self) -> EngineStats {
+        EngineStats {
+            packets: self.stats.packets,
+            samples: self.stats.samples,
+            ..EngineStats::default()
         }
     }
 }

@@ -8,7 +8,7 @@
 //! which under-sample long RTTs. The ablation benches quantify exactly that
 //! bias against Dart.
 
-use dart_core::{Leg, RttSample, SampleSink, SynPolicy};
+use dart_core::{EngineStats, Leg, RttMonitor, RttSample, SampleSink, SynPolicy};
 use dart_packet::{FlowKey, Nanos, PacketMeta, SeqNum, SignatureWidth};
 use dart_switch::HashUnit;
 
@@ -117,12 +117,12 @@ impl Strawman {
                 if e.sig == sig && e.eack == pkt.ack && !self.expired(&e, pkt.ts) {
                     self.table[idx] = None;
                     self.stats.samples += 1;
-                    sink.on_sample(RttSample {
-                        flow: data_flow,
-                        eack: pkt.ack,
-                        rtt: pkt.ts.saturating_sub(e.ts),
-                        ts: pkt.ts,
-                    });
+                    sink.on_sample(RttSample::new(
+                        data_flow,
+                        pkt.ack,
+                        pkt.ts.saturating_sub(e.ts),
+                        pkt.ts,
+                    ));
                 }
             }
         }
@@ -161,15 +161,29 @@ impl Strawman {
             }
         }
     }
+}
 
-    /// Process a whole trace.
-    pub fn process_trace<'a>(
-        &mut self,
-        packets: impl IntoIterator<Item = &'a PacketMeta>,
-        sink: &mut dyn SampleSink,
-    ) {
-        for p in packets {
-            self.process(p, sink);
+impl RttMonitor for Strawman {
+    fn name(&self) -> &str {
+        "strawman"
+    }
+
+    fn describe(&self) -> String {
+        "Strawman: one (flow, eACK) hash table, timeout/evict policies, no ambiguity handling"
+            .to_string()
+    }
+
+    fn on_packet(&mut self, pkt: &PacketMeta, sink: &mut dyn SampleSink) {
+        self.process(pkt, sink);
+    }
+
+    fn flush(&mut self, _sink: &mut dyn SampleSink) {}
+
+    fn stats(&self) -> EngineStats {
+        EngineStats {
+            packets: self.stats.packets,
+            samples: self.stats.samples,
+            ..EngineStats::default()
         }
     }
 }

@@ -10,7 +10,7 @@
 //! a spurious extra sample.
 
 use crate::seglist::{SegOutcome, SegmentList, SeqUnwrapper};
-use dart_core::{Leg, RttSample, SampleSink, SynPolicy};
+use dart_core::{EngineStats, Leg, RttMonitor, RttSample, SampleSink, SynPolicy};
 use dart_packet::{FlowKey, PacketMeta};
 use std::collections::HashMap;
 
@@ -110,12 +110,8 @@ impl TcpTrace {
                 let res = st.segs.on_ack(ack_u, pkt.ts);
                 if let Some(seg) = res.matched {
                     self.stats.samples += 1;
-                    let sample = RttSample {
-                        flow: data_flow,
-                        eack: pkt.ack,
-                        rtt: pkt.ts.saturating_sub(seg.ts),
-                        ts: pkt.ts,
-                    };
+                    let sample =
+                        RttSample::new(data_flow, pkt.ack, pkt.ts.saturating_sub(seg.ts), pkt.ts);
                     sink.on_sample(sample);
                     if self.cfg.quadrant_quirk && quadrant(seg.seq) != quadrant(seg.eack - 1) {
                         // Real tcptrace wrongly splits a quadrant-spanning
@@ -145,15 +141,40 @@ impl TcpTrace {
             }
         }
     }
+}
 
-    /// Process a whole trace.
-    pub fn process_trace<'a>(
-        &mut self,
-        packets: impl IntoIterator<Item = &'a PacketMeta>,
-        sink: &mut dyn SampleSink,
-    ) {
-        for p in packets {
-            self.process(p, sink);
+impl RttMonitor for TcpTrace {
+    fn name(&self) -> &str {
+        if self.cfg.quadrant_quirk {
+            "tcptrace-quirk"
+        } else {
+            "tcptrace"
+        }
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "tcptrace: unlimited per-flow segment lists with Karn exclusion{}",
+            if self.cfg.quadrant_quirk {
+                " (+quadrant double-sample quirk)"
+            } else {
+                ""
+            }
+        )
+    }
+
+    fn on_packet(&mut self, pkt: &PacketMeta, sink: &mut dyn SampleSink) {
+        self.process(pkt, sink);
+    }
+
+    fn flush(&mut self, _sink: &mut dyn SampleSink) {}
+
+    fn stats(&self) -> EngineStats {
+        EngineStats {
+            packets: self.stats.packets,
+            syn_skipped: self.stats.syn_skipped,
+            samples: self.stats.samples,
+            ..EngineStats::default()
         }
     }
 }
@@ -180,7 +201,9 @@ fn ack_role(leg: Leg, dir: dart_packet::Direction) -> bool {
 pub fn run_trace(cfg: TcpTraceConfig, packets: &[PacketMeta]) -> (Vec<RttSample>, TcpTraceStats) {
     let mut tt = TcpTrace::new(cfg);
     let mut samples = Vec::new();
-    tt.process_trace(packets.iter(), &mut samples);
+    for p in packets {
+        tt.process(p, &mut samples);
+    }
     (samples, *tt.stats())
 }
 

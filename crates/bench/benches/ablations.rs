@@ -7,7 +7,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use dart_analytics::min_discard_pair;
 use dart_baselines::{Strawman, StrawmanConfig};
 use dart_bench::{standard_trace, tcptrace_const, AccuracyReport, TraceScale};
-use dart_core::{DartConfig, DartEngine, RttSample, SynPolicy};
+use dart_core::{run_monitor_slice, DartConfig, DartEngine, SynPolicy};
 use dart_packet::{SignatureWidth, MILLISECOND, SECOND};
 use std::sync::Once;
 
@@ -52,9 +52,7 @@ fn ablation_eviction(c: &mut Criterion) {
                     evict_on_collision: evict,
                     ..StrawmanConfig::default()
                 });
-                let mut sink: Vec<RttSample> = Vec::new();
-                sm.process_trace(trace.packets.iter(), &mut sink);
-                sink.len()
+                run_monitor_slice(&mut sm, &trace.packets).0.len()
             });
         });
     }
@@ -80,9 +78,7 @@ fn ablation_rt(c: &mut Criterion) {
                 timeout: None,
                 ..StrawmanConfig::default()
             });
-            let mut sink: Vec<RttSample> = Vec::new();
-            sm.process_trace(trace.packets.iter(), &mut sink);
-            sink.len()
+            run_monitor_slice(&mut sm, &trace.packets).0.len()
         });
     });
     g.finish();

@@ -5,7 +5,7 @@
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use dart_baselines::{Fridge, FridgeConfig, Strawman, StrawmanConfig, TcpTrace, TcpTraceConfig};
 use dart_bench::{standard_trace, TraceScale};
-use dart_core::{DartConfig, DartEngine, RttSample};
+use dart_core::{run_monitor_slice, DartConfig, DartEngine, RttSample};
 
 fn baseline_costs(c: &mut Criterion) {
     let trace = standard_trace(TraceScale::Small);
@@ -26,9 +26,7 @@ fn baseline_costs(c: &mut Criterion) {
     g.bench_function("tcptrace", |b| {
         b.iter(|| {
             let mut tt = TcpTrace::new(TcpTraceConfig::default());
-            let mut sink: Vec<RttSample> = Vec::new();
-            tt.process_trace(trace.packets.iter(), &mut sink);
-            sink.len()
+            run_monitor_slice(&mut tt, &trace.packets).0.len()
         });
     });
 
@@ -38,9 +36,7 @@ fn baseline_costs(c: &mut Criterion) {
                 slots: 1 << 12,
                 ..StrawmanConfig::default()
             });
-            let mut sink: Vec<RttSample> = Vec::new();
-            sm.process_trace(trace.packets.iter(), &mut sink);
-            sink.len()
+            run_monitor_slice(&mut sm, &trace.packets).0.len()
         });
     });
 
@@ -50,11 +46,7 @@ fn baseline_costs(c: &mut Criterion) {
                 slots: 1 << 12,
                 ..FridgeConfig::default()
             });
-            let mut n = 0u64;
-            for p in &trace.packets {
-                fr.process(p, &mut |_| n += 1);
-            }
-            n
+            run_monitor_slice(&mut fr, &trace.packets).0.len()
         });
     });
 

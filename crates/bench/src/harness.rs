@@ -7,7 +7,8 @@
 //! number of doublings. EXPERIMENTS.md records the mapping per figure.
 
 use crate::metrics::AccuracyReport;
-use dart_core::{run_trace, run_trace_sharded, DartConfig, EngineStats, Leg, RttSample, SynPolicy};
+use dart_baselines::EngineRegistry;
+use dart_core::{run_monitor_slice, DartConfig, EngineStats, RttSample, SynPolicy};
 use dart_packet::{PacketMeta, SECOND};
 use dart_sim::scenario::{campus, CampusConfig, GeneratedTrace};
 
@@ -127,10 +128,25 @@ pub fn standard_trace(scale: TraceScale) -> GeneratedTrace {
     })
 }
 
+/// Resolve `name` from the standard [`EngineRegistry`] and stream `packets`
+/// through it. Every harness run goes through this one path, so a newly
+/// registered engine is immediately sweepable. Panics on an unknown name —
+/// harness callers pass literals or validated CLI input.
+pub fn run_engine(
+    name: &str,
+    cfg: DartConfig,
+    packets: &[PacketMeta],
+) -> (Vec<RttSample>, EngineStats) {
+    let mut built = EngineRegistry::standard()
+        .build(name, &cfg)
+        .unwrap_or_else(|e| panic!("harness: {e}"));
+    run_monitor_slice(built.monitor.as_mut(), packets)
+}
+
 /// The §6.2 baseline: `tcptrace_const` = Dart with unlimited, fully
 /// associative tables and `-SYN`.
 pub fn tcptrace_const(packets: &[PacketMeta]) -> (Vec<RttSample>, EngineStats) {
-    run_trace(DartConfig::unlimited(), packets)
+    run_engine("dart", DartConfig::unlimited(), packets)
 }
 
 /// A hardware-shaped Dart config for sweeps: large RT, constrained PT.
@@ -169,7 +185,12 @@ pub fn run_point_sharded(
     packets: &[PacketMeta],
     baseline: &[RttSample],
 ) -> AccuracyReport {
-    let (samples, stats) = run_trace_sharded(cfg, shards, packets);
+    let name = if shards <= 1 {
+        "dart".to_string()
+    } else {
+        format!("dart-sharded-{shards}")
+    };
+    let (samples, stats) = run_engine(&name, cfg, packets);
     AccuracyReport::compare(baseline, &samples, &stats)
 }
 
@@ -186,30 +207,18 @@ pub enum Fig9Variant {
     DartMinusSyn,
 }
 
-/// Run one Fig. 9 variant over a trace.
+/// Run one Fig. 9 variant over a trace. The tcptrace variants resolve the
+/// registry's `tcptrace-quirk` entry, matching real tcptrace's quadrant
+/// double-sample behaviour; the Dart variants are `dart` with unlimited
+/// tables.
 pub fn run_fig9_variant(v: Fig9Variant, packets: &[PacketMeta]) -> Vec<RttSample> {
-    match v {
-        Fig9Variant::DartPlusSyn => {
-            run_trace(
-                DartConfig::unlimited().with_syn(SynPolicy::Include),
-                packets,
-            )
-            .0
-        }
-        Fig9Variant::DartMinusSyn => run_trace(DartConfig::unlimited(), packets).0,
-        Fig9Variant::TcptracePlusSyn | Fig9Variant::TcptraceMinusSyn => {
-            let cfg = dart_baselines::TcpTraceConfig {
-                syn_policy: if v == Fig9Variant::TcptracePlusSyn {
-                    SynPolicy::Include
-                } else {
-                    SynPolicy::Skip
-                },
-                leg: Leg::External,
-                quadrant_quirk: true,
-            };
-            dart_baselines::run_tcptrace(cfg, packets).0
-        }
-    }
+    let (name, syn) = match v {
+        Fig9Variant::DartPlusSyn => ("dart", SynPolicy::Include),
+        Fig9Variant::DartMinusSyn => ("dart", SynPolicy::Skip),
+        Fig9Variant::TcptracePlusSyn => ("tcptrace-quirk", SynPolicy::Include),
+        Fig9Variant::TcptraceMinusSyn => ("tcptrace-quirk", SynPolicy::Skip),
+    };
+    run_engine(name, DartConfig::unlimited().with_syn(syn), packets).0
 }
 
 #[cfg(test)]

@@ -82,12 +82,7 @@ mod tests {
 
     fn samples(rtts: &[u64]) -> Vec<RttSample> {
         rtts.iter()
-            .map(|&r| RttSample {
-                flow: FlowKey::from_raw(1, 2, 3, 4),
-                eack: SeqNum(1),
-                rtt: r,
-                ts: 0,
-            })
+            .map(|&r| RttSample::new(FlowKey::from_raw(1, 2, 3, 4), SeqNum(1), r, 0))
             .collect()
     }
 

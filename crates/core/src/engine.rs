@@ -310,12 +310,12 @@ impl DartEngine {
                 if let Some(ts0) = hit {
                     self.stats.pt_matched += 1;
                     self.stats.samples += 1;
-                    sink.on_sample(RttSample {
-                        flow: data_flow,
-                        eack: pkt.ack,
-                        rtt: pkt.ts.saturating_sub(ts0),
-                        ts: pkt.ts,
-                    });
+                    sink.on_sample(RttSample::new(
+                        data_flow,
+                        pkt.ack,
+                        pkt.ts.saturating_sub(ts0),
+                        pkt.ts,
+                    ));
                 }
             }
             RtAckOutcome::Ruled(AckVerdict::DuplicateCollapse) => {
@@ -427,6 +427,32 @@ pub fn run_trace(cfg: DartConfig, packets: &[PacketMeta]) -> (Vec<RttSample>, En
     let mut samples = Vec::new();
     engine.process_trace(packets.iter(), &mut samples);
     (samples, *engine.stats())
+}
+
+impl crate::monitor::RttMonitor for DartEngine {
+    fn name(&self) -> &str {
+        "dart"
+    }
+
+    fn describe(&self) -> String {
+        "Dart: RT/PT tables with lazy eviction and second-chance recirculation (SIGCOMM '22)"
+            .to_string()
+    }
+
+    fn on_packet(&mut self, pkt: &PacketMeta, sink: &mut dyn SampleSink) {
+        self.process(pkt, sink);
+    }
+
+    /// Drains the recirculation loop; never emits samples (recirculated
+    /// records can only be evicted or reinserted), so a second flush finds
+    /// the loop empty and is a no-op.
+    fn flush(&mut self, _sink: &mut dyn SampleSink) {
+        DartEngine::flush(self);
+    }
+
+    fn stats(&self) -> EngineStats {
+        self.stats
+    }
 }
 
 // The engine in unlimited mode never evicts, so `PtMode::Unlimited` combined

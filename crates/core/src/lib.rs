@@ -40,6 +40,7 @@
 pub mod config;
 pub mod engine;
 pub mod filter;
+pub mod monitor;
 pub mod packet_tracker;
 pub mod pt_salu;
 pub mod range;
@@ -52,11 +53,14 @@ pub mod stats;
 pub use config::{DartConfig, Leg, PtMode, RtMode, SynPolicy};
 pub use engine::{run_trace, DartEngine, EngineEvent, EventSink, RecircFilter, RecirculateAll};
 pub use filter::{FlowFilter, FlowRule, PrefixMatch};
+pub use monitor::{run_monitor, run_monitor_slice, RttMonitor};
 pub use packet_tracker::{PacketTracker, PtInsert, PtRecord};
 pub use pt_salu::{SaluPtSlot, SlotRecord};
 pub use range::{AckVerdict, MeasurementRange, SeqVerdict};
 pub use range_tracker::{RangeTracker, RtAckOutcome, RtSeqOutcome};
 pub use rt_salu::SaluRangeTracker;
-pub use sample::{RttSample, SampleSink};
-pub use sharded::{run_trace_sharded, shard_of, ShardedConfig, ShardedDartEngine, ShardedRun};
+pub use sample::{RttSample, SampleSink, SampleWeight};
+pub use sharded::{
+    run_trace_sharded, shard_of, ShardedConfig, ShardedDartEngine, ShardedMonitor, ShardedRun,
+};
 pub use stats::EngineStats;

@@ -1,0 +1,143 @@
+//! The unified streaming engine contract: every RTT monitor — Dart, the
+//! sharded Dart, and each software baseline — behind one trait.
+//!
+//! # Contract
+//!
+//! A monitor consumes packets **in capture order**, one at a time, and
+//! pushes samples into a [`SampleSink`] as it discovers them. The driver
+//! promises:
+//!
+//! * `on_packet` is called once per packet, in order;
+//! * `flush` is called exactly once after the last packet (drivers may call
+//!   it again — implementations must make it **idempotent**: a second flush
+//!   emits nothing and changes no counters);
+//! * `stats` may be read at any time and reflects everything processed so
+//!   far.
+//!
+//! The monitor promises:
+//!
+//! * samples are emitted in a deterministic order for a given input: the
+//!   same packets through the same configuration produce a byte-identical
+//!   sample stream (the differential testkit depends on this);
+//! * per-packet engines emit during `on_packet`; engines that buffer
+//!   (the sharded fan-in, lean's end-of-trace estimates) emit during
+//!   `flush`, still deterministically ordered;
+//! * `stats` uses the shared [`EngineStats`] vocabulary. Baselines fill
+//!   only the counters that have a meaning for them (at minimum `packets`
+//!   and `samples`); Dart's loss-accounting counters stay zero and the
+//!   testkit asserts bounded loss only where the registry promises it.
+//!
+//! [`run_monitor`] drives any monitor from any
+//! [`PacketSource`] — the single helper that
+//! replaced the per-engine `process_trace` copies — so a monitor written
+//! against this trait gets native-trace, pcap, and simulated streaming
+//! (without trace materialization) for free.
+
+use crate::sample::{RttSample, SampleSink};
+use crate::stats::EngineStats;
+use dart_packet::{PacketError, PacketMeta, PacketSource, SliceSource};
+
+/// One streaming RTT measurement engine.
+pub trait RttMonitor {
+    /// Stable engine name (`dart`, `tcptrace`, ...): the registry key and
+    /// report row label.
+    fn name(&self) -> &str;
+
+    /// One-line human description for CLI listings.
+    fn describe(&self) -> String {
+        self.name().to_string()
+    }
+
+    /// Consume one packet in capture order, emitting any samples it closes.
+    fn on_packet(&mut self, pkt: &PacketMeta, sink: &mut dyn SampleSink);
+
+    /// End of stream: emit anything buffered (sharded fan-in, end-of-trace
+    /// estimates) and settle counters. Must be idempotent.
+    fn flush(&mut self, sink: &mut dyn SampleSink);
+
+    /// Counters so far, in the shared vocabulary.
+    fn stats(&self) -> EngineStats;
+}
+
+/// Drive a monitor over a packet source to exhaustion, then flush.
+///
+/// Returns the monitor's final counters; samples land in `sink`. This is
+/// the one place trace-driving lives — engines implement [`RttMonitor`],
+/// sources implement [`PacketSource`], and every driver (bench harness,
+/// differential runner, CLI) goes through here.
+pub fn run_monitor<M: RttMonitor + ?Sized, S: PacketSource>(
+    monitor: &mut M,
+    mut source: S,
+    sink: &mut dyn SampleSink,
+) -> Result<EngineStats, PacketError> {
+    while let Some(pkt) = source.next_packet()? {
+        monitor.on_packet(&pkt, sink);
+    }
+    monitor.flush(sink);
+    Ok(monitor.stats())
+}
+
+/// [`run_monitor`] over an in-memory trace, collecting into a fresh vector.
+/// Infallible: slice sources cannot error.
+pub fn run_monitor_slice<M: RttMonitor + ?Sized>(
+    monitor: &mut M,
+    packets: &[PacketMeta],
+) -> (Vec<RttSample>, EngineStats) {
+    let mut samples = Vec::new();
+    let stats = run_monitor(monitor, SliceSource::new(packets), &mut samples)
+        .expect("slice sources are infallible");
+    (samples, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DartConfig;
+    use crate::engine::{run_trace, DartEngine};
+    use dart_packet::{Direction, FlowKey, PacketBuilder};
+
+    fn handshake_free_exchange() -> Vec<PacketMeta> {
+        let flow = FlowKey::from_raw(0x0a00_0001, 44123, 0x5db8_d822, 443);
+        vec![
+            PacketBuilder::new(flow, 0)
+                .seq(0u32)
+                .payload(1460)
+                .dir(Direction::Outbound)
+                .build(),
+            PacketBuilder::new(flow.reverse(), 23_000_000)
+                .ack(1460u32)
+                .dir(Direction::Inbound)
+                .build(),
+        ]
+    }
+
+    #[test]
+    fn run_monitor_matches_run_trace_for_dart() {
+        let packets = handshake_free_exchange();
+        let (expect_samples, expect_stats) = run_trace(DartConfig::default(), &packets);
+        let mut engine = DartEngine::new(DartConfig::default());
+        let (samples, stats) = run_monitor_slice(&mut engine, &packets);
+        assert_eq!(samples, expect_samples);
+        assert_eq!(stats, expect_stats);
+        assert_eq!(samples.len(), 1);
+    }
+
+    #[test]
+    fn dart_flush_is_idempotent() {
+        let packets = handshake_free_exchange();
+        let mut engine = DartEngine::new(DartConfig::default());
+        let (samples, stats) = run_monitor_slice(&mut engine, &packets);
+        let mut extra = Vec::new();
+        RttMonitor::flush(&mut engine, &mut extra);
+        assert!(extra.is_empty(), "second flush must emit nothing");
+        assert_eq!(RttMonitor::stats(&engine), stats);
+        assert_eq!(samples.len(), 1);
+    }
+
+    #[test]
+    fn monitor_names_and_descriptions_render() {
+        let engine = DartEngine::new(DartConfig::default());
+        assert_eq!(engine.name(), "dart");
+        assert!(engine.describe().contains("Dart"));
+    }
+}

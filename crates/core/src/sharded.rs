@@ -37,13 +37,14 @@
 
 use crate::config::DartConfig;
 use crate::engine::{run_trace, DartEngine, EngineEvent};
-use crate::sample::RttSample;
+use crate::monitor::RttMonitor;
+use crate::sample::{RttSample, SampleSink};
 use crate::stats::EngineStats;
 use dart_packet::{FlowKey, PacketMeta};
 use std::cell::{Cell, RefCell};
 use std::rc::Rc;
-use std::sync::mpsc::{sync_channel, Receiver};
-use std::thread;
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::thread::{self, JoinHandle};
 
 /// Configuration of a sharded replay: the per-shard engine config plus the
 /// partitioning and hand-off parameters.
@@ -144,54 +145,159 @@ impl ShardedDartEngine {
     ///
     /// The calling thread acts as the feeder: it partitions packets by
     /// [`shard_of`], accumulates per-shard batches, and pushes them over
-    /// bounded channels while the workers drain. Workers are scoped to this
-    /// call — no thread outlives it.
+    /// bounded channels while the workers drain. Equivalent to driving a
+    /// [`ShardedMonitor`] over the slice; no worker outlives this call.
     pub fn run(&self, packets: &[PacketMeta]) -> ShardedRun {
-        let n = self.cfg.shards;
-        let flush_tag = packets.len() as u64;
-        let results: Vec<ShardResult> = thread::scope(|scope| {
-            let mut txs = Vec::with_capacity(n);
-            let mut handles = Vec::with_capacity(n);
-            for _ in 0..n {
-                let (tx, rx) = sync_channel::<Batch>(self.cfg.queue_depth);
-                let engine_cfg = self.cfg.engine;
-                txs.push(tx);
-                handles.push(scope.spawn(move || run_shard(engine_cfg, rx, flush_tag)));
-            }
+        let mut monitor = ShardedMonitor::new(self.cfg);
+        for pkt in packets {
+            monitor.feed(pkt);
+        }
+        monitor.into_run()
+    }
+}
 
-            let mut bufs: Vec<Batch> = (0..n)
-                .map(|_| Vec::with_capacity(self.cfg.batch_size))
-                .collect();
-            for (idx, pkt) in packets.iter().enumerate() {
-                let shard = shard_of(&pkt.flow, n);
-                bufs[shard].push((idx as u64, *pkt));
-                if bufs[shard].len() >= self.cfg.batch_size {
-                    let full = std::mem::replace(
-                        &mut bufs[shard],
-                        Vec::with_capacity(self.cfg.batch_size),
-                    );
-                    txs[shard].send(full).expect("shard worker hung up");
-                }
-            }
-            for (shard, buf) in bufs.into_iter().enumerate() {
+/// The streaming face of the flow-sharded engine: an [`RttMonitor`] whose
+/// `on_packet` partitions packets to worker threads as they arrive, so a
+/// sharded replay can consume any [`PacketSource`](dart_packet::PacketSource)
+/// without materializing the trace.
+///
+/// Samples cannot be emitted in deterministic merge order until every
+/// worker has finished, so this monitor buffers: `on_packet` emits nothing
+/// and the whole merged stream — ordered by (global packet index, shard
+/// id), byte-identical to [`ShardedDartEngine::run`] — is delivered on
+/// [`RttMonitor::flush`]. Memory for results is proportional to the sample
+/// count, not the trace length; in-flight packets stay bounded by
+/// `shards × queue_depth × batch_size`.
+pub struct ShardedMonitor {
+    cfg: ShardedConfig,
+    name: String,
+    txs: Vec<SyncSender<Batch>>,
+    handles: Vec<JoinHandle<ShardResult>>,
+    bufs: Vec<Batch>,
+    fed: u64,
+    done: Option<ShardedRun>,
+}
+
+impl ShardedMonitor {
+    /// Spawn the shard workers and stand ready to feed them.
+    pub fn new(cfg: ShardedConfig) -> ShardedMonitor {
+        assert!(cfg.shards >= 1, "need at least one shard");
+        assert!(cfg.batch_size >= 1, "batch size must be positive");
+        assert!(cfg.queue_depth >= 1, "queue depth must be positive");
+        let mut txs = Vec::with_capacity(cfg.shards);
+        let mut handles = Vec::with_capacity(cfg.shards);
+        for _ in 0..cfg.shards {
+            let (tx, rx) = sync_channel::<Batch>(cfg.queue_depth);
+            let engine_cfg = cfg.engine;
+            txs.push(tx);
+            handles.push(thread::spawn(move || run_shard(engine_cfg, rx)));
+        }
+        ShardedMonitor {
+            name: format!("dart-sharded-{}", cfg.shards),
+            bufs: (0..cfg.shards)
+                .map(|_| Vec::with_capacity(cfg.batch_size))
+                .collect(),
+            cfg,
+            txs,
+            handles,
+            fed: 0,
+            done: None,
+        }
+    }
+
+    /// Hand one packet to its shard (buffered into hand-off batches).
+    pub fn feed(&mut self, pkt: &PacketMeta) {
+        assert!(
+            self.done.is_none(),
+            "packet fed to a flushed ShardedMonitor"
+        );
+        let shard = shard_of(&pkt.flow, self.cfg.shards);
+        self.bufs[shard].push((self.fed, *pkt));
+        self.fed += 1;
+        if self.bufs[shard].len() >= self.cfg.batch_size {
+            let full = std::mem::replace(
+                &mut self.bufs[shard],
+                Vec::with_capacity(self.cfg.batch_size),
+            );
+            self.txs[shard].send(full).expect("shard worker hung up");
+        }
+    }
+
+    /// Close the channels, join the workers, and cache the merged result.
+    fn finish(&mut self) -> &ShardedRun {
+        if self.done.is_none() {
+            let txs = std::mem::take(&mut self.txs);
+            for (buf, tx) in std::mem::take(&mut self.bufs).into_iter().zip(&txs) {
                 if !buf.is_empty() {
-                    txs[shard].send(buf).expect("shard worker hung up");
+                    tx.send(buf).expect("shard worker hung up");
                 }
             }
             // Closing the senders ends each worker's receive loop.
             drop(txs);
-            handles
+            let results: Vec<ShardResult> = std::mem::take(&mut self.handles)
                 .into_iter()
                 .map(|h| h.join().expect("shard worker panicked"))
-                .collect()
-        });
+                .collect();
+            self.done = Some(merge(results));
+        }
+        self.done.as_ref().expect("just set")
+    }
 
-        merge(results)
+    /// Finish the run (if not already flushed) and take the full merged
+    /// output, events and per-shard counters included.
+    pub fn into_run(mut self) -> ShardedRun {
+        self.finish();
+        self.done.take().expect("finish caches the run")
     }
 }
 
+impl RttMonitor for ShardedMonitor {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "Dart partitioned across {} symmetric-hash flow shards, deterministic fan-in merge",
+            self.cfg.shards
+        )
+    }
+
+    fn on_packet(&mut self, pkt: &PacketMeta, _sink: &mut dyn SampleSink) {
+        self.feed(pkt);
+    }
+
+    /// First flush joins the workers and emits the merged sample stream;
+    /// later flushes emit nothing.
+    fn flush(&mut self, sink: &mut dyn SampleSink) {
+        let first = self.done.is_none();
+        let run = self.finish();
+        if first {
+            for s in &run.samples {
+                sink.on_sample(*s);
+            }
+        }
+    }
+
+    /// Before `flush`, only the feeder-side packet count is known (shard
+    /// counters live on the workers); after, the fully merged counters.
+    fn stats(&self) -> EngineStats {
+        match &self.done {
+            Some(run) => run.stats,
+            None => EngineStats {
+                packets: self.fed,
+                ..EngineStats::default()
+            },
+        }
+    }
+}
+
+/// Flush-time entries sort after every real packet index, exactly like the
+/// old end-of-trace tag, without needing to know the trace length up front.
+const FLUSH_TAG: u64 = u64::MAX;
+
 /// Worker body: one engine, fed batches until the channel closes.
-fn run_shard(cfg: DartConfig, rx: Receiver<Batch>, flush_tag: u64) -> ShardResult {
+fn run_shard(cfg: DartConfig, rx: Receiver<Batch>) -> ShardResult {
     let mut engine = DartEngine::new(cfg);
     // The event sink is installed once but must tag events with the packet
     // being processed; share the current index through a cell.
@@ -211,7 +317,7 @@ fn run_shard(cfg: DartConfig, rx: Receiver<Batch>, flush_tag: u64) -> ShardResul
             engine.process(&pkt, &mut sink);
         }
     }
-    current.set(flush_tag);
+    current.set(FLUSH_TAG);
     engine.flush();
     let stats = *engine.stats();
     drop(engine); // releases its clone of the event sink's Rc
@@ -371,6 +477,29 @@ mod tests {
         .run(&pkts);
         let (serial, _) = run_trace(DartConfig::unlimited(), &pkts);
         assert_eq!(out.samples, serial);
+    }
+
+    #[test]
+    fn streaming_monitor_matches_batch_run() {
+        let pkts = trace(30, 5);
+        let cfg = ShardedConfig::new(DartConfig::default(), 4).with_batch_size(16);
+        let batch = ShardedDartEngine::new(cfg).run(&pkts);
+
+        let mut monitor = ShardedMonitor::new(cfg);
+        let mut streamed = Vec::new();
+        for p in &pkts {
+            monitor.on_packet(p, &mut streamed);
+        }
+        assert!(streamed.is_empty(), "sharded output is deferred to flush");
+        // stats() before flush: feeder-side packet count only.
+        assert_eq!(RttMonitor::stats(&monitor).packets, pkts.len() as u64);
+        monitor.flush(&mut streamed);
+        assert_eq!(streamed, batch.samples);
+        assert_eq!(RttMonitor::stats(&monitor), batch.stats);
+        // Idempotent: a second flush emits nothing and keeps the counters.
+        monitor.flush(&mut streamed);
+        assert_eq!(streamed, batch.samples);
+        assert_eq!(RttMonitor::stats(&monitor), batch.stats);
     }
 
     #[test]

@@ -29,6 +29,7 @@ pub mod parse;
 pub mod payload;
 pub mod pcap;
 pub mod seq;
+pub mod source;
 pub mod tcp;
 pub mod trace;
 
@@ -36,4 +37,5 @@ pub use error::PacketError;
 pub use flow::{FlowKey, FlowSignature, PacketId, SignatureWidth};
 pub use meta::{Direction, Nanos, PacketBuilder, PacketMeta, MICROSECOND, MILLISECOND, SECOND};
 pub use seq::SeqNum;
+pub use source::{IterSource, PacketSource, PcapSource, SliceSource};
 pub use tcp::TcpFlags;

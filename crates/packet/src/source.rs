@@ -1,0 +1,223 @@
+//! Streaming packet sources: feed a monitor without materializing a trace.
+//!
+//! A [`PacketSource`] yields [`PacketMeta`] one packet at a time in capture
+//! order, so engines can process traces far larger than RAM. Sources exist
+//! for every place packets come from:
+//!
+//! * [`SliceSource`] — an in-memory trace (tests, the bench harness);
+//! * [`IterSource`] — any infallible packet iterator (simulators);
+//! * [`TraceReader`] — the native on-disk format, already record-streaming;
+//! * [`PcapSource`] — a pcap capture, parsed and direction-classified on
+//!   the fly, skipping non-TCP frames like the hardware parser would.
+//!
+//! The contract is deliberately minimal: `next_packet` returns `Ok(Some)`
+//! per packet in order, `Ok(None)` exactly once at end of stream (and on
+//! every call after), or an I/O / format error. [`PacketSource::next_chunk`]
+//! batches that into a reusable buffer for consumers that amortize
+//! per-packet dispatch (the sharded engine's feeder), with a default
+//! implementation in terms of `next_packet` so sources only write one
+//! method.
+
+use crate::error::PacketError;
+use crate::meta::PacketMeta;
+use crate::parse::{parse_ethernet_frame, DirectionClassifier};
+use crate::pcap::PcapReader;
+use crate::trace::TraceReader;
+use std::io::Read;
+
+/// A stream of packets in capture order.
+pub trait PacketSource {
+    /// The next packet, `Ok(None)` at (and after) end of stream.
+    fn next_packet(&mut self) -> Result<Option<PacketMeta>, PacketError>;
+
+    /// Fill `buf` (cleared first) with up to `max` packets; returns how
+    /// many were read. Zero means end of stream. Lets chunked consumers
+    /// reuse one allocation instead of collecting the whole trace.
+    fn next_chunk(&mut self, buf: &mut Vec<PacketMeta>, max: usize) -> Result<usize, PacketError> {
+        buf.clear();
+        while buf.len() < max {
+            match self.next_packet()? {
+                Some(p) => buf.push(p),
+                None => break,
+            }
+        }
+        Ok(buf.len())
+    }
+}
+
+/// A source over a borrowed, fully materialized trace.
+#[derive(Clone, Debug)]
+pub struct SliceSource<'a> {
+    packets: &'a [PacketMeta],
+    next: usize,
+}
+
+impl<'a> SliceSource<'a> {
+    /// Stream `packets` in order.
+    pub fn new(packets: &'a [PacketMeta]) -> Self {
+        SliceSource { packets, next: 0 }
+    }
+
+    /// Packets not yet yielded.
+    pub fn remaining(&self) -> usize {
+        self.packets.len() - self.next
+    }
+}
+
+impl PacketSource for SliceSource<'_> {
+    fn next_packet(&mut self) -> Result<Option<PacketMeta>, PacketError> {
+        let p = self.packets.get(self.next).copied();
+        if p.is_some() {
+            self.next += 1;
+        }
+        Ok(p)
+    }
+}
+
+impl<'a> From<&'a [PacketMeta]> for SliceSource<'a> {
+    fn from(packets: &'a [PacketMeta]) -> Self {
+        SliceSource::new(packets)
+    }
+}
+
+impl<'a> From<&'a Vec<PacketMeta>> for SliceSource<'a> {
+    fn from(packets: &'a Vec<PacketMeta>) -> Self {
+        SliceSource::new(packets)
+    }
+}
+
+/// A source over any infallible packet iterator (generators, simulators).
+#[derive(Clone, Debug)]
+pub struct IterSource<I> {
+    iter: I,
+}
+
+impl<I: Iterator<Item = PacketMeta>> IterSource<I> {
+    /// Stream the iterator's packets in order.
+    pub fn new(iter: I) -> Self {
+        IterSource { iter }
+    }
+}
+
+impl<I: Iterator<Item = PacketMeta>> PacketSource for IterSource<I> {
+    fn next_packet(&mut self) -> Result<Option<PacketMeta>, PacketError> {
+        Ok(self.iter.next())
+    }
+}
+
+/// The native trace format already reads record-by-record, so the reader
+/// itself is a source.
+impl<R: Read> PacketSource for TraceReader<R> {
+    fn next_packet(&mut self) -> Result<Option<PacketMeta>, PacketError> {
+        TraceReader::next_packet(self)
+    }
+}
+
+/// A streaming pcap source: each record is parsed and direction-classified
+/// as it is read. Frames the monitor would not see (non-TCP, fragments,
+/// truncated) are skipped and counted, matching the batch
+/// `load_pcap` semantics.
+pub struct PcapSource<R: Read, C: DirectionClassifier> {
+    reader: PcapReader<R>,
+    classifier: C,
+    skipped: u64,
+}
+
+impl<R: Read, C: DirectionClassifier> PcapSource<R, C> {
+    /// Open a pcap stream; fails on a bad global header.
+    pub fn new(input: R, classifier: C) -> Result<Self, PacketError> {
+        Ok(PcapSource {
+            reader: PcapReader::new(input)?,
+            classifier,
+            skipped: 0,
+        })
+    }
+
+    /// Frames skipped so far as unparseable/unmonitored.
+    pub fn skipped(&self) -> u64 {
+        self.skipped
+    }
+}
+
+impl<R: Read, C: DirectionClassifier> PacketSource for PcapSource<R, C> {
+    fn next_packet(&mut self) -> Result<Option<PacketMeta>, PacketError> {
+        loop {
+            let rec = match self.reader.next_record()? {
+                Some(rec) => rec,
+                None => return Ok(None),
+            };
+            match parse_ethernet_frame(rec.ts, &rec.data, &self.classifier) {
+                Ok(meta) => return Ok(Some(meta)),
+                Err(PacketError::Unsupported { .. }) | Err(PacketError::Truncated { .. }) => {
+                    self.skipped += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flow::FlowKey;
+    use crate::meta::PacketBuilder;
+
+    fn pkt(ts: u64) -> PacketMeta {
+        let flow = FlowKey::from_raw(0x0a00_0001, 443, 0xc0a8_0001, 55_000);
+        PacketBuilder::new(flow, ts)
+            .seq(ts as u32)
+            .payload(100)
+            .build()
+    }
+
+    #[test]
+    fn slice_source_streams_in_order_and_ends() {
+        let packets = vec![pkt(1), pkt(2), pkt(3)];
+        let mut src = SliceSource::new(&packets);
+        assert_eq!(src.remaining(), 3);
+        assert_eq!(src.next_packet().unwrap(), Some(packets[0]));
+        assert_eq!(src.next_packet().unwrap(), Some(packets[1]));
+        assert_eq!(src.next_packet().unwrap(), Some(packets[2]));
+        assert_eq!(src.next_packet().unwrap(), None);
+        // End of stream is sticky.
+        assert_eq!(src.next_packet().unwrap(), None);
+    }
+
+    #[test]
+    fn next_chunk_reuses_buffer_and_reports_counts() {
+        let packets: Vec<PacketMeta> = (0..5).map(pkt).collect();
+        let mut src = SliceSource::new(&packets);
+        let mut buf = Vec::new();
+        assert_eq!(src.next_chunk(&mut buf, 2).unwrap(), 2);
+        assert_eq!(buf, &packets[0..2]);
+        assert_eq!(src.next_chunk(&mut buf, 2).unwrap(), 2);
+        assert_eq!(buf, &packets[2..4]);
+        assert_eq!(src.next_chunk(&mut buf, 2).unwrap(), 1);
+        assert_eq!(buf, &packets[4..5]);
+        assert_eq!(src.next_chunk(&mut buf, 2).unwrap(), 0);
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn iter_source_wraps_generators() {
+        let mut src = IterSource::new((0..3).map(pkt));
+        let mut seen = Vec::new();
+        while let Some(p) = src.next_packet().unwrap() {
+            seen.push(p.ts);
+        }
+        assert_eq!(seen, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn trace_reader_source_round_trips() {
+        let packets: Vec<PacketMeta> = (0..10).map(pkt).collect();
+        let bytes = crate::trace::to_bytes(&packets);
+        let mut src = TraceReader::new(&bytes[..]).unwrap();
+        let mut back = Vec::new();
+        while let Some(p) = PacketSource::next_packet(&mut src).unwrap() {
+            back.push(p);
+        }
+        assert_eq!(back, packets);
+    }
+}

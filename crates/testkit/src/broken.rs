@@ -1,6 +1,7 @@
 //! A deliberately unsound engine: the differential harness's canary.
 //!
-//! The skewed runner executes the real [`DartEngine`] and then adds a
+//! The skewed runner executes the real [`DartEngine`](dart_core::DartEngine)
+//! and then adds a
 //! constant to every emitted RTT. The resulting samples anchor to no
 //! captured transmission, so the oracle classifies them as
 //! [`Impossible`](crate::oracle::SampleClass::Impossible) — exactly the

@@ -1,10 +1,12 @@
 //! The differential runner: every implementation, one faulted capture, two
 //! invariants.
 //!
-//! For a given (possibly faulted) trace the runner executes the serial
-//! [`DartEngine`], the [`ShardedDartEngine`] at each requested shard count,
-//! and the `tcptrace` / `fridge` baselines, scores each sample stream
-//! against the [`oracle`](crate::oracle), and checks:
+//! For a given (possibly faulted) trace the runner resolves each configured
+//! engine through the [`EngineRegistry`] — the serial `dart`, `dart-sharded-N`
+//! at each requested shard count, and any requested baselines — streams the
+//! trace through the common [`RttMonitor`](dart_core::RttMonitor) path,
+//! scores each sample stream against the [`oracle`](crate::oracle), and
+//! checks the invariants each entry's [`Judgement`] promises:
 //!
 //! * **Soundness** — the engine emits no sample the oracle classifies as
 //!   [`Impossible`](crate::oracle::SampleClass::Impossible). Table pressure
@@ -25,8 +27,8 @@
 
 use crate::faults::{FaultConfig, FaultInjector, FaultLog};
 use crate::oracle::{run_oracle, OracleConfig, OracleReport, ScoreCard};
-use dart_baselines::{run_tcptrace, Fridge, FridgeConfig, TcpTraceConfig};
-use dart_core::{run_trace, run_trace_sharded, DartConfig, EngineStats, RttSample};
+use dart_baselines::{EngineRegistry, Judgement};
+use dart_core::{run_monitor_slice, DartConfig, EngineStats, RttSample};
 use dart_packet::PacketMeta;
 use dart_sim::TraceTransform;
 use std::fmt;
@@ -34,15 +36,20 @@ use std::fmt;
 /// What to run and how strictly to judge it.
 #[derive(Clone, Debug)]
 pub struct DiffConfig {
-    /// Engine configuration shared by the serial and sharded runs.
+    /// Engine configuration shared by every run (baselines map the fields
+    /// that mean something to them — see the registry).
     pub engine: DartConfig,
-    /// Shard counts to exercise (1 = the serial fast path).
+    /// Shard counts to exercise (1 = the serial engine; N > 1 resolves to
+    /// the registry's `dart-sharded-N`).
     pub shards: Vec<usize>,
     /// Impossible samples tolerated per Dart run. Zero for 32-bit
     /// signatures; small and explicit for aliasing sweeps (W16).
     pub impossible_budget: u64,
-    /// Also score the `tcptrace` and `fridge` baselines.
+    /// Also score the engines in `baseline_engines`.
     pub baselines: bool,
+    /// Registry names of the non-Dart engines to score when `baselines` is
+    /// set. Defaults to the report's historical rows.
+    pub baseline_engines: Vec<String>,
 }
 
 impl Default for DiffConfig {
@@ -52,20 +59,43 @@ impl Default for DiffConfig {
             shards: vec![1, 4],
             impossible_budget: 0,
             baselines: true,
+            baseline_engines: vec!["tcptrace".to_string(), "fridge".to_string()],
         }
+    }
+}
+
+impl DiffConfig {
+    /// The registry names this configuration runs, in report order.
+    pub fn engine_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .shards
+            .iter()
+            .map(|&s| {
+                if s <= 1 {
+                    "dart".to_string()
+                } else {
+                    format!("dart-sharded-{s}")
+                }
+            })
+            .collect();
+        if self.baselines {
+            names.extend(self.baseline_engines.iter().cloned());
+        }
+        names
     }
 }
 
 /// One implementation's verdict against the oracle.
 #[derive(Clone, Debug)]
 pub struct EngineOutcome {
-    /// Display name (`dart`, `dart-sharded-4`, `tcptrace`, `fridge`).
+    /// Registry name (`dart`, `dart-sharded-4`, `tcptrace`, `fridge`, …).
     pub name: String,
     /// Sample classification and precision/recall accounting.
     pub card: ScoreCard,
-    /// Engine counters (None for baselines).
+    /// Engine counters (baselines fill only the subset they track).
     pub stats: Option<EngineStats>,
-    /// Bounded-loss budget derived from `stats` (None for baselines).
+    /// Bounded-loss budget derived from `stats` (only for engines whose
+    /// judgement asserts bounded loss).
     pub loss_budget: Option<u64>,
     /// Soundness verdict; `None` means not asserted for this runner.
     pub sound: Option<bool>,
@@ -161,29 +191,60 @@ pub fn loss_budget(stats: &EngineStats) -> u64 {
         + stats.seq_wraparound
 }
 
+/// Score one sample stream and apply the invariants the engine's registry
+/// [`Judgement`] promises. Everything engine-specific lives in the registry
+/// metadata; this function is the same for every runner.
 fn judge_engine(
     name: String,
+    judgement: Judgement,
     samples: &[RttSample],
     stats: EngineStats,
     oracle: &OracleReport,
     impossible_budget: u64,
 ) -> EngineOutcome {
     let card = oracle.score(samples);
-    let budget = loss_budget(&stats);
+    let (sound, loss_bounded, budget) = match judgement {
+        // Dart matches exact left edges only, so a cross-anchored sample
+        // is as much a bug as a fabricated one — and every miss must fit
+        // the engine's own loss counters.
+        Judgement::ExactAnchored => {
+            let budget = loss_budget(&stats);
+            (
+                Some(card.impossible + card.cross_anchored <= impossible_budget),
+                Some(card.missed() <= budget),
+                Some(budget),
+            )
+        }
+        // Real transmission times stored, so fabricated samples are bugs;
+        // no loss accounting, and cross-anchoring is legitimate
+        // (cumulative ACK semantics).
+        Judgement::Anchored => (Some(card.impossible == 0), None, None),
+        // Aliases flows or measures a different clock by design: scored
+        // for the record, never asserted.
+        Judgement::Reported => (None, None, None),
+    };
     EngineOutcome {
         name,
-        // Dart matches exact left edges only, so a cross-anchored sample
-        // is as much a bug as a fabricated one.
-        sound: Some(card.impossible + card.cross_anchored <= impossible_budget),
-        loss_bounded: Some(card.missed() <= budget),
+        sound,
+        loss_bounded,
         card,
         stats: Some(stats),
-        loss_budget: Some(budget),
+        loss_budget: budget,
     }
 }
 
 /// Run every configured implementation over `packets` (already faulted or
 /// clean) and judge them against the oracle.
+///
+/// Engines are resolved through the [`EngineRegistry`]: each outcome comes
+/// from the same streaming path ([`run_monitor_slice`]) and is judged by the
+/// [`Judgement`] its registry entry declares — there is no per-engine glue
+/// here.
+///
+/// # Panics
+///
+/// Panics when a name in `cfg` is not in the registry; validate user input
+/// with [`EngineRegistry::build`] before constructing a [`DiffConfig`].
 pub fn run_diff(cfg: &DiffConfig, packets: &[PacketMeta]) -> DiffReport {
     let oracle = run_oracle(
         OracleConfig {
@@ -193,20 +254,16 @@ pub fn run_diff(cfg: &DiffConfig, packets: &[PacketMeta]) -> DiffReport {
         packets,
     );
 
+    let registry = EngineRegistry::standard();
     let mut outcomes = Vec::new();
-    for &shards in &cfg.shards {
-        let (samples, stats) = if shards <= 1 {
-            run_trace(cfg.engine, packets)
-        } else {
-            run_trace_sharded(cfg.engine, shards, packets)
-        };
-        let name = if shards <= 1 {
-            "dart".to_string()
-        } else {
-            format!("dart-sharded-{shards}")
-        };
+    for name in cfg.engine_names() {
+        let mut built = registry
+            .build(&name, &cfg.engine)
+            .unwrap_or_else(|e| panic!("diff config: {e}"));
+        let (samples, stats) = run_monitor_slice(built.monitor.as_mut(), packets);
         outcomes.push(judge_engine(
             name,
+            built.judgement,
             &samples,
             stats,
             &oracle,
@@ -214,68 +271,11 @@ pub fn run_diff(cfg: &DiffConfig, packets: &[PacketMeta]) -> DiffReport {
         ));
     }
 
-    if cfg.baselines {
-        let (tt_samples, _) = run_tcptrace(
-            TcpTraceConfig {
-                syn_policy: cfg.engine.syn_policy,
-                leg: cfg.engine.leg,
-                quadrant_quirk: false,
-            },
-            packets,
-        );
-        let card = oracle.score(&tt_samples);
-        outcomes.push(EngineOutcome {
-            name: "tcptrace".to_string(),
-            // tcptrace stores real transmission timestamps, so it promises
-            // anchored samples: soundness is asserted, loss is not (it has
-            // no loss-accounting counters).
-            sound: Some(card.impossible == 0),
-            loss_bounded: None,
-            card,
-            stats: None,
-            loss_budget: None,
-        });
-
-        let fr_samples = fridge_samples_with_ts(cfg, packets);
-        let card = oracle.score(&fr_samples);
-        outcomes.push(EngineOutcome {
-            name: "fridge".to_string(),
-            // Fridge aliases flows by design (single-slot hashing, no
-            // retransmission exclusion): scored, never asserted.
-            sound: None,
-            loss_bounded: None,
-            card,
-            stats: None,
-            loss_budget: None,
-        });
-    }
-
     DiffReport {
         oracle_valid: oracle.valid_count() as u64,
         outcomes,
         faults: None,
     }
-}
-
-fn fridge_samples_with_ts(cfg: &DiffConfig, packets: &[PacketMeta]) -> Vec<RttSample> {
-    let mut fridge = Fridge::new(FridgeConfig {
-        syn_policy: cfg.engine.syn_policy,
-        leg: cfg.engine.leg,
-        ..FridgeConfig::default()
-    });
-    let mut out = Vec::new();
-    for p in packets {
-        let ts = p.ts;
-        fridge.process(p, &mut |w| {
-            out.push(RttSample {
-                flow: w.flow,
-                eack: w.eack,
-                rtt: w.rtt,
-                ts,
-            });
-        });
-    }
-    out
 }
 
 /// Apply a seeded fault configuration to `packets`, then run the

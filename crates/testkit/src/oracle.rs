@@ -303,12 +303,12 @@ pub fn run_oracle(cfg: OracleConfig, packets: &[PacketMeta]) -> OracleReport {
                         let unique = info.times.len() == 1 && !info.tainted;
                         let sent = info.times[0];
                         if unique && !st.collapsed_between(sent, pkt.ts) {
-                            valid.push(RttSample {
-                                flow: data_flow,
-                                eack: pkt.ack,
-                                rtt: pkt.ts.saturating_sub(sent),
-                                ts: pkt.ts,
-                            });
+                            valid.push(RttSample::new(
+                                data_flow,
+                                pkt.ack,
+                                pkt.ts.saturating_sub(sent),
+                                pkt.ts,
+                            ));
                         }
                     }
                     st.acked = Some(ack_u);
@@ -442,12 +442,7 @@ mod tests {
         );
         // An engine matching the first transmission is ambiguous, not
         // impossible.
-        let s = RttSample {
-            flow: f,
-            eack: SeqNum(100),
-            rtt: 9_000,
-            ts: 9_000,
-        };
+        let s = RttSample::new(f, SeqNum(100), 9_000, 9_000);
         assert_eq!(rep.classify(&s), SampleClass::Ambiguous);
         // A fabricated RTT matches no transmission.
         let bad = RttSample { rtt: 1234, ..s };

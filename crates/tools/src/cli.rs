@@ -75,20 +75,28 @@ COMMANDS:
     generate <out.pcap|out.trace>   synthesize a campus-style trace
         --connections N   (default 500)     --duration-secs S (default 10)
         --seed X          (default 0xDA27)
-    analyze <input>                 run Dart, print RTT report
+    analyze <input>                 run one engine, print RTT report
+        --engine NAME     (any registered engine, default dart;
+                           dart-sharded-N follows --shards)
         --leg external|internal|both (default external)
         --pt N (slots, default 131072)  --stages K (default 1)
         --rt N (slots, default 1048576) --max-recirc R (default 1)
         --shards N (flow-sharded parallel engines, default 1 = serial)
         --csv <path>      dump per-sample CSV
-    compare <input>                 Dart vs tcptrace/strawman/pping/dapper
+    compare <input>                 registered engines side by side
+        --engine NAME[,NAME...]|all (default all)
     detect <input>                  min-RTT change detection (attack alarm)
         --window N (samples, default 8)  --ratio F (default 2.0)
     diff <input>                    engines vs. ground-truth oracle (testkit)
+        --engine NAME[,NAME...]|all (extra engines beside the Dart rows,
+                           default tcptrace,fridge)
         --shards N        (also run flow-sharded engine, default 4)
         --fault-seed X    (inject seeded drop/dup/reorder faults first)
         --impossible-budget B (tolerated fabricated samples, default 0)
         plus the analyze engine flags (--leg/--pt/--rt/--stages/--max-recirc)
+
+Engines are resolved from the shared registry: dart, dart-sharded-N,
+tcptrace, tcptrace-quirk, fridge, pping, dapper, strawman, seglist, lean.
     resources                       Table-1 style resource report
     help                            this text
 

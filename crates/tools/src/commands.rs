@@ -4,11 +4,8 @@
 use crate::cli::{Command, Options, USAGE};
 use crate::io::{load_file, parse_prefix, save_file};
 use dart_analytics::{ChangeDetector, ChangeDetectorConfig, RttDistribution, Verdict};
-use dart_baselines::{
-    run_tcptrace, Dapper, DapperConfig, Pping, PpingConfig, Strawman, StrawmanConfig,
-    TcpTraceConfig,
-};
-use dart_core::{run_trace_sharded, DartConfig, Leg, RttSample};
+use dart_baselines::EngineRegistry;
+use dart_core::{run_monitor_slice, DartConfig, Leg};
 use dart_packet::SECOND;
 use dart_sim::scenario::{campus, CampusConfig};
 use dart_switch::{dart_program, estimate, DartProgramParams, TargetProfile};
@@ -70,6 +67,33 @@ fn engine_config(opts: &Options) -> Result<DartConfig, String> {
         .with_max_recirc(max_recirc))
 }
 
+/// Expand an `--engine` flag into validated registry names: a single name,
+/// a comma-separated list, or `all` (every statically registered engine).
+fn engine_selection(
+    opts: &Options,
+    registry: &EngineRegistry,
+    default: &str,
+) -> Result<Vec<String>, String> {
+    let spec = opts.get("engine").unwrap_or(default);
+    let names: Vec<String> = if spec == "all" {
+        registry.names().iter().map(|s| s.to_string()).collect()
+    } else {
+        spec.split(',')
+            .map(|s| s.trim().to_string())
+            .filter(|s| !s.is_empty())
+            .collect()
+    };
+    if names.is_empty() {
+        return Err("--engine: empty selection".to_string());
+    }
+    for name in &names {
+        registry
+            .judgement(name)
+            .map_err(|e| format!("--engine: {e}"))?;
+    }
+    Ok(names)
+}
+
 fn analyze(input: &str, opts: &Options) -> Result<String, String> {
     let (packets, skipped) = load_file(input, internal_prefix(opts)?)?;
     let cfg = engine_config(opts)?;
@@ -77,7 +101,18 @@ fn analyze(input: &str, opts: &Options) -> Result<String, String> {
     if shards == 0 {
         return Err("--shards must be at least 1".to_string());
     }
-    let (samples, stats) = run_trace_sharded(cfg, shards, &packets);
+    let default_engine = if shards <= 1 {
+        "dart".to_string()
+    } else {
+        format!("dart-sharded-{shards}")
+    };
+    let registry = EngineRegistry::standard();
+    let engine = opts.get("engine").unwrap_or(&default_engine).to_string();
+    registry
+        .judgement(&engine)
+        .map_err(|e| format!("--engine: {e}"))?;
+    let mut built = registry.build(&engine, &cfg)?;
+    let (samples, stats) = run_monitor_slice(built.monitor.as_mut(), &packets);
 
     if let Some(csv) = opts.get("csv") {
         let mut text = String::from("ts_ns,src,sport,dst,dport,eack,rtt_ns\n");
@@ -106,6 +141,7 @@ fn analyze(input: &str, opts: &Options) -> Result<String, String> {
         packets.len()
     )
     .unwrap();
+    writeln!(out, "engine            : {}", built.monitor.describe()).unwrap();
     writeln!(
         out,
         "config            : {:?} leg, PT {:?}, RT {:?}, recirc<={}, shards={shards}",
@@ -128,6 +164,9 @@ fn analyze(input: &str, opts: &Options) -> Result<String, String> {
 
 fn compare(input: &str, opts: &Options) -> Result<String, String> {
     let (packets, _) = load_file(input, internal_prefix(opts)?)?;
+    let cfg = engine_config(opts)?;
+    let registry = EngineRegistry::standard();
+    let names = engine_selection(opts, &registry, "all")?;
     let mut out = String::new();
     writeln!(
         out,
@@ -135,8 +174,9 @@ fn compare(input: &str, opts: &Options) -> Result<String, String> {
         "tool", "samples", "p50 (ms)", "p99 (ms)"
     )
     .unwrap();
-
-    let mut row = |name: &str, samples: Vec<RttSample>| {
+    for name in names {
+        let mut built = registry.build(&name, &cfg)?;
+        let (samples, _) = run_monitor_slice(built.monitor.as_mut(), &packets);
         let mut d = RttDistribution::from_samples(samples.iter().map(|s| s.rtt));
         writeln!(
             out,
@@ -146,30 +186,7 @@ fn compare(input: &str, opts: &Options) -> Result<String, String> {
             d.percentile(99.0).unwrap_or(0) as f64 / 1e6
         )
         .expect("string write");
-    };
-
-    let (dart, _) = dart_core::run_trace(DartConfig::unlimited(), &packets);
-    row("dart (unlimited)", dart);
-    let cfg = DartConfig::default().with_rt(1 << 16).with_pt(1 << 14, 1);
-    let (dart_hw, _) = dart_core::run_trace(cfg, &packets);
-    row("dart (constrained)", dart_hw);
-    let (tt, _) = run_tcptrace(TcpTraceConfig::default(), &packets);
-    row("tcptrace", tt);
-    let mut sm = Strawman::new(StrawmanConfig {
-        slots: 1 << 14,
-        ..StrawmanConfig::default()
-    });
-    let mut v: Vec<RttSample> = Vec::new();
-    sm.process_trace(packets.iter(), &mut v);
-    row("strawman", v);
-    let mut dp = Dapper::new(DapperConfig::default());
-    let mut v: Vec<RttSample> = Vec::new();
-    dp.process_trace(packets.iter(), &mut v);
-    row("dapper", v);
-    let mut pp = Pping::new(PpingConfig::default());
-    let mut v: Vec<RttSample> = Vec::new();
-    pp.process_trace(packets.iter(), &mut v);
-    row("pping", v);
+    }
     Ok(out)
 }
 
@@ -179,15 +196,34 @@ fn diff(input: &str, opts: &Options) -> Result<String, String> {
     if shards == 0 {
         return Err("--shards must be at least 1".to_string());
     }
+    let registry = EngineRegistry::standard();
+    let selection = engine_selection(opts, &registry, "tcptrace,fridge")?;
+    let shard_list = if shards == 1 {
+        vec![1]
+    } else {
+        vec![1, shards]
+    };
+    let shard_names: Vec<String> = shard_list
+        .iter()
+        .map(|&s| {
+            if s <= 1 {
+                "dart".to_string()
+            } else {
+                format!("dart-sharded-{s}")
+            }
+        })
+        .collect();
+    // The Dart rows come from --shards; --engine adds everything else.
+    let baseline_engines: Vec<String> = selection
+        .into_iter()
+        .filter(|n| !shard_names.contains(n))
+        .collect();
     let cfg = DiffConfig {
         engine: engine_config(opts)?,
-        shards: if shards == 1 {
-            vec![1]
-        } else {
-            vec![1, shards]
-        },
+        shards: shard_list,
         impossible_budget: opts.get_num("impossible-budget", 0u64)?,
-        baselines: true,
+        baselines: !baseline_engines.is_empty(),
+        baseline_engines,
     };
     let report = match opts.get("fault-seed") {
         None => run_diff(&cfg, &packets),
@@ -307,12 +343,49 @@ mod tests {
         assert!(report.contains("p50"));
 
         let report = run_line(&["compare", &path]).unwrap();
-        assert!(report.contains("dart (unlimited)"));
-        assert!(report.contains("tcptrace"));
-        assert!(report.contains("pping"));
+        for name in [
+            "dart",
+            "dart-sharded-4",
+            "tcptrace",
+            "pping",
+            "seglist",
+            "lean",
+        ] {
+            assert!(report.contains(name), "missing {name} in:\n{report}");
+        }
 
         let report = run_line(&["detect", &path]).unwrap();
         assert!(report.contains("samples:"));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn engine_flag_selects_registry_entries() {
+        let path = tmp("dartmon_engine.trace");
+        run_line(&[
+            "generate",
+            &path,
+            "--connections",
+            "40",
+            "--duration-secs",
+            "2",
+        ])
+        .unwrap();
+        let report = run_line(&["analyze", &path, "--engine", "pping"]).unwrap();
+        assert!(report.contains("pping"), "{report}");
+        let report = run_line(&["compare", &path, "--engine", "dart,tcptrace"]).unwrap();
+        assert!(
+            report.contains("tcptrace") && !report.contains("fridge"),
+            "{report}"
+        );
+        let report = run_line(&["diff", &path, "--engine", "all"]).unwrap();
+        for name in ["dart", "tcptrace-quirk", "strawman", "lean", "verdict"] {
+            assert!(report.contains(name), "missing {name} in:\n{report}");
+        }
+        let err = run_line(&["analyze", &path, "--engine", "nonsense"]).unwrap_err();
+        assert!(err.contains("unknown engine"), "{err}");
+        let err = run_line(&["compare", &path, "--engine", ","]).unwrap_err();
+        assert!(err.contains("empty selection"), "{err}");
         let _ = std::fs::remove_file(&path);
     }
 

@@ -7,7 +7,7 @@
 //! ```
 
 use dart::baselines::{Strawman, StrawmanConfig};
-use dart::core::{DartConfig, DartEngine, RttSample, SynPolicy};
+use dart::core::{run_monitor_slice, DartConfig, DartEngine, RttSample, SynPolicy};
 use dart::sim::scenario::{syn_flood, SynFloodConfig};
 
 fn main() {
@@ -54,8 +54,7 @@ fn main() {
         syn_policy: SynPolicy::Include,
         ..StrawmanConfig::default()
     });
-    let mut sm_samples: Vec<RttSample> = Vec::new();
-    strawman.process_trace(trace.packets.iter(), &mut sm_samples);
+    let _ = run_monitor_slice(&mut strawman, &trace.packets);
     println!("strawman (+SYN):");
     println!("  insertions             : {:6}", strawman.stats().inserted);
     println!(

@@ -3,7 +3,7 @@
 //! refuses, and tcptrace (Karn) agrees with Dart.
 
 use dart::baselines::{run_tcptrace, Strawman, StrawmanConfig, TcpTraceConfig};
-use dart::core::{run_trace, DartConfig, RttSample};
+use dart::core::{run_monitor_slice, run_trace, DartConfig};
 use dart::packet::{Direction, FlowKey, PacketBuilder, PacketMeta, MILLISECOND};
 
 fn flow() -> FlowKey {
@@ -51,8 +51,7 @@ fn strawman_guesses_wrong_on_retransmission() {
         timeout: None,
         ..StrawmanConfig::default()
     });
-    let mut out: Vec<RttSample> = Vec::new();
-    sm.process_trace(retransmission_trace().iter(), &mut out);
+    let (out, _) = run_monitor_slice(&mut sm, &retransmission_trace());
     assert_eq!(out.len(), 1);
     assert_eq!(out[0].rtt, 10 * MILLISECOND);
 }

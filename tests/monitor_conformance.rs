@@ -1,0 +1,114 @@
+//! Conformance properties for the [`RttMonitor`] contract, checked for
+//! every engine in the standard registry (plus the dynamically named
+//! sharded variants): whatever an engine does internally, driving it
+//! through the trait must be indistinguishable from its batch path.
+//!
+//! Three contracts from `dart_core::monitor`'s module docs:
+//!
+//! * **Batch/streaming equivalence** — feeding packets one at a time via
+//!   `on_packet` then flushing yields byte-identical samples and stats to
+//!   `run_monitor_slice` on a fresh instance.
+//! * **Flush idempotence** — a second `flush` emits nothing and leaves
+//!   `stats()` unchanged.
+//! * **Chunked sources** — streaming through a [`PacketSource`] in bounded
+//!   chunks (`run_monitor`) equals the slice path, so traces never need
+//!   full materialization.
+
+use dart::baselines::EngineRegistry;
+use dart::core::{run_monitor, run_monitor_slice, DartConfig, RttSample};
+use dart::packet::{PacketMeta, SliceSource};
+use dart::sim::scenario::{campus, CampusConfig};
+use proptest::prelude::*;
+
+/// Randomized lossy/reordered campus workloads, kept small enough for a
+/// property-test budget across ~11 engines.
+fn trace_params() -> impl Strategy<Value = (u64, usize, f64, f64)> {
+    (
+        0u64..10_000, // seed
+        15usize..60,  // connections
+        0.0f64..0.05, // mean loss
+        0.0f64..0.02, // reorder probability
+    )
+}
+
+fn make_trace(seed: u64, connections: usize, loss: f64, reorder: f64) -> Vec<PacketMeta> {
+    campus(CampusConfig {
+        connections,
+        duration: dart::packet::SECOND,
+        seed,
+        mean_loss: loss,
+        reorder,
+        ..CampusConfig::default()
+    })
+    .packets
+}
+
+/// Every name the conformance suite exercises: the static registry plus a
+/// dynamically resolved shard count.
+fn engine_names(registry: &EngineRegistry) -> Vec<String> {
+    let mut names: Vec<String> = registry.names().iter().map(|s| s.to_string()).collect();
+    names.push("dart-sharded-3".to_string());
+    names
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Batch (`run_monitor_slice`) and per-packet streaming produce
+    /// identical sample streams and identical final stats for every
+    /// registered engine, and a second flush is a no-op.
+    #[test]
+    fn streaming_equals_batch_and_flush_is_idempotent(
+        (seed, conns, loss, reorder) in trace_params()
+    ) {
+        let pkts = make_trace(seed, conns, loss, reorder);
+        let registry = EngineRegistry::standard();
+        let cfg = DartConfig::default();
+        for name in engine_names(&registry) {
+            let mut batch = registry.build(&name, &cfg).unwrap();
+            let (expected, expected_stats) = run_monitor_slice(batch.monitor.as_mut(), &pkts);
+
+            let mut streamed = registry.build(&name, &cfg).unwrap();
+            let mut got: Vec<RttSample> = Vec::new();
+            for p in &pkts {
+                streamed.monitor.on_packet(p, &mut got);
+            }
+            streamed.monitor.flush(&mut got);
+            prop_assert_eq!(&got, &expected, "samples diverge for {}", &name);
+            prop_assert_eq!(streamed.monitor.stats(), expected_stats,
+                "stats diverge for {}", &name);
+
+            // Idempotence: flushing again must change nothing.
+            let before = got.len();
+            streamed.monitor.flush(&mut got);
+            prop_assert_eq!(got.len(), before, "second flush emitted for {}", &name);
+            prop_assert_eq!(streamed.monitor.stats(), expected_stats,
+                "second flush changed stats for {}", &name);
+        }
+    }
+
+    /// Driving a [`PacketSource`] in bounded chunks (`run_monitor`) equals
+    /// the slice path for every registered engine.
+    #[test]
+    fn chunked_source_equals_slice(
+        (seed, conns, loss, reorder) in trace_params()
+    ) {
+        let pkts = make_trace(seed, conns, loss, reorder);
+        let registry = EngineRegistry::standard();
+        let cfg = DartConfig::default();
+        for name in engine_names(&registry) {
+            let mut batch = registry.build(&name, &cfg).unwrap();
+            let (expected, expected_stats) = run_monitor_slice(batch.monitor.as_mut(), &pkts);
+
+            let mut sourced = registry.build(&name, &cfg).unwrap();
+            let mut got: Vec<RttSample> = Vec::new();
+            let stats = run_monitor(
+                sourced.monitor.as_mut(),
+                SliceSource::new(&pkts),
+                &mut got,
+            ).unwrap();
+            prop_assert_eq!(&got, &expected, "samples diverge for {}", &name);
+            prop_assert_eq!(stats, expected_stats, "stats diverge for {}", &name);
+        }
+    }
+}

@@ -5,7 +5,9 @@ use dart::analytics::{CongestionConfig, CongestionMonitor};
 use dart::baselines::{
     Dapper, DapperConfig, LeanRtt, Pping, PpingConfig, Strawman, StrawmanConfig,
 };
-use dart::core::{run_trace, DartConfig, DartEngine, EngineEvent, Leg, RttSample};
+use dart::core::{
+    run_monitor_slice, run_trace, DartConfig, DartEngine, EngineEvent, Leg, RttSample,
+};
 use dart::sim::scenario::{campus, CampusConfig};
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -26,8 +28,7 @@ fn dart_collects_far_more_samples_than_dapper() {
     let t = trace();
     let (dart, _) = run_trace(DartConfig::unlimited(), &t.packets);
     let mut dapper = Dapper::new(DapperConfig::default());
-    let mut dapper_samples: Vec<RttSample> = Vec::new();
-    dapper.process_trace(t.packets.iter(), &mut dapper_samples);
+    let (dapper_samples, _) = run_monitor_slice(&mut dapper, &t.packets);
     assert!(
         dart.len() as f64 > dapper_samples.len() as f64 * 1.5,
         "dart {} vs dapper {}",
@@ -46,8 +47,7 @@ fn pping_is_blind_to_optionless_flows_and_coarse_clocks() {
     let t = trace();
     let (dart, _) = run_trace(DartConfig::unlimited(), &t.packets);
     let mut pping = Pping::new(PpingConfig::default());
-    let mut pping_samples: Vec<RttSample> = Vec::new();
-    pping.process_trace(t.packets.iter(), &mut pping_samples);
+    let (pping_samples, _) = run_monitor_slice(&mut pping, &t.packets);
 
     // (1) A large share of traffic carries no option at all — invisible.
     assert!(pping.stats().no_option > 0, "option-less traffic exists");
@@ -120,8 +120,7 @@ fn strawman_emits_samples_dart_refuses() {
         timeout: None,
         ..StrawmanConfig::default()
     });
-    let mut sm_samples: Vec<RttSample> = Vec::new();
-    sm.process_trace(t.packets.iter(), &mut sm_samples);
+    let _ = run_monitor_slice(&mut sm, &t.packets);
     // Dart saw retransmissions and refused to track them.
     assert!(dart_stats.seq_retransmission > 0);
     // The strawman inserted everything anyway.
