@@ -18,6 +18,8 @@ use crate::seglist::SegListMonitor;
 use crate::strawman::{Strawman, StrawmanConfig};
 use crate::tcptrace::{TcpTrace, TcpTraceConfig};
 use dart_core::{DartConfig, DartEngine, RttMonitor, ShardedConfig, ShardedMonitor};
+#[cfg(feature = "telemetry")]
+use dart_telemetry::MetricRegistry;
 
 /// How strictly the differential runner may judge an engine's output
 /// against the oracle (see `dart-testkit`'s `diff` module).
@@ -224,6 +226,37 @@ impl EngineRegistry {
         };
         Ok(BuiltEngine { monitor, judgement })
     }
+
+    /// [`build`](EngineRegistry::build) with instrumentation attached to
+    /// `metrics`: Dart engines get in-engine per-shard series
+    /// (`dart_shard_*`, `dart_rtt_ns{shard}`, recirculation gauges);
+    /// every other engine is wrapped in a
+    /// [`MeteredMonitor`](dart_core::MeteredMonitor), which mirrors its
+    /// run-level counters without touching baseline code.
+    #[cfg(feature = "telemetry")]
+    pub fn build_instrumented(
+        &self,
+        name: &str,
+        cfg: &DartConfig,
+        metrics: &MetricRegistry,
+    ) -> Result<BuiltEngine, String> {
+        use dart_core::{EngineTelemetry, MeteredMonitor};
+        let judgement = self.judgement(name)?;
+        let monitor: Box<dyn RttMonitor> = if name == "dart" {
+            let mut engine = DartEngine::new(*cfg);
+            engine.attach_telemetry(EngineTelemetry::register(metrics, 0));
+            Box::new(engine)
+        } else if let Some(shards) = sharded_shards(name) {
+            Box::new(ShardedMonitor::with_telemetry(
+                ShardedConfig::new(*cfg, shards),
+                metrics,
+            ))
+        } else {
+            let entry = self.get(name).expect("judgement() validated the name");
+            Box::new(MeteredMonitor::new(entry.build(cfg), metrics))
+        };
+        Ok(BuiltEngine { monitor, judgement })
+    }
 }
 
 impl Default for EngineRegistry {
@@ -297,6 +330,41 @@ mod tests {
         assert_eq!(built.judgement, Judgement::ExactAnchored);
         assert!(reg.build("dart-sharded-0", &DartConfig::default()).is_err());
         assert!(reg.build("dart-sharded-x", &DartConfig::default()).is_err());
+    }
+
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn build_instrumented_registers_series_for_every_engine() {
+        use dart_telemetry::MetricRegistry;
+        let reg = EngineRegistry::standard();
+        let packets = exchange();
+        for name in ["dart", "dart-sharded-2", "tcptrace"] {
+            let metrics = MetricRegistry::new();
+            let mut built = reg
+                .build_instrumented(name, &DartConfig::default(), &metrics)
+                .unwrap();
+            assert_eq!(built.monitor.name(), name);
+            let (_, stats) = run_monitor_slice(built.monitor.as_mut(), &packets);
+            assert_eq!(stats.packets, packets.len() as u64);
+            // Both packets of the one flow land on a single shard, so sum
+            // the packet counter across every registered series.
+            let family = if name == "tcptrace" {
+                "dart_run_packets_total"
+            } else {
+                "dart_shard_packets_total"
+            };
+            let snap = metrics.scrape();
+            let total: u64 = snap
+                .samples
+                .iter()
+                .filter(|s| s.name == family)
+                .map(|s| match &s.value {
+                    dart_telemetry::MetricValue::Counter { total, .. } => *total,
+                    other => panic!("expected counter, got {other:?}"),
+                })
+                .sum();
+            assert_eq!(total, stats.packets, "{name}: {family} never synced");
+        }
     }
 
     #[test]

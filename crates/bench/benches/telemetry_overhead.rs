@@ -1,0 +1,51 @@
+//! Telemetry overhead: the same serial replay bare vs. with the full
+//! `EngineTelemetry` hooks attached (per-shard counters, RTT histogram,
+//! recirculation gauges). The <3% overhead budget in DESIGN.md §5d is the
+//! `instrumented` / `bare` ratio here.
+//!
+//! The `bare` row compiled with `--no-default-features` is the true
+//! feature-off baseline; compiled with default features it still measures
+//! the engine without hooks attached (the `telemetry` field is `None`, so
+//! the hot path pays one untaken branch per sync interval). Run both to
+//! separate "feature compiled in" from "hooks attached":
+//!
+//! ```text
+//! cargo bench -p dart-bench --bench telemetry_overhead
+//! cargo bench -p dart-bench --bench telemetry_overhead --no-default-features
+//! ```
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use dart_bench::{standard_trace, TraceScale};
+use dart_core::{run_monitor_slice, DartConfig, DartEngine};
+
+fn telemetry_overhead(c: &mut Criterion) {
+    let trace = standard_trace(TraceScale::Small);
+    let cfg = DartConfig::default();
+    let mut g = c.benchmark_group("telemetry_overhead");
+    g.throughput(Throughput::Elements(trace.len() as u64));
+    g.sample_size(20);
+
+    g.bench_function("bare", |b| {
+        b.iter(|| {
+            let mut engine = DartEngine::new(cfg);
+            run_monitor_slice(&mut engine, &trace.packets).0.len()
+        });
+    });
+
+    #[cfg(feature = "telemetry")]
+    g.bench_function("instrumented", |b| {
+        use dart_core::EngineTelemetry;
+        use dart_telemetry::MetricRegistry;
+        let registry = MetricRegistry::new();
+        b.iter(|| {
+            let mut engine = DartEngine::new(cfg);
+            engine.attach_telemetry(EngineTelemetry::register(&registry, 0));
+            run_monitor_slice(&mut engine, &trace.packets).0.len()
+        });
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, telemetry_overhead);
+criterion_main!(benches);

@@ -9,17 +9,25 @@
 //! * `--iters N` — timed replays per shard count, best-of reported
 //!   (default 3);
 //! * `--out PATH` — output path (default `BENCH_throughput.json`);
+//! * `--metrics-out PATH` — telemetry sidecar JSONL, one snapshot per
+//!   shard count from the instrumented warm-up replay
+//!   (default `BENCH_throughput_metrics.jsonl`; `telemetry` feature only);
 //! * `DART_SCALE` — trace sizing; by default the runner builds a campus
 //!   trace of ≥10⁶ packets regardless of scale.
 //!
 //! Speedup from sharding requires hardware parallelism: the report records
-//! `available_parallelism` so a single-core container's flat numbers read
-//! as what they are.
+//! `available_parallelism` per row and flags rows with more shards than
+//! cores as `"degraded": true` — those rows measure oversubscription, not
+//! speedup.
 
 use dart_bench::TraceScale;
+#[cfg(feature = "telemetry")]
+use dart_core::{run_monitor_slice, DartEngine, EngineTelemetry, ShardedConfig, ShardedMonitor};
 use dart_core::{run_trace_sharded, DartConfig};
 use dart_packet::SECOND;
 use dart_sim::scenario::{campus, CampusConfig};
+#[cfg(feature = "telemetry")]
+use dart_telemetry::MetricRegistry;
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -29,13 +37,23 @@ struct Measurement {
     pkts_per_sec: f64,
     samples_per_sec: f64,
     samples: usize,
+    /// Host cores observed for this row; shard counts beyond this are
+    /// oversubscribed and the row is flagged `degraded`.
+    parallelism: usize,
 }
 
-fn parse_args() -> Result<(Vec<usize>, usize, String), String> {
+impl Measurement {
+    fn degraded(&self) -> bool {
+        self.shards > self.parallelism
+    }
+}
+
+fn parse_args() -> Result<(Vec<usize>, usize, String, String), String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut shard_list: Option<Vec<usize>> = None;
     let mut iters = 3usize;
     let mut out = "BENCH_throughput.json".to_string();
+    let mut metrics_out = "BENCH_throughput_metrics.jsonl".to_string();
     let mut i = 0;
     while i < args.len() {
         let need_value = |i: usize| {
@@ -65,6 +83,10 @@ fn parse_args() -> Result<(Vec<usize>, usize, String), String> {
                 out = need_value(i)?;
                 i += 2;
             }
+            "--metrics-out" => {
+                metrics_out = need_value(i)?;
+                i += 2;
+            }
             other => return Err(format!("unknown flag {other:?}")),
         }
     }
@@ -77,7 +99,37 @@ fn parse_args() -> Result<(Vec<usize>, usize, String), String> {
             Err(_) => vec![1, 2, 4, 8],
         },
     };
-    Ok((shard_list, iters.max(1), out))
+    Ok((shard_list, iters.max(1), out, metrics_out))
+}
+
+/// The warm-up replay doubling as the telemetry sidecar capture: an
+/// instrumented run whose scrape is appended to the sidecar JSONL, one
+/// line per shard count. Returns the merged samples (the timed replays
+/// assert against their count).
+#[cfg(feature = "telemetry")]
+fn instrumented_warmup(
+    cfg: DartConfig,
+    shards: usize,
+    packets: &[dart_packet::PacketMeta],
+    sidecar: &mut String,
+) -> Vec<dart_core::RttSample> {
+    let metrics = MetricRegistry::new();
+    let samples = if shards <= 1 {
+        // Match run_trace_sharded: one shard is the serial engine.
+        let mut engine = DartEngine::new(cfg);
+        engine.attach_telemetry(EngineTelemetry::register(&metrics, 0));
+        run_monitor_slice(&mut engine, packets).0
+    } else {
+        let mut monitor = ShardedMonitor::with_telemetry(ShardedConfig::new(cfg, shards), &metrics);
+        run_monitor_slice(&mut monitor, packets).0
+    };
+    sidecar.push_str(&metrics.scrape().jsonl_line(&[
+        ("shards", shards as u64),
+        ("packets", packets.len() as u64),
+        ("samples", samples.len() as u64),
+    ]));
+    sidecar.push('\n');
+    samples
 }
 
 /// The measured trace: ≥10⁶ packets at default scale, or the standard
@@ -102,13 +154,15 @@ fn throughput_trace() -> (String, Vec<dart_packet::PacketMeta>) {
 }
 
 fn main() {
-    let (shard_list, iters, out_path) = match parse_args() {
+    let (shard_list, iters, out_path, metrics_out) = match parse_args() {
         Ok(v) => v,
         Err(e) => {
             eprintln!("throughput: {e}");
             std::process::exit(2);
         }
     };
+    #[cfg(not(feature = "telemetry"))]
+    let _ = &metrics_out;
 
     eprintln!("generating campus trace...");
     let (scale_name, packets) = throughput_trace();
@@ -122,8 +176,14 @@ fn main() {
 
     let cfg = DartConfig::default();
     let mut results: Vec<Measurement> = Vec::new();
+    #[cfg(feature = "telemetry")]
+    let mut sidecar = String::new();
     for &shards in &shard_list {
-        // Warm-up replay, then best-of-N timed replays.
+        // Warm-up replay (instrumented when the telemetry feature is on —
+        // it doubles as the sidecar capture), then best-of-N timed replays.
+        #[cfg(feature = "telemetry")]
+        let samples = instrumented_warmup(cfg, shards, &packets, &mut sidecar);
+        #[cfg(not(feature = "telemetry"))]
         let (samples, _) = run_trace_sharded(cfg, shards, &packets);
         let mut best = f64::INFINITY;
         for _ in 0..iters {
@@ -139,11 +199,23 @@ fn main() {
             pkts_per_sec: packets.len() as f64 / best,
             samples_per_sec: samples.len() as f64 / best,
             samples: samples.len(),
+            parallelism,
         };
         eprintln!(
-            "shards={:<2} {:>8.3} s   {:>10.0} pkts/s   {:>9.0} samples/s",
-            m.shards, m.elapsed_secs, m.pkts_per_sec, m.samples_per_sec
+            "shards={:<2} {:>8.3} s   {:>10.0} pkts/s   {:>9.0} samples/s{}",
+            m.shards,
+            m.elapsed_secs,
+            m.pkts_per_sec,
+            m.samples_per_sec,
+            if m.degraded() { "   [degraded]" } else { "" }
         );
+        if m.degraded() {
+            eprintln!(
+                "warning: shards={} exceeds available_parallelism={}; \
+                 this row measures oversubscription, not speedup",
+                m.shards, m.parallelism
+            );
+        }
         results.push(m);
     }
 
@@ -166,8 +238,15 @@ fn main() {
         writeln!(
             json,
             "    {{\"shards\": {}, \"elapsed_secs\": {:.6}, \"pkts_per_sec\": {:.1}, \
-             \"samples_per_sec\": {:.1}, \"samples\": {}}}{comma}",
-            m.shards, m.elapsed_secs, m.pkts_per_sec, m.samples_per_sec, m.samples
+             \"samples_per_sec\": {:.1}, \"samples\": {}, \
+             \"available_parallelism\": {}, \"degraded\": {}}}{comma}",
+            m.shards,
+            m.elapsed_secs,
+            m.pkts_per_sec,
+            m.samples_per_sec,
+            m.samples,
+            m.parallelism,
+            m.degraded()
         )
         .unwrap();
     }
@@ -178,6 +257,14 @@ fn main() {
         Ok(()) => eprintln!("wrote {out_path}"),
         Err(e) => {
             eprintln!("throughput: write {out_path}: {e}");
+            std::process::exit(1);
+        }
+    }
+    #[cfg(feature = "telemetry")]
+    match std::fs::write(&metrics_out, &sidecar) {
+        Ok(()) => eprintln!("wrote telemetry sidecar {metrics_out}"),
+        Err(e) => {
+            eprintln!("throughput: write {metrics_out}: {e}");
             std::process::exit(1);
         }
     }

@@ -8,6 +8,8 @@ use crate::range::{AckVerdict, MeasurementRange, SeqVerdict};
 use crate::range_tracker::{RangeTracker, RtAckOutcome, RtSeqOutcome};
 use crate::sample::{RttSample, SampleSink};
 use crate::stats::EngineStats;
+#[cfg(feature = "telemetry")]
+use crate::telemetry::{EngineTelemetry, SYNC_INTERVAL_PKTS};
 use dart_packet::{FlowSignature, Nanos, PacketId, PacketMeta};
 use dart_switch::RecircPort;
 use std::collections::{HashMap, VecDeque};
@@ -123,6 +125,8 @@ pub struct DartEngine {
     rt_copy: Option<RtCopy>,
     events: Option<EventSink>,
     stats: EngineStats,
+    #[cfg(feature = "telemetry")]
+    telemetry: Option<EngineTelemetry>,
 }
 
 impl DartEngine {
@@ -143,7 +147,38 @@ impl DartEngine {
             rt_copy: cfg.rt_copy_sync.map(RtCopy::new),
             events: None,
             stats: EngineStats::default(),
+            #[cfg(feature = "telemetry")]
+            telemetry: None,
             cfg,
+        }
+    }
+
+    /// Attach metric handles: the engine publishes its counters to them at
+    /// sync points (periodically, per batch, and at flush) and observes RTT
+    /// samples and recirculation queue depth as they happen.
+    #[cfg(feature = "telemetry")]
+    pub fn attach_telemetry(&mut self, telemetry: EngineTelemetry) {
+        let (gauge, dist) = telemetry.queue_depth_handles();
+        self.recirc.set_telemetry(gauge, dist);
+        self.telemetry = Some(telemetry);
+        self.sync_telemetry();
+    }
+
+    /// The attached metric handles, if any.
+    #[cfg(feature = "telemetry")]
+    pub fn telemetry(&self) -> Option<&EngineTelemetry> {
+        self.telemetry.as_ref()
+    }
+
+    /// Publish the current counters to the attached metric handles (no-op
+    /// without attached telemetry). Called automatically every
+    /// [`SYNC_INTERVAL_PKTS`] packets and at flush; the sharded workers
+    /// also call it at every batch boundary so per-shard scrapes stay
+    /// fresh.
+    #[cfg(feature = "telemetry")]
+    pub fn sync_telemetry(&self) {
+        if let Some(t) = &self.telemetry {
+            t.sync_stats(&self.stats);
         }
     }
 
@@ -193,6 +228,10 @@ impl DartEngine {
     pub fn process(&mut self, pkt: &PacketMeta, sink: &mut dyn SampleSink) {
         self.drain_recirc_until(pkt.ts);
         self.stats.packets += 1;
+        #[cfg(feature = "telemetry")]
+        if self.stats.packets.is_multiple_of(SYNC_INTERVAL_PKTS) {
+            self.sync_telemetry();
+        }
 
         if self.cfg.syn_policy == SynPolicy::Skip && pkt.is_syn() {
             self.stats.syn_skipped += 1;
@@ -218,6 +257,9 @@ impl DartEngine {
         if ack_fired && seq_fired && self.cfg.leg == Leg::Both {
             self.stats.dual_role_recirc += 1;
         }
+        if !ack_fired && !seq_fired {
+            self.stats.no_role += 1;
+        }
     }
 
     /// Process an entire trace.
@@ -235,6 +277,8 @@ impl DartEngine {
     /// Drain the recirculation loop at end of trace.
     pub fn flush(&mut self) {
         self.drain_recirc_until(Nanos::MAX);
+        #[cfg(feature = "telemetry")]
+        self.sync_telemetry();
     }
 
     fn handle_seq(&mut self, pkt: &PacketMeta) {
@@ -310,12 +354,12 @@ impl DartEngine {
                 if let Some(ts0) = hit {
                     self.stats.pt_matched += 1;
                     self.stats.samples += 1;
-                    sink.on_sample(RttSample::new(
-                        data_flow,
-                        pkt.ack,
-                        pkt.ts.saturating_sub(ts0),
-                        pkt.ts,
-                    ));
+                    let rtt = pkt.ts.saturating_sub(ts0);
+                    #[cfg(feature = "telemetry")]
+                    if let Some(t) = &self.telemetry {
+                        t.observe_rtt(rtt);
+                    }
+                    sink.on_sample(RttSample::new(data_flow, pkt.ack, rtt, pkt.ts));
                 }
             }
             RtAckOutcome::Ruled(AckVerdict::DuplicateCollapse) => {

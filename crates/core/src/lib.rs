@@ -49,11 +49,13 @@ pub mod rt_salu;
 pub mod sample;
 pub mod sharded;
 pub mod stats;
+#[cfg(feature = "telemetry")]
+pub mod telemetry;
 
 pub use config::{DartConfig, Leg, PtMode, RtMode, SynPolicy};
 pub use engine::{run_trace, DartEngine, EngineEvent, EventSink, RecircFilter, RecirculateAll};
 pub use filter::{FlowFilter, FlowRule, PrefixMatch};
-pub use monitor::{run_monitor, run_monitor_slice, RttMonitor};
+pub use monitor::{run_monitor, run_monitor_slice, run_monitor_ticked, RttMonitor};
 pub use packet_tracker::{PacketTracker, PtInsert, PtRecord};
 pub use pt_salu::{SaluPtSlot, SlotRecord};
 pub use range::{AckVerdict, MeasurementRange, SeqVerdict};
@@ -64,3 +66,5 @@ pub use sharded::{
     run_trace_sharded, shard_of, ShardedConfig, ShardedDartEngine, ShardedMonitor, ShardedRun,
 };
 pub use stats::EngineStats;
+#[cfg(feature = "telemetry")]
+pub use telemetry::{EngineTelemetry, MeteredMonitor, SYNC_INTERVAL_PKTS};

@@ -77,6 +77,32 @@ pub fn run_monitor<M: RttMonitor + ?Sized, S: PacketSource>(
     Ok(monitor.stats())
 }
 
+/// [`run_monitor`] with a periodic callback: `tick(processed, done)` fires
+/// after every `every` packets (with `done = false`) and once more after
+/// the flush (with `done = true`, whatever the final count). The metrics
+/// scraper hangs its periodic snapshot emission off this; anything else
+/// needing a progress heartbeat (progress bars, watchdogs) can use it too.
+pub fn run_monitor_ticked<M: RttMonitor + ?Sized, S: PacketSource>(
+    monitor: &mut M,
+    mut source: S,
+    sink: &mut dyn SampleSink,
+    every: u64,
+    mut tick: impl FnMut(u64, bool),
+) -> Result<EngineStats, PacketError> {
+    let every = every.max(1);
+    let mut processed = 0u64;
+    while let Some(pkt) = source.next_packet()? {
+        monitor.on_packet(&pkt, sink);
+        processed += 1;
+        if processed.is_multiple_of(every) {
+            tick(processed, false);
+        }
+    }
+    monitor.flush(sink);
+    tick(processed, true);
+    Ok(monitor.stats())
+}
+
 /// [`run_monitor`] over an in-memory trace, collecting into a fresh vector.
 /// Infallible: slice sources cannot error.
 pub fn run_monitor_slice<M: RttMonitor + ?Sized>(

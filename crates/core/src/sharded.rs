@@ -40,7 +40,11 @@ use crate::engine::{run_trace, DartEngine, EngineEvent};
 use crate::monitor::RttMonitor;
 use crate::sample::{RttSample, SampleSink};
 use crate::stats::EngineStats;
+#[cfg(feature = "telemetry")]
+use crate::telemetry::EngineTelemetry;
 use dart_packet::{FlowKey, PacketMeta};
+#[cfg(feature = "telemetry")]
+use dart_telemetry::{Gauge, MetricRegistry};
 use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
@@ -121,6 +125,21 @@ struct ShardResult {
     stats: EngineStats,
 }
 
+/// Per-shard instrumentation handles, cloned into the worker thread.
+/// Zero-sized (and all code paths compiled out) without the `telemetry`
+/// feature.
+#[derive(Clone, Default)]
+struct ShardHooks {
+    /// In-engine metric handles for this shard.
+    #[cfg(feature = "telemetry")]
+    tel: Option<EngineTelemetry>,
+    /// Hand-off batches queued or being processed: the feeder adds one per
+    /// send, the worker subtracts one per batch completed, so the gauge is
+    /// the live channel depth.
+    #[cfg(feature = "telemetry")]
+    channel: Option<Gauge>,
+}
+
 /// A flow-sharded Dart engine: `shards` independent [`DartEngine`]s, each
 /// on its own worker thread, partitioned by symmetric flow hash.
 pub struct ShardedDartEngine {
@@ -174,6 +193,10 @@ pub struct ShardedMonitor {
     txs: Vec<SyncSender<Batch>>,
     handles: Vec<JoinHandle<ShardResult>>,
     bufs: Vec<Batch>,
+    /// Per-shard instrumentation handles (empty structs when the
+    /// `telemetry` feature is off).
+    #[cfg_attr(not(feature = "telemetry"), allow(dead_code))]
+    hooks: Vec<ShardHooks>,
     fed: u64,
     done: Option<ShardedRun>,
 }
@@ -181,16 +204,47 @@ pub struct ShardedMonitor {
 impl ShardedMonitor {
     /// Spawn the shard workers and stand ready to feed them.
     pub fn new(cfg: ShardedConfig) -> ShardedMonitor {
+        Self::spawn(cfg, |_| ShardHooks::default())
+    }
+
+    /// Spawn with per-shard telemetry: each worker's engine publishes
+    /// `shard`-labelled counters, RTT and batch-latency histograms, and
+    /// recirculation queue-depth gauges to `registry`, live while the
+    /// replay runs. A `dart_shard_channel_batches` gauge per shard tracks
+    /// the hand-off channel depth.
+    #[cfg(feature = "telemetry")]
+    pub fn with_telemetry(cfg: ShardedConfig, registry: &MetricRegistry) -> ShardedMonitor {
+        let registry = registry.clone();
+        Self::spawn(cfg, move |shard| {
+            let shard_label = shard.to_string();
+            ShardHooks {
+                tel: Some(EngineTelemetry::register(&registry, shard)),
+                channel: Some(registry.gauge(
+                    "dart_shard_channel_batches",
+                    &[("shard", &shard_label)],
+                    "hand-off batches queued or being processed by this shard worker",
+                )),
+            }
+        })
+    }
+
+    fn spawn(cfg: ShardedConfig, make_hooks: impl Fn(usize) -> ShardHooks) -> ShardedMonitor {
         assert!(cfg.shards >= 1, "need at least one shard");
         assert!(cfg.batch_size >= 1, "batch size must be positive");
         assert!(cfg.queue_depth >= 1, "queue depth must be positive");
         let mut txs = Vec::with_capacity(cfg.shards);
         let mut handles = Vec::with_capacity(cfg.shards);
-        for _ in 0..cfg.shards {
+        let mut hooks = Vec::with_capacity(cfg.shards);
+        for shard in 0..cfg.shards {
             let (tx, rx) = sync_channel::<Batch>(cfg.queue_depth);
             let engine_cfg = cfg.engine;
+            let shard_hooks = make_hooks(shard);
+            let worker_hooks = shard_hooks.clone();
+            hooks.push(shard_hooks);
             txs.push(tx);
-            handles.push(thread::spawn(move || run_shard(engine_cfg, rx)));
+            handles.push(thread::spawn(move || {
+                run_shard(engine_cfg, rx, worker_hooks)
+            }));
         }
         ShardedMonitor {
             name: format!("dart-sharded-{}", cfg.shards),
@@ -200,9 +254,20 @@ impl ShardedMonitor {
             cfg,
             txs,
             handles,
+            hooks,
             fed: 0,
             done: None,
         }
+    }
+
+    /// Account one batch handed to `shard`'s channel.
+    fn note_batch_sent(&self, shard: usize) {
+        #[cfg(feature = "telemetry")]
+        if let Some(g) = &self.hooks[shard].channel {
+            g.add(1);
+        }
+        #[cfg(not(feature = "telemetry"))]
+        let _ = shard;
     }
 
     /// Hand one packet to its shard (buffered into hand-off batches).
@@ -219,6 +284,7 @@ impl ShardedMonitor {
                 &mut self.bufs[shard],
                 Vec::with_capacity(self.cfg.batch_size),
             );
+            self.note_batch_sent(shard);
             self.txs[shard].send(full).expect("shard worker hung up");
         }
     }
@@ -227,8 +293,13 @@ impl ShardedMonitor {
     fn finish(&mut self) -> &ShardedRun {
         if self.done.is_none() {
             let txs = std::mem::take(&mut self.txs);
-            for (buf, tx) in std::mem::take(&mut self.bufs).into_iter().zip(&txs) {
+            for (shard, (buf, tx)) in std::mem::take(&mut self.bufs)
+                .into_iter()
+                .zip(&txs)
+                .enumerate()
+            {
                 if !buf.is_empty() {
+                    self.note_batch_sent(shard);
                     tx.send(buf).expect("shard worker hung up");
                 }
             }
@@ -297,8 +368,14 @@ impl RttMonitor for ShardedMonitor {
 const FLUSH_TAG: u64 = u64::MAX;
 
 /// Worker body: one engine, fed batches until the channel closes.
-fn run_shard(cfg: DartConfig, rx: Receiver<Batch>) -> ShardResult {
+fn run_shard(cfg: DartConfig, rx: Receiver<Batch>, hooks: ShardHooks) -> ShardResult {
     let mut engine = DartEngine::new(cfg);
+    #[cfg(feature = "telemetry")]
+    if let Some(tel) = hooks.tel.clone() {
+        engine.attach_telemetry(tel);
+    }
+    #[cfg(not(feature = "telemetry"))]
+    let _ = &hooks;
     // The event sink is installed once but must tag events with the packet
     // being processed; share the current index through a cell.
     let current = Rc::new(Cell::new(0u64));
@@ -311,10 +388,22 @@ fn run_shard(cfg: DartConfig, rx: Receiver<Batch>) -> ShardResult {
 
     let mut samples: Vec<(u64, RttSample)> = Vec::new();
     for batch in rx {
+        #[cfg(feature = "telemetry")]
+        let batch_start = std::time::Instant::now();
         for (idx, pkt) in batch {
             current.set(idx);
             let mut sink = |s: RttSample| samples.push((idx, s));
             engine.process(&pkt, &mut sink);
+        }
+        #[cfg(feature = "telemetry")]
+        {
+            if let Some(tel) = &hooks.tel {
+                tel.observe_batch_ns(batch_start.elapsed().as_nanos() as u64);
+            }
+            engine.sync_telemetry();
+            if let Some(g) = &hooks.channel {
+                g.sub(1);
+            }
         }
     }
     current.set(FLUSH_TAG);

@@ -57,6 +57,11 @@ pub struct EngineStats {
     /// Dual-role (SEQ+ACK) packets that cost a recirculation in `Leg::Both`
     /// mode (§5).
     pub dual_role_recirc: u64,
+    /// Packets that fired neither the SEQ nor the ACK role: wrong direction
+    /// for the measured leg, or neither payload nor ACK flag. Together with
+    /// the skip/filter counters this makes the disposition accounting
+    /// exhaustive (see the conservation-law test suite).
+    pub no_role: u64,
     /// Packets ignored because no flow-selection rule matched (§4).
     pub filtered_flows: u64,
     /// Evicted records parked in the victim cache (§7).
@@ -74,9 +79,11 @@ pub struct EngineStats {
     pub samples: u64,
 }
 
-/// Defines [`EngineStats::merge`] over every counter field. The exhaustive
-/// destructure (no `..`) makes adding a field without merging it a compile
-/// error.
+/// Defines [`EngineStats::merge`] and [`EngineStats::metric_rows`] over
+/// every counter field. The exhaustive destructure (no `..`) makes adding a
+/// field without merging it a compile error, and keeps the telemetry
+/// exporters in lockstep with the struct: a new counter shows up in the
+/// metric rows (and therefore in every exposition format) automatically.
 macro_rules! merge_counters {
     ($($field:ident),* $(,)?) => {
         impl EngineStats {
@@ -86,6 +93,13 @@ macro_rules! merge_counters {
             pub fn merge(&mut self, other: &EngineStats) {
                 let EngineStats { $($field),* } = *other;
                 $( self.$field += $field; )*
+            }
+
+            /// Every counter as a `(name, value)` row, in declaration
+            /// order — the single source the telemetry exporters and the
+            /// shared text formatter render from.
+            pub fn metric_rows(&self) -> Vec<(&'static str, u64)> {
+                vec![ $( (stringify!($field), self.$field) ),* ]
             }
         }
     };
@@ -115,6 +129,7 @@ merge_counters!(
     recirc_cycles_broken,
     recirc_filtered,
     dual_role_recirc,
+    no_role,
     filtered_flows,
     victim_cached,
     victim_cache_hits,
@@ -216,6 +231,23 @@ mod tests {
     fn sum_of_empty_is_default() {
         let s: EngineStats = std::iter::empty().sum();
         assert_eq!(s, EngineStats::default());
+    }
+
+    #[test]
+    fn metric_rows_cover_every_field() {
+        let s = EngineStats {
+            packets: 7,
+            no_role: 2,
+            samples: 1,
+            ..EngineStats::default()
+        };
+        let rows = s.metric_rows();
+        // One row per field, in declaration order, values carried through.
+        assert_eq!(rows.first(), Some(&("packets", 7)));
+        assert_eq!(rows.last(), Some(&("samples", 1)));
+        assert!(rows.contains(&("no_role", 2)));
+        let total: u64 = rows.iter().map(|(_, v)| v).sum();
+        assert_eq!(total, 10, "exactly the three set fields");
     }
 
     #[test]

@@ -1,0 +1,343 @@
+//! In-engine metric hooks (the `telemetry` cargo feature).
+//!
+//! Two layers of instrumentation, matching the two places an observer can
+//! stand:
+//!
+//! * [`EngineTelemetry`] lives **inside** a [`DartEngine`](crate::DartEngine)
+//!   (one per shard; the serial engine is `shard="0"`). The engine keeps
+//!   accumulating its plain [`EngineStats`] on the hot path and *publishes*
+//!   the totals to the shared atomic counters at sync points — every
+//!   [`SYNC_INTERVAL_PKTS`] packets, at every batch boundary in the sharded
+//!   engine, and at flush — so the per-packet cost is a predictable branch,
+//!   not thirty atomic writes. Only the RTT histogram observes on the hot
+//!   path (one `fetch_add` per *sample*, not per packet).
+//! * [`MeteredMonitor`] wraps **any** [`RttMonitor`] from the outside: it
+//!   mirrors the monitor's whole-run counters (`dart_run_*`) and feeds every
+//!   emitted sample into a run-level RTT histogram. This is what makes the
+//!   software baselines scrape-able without touching their code.
+//!
+//! Metric families (see the naming scheme in `dart-telemetry`'s crate docs
+//! and DESIGN.md §5d):
+//!
+//! | family | kind | labels |
+//! |---|---|---|
+//! | `dart_shard_<counter>_total` | counter | `shard` |
+//! | `dart_rtt_ns` | histogram | `shard` |
+//! | `dart_batch_process_ns` | histogram | `shard` |
+//! | `dart_recirc_queue_depth` | gauge | `shard` |
+//! | `dart_recirc_queue_depth_records` | histogram | `shard` |
+//! | `dart_shard_channel_batches` | gauge | `shard` |
+//! | `dart_run_<counter>_total` | counter | — |
+//! | `dart_run_rtt_ns` | histogram | — |
+
+use crate::monitor::RttMonitor;
+use crate::sample::{RttSample, SampleSink};
+use crate::stats::EngineStats;
+use dart_telemetry::{Counter, Gauge, Histogram, MetricRegistry};
+
+/// How many packets between periodic counter publications on the serial
+/// hot path. Scrapes between sync points read totals at most this stale;
+/// flush always publishes the exact final values.
+pub const SYNC_INTERVAL_PKTS: u64 = 1024;
+
+/// The metric handles of one engine shard.
+#[derive(Clone)]
+pub struct EngineTelemetry {
+    /// Parallel to [`EngineStats::metric_rows`] order.
+    counters: Vec<Counter>,
+    rtt_ns: Histogram,
+    batch_ns: Histogram,
+    queue_depth: Gauge,
+    queue_depth_records: Histogram,
+}
+
+impl EngineTelemetry {
+    /// Register (or re-attach to) the shard's series in `registry`.
+    pub fn register(registry: &MetricRegistry, shard: usize) -> EngineTelemetry {
+        let shard_label = shard.to_string();
+        let labels: &[(&str, &str)] = &[("shard", &shard_label)];
+        let counters = EngineStats::default()
+            .metric_rows()
+            .iter()
+            .map(|(name, _)| {
+                registry.counter(
+                    &format!("dart_shard_{name}_total"),
+                    labels,
+                    &format!("engine disposition counter `{name}` (see EngineStats)"),
+                )
+            })
+            .collect();
+        EngineTelemetry {
+            counters,
+            rtt_ns: registry.histogram("dart_rtt_ns", labels, "RTT samples in nanoseconds"),
+            batch_ns: registry.histogram(
+                "dart_batch_process_ns",
+                labels,
+                "processing latency per hand-off batch in nanoseconds",
+            ),
+            queue_depth: registry.gauge(
+                "dart_recirc_queue_depth",
+                labels,
+                "records currently in flight around the recirculation loop",
+            ),
+            queue_depth_records: registry.histogram(
+                "dart_recirc_queue_depth_records",
+                labels,
+                "recirculation queue depth observed at each submission",
+            ),
+        }
+    }
+
+    /// Publish the engine's accumulated counters (totals are stored, not
+    /// re-added, so sync points are idempotent).
+    pub fn sync_stats(&self, stats: &EngineStats) {
+        for ((_, value), counter) in stats.metric_rows().iter().zip(&self.counters) {
+            counter.store(*value);
+        }
+    }
+
+    /// Record one RTT sample.
+    #[inline]
+    pub fn observe_rtt(&self, rtt_ns: u64) {
+        self.rtt_ns.observe(rtt_ns);
+    }
+
+    /// Record one hand-off batch's processing latency.
+    pub fn observe_batch_ns(&self, ns: u64) {
+        self.batch_ns.observe(ns);
+    }
+
+    /// The handles the recirculation port updates live (depth gauge and the
+    /// at-submission depth histogram).
+    pub(crate) fn queue_depth_handles(&self) -> (Gauge, Histogram) {
+        (self.queue_depth.clone(), self.queue_depth_records.clone())
+    }
+}
+
+/// Sink adapter: forwards to the real sink and observes each RTT.
+struct ObservingSink<'a> {
+    inner: &'a mut dyn SampleSink,
+    rtt_ns: &'a Histogram,
+}
+
+impl SampleSink for ObservingSink<'_> {
+    fn on_sample(&mut self, sample: RttSample) {
+        self.rtt_ns.observe(sample.rtt);
+        self.inner.on_sample(sample);
+    }
+}
+
+/// Driver-level instrumentation for any [`RttMonitor`]: run-level counters
+/// mirrored from [`RttMonitor::stats`] plus a run-level RTT histogram fed
+/// from the sample stream. Engines that buffer samples until flush (the
+/// sharded fan-in) populate `dart_run_rtt_ns` only at flush — their live
+/// view is the in-engine per-shard `dart_rtt_ns`.
+pub struct MeteredMonitor {
+    inner: Box<dyn RttMonitor>,
+    /// Parallel to [`EngineStats::metric_rows`] order.
+    counters: Vec<Counter>,
+    rtt_ns: Histogram,
+    seen: u64,
+}
+
+impl MeteredMonitor {
+    /// Wrap `inner`, registering the `dart_run_*` series in `registry`.
+    pub fn new(inner: Box<dyn RttMonitor>, registry: &MetricRegistry) -> MeteredMonitor {
+        let counters = EngineStats::default()
+            .metric_rows()
+            .iter()
+            .map(|(name, _)| {
+                registry.counter(
+                    &format!("dart_run_{name}_total"),
+                    &[],
+                    &format!("whole-run engine counter `{name}` (see EngineStats)"),
+                )
+            })
+            .collect();
+        let monitor = MeteredMonitor {
+            counters,
+            rtt_ns: registry.histogram("dart_run_rtt_ns", &[], "RTT samples in nanoseconds"),
+            seen: 0,
+            inner,
+        };
+        monitor.sync();
+        monitor
+    }
+
+    fn sync(&self) {
+        let stats = self.inner.stats();
+        for ((_, value), counter) in stats.metric_rows().iter().zip(&self.counters) {
+            counter.store(*value);
+        }
+    }
+
+    /// The wrapped monitor.
+    pub fn inner(&self) -> &dyn RttMonitor {
+        self.inner.as_ref()
+    }
+}
+
+impl RttMonitor for MeteredMonitor {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn describe(&self) -> String {
+        self.inner.describe()
+    }
+
+    fn on_packet(&mut self, pkt: &dart_packet::PacketMeta, sink: &mut dyn SampleSink) {
+        let mut observing = ObservingSink {
+            inner: sink,
+            rtt_ns: &self.rtt_ns,
+        };
+        self.inner.on_packet(pkt, &mut observing);
+        self.seen += 1;
+        if self.seen.is_multiple_of(SYNC_INTERVAL_PKTS) {
+            self.sync();
+        }
+    }
+
+    fn flush(&mut self, sink: &mut dyn SampleSink) {
+        let mut observing = ObservingSink {
+            inner: sink,
+            rtt_ns: &self.rtt_ns,
+        };
+        self.inner.flush(&mut observing);
+        self.sync();
+    }
+
+    fn stats(&self) -> EngineStats {
+        self.inner.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DartConfig;
+    use crate::engine::DartEngine;
+    use crate::monitor::run_monitor_slice;
+    use dart_packet::{Direction, FlowKey, PacketBuilder, PacketMeta};
+
+    fn exchange(n: u32) -> Vec<PacketMeta> {
+        let mut pkts = Vec::new();
+        for i in 0..n {
+            let f = FlowKey::from_raw(0x0a00_0000 + i, 40000, 0x5db8_d822, 443);
+            pkts.push(
+                PacketBuilder::new(f, u64::from(i) * 1_000)
+                    .seq(0u32)
+                    .payload(1460)
+                    .dir(Direction::Outbound)
+                    .build(),
+            );
+            pkts.push(
+                PacketBuilder::new(f.reverse(), u64::from(i) * 1_000 + 20_000_000)
+                    .ack(1460u32)
+                    .dir(Direction::Inbound)
+                    .build(),
+            );
+        }
+        pkts
+    }
+
+    #[test]
+    fn engine_publishes_counters_and_rtt() {
+        let registry = MetricRegistry::new();
+        let mut engine = DartEngine::new(DartConfig::default());
+        engine.attach_telemetry(EngineTelemetry::register(&registry, 0));
+        let (samples, stats) = run_monitor_slice(&mut engine, &exchange(5));
+        assert_eq!(samples.len(), 5);
+        let snap = registry.scrape();
+        let packets = snap
+            .samples
+            .iter()
+            .find(|s| s.key() == "dart_shard_packets_total{shard=\"0\"}")
+            .expect("per-shard packet counter registered");
+        match &packets.value {
+            dart_telemetry::MetricValue::Counter { total, .. } => {
+                assert_eq!(*total, stats.packets);
+            }
+            other => panic!("expected counter, got {other:?}"),
+        }
+        let rtt = snap
+            .samples
+            .iter()
+            .find(|s| s.key() == "dart_rtt_ns{shard=\"0\"}")
+            .expect("rtt histogram registered");
+        match &rtt.value {
+            dart_telemetry::MetricValue::Histogram { hist, .. } => {
+                assert_eq!(hist.count(), stats.samples);
+                // All five RTTs are 20 ms; the log2 bucket estimate must
+                // land within a factor of two.
+                assert_eq!(hist.quantile(0.5), Some((1 << 25) - 1));
+            }
+            other => panic!("expected histogram, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn metered_monitor_mirrors_any_engine() {
+        let registry = MetricRegistry::new();
+        let inner = Box::new(DartEngine::new(DartConfig::default()));
+        let mut metered = MeteredMonitor::new(inner, &registry);
+        let (samples, stats) = run_monitor_slice(&mut metered, &exchange(3));
+        assert_eq!(samples.len(), 3);
+        let snap = registry.scrape();
+        let get = |key: &str| {
+            snap.samples
+                .iter()
+                .find(|s| s.key() == key)
+                .unwrap_or_else(|| panic!("missing series {key}"))
+                .value
+                .clone()
+        };
+        match get("dart_run_packets_total") {
+            dart_telemetry::MetricValue::Counter { total, .. } => {
+                assert_eq!(total, stats.packets);
+            }
+            other => panic!("expected counter, got {other:?}"),
+        }
+        match get("dart_run_samples_total") {
+            dart_telemetry::MetricValue::Counter { total, .. } => {
+                assert_eq!(total, stats.samples);
+            }
+            other => panic!("expected counter, got {other:?}"),
+        }
+        match get("dart_run_rtt_ns") {
+            dart_telemetry::MetricValue::Histogram { hist, .. } => {
+                assert_eq!(hist.count(), stats.samples);
+            }
+            other => panic!("expected histogram, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn recirc_queue_depth_gauge_tracks_submissions() {
+        // A 1-slot PT with two flows forces an eviction into the loop; the
+        // gauge must show it in flight until the delayed re-entry drains it.
+        let registry = MetricRegistry::new();
+        let cfg = DartConfig::default().with_pt(1, 1).with_max_recirc(4);
+        let mut engine = DartEngine::new(cfg);
+        engine.attach_telemetry(EngineTelemetry::register(&registry, 0));
+        let mut sink: Vec<RttSample> = Vec::new();
+        let fa = FlowKey::from_raw(0x0a00_0001, 40000, 0x5db8_d822, 443);
+        let fb = FlowKey::from_raw(0x0a00_0002, 40000, 0x5db8_d822, 443);
+        for (f, t) in [(fa, 0u64), (fb, 1_000)] {
+            engine.process(
+                &PacketBuilder::new(f, t)
+                    .seq(0u32)
+                    .payload(100)
+                    .dir(Direction::Outbound)
+                    .build(),
+                &mut sink,
+            );
+        }
+        let gauge = registry.gauge("dart_recirc_queue_depth", &[("shard", "0")], "");
+        assert_eq!(gauge.get(), 1, "one record in flight after the eviction");
+        engine.flush();
+        assert_eq!(gauge.get(), 0, "flush drains the loop");
+        let dist = registry.histogram("dart_recirc_queue_depth_records", &[("shard", "0")], "");
+        assert_eq!(dist.count(), 1, "one submission observed");
+    }
+}

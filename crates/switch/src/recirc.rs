@@ -9,6 +9,9 @@
 
 use std::collections::VecDeque;
 
+#[cfg(feature = "telemetry")]
+use dart_telemetry::{Gauge, Histogram};
+
 /// A record traveling through the recirculation port.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Recirculated<T> {
@@ -36,6 +39,10 @@ pub struct RecircPort<T> {
     queue: VecDeque<Recirculated<T>>,
     max_trips: u32,
     stats: RecircStats,
+    /// Live queue-depth gauge plus at-submission depth histogram
+    /// (`telemetry` feature).
+    #[cfg(feature = "telemetry")]
+    telemetry: Option<(Gauge, Histogram)>,
 }
 
 impl<T> RecircPort<T> {
@@ -46,6 +53,28 @@ impl<T> RecircPort<T> {
             queue: VecDeque::new(),
             max_trips,
             stats: RecircStats::default(),
+            #[cfg(feature = "telemetry")]
+            telemetry: None,
+        }
+    }
+
+    /// Attach a live queue-depth gauge and an at-submission depth
+    /// histogram. The gauge tracks [`RecircPort::in_flight`] exactly (set
+    /// on every submit and pop); the histogram records the depth each
+    /// accepted submission found.
+    #[cfg(feature = "telemetry")]
+    pub fn set_telemetry(&mut self, depth: Gauge, depth_dist: Histogram) {
+        depth.set(self.queue.len() as i64);
+        self.telemetry = Some((depth, depth_dist));
+    }
+
+    #[cfg(feature = "telemetry")]
+    fn publish_depth(&self, observe: bool) {
+        if let Some((gauge, dist)) = &self.telemetry {
+            gauge.set(self.queue.len() as i64);
+            if observe {
+                dist.observe(self.queue.len() as u64);
+            }
         }
     }
 
@@ -70,12 +99,19 @@ impl<T> RecircPort<T> {
         });
         self.stats.accepted += 1;
         self.stats.max_queue_depth = self.stats.max_queue_depth.max(self.queue.len());
+        #[cfg(feature = "telemetry")]
+        self.publish_depth(true);
         Ok(())
     }
 
     /// Take the next record re-entering the ingress pipeline, if any.
     pub fn pop(&mut self) -> Option<Recirculated<T>> {
-        self.queue.pop_front()
+        let popped = self.queue.pop_front();
+        #[cfg(feature = "telemetry")]
+        if popped.is_some() {
+            self.publish_depth(false);
+        }
+        popped
     }
 
     /// Inspect the next record without removing it.
@@ -130,6 +166,27 @@ mod tests {
     fn zero_cap_disables_recirculation() {
         let mut port: RecircPort<u8> = RecircPort::new(0);
         assert!(port.submit(9, 0).is_err());
+    }
+
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn telemetry_tracks_live_depth() {
+        let mut port: RecircPort<u8> = RecircPort::new(10);
+        let gauge = dart_telemetry::Gauge::new();
+        let dist = dart_telemetry::Histogram::new();
+        port.submit(1, 0).unwrap();
+        port.set_telemetry(gauge.clone(), dist.clone());
+        assert_eq!(gauge.get(), 1, "attach publishes the current depth");
+        port.submit(2, 0).unwrap();
+        port.submit(3, 0).unwrap();
+        assert_eq!(gauge.get(), 3);
+        assert_eq!(dist.count(), 2, "only post-attach submissions observed");
+        port.pop();
+        assert_eq!(gauge.get(), 2);
+        // A cap refusal leaves the depth untouched.
+        let _ = port.submit(4, 10);
+        assert_eq!(gauge.get(), 2);
+        assert_eq!(dist.count(), 2);
     }
 
     #[test]

@@ -1,0 +1,199 @@
+//! Bounded structured event log.
+//!
+//! A fixed-capacity ring of structured events — level, component, message,
+//! key/value fields — that instrumented code appends to and the CLI dumps
+//! as JSONL. When the ring is full the oldest event is dropped and a drop
+//! counter advances, so a chatty component can never grow memory without
+//! bound or hide that it was chatty.
+
+use crate::json::escape;
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+use std::sync::{Arc, Mutex};
+
+/// Event severity.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// Development-time detail.
+    Debug,
+    /// Normal milestones (engine built, replay finished).
+    Info,
+    /// Degraded but continuing (oversubscribed shards, drops).
+    Warn,
+    /// Failed invariants.
+    Error,
+}
+
+impl Level {
+    /// Lower-case name used in the JSONL export.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Level::Debug => "debug",
+            Level::Info => "info",
+            Level::Warn => "warn",
+            Level::Error => "error",
+        }
+    }
+}
+
+/// One logged event.
+#[derive(Clone, Debug)]
+pub struct Event {
+    /// Position in the log (1-based, counts dropped events too).
+    pub seq: u64,
+    /// Severity.
+    pub level: Level,
+    /// Emitting component (`engine`, `shard-3`, `recirc`, `diff`, ...).
+    pub component: String,
+    /// Human-readable message.
+    pub message: String,
+    /// Structured context fields, in insertion order.
+    pub fields: Vec<(String, String)>,
+}
+
+impl Event {
+    /// One JSON object, no trailing newline.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\"seq\":{},\"level\":\"{}\",\"component\":\"{}\",\"message\":\"{}\"",
+            self.seq,
+            self.level.as_str(),
+            escape(&self.component),
+            escape(&self.message),
+        );
+        for (k, v) in &self.fields {
+            let _ = write!(out, ",\"{}\":\"{}\"", escape(k), escape(v));
+        }
+        out.push('}');
+        out
+    }
+}
+
+struct Inner {
+    ring: VecDeque<Event>,
+    cap: usize,
+    next_seq: u64,
+    dropped: u64,
+}
+
+/// The bounded event log handle; clones share the same ring.
+#[derive(Clone)]
+pub struct EventLog {
+    inner: Arc<Mutex<Inner>>,
+}
+
+impl EventLog {
+    /// A log retaining at most `cap` events (`cap` is clamped to ≥ 1).
+    pub fn new(cap: usize) -> EventLog {
+        EventLog {
+            inner: Arc::new(Mutex::new(Inner {
+                ring: VecDeque::new(),
+                cap: cap.max(1),
+                next_seq: 0,
+                dropped: 0,
+            })),
+        }
+    }
+
+    /// Append one event, evicting the oldest if the ring is full.
+    pub fn log(&self, level: Level, component: &str, message: &str, fields: &[(&str, &str)]) {
+        let mut inner = self.inner.lock().expect("event log poisoned");
+        inner.next_seq += 1;
+        let seq = inner.next_seq;
+        if inner.ring.len() == inner.cap {
+            inner.ring.pop_front();
+            inner.dropped += 1;
+        }
+        inner.ring.push_back(Event {
+            seq,
+            level,
+            component: component.to_string(),
+            message: message.to_string(),
+            fields: fields
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
+        });
+    }
+
+    /// Convenience for [`Level::Info`].
+    pub fn info(&self, component: &str, message: &str, fields: &[(&str, &str)]) {
+        self.log(Level::Info, component, message, fields);
+    }
+
+    /// Convenience for [`Level::Warn`].
+    pub fn warn(&self, component: &str, message: &str, fields: &[(&str, &str)]) {
+        self.log(Level::Warn, component, message, fields);
+    }
+
+    /// Events currently retained, oldest first.
+    pub fn snapshot(&self) -> Vec<Event> {
+        let inner = self.inner.lock().expect("event log poisoned");
+        inner.ring.iter().cloned().collect()
+    }
+
+    /// Events evicted by the ring bound so far.
+    pub fn dropped(&self) -> u64 {
+        self.inner.lock().expect("event log poisoned").dropped
+    }
+
+    /// Total events ever logged (retained + dropped).
+    pub fn len_logged(&self) -> u64 {
+        self.inner.lock().expect("event log poisoned").next_seq
+    }
+
+    /// The retained events as JSONL, one object per line.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for e in self.snapshot() {
+            out.push_str(&e.to_json());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    #[test]
+    fn ring_bounds_and_counts_drops() {
+        let log = EventLog::new(2);
+        log.info("engine", "first", &[]);
+        log.info("engine", "second", &[]);
+        log.warn("engine", "third", &[("k", "v")]);
+        let events = log.snapshot();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].message, "second");
+        assert_eq!(events[1].seq, 3);
+        assert_eq!(log.dropped(), 1);
+        assert_eq!(log.len_logged(), 3);
+    }
+
+    #[test]
+    fn jsonl_lines_parse() {
+        let log = EventLog::new(8);
+        log.log(
+            Level::Error,
+            "recirc",
+            "queue \"full\"",
+            &[("depth", "128"), ("shard", "2")],
+        );
+        let text = log.to_jsonl();
+        let v = json::parse(text.trim()).expect("event line must parse");
+        assert_eq!(v.get("level").unwrap().as_str(), Some("error"));
+        assert_eq!(v.get("component").unwrap().as_str(), Some("recirc"));
+        assert_eq!(v.get("message").unwrap().as_str(), Some("queue \"full\""));
+        assert_eq!(v.get("depth").unwrap().as_str(), Some("128"));
+    }
+
+    #[test]
+    fn levels_order() {
+        assert!(Level::Debug < Level::Info);
+        assert!(Level::Warn < Level::Error);
+    }
+}

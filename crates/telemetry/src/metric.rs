@@ -1,0 +1,134 @@
+//! Counter and gauge handles: `Arc`-shared atomics.
+//!
+//! Handles are cheap to clone and safe to update from any thread; the
+//! registry keeps one clone and scrapes it, instrumented code keeps
+//! another and updates it. All ordering is `Relaxed` — metrics are
+//! monotone observations, not synchronization points.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A monotonically increasing counter.
+///
+/// Besides [`inc`](Counter::inc)/[`add`](Counter::add), a counter can be
+/// [`store`](Counter::store)d to an absolute value: engines that already
+/// keep their own `EngineStats` counters publish them by storing the
+/// current total at sync points instead of double-counting on the hot
+/// path. Stores must be monotone — the Prometheus contract is enforced by
+/// the schema checker, not the handle.
+#[derive(Clone, Debug, Default)]
+pub struct Counter {
+    v: Arc<AtomicU64>,
+}
+
+impl Counter {
+    /// A fresh counter at zero.
+    pub fn new() -> Counter {
+        Counter::default()
+    }
+
+    /// Increment by one.
+    #[inline]
+    pub fn inc(&self) {
+        self.v.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Increment by `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.v.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Publish an externally accumulated total (must be monotone).
+    #[inline]
+    pub fn store(&self, total: u64) {
+        self.v.store(total, Ordering::Relaxed);
+    }
+
+    /// Current total.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.v.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: a value that can go up and down (queue depths, occupancy).
+#[derive(Clone, Debug, Default)]
+pub struct Gauge {
+    v: Arc<AtomicI64>,
+}
+
+impl Gauge {
+    /// A fresh gauge at zero.
+    pub fn new() -> Gauge {
+        Gauge::default()
+    }
+
+    /// Set to an absolute value.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.v.store(v, Ordering::Relaxed);
+    }
+
+    /// Increase by `n`.
+    #[inline]
+    pub fn add(&self, n: i64) {
+        self.v.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Decrease by `n`.
+    #[inline]
+    pub fn sub(&self, n: i64) {
+        self.v.fetch_sub(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> i64 {
+        self.v.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates_and_shares() {
+        let c = Counter::new();
+        let c2 = c.clone();
+        c.inc();
+        c2.add(4);
+        assert_eq!(c.get(), 5);
+        c.store(11);
+        assert_eq!(c2.get(), 11);
+    }
+
+    #[test]
+    fn gauge_moves_both_ways() {
+        let g = Gauge::new();
+        g.set(7);
+        g.add(3);
+        g.sub(12);
+        assert_eq!(g.get(), -2);
+    }
+
+    #[test]
+    fn counter_is_shared_across_threads() {
+        let c = Counter::new();
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let c = c.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        c.inc();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(c.get(), 4000);
+    }
+}

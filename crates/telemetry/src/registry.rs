@@ -1,0 +1,300 @@
+//! The metric registry: named counters, gauges, and histograms with label
+//! sets, and windowed scrapes.
+//!
+//! Registration is get-or-create keyed on `(family name, label set)`, so
+//! re-attaching telemetry to a rebuilt engine reuses the existing series
+//! instead of shadowing it. A [`scrape`](MetricRegistry::scrape) walks
+//! every entry, reads the atomics, and reports both the cumulative value
+//! and the **delta since the previous scrape** — the cheap windowed view
+//! the periodic JSONL snapshots are built from. Scraping never blocks
+//! instrumented threads: they touch only their `Arc`'d atomics.
+
+use crate::histogram::Histogram;
+use crate::metric::{Counter, Gauge};
+use crate::snapshot::{MetricSample, MetricValue, Snapshot};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// What a registered metric is, for exposition `# TYPE` lines.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotone counter (name must end in `_total`).
+    Counter,
+    /// Point-in-time gauge.
+    Gauge,
+    /// Log2 histogram.
+    Histogram,
+}
+
+impl MetricKind {
+    /// The Prometheus `# TYPE` keyword.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+            MetricKind::Histogram => "histogram",
+        }
+    }
+}
+
+enum Handle {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+struct Entry {
+    name: String,
+    labels: Vec<(String, String)>,
+    help: String,
+    handle: Handle,
+    /// Counter total (or histogram count) at the previous scrape, for the
+    /// delta-since-last-scrape window.
+    last: u64,
+}
+
+#[derive(Default)]
+struct Inner {
+    entries: Vec<Entry>,
+    index: HashMap<String, usize>,
+    scrapes: u64,
+}
+
+/// The registry handle; clones share the same metric table.
+#[derive(Clone, Default)]
+pub struct MetricRegistry {
+    inner: Arc<Mutex<Inner>>,
+}
+
+/// `true` for a legal Prometheus metric/label name.
+pub fn valid_name(name: &str) -> bool {
+    !name.is_empty()
+        && name
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_alphabetic() || c == '_' || c == ':')
+        && name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn series_key(name: &str, labels: &[(String, String)]) -> String {
+    let mut key = name.to_string();
+    for (k, v) in labels {
+        key.push('\u{1}');
+        key.push_str(k);
+        key.push('\u{2}');
+        key.push_str(v);
+    }
+    key
+}
+
+fn own_labels(labels: &[(&str, &str)]) -> Vec<(String, String)> {
+    labels
+        .iter()
+        .map(|(k, v)| (k.to_string(), v.to_string()))
+        .collect()
+}
+
+impl MetricRegistry {
+    /// A fresh, empty registry.
+    pub fn new() -> MetricRegistry {
+        MetricRegistry::default()
+    }
+
+    fn register(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        help: &str,
+        make: impl FnOnce() -> Handle,
+    ) -> usize {
+        assert!(valid_name(name), "invalid metric name {name:?}");
+        for (k, _) in labels {
+            assert!(valid_name(k), "invalid label name {k:?}");
+        }
+        let labels = own_labels(labels);
+        let key = series_key(name, &labels);
+        let mut inner = self.inner.lock().expect("registry poisoned");
+        if let Some(&i) = inner.index.get(&key) {
+            return i;
+        }
+        let i = inner.entries.len();
+        inner.entries.push(Entry {
+            name: name.to_string(),
+            labels,
+            help: help.to_string(),
+            handle: make(),
+            last: 0,
+        });
+        inner.index.insert(key, i);
+        i
+    }
+
+    /// Get or create a counter. Counter family names end in `_total` by
+    /// convention; the registry enforces it so the schema checker can too.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)], help: &str) -> Counter {
+        assert!(
+            name.ends_with("_total"),
+            "counter {name:?} must end in _total"
+        );
+        let i = self.register(name, labels, help, || Handle::Counter(Counter::new()));
+        let inner = self.inner.lock().expect("registry poisoned");
+        match &inner.entries[i].handle {
+            Handle::Counter(c) => c.clone(),
+            _ => panic!("{name:?} already registered with a different kind"),
+        }
+    }
+
+    /// Get or create a gauge.
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)], help: &str) -> Gauge {
+        let i = self.register(name, labels, help, || Handle::Gauge(Gauge::new()));
+        let inner = self.inner.lock().expect("registry poisoned");
+        match &inner.entries[i].handle {
+            Handle::Gauge(g) => g.clone(),
+            _ => panic!("{name:?} already registered with a different kind"),
+        }
+    }
+
+    /// Get or create a histogram.
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)], help: &str) -> Histogram {
+        let i = self.register(name, labels, help, || Handle::Histogram(Histogram::new()));
+        let inner = self.inner.lock().expect("registry poisoned");
+        match &inner.entries[i].handle {
+            Handle::Histogram(h) => h.clone(),
+            _ => panic!("{name:?} already registered with a different kind"),
+        }
+    }
+
+    /// Number of registered series.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("registry poisoned").entries.len()
+    }
+
+    /// True when nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Read every metric, compute deltas against the previous scrape, and
+    /// advance the window.
+    pub fn scrape(&self) -> Snapshot {
+        let mut inner = self.inner.lock().expect("registry poisoned");
+        inner.scrapes += 1;
+        let seq = inner.scrapes;
+        let mut samples = Vec::with_capacity(inner.entries.len());
+        for e in inner.entries.iter_mut() {
+            let (kind, value) = match &e.handle {
+                Handle::Counter(c) => {
+                    let total = c.get();
+                    let delta = total.saturating_sub(e.last);
+                    e.last = total;
+                    (MetricKind::Counter, MetricValue::Counter { total, delta })
+                }
+                Handle::Gauge(g) => (MetricKind::Gauge, MetricValue::Gauge(g.get())),
+                Handle::Histogram(h) => {
+                    let snap = h.snapshot();
+                    let count = snap.count();
+                    let delta = count.saturating_sub(e.last);
+                    e.last = count;
+                    (
+                        MetricKind::Histogram,
+                        MetricValue::Histogram {
+                            hist: snap,
+                            delta_count: delta,
+                        },
+                    )
+                }
+            };
+            samples.push(MetricSample {
+                name: e.name.clone(),
+                labels: e.labels.clone(),
+                help: e.help.clone(),
+                kind,
+                value,
+            });
+        }
+        Snapshot { seq, samples }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_or_create_returns_the_same_series() {
+        let r = MetricRegistry::new();
+        let a = r.counter("x_total", &[("shard", "0")], "help");
+        let b = r.counter("x_total", &[("shard", "0")], "help");
+        a.inc();
+        b.inc();
+        assert_eq!(a.get(), 2);
+        assert_eq!(r.len(), 1);
+        // Different label value: a new series of the same family.
+        let c = r.counter("x_total", &[("shard", "1")], "help");
+        c.add(5);
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn scrape_windows_counters() {
+        let r = MetricRegistry::new();
+        let c = r.counter("pkts_total", &[], "packets");
+        c.add(10);
+        let s1 = r.scrape();
+        match &s1.samples[0].value {
+            MetricValue::Counter { total, delta } => {
+                assert_eq!((*total, *delta), (10, 10));
+            }
+            _ => panic!("expected counter"),
+        }
+        c.add(3);
+        let s2 = r.scrape();
+        match &s2.samples[0].value {
+            MetricValue::Counter { total, delta } => {
+                assert_eq!((*total, *delta), (13, 3));
+            }
+            _ => panic!("expected counter"),
+        }
+        assert_eq!(s2.seq, 2);
+    }
+
+    #[test]
+    fn scrape_windows_histograms() {
+        let r = MetricRegistry::new();
+        let h = r.histogram("lat_ns", &[], "latency");
+        h.observe(5);
+        h.observe(6);
+        r.scrape();
+        h.observe(7);
+        let s = r.scrape();
+        match &s.samples[0].value {
+            MetricValue::Histogram { hist, delta_count } => {
+                assert_eq!(hist.count(), 3);
+                assert_eq!(*delta_count, 1);
+            }
+            _ => panic!("expected histogram"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "_total")]
+    fn counters_must_end_in_total() {
+        MetricRegistry::new().counter("bad_name", &[], "no suffix");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid metric name")]
+    fn invalid_names_are_rejected() {
+        MetricRegistry::new().gauge("bad name", &[], "space");
+    }
+
+    #[test]
+    #[should_panic(expected = "different kind")]
+    fn kind_collisions_are_rejected() {
+        let r = MetricRegistry::new();
+        r.gauge("depth_total", &[], "gauge first");
+        r.counter("depth_total", &[], "counter second");
+    }
+}

@@ -131,6 +131,33 @@ impl DiffReport {
     pub fn failures(&self) -> Vec<&EngineOutcome> {
         self.outcomes.iter().filter(|o| !o.ok()).collect()
     }
+
+    /// Per-engine nonzero counters rendered through the shared
+    /// `dart-telemetry` row formatter — the same path `dartmon stats`
+    /// uses — instead of `EngineStats` debug output. One block per
+    /// outcome that recorded counters; engines whose counters are all
+    /// zero are skipped.
+    pub fn counters_text(&self) -> String {
+        let mut out = String::new();
+        for o in &self.outcomes {
+            if let Some(stats) = &o.stats {
+                let rows: Vec<(&str, u64)> = stats
+                    .metric_rows()
+                    .into_iter()
+                    .filter(|(_, v)| *v > 0)
+                    .collect();
+                if rows.is_empty() {
+                    continue;
+                }
+                out.push('\n');
+                out.push_str(&dart_telemetry::render_rows(
+                    &format!("counters[{}]", o.name),
+                    &rows,
+                ));
+            }
+        }
+        out
+    }
 }
 
 impl fmt::Display for DiffReport {
@@ -278,6 +305,65 @@ pub fn run_diff(cfg: &DiffConfig, packets: &[PacketMeta]) -> DiffReport {
     }
 }
 
+/// [`run_diff`] with telemetry attached: engines are built through
+/// [`EngineRegistry::build_instrumented`], so Dart runs publish their
+/// per-shard series into `metrics` and baselines get run-level mirrors,
+/// and the runner narrates progress into `events` (one entry per engine
+/// started and judged). The report is identical to [`run_diff`]'s.
+#[cfg(feature = "telemetry")]
+pub fn run_diff_instrumented(
+    cfg: &DiffConfig,
+    packets: &[PacketMeta],
+    metrics: &dart_telemetry::MetricRegistry,
+    events: &dart_telemetry::EventLog,
+) -> DiffReport {
+    let oracle = run_oracle(
+        OracleConfig {
+            syn_policy: cfg.engine.syn_policy,
+            leg: cfg.engine.leg,
+        },
+        packets,
+    );
+    let registry = EngineRegistry::standard();
+    let mut outcomes = Vec::new();
+    let packet_count = packets.len().to_string();
+    for name in cfg.engine_names() {
+        events.info(
+            "diff",
+            "engine start",
+            &[("engine", &name), ("packets", &packet_count)],
+        );
+        let mut built = registry
+            .build_instrumented(&name, &cfg.engine, metrics)
+            .unwrap_or_else(|e| panic!("diff config: {e}"));
+        let (samples, stats) = run_monitor_slice(built.monitor.as_mut(), packets);
+        let outcome = judge_engine(
+            name,
+            built.judgement,
+            &samples,
+            stats,
+            &oracle,
+            cfg.impossible_budget,
+        );
+        events.info(
+            "diff",
+            "engine judged",
+            &[
+                ("engine", &outcome.name),
+                ("exact", &outcome.card.exact.to_string()),
+                ("impossible", &outcome.card.impossible.to_string()),
+                ("ok", if outcome.ok() { "true" } else { "false" }),
+            ],
+        );
+        outcomes.push(outcome);
+    }
+    DiffReport {
+        oracle_valid: oracle.valid_count() as u64,
+        outcomes,
+        faults: None,
+    }
+}
+
 /// Apply a seeded fault configuration to `packets`, then run the
 /// differential suite on the faulted capture (which oracle and engines
 /// share — see the module docs on capture-relative truth).
@@ -289,6 +375,23 @@ pub fn run_diff_faulted(
     let mut injector = FaultInjector::new(fault);
     let faulted = injector.apply(packets.to_vec());
     let mut report = run_diff(cfg, &faulted);
+    report.faults = Some(injector.log());
+    report
+}
+
+/// [`run_diff_faulted`] through the instrumented runner (see
+/// [`run_diff_instrumented`]).
+#[cfg(feature = "telemetry")]
+pub fn run_diff_faulted_instrumented(
+    cfg: &DiffConfig,
+    fault: FaultConfig,
+    packets: &[PacketMeta],
+    metrics: &dart_telemetry::MetricRegistry,
+    events: &dart_telemetry::EventLog,
+) -> DiffReport {
+    let mut injector = FaultInjector::new(fault);
+    let faulted = injector.apply(packets.to_vec());
+    let mut report = run_diff_instrumented(cfg, &faulted, metrics, events);
     report.faults = Some(injector.log());
     report
 }
@@ -320,6 +423,50 @@ mod tests {
         let report = run_diff_faulted(&DiffConfig::default(), FaultConfig::stress(9), &trace(2));
         assert!(report.pass(), "faulted trace must pass:\n{report}");
         assert!(report.faults.unwrap().dropped > 0);
+    }
+
+    #[test]
+    fn counters_render_through_shared_formatter() {
+        let report = run_diff(&DiffConfig::default(), &trace(4));
+        let text = report.counters_text();
+        assert!(text.contains("counters[dart]"), "{text}");
+        assert!(text.contains("packets"), "{text}");
+        assert!(!text.contains("EngineStats"), "debug formatting leaked");
+    }
+
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn instrumented_diff_matches_plain_and_narrates() {
+        use dart_telemetry::{EventLog, MetricRegistry};
+        let packets = trace(5);
+        let plain = run_diff(&DiffConfig::default(), &packets);
+        let metrics = MetricRegistry::new();
+        let events = EventLog::new(64);
+        let inst = run_diff_instrumented(&DiffConfig::default(), &packets, &metrics, &events);
+        assert_eq!(
+            inst.to_string(),
+            plain.to_string(),
+            "telemetry changed results"
+        );
+        assert!(inst.pass());
+        let snap = metrics.scrape();
+        assert!(
+            snap.samples
+                .iter()
+                .any(|s| s.name == "dart_shard_packets_total"),
+            "per-shard series registered"
+        );
+        assert!(
+            snap.samples
+                .iter()
+                .any(|s| s.name == "dart_run_packets_total"),
+            "baseline run-level series registered"
+        );
+        // One start + one judged entry per engine.
+        assert_eq!(
+            events.len_logged(),
+            2 * DiffConfig::default().engine_names().len() as u64
+        );
     }
 
     #[test]

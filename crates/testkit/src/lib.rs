@@ -46,6 +46,8 @@ pub mod shrink;
 
 pub use broken::run_trace_skewed;
 pub use diff::{loss_budget, run_diff, run_diff_faulted, DiffConfig, DiffReport, EngineOutcome};
+#[cfg(feature = "telemetry")]
+pub use diff::{run_diff_faulted_instrumented, run_diff_instrumented};
 pub use faults::{
     apply_config_fault, register_sweep, ConfigFault, FaultConfig, FaultInjector, FaultLog,
     PT_RECORD_BITS,

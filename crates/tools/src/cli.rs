@@ -30,6 +30,11 @@ pub enum Command {
         /// Input path.
         input: String,
     },
+    /// Run one engine and print the full telemetry snapshot.
+    Stats {
+        /// Input path.
+        input: String,
+    },
     /// Print the data-plane resource report.
     Resources,
     /// Print usage.
@@ -76,6 +81,7 @@ COMMANDS:
         --connections N   (default 500)     --duration-secs S (default 10)
         --seed X          (default 0xDA27)
     analyze <input>                 run one engine, print RTT report
+                                    (alias: replay)
         --engine NAME     (any registered engine, default dart;
                            dart-sharded-N follows --shards)
         --leg external|internal|both (default external)
@@ -83,6 +89,14 @@ COMMANDS:
         --rt N (slots, default 1048576) --max-recirc R (default 1)
         --shards N (flow-sharded parallel engines, default 1 = serial)
         --csv <path>      dump per-sample CSV
+        --metrics-out <path>        append one JSONL telemetry snapshot
+                                    per interval during the replay
+        --metrics-interval N        packets between snapshots
+                                    (default 100000; needs --metrics-out)
+        --metrics-prom <path>       write final Prometheus text exposition
+        --events-out <path>         write the structured event log (JSONL)
+    stats <input>                   run one engine, print every metric
+                                    (same engine flags as analyze)
     compare <input>                 registered engines side by side
         --engine NAME[,NAME...]|all (default all)
     detect <input>                  min-RTT change detection (attack alarm)
@@ -94,6 +108,8 @@ COMMANDS:
         --fault-seed X    (inject seeded drop/dup/reorder faults first)
         --impossible-budget B (tolerated fabricated samples, default 0)
         plus the analyze engine flags (--leg/--pt/--rt/--stages/--max-recirc)
+        and the telemetry sinks (--metrics-out/--metrics-prom/--events-out
+        capture one final snapshot and the runner's event narration)
 
 Engines are resolved from the shared registry: dart, dart-sharded-N,
 tcptrace, tcptrace-quirk, fridge, pping, dapper, strawman, seglist, lean.
@@ -126,16 +142,17 @@ pub fn parse(args: &[String]) -> Result<(Command, Options), String> {
     let cmd = match pos.first().map(|s| s.as_str()) {
         None | Some("help") => Command::Help,
         Some("resources") => Command::Resources,
-        Some(c @ ("generate" | "analyze" | "compare" | "detect" | "diff")) => {
+        Some(c @ ("generate" | "analyze" | "replay" | "compare" | "detect" | "diff" | "stats")) => {
             let arg = pos
                 .get(1)
                 .ok_or_else(|| format!("{c} needs a file argument"))?
                 .to_string();
             match c {
                 "generate" => Command::Generate { out: arg },
-                "analyze" => Command::Analyze { input: arg },
+                "analyze" | "replay" => Command::Analyze { input: arg },
                 "compare" => Command::Compare { input: arg },
                 "diff" => Command::Diff { input: arg },
+                "stats" => Command::Stats { input: arg },
                 _ => Command::Detect { input: arg },
             }
         }
@@ -163,6 +180,34 @@ mod tests {
         );
         assert_eq!(opts.get_num("pt", 0usize).unwrap(), 4096);
         assert_eq!(opts.get_num("stages", 7usize).unwrap(), 7);
+    }
+
+    #[test]
+    fn replay_is_an_analyze_alias_and_stats_parses() {
+        let (cmd, _) = parse(&v(&["replay", "x.trace"])).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Analyze {
+                input: "x.trace".into()
+            }
+        );
+        // Flags may come before the subcommand (the acceptance invocation
+        // is `dartmon --metrics-out m.jsonl ... replay trace`).
+        let (cmd, opts) = parse(&v(&["--metrics-out", "m.jsonl", "replay", "x.trace"])).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Analyze {
+                input: "x.trace".into()
+            }
+        );
+        assert_eq!(opts.get("metrics-out"), Some("m.jsonl"));
+        let (cmd, _) = parse(&v(&["stats", "x.trace"])).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Stats {
+                input: "x.trace".into()
+            }
+        );
     }
 
     #[test]

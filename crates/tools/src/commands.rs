@@ -6,10 +6,20 @@ use crate::io::{load_file, parse_prefix, save_file};
 use dart_analytics::{ChangeDetector, ChangeDetectorConfig, RttDistribution, Verdict};
 use dart_baselines::EngineRegistry;
 use dart_core::{run_monitor_slice, DartConfig, Leg};
+#[cfg(feature = "telemetry")]
+use dart_core::{run_monitor_ticked, RttSample};
+#[cfg(feature = "telemetry")]
+use dart_packet::SliceSource;
 use dart_packet::SECOND;
 use dart_sim::scenario::{campus, CampusConfig};
 use dart_switch::{dart_program, estimate, DartProgramParams, TargetProfile};
-use dart_testkit::{run_diff, run_diff_faulted, DiffConfig, FaultConfig};
+#[cfg(feature = "telemetry")]
+use dart_telemetry::{EventLog, MetricRegistry};
+#[cfg(not(feature = "telemetry"))]
+use dart_testkit::{run_diff, run_diff_faulted};
+#[cfg(feature = "telemetry")]
+use dart_testkit::{run_diff_faulted_instrumented, run_diff_instrumented};
+use dart_testkit::{DiffConfig, FaultConfig};
 use std::fmt::Write as _;
 use std::net::Ipv4Addr;
 
@@ -23,7 +33,59 @@ pub fn run(cmd: Command, opts: &Options) -> Result<String, String> {
         Command::Compare { input } => compare(&input, opts),
         Command::Detect { input } => detect(&input, opts),
         Command::Diff { input } => diff(&input, opts),
+        Command::Stats { input } => stats_report(&input, opts),
     }
+}
+
+/// Where the telemetry run should land, parsed from the shared flags.
+/// Validated even in feature-off builds so the flags fail loudly instead
+/// of being silently ignored.
+struct TelemetrySinks {
+    jsonl: Option<String>,
+    prom: Option<String>,
+    events: Option<String>,
+    interval: u64,
+}
+
+fn telemetry_sinks(opts: &Options) -> Result<TelemetrySinks, String> {
+    let sinks = TelemetrySinks {
+        jsonl: opts.get("metrics-out").map(String::from),
+        prom: opts.get("metrics-prom").map(String::from),
+        events: opts.get("events-out").map(String::from),
+        interval: opts.get_num("metrics-interval", 100_000u64)?,
+    };
+    if sinks.jsonl.is_none() && opts.get("metrics-interval").is_some() {
+        return Err("--metrics-interval needs --metrics-out".to_string());
+    }
+    if sinks.interval == 0 {
+        return Err("--metrics-interval must be at least 1".to_string());
+    }
+    #[cfg(not(feature = "telemetry"))]
+    if sinks.jsonl.is_some() || sinks.prom.is_some() || sinks.events.is_some() {
+        return Err("this dartmon was built without the `telemetry` feature; \
+             rebuild with default features to export metrics"
+            .to_string());
+    }
+    Ok(sinks)
+}
+
+/// Resolve the `--engine`/`--shards` pair the way `analyze` documents it:
+/// `--shards N` picks `dart-sharded-N` unless `--engine` overrides.
+fn resolve_engine(opts: &Options, registry: &EngineRegistry) -> Result<(String, usize), String> {
+    let shards = opts.get_num("shards", 1usize)?;
+    if shards == 0 {
+        return Err("--shards must be at least 1".to_string());
+    }
+    let default_engine = if shards <= 1 {
+        "dart".to_string()
+    } else {
+        format!("dart-sharded-{shards}")
+    };
+    let engine = opts.get("engine").unwrap_or(&default_engine).to_string();
+    registry
+        .judgement(&engine)
+        .map_err(|e| format!("--engine: {e}"))?;
+    Ok((engine, shards))
 }
 
 fn internal_prefix(opts: &Options) -> Result<(Ipv4Addr, u8), String> {
@@ -95,24 +157,92 @@ fn engine_selection(
 }
 
 fn analyze(input: &str, opts: &Options) -> Result<String, String> {
-    let (packets, skipped) = load_file(input, internal_prefix(opts)?)?;
     let cfg = engine_config(opts)?;
-    let shards = opts.get_num("shards", 1usize)?;
-    if shards == 0 {
-        return Err("--shards must be at least 1".to_string());
-    }
-    let default_engine = if shards <= 1 {
-        "dart".to_string()
-    } else {
-        format!("dart-sharded-{shards}")
-    };
     let registry = EngineRegistry::standard();
-    let engine = opts.get("engine").unwrap_or(&default_engine).to_string();
-    registry
-        .judgement(&engine)
-        .map_err(|e| format!("--engine: {e}"))?;
-    let mut built = registry.build(&engine, &cfg)?;
-    let (samples, stats) = run_monitor_slice(built.monitor.as_mut(), &packets);
+    let (engine, shards) = resolve_engine(opts, &registry)?;
+    let sinks = telemetry_sinks(opts)?;
+    let (packets, skipped) = load_file(input, internal_prefix(opts)?)?;
+
+    #[cfg(feature = "telemetry")]
+    let (built, samples, stats, telemetry_note) = {
+        let metrics = MetricRegistry::new();
+        let events = EventLog::new(256);
+        let mut built = registry.build_instrumented(&engine, &cfg, &metrics)?;
+        events.info(
+            "replay",
+            "run start",
+            &[
+                ("engine", &engine),
+                ("input", input),
+                ("packets", &packets.len().to_string()),
+            ],
+        );
+        let mut samples: Vec<RttSample> = Vec::new();
+        let mut jsonl = String::new();
+        let mut snapshots = 0u64;
+        let stats = run_monitor_ticked(
+            built.monitor.as_mut(),
+            SliceSource::new(&packets),
+            &mut samples,
+            sinks.interval,
+            |processed, done| {
+                if sinks.jsonl.is_none() {
+                    return;
+                }
+                let snap = metrics.scrape();
+                jsonl.push_str(&snap.jsonl_line(&[("packets", processed), ("final", done as u64)]));
+                jsonl.push('\n');
+                snapshots += 1;
+                events.info(
+                    "replay",
+                    if done {
+                        "final snapshot"
+                    } else {
+                        "periodic snapshot"
+                    },
+                    &[("packets", &processed.to_string())],
+                );
+            },
+        )
+        .expect("slice sources are infallible");
+        events.info(
+            "replay",
+            "run finish",
+            &[("samples", &samples.len().to_string())],
+        );
+        let mut note = String::new();
+        if let Some(path) = &sinks.jsonl {
+            std::fs::write(path, &jsonl).map_err(|e| format!("write {path}: {e}"))?;
+            writeln!(
+                note,
+                "metrics           : {snapshots} snapshots (every {} pkts) -> {path}",
+                sinks.interval
+            )
+            .expect("string write");
+        }
+        if let Some(path) = &sinks.prom {
+            std::fs::write(path, metrics.scrape().prometheus())
+                .map_err(|e| format!("write {path}: {e}"))?;
+            writeln!(note, "prometheus        : {path}").expect("string write");
+        }
+        if let Some(path) = &sinks.events {
+            std::fs::write(path, events.to_jsonl()).map_err(|e| format!("write {path}: {e}"))?;
+            writeln!(
+                note,
+                "events            : {} entries -> {path}",
+                events.len_logged()
+            )
+            .expect("string write");
+        }
+        (built, samples, stats, note)
+    };
+    #[cfg(not(feature = "telemetry"))]
+    let (built, samples, stats, telemetry_note) = {
+        let _ = &sinks;
+        let mut built = registry.build(&engine, &cfg)?;
+        let (samples, stats) = run_monitor_slice(built.monitor.as_mut(), &packets);
+        (built, samples, stats, String::new())
+    };
 
     if let Some(csv) = opts.get("csv") {
         let mut text = String::from("ts_ns,src,sport,dst,dport,eack,rtt_ns\n");
@@ -159,7 +289,42 @@ fn analyze(input: &str, opts: &Options) -> Result<String, String> {
     writeln!(out, "range collapses   : {}", stats.range_collapses).unwrap();
     writeln!(out, "optimistic ACKs   : {}", stats.ack_optimistic).unwrap();
     writeln!(out, "recirc / packet   : {:.4}", stats.recirc_per_packet()).unwrap();
+    out.push_str(&telemetry_note);
     Ok(out)
+}
+
+/// `dartmon stats`: run one engine and print the full metric snapshot
+/// through the shared `dart-telemetry` renderer.
+fn stats_report(input: &str, opts: &Options) -> Result<String, String> {
+    #[cfg(not(feature = "telemetry"))]
+    {
+        let _ = (input, opts);
+        Err("`dartmon stats` needs the `telemetry` feature; \
+             this binary was built with --no-default-features"
+            .to_string())
+    }
+    #[cfg(feature = "telemetry")]
+    {
+        let (packets, skipped) = load_file(input, internal_prefix(opts)?)?;
+        let cfg = engine_config(opts)?;
+        let registry = EngineRegistry::standard();
+        let (engine, _) = resolve_engine(opts, &registry)?;
+        let metrics = MetricRegistry::new();
+        let mut built = registry.build_instrumented(&engine, &cfg, &metrics)?;
+        let (samples, _) = run_monitor_slice(built.monitor.as_mut(), &packets);
+        let mut out = String::new();
+        writeln!(
+            out,
+            "input  : {input} ({} packets, {skipped} skipped)",
+            packets.len()
+        )
+        .expect("string write");
+        writeln!(out, "engine : {}", built.monitor.describe()).expect("string write");
+        writeln!(out, "samples: {}", samples.len()).expect("string write");
+        out.push('\n');
+        out.push_str(&metrics.scrape().render_text());
+        Ok(out)
+    }
 }
 
 fn compare(input: &str, opts: &Options) -> Result<String, String> {
@@ -225,15 +390,56 @@ fn diff(input: &str, opts: &Options) -> Result<String, String> {
         baselines: !baseline_engines.is_empty(),
         baseline_engines,
     };
-    let report = match opts.get("fault-seed") {
-        None => run_diff(&cfg, &packets),
-        Some(_) => {
-            let seed = opts.get_num("fault-seed", 0u64)?;
-            run_diff_faulted(&cfg, FaultConfig::stress(seed), &packets)
+    let sinks = telemetry_sinks(opts)?;
+    #[cfg(feature = "telemetry")]
+    let report = {
+        let metrics = MetricRegistry::new();
+        let events = EventLog::new(256);
+        let report = match opts.get("fault-seed") {
+            None => run_diff_instrumented(&cfg, &packets, &metrics, &events),
+            Some(_) => {
+                let seed = opts.get_num("fault-seed", 0u64)?;
+                run_diff_faulted_instrumented(
+                    &cfg,
+                    FaultConfig::stress(seed),
+                    &packets,
+                    &metrics,
+                    &events,
+                )
+            }
+        };
+        if let Some(path) = &sinks.jsonl {
+            let mut line = metrics
+                .scrape()
+                .jsonl_line(&[("packets", packets.len() as u64), ("final", 1)]);
+            line.push('\n');
+            std::fs::write(path, line).map_err(|e| format!("write {path}: {e}"))?;
+        }
+        if let Some(path) = &sinks.prom {
+            std::fs::write(path, metrics.scrape().prometheus())
+                .map_err(|e| format!("write {path}: {e}"))?;
+        }
+        if let Some(path) = &sinks.events {
+            std::fs::write(path, events.to_jsonl()).map_err(|e| format!("write {path}: {e}"))?;
+        }
+        report
+    };
+    #[cfg(not(feature = "telemetry"))]
+    let report = {
+        let _ = &sinks;
+        match opts.get("fault-seed") {
+            None => run_diff(&cfg, &packets),
+            Some(_) => {
+                let seed = opts.get_num("fault-seed", 0u64)?;
+                run_diff_faulted(&cfg, FaultConfig::stress(seed), &packets)
+            }
         }
     };
     let mut out = report.to_string();
     out.push('\n');
+    // Engine counters through the shared dart-telemetry row formatter —
+    // one rendering path with `dartmon stats` (not EngineStats debug).
+    out.push_str(&report.counters_text());
     Ok(out)
 }
 
@@ -430,6 +636,111 @@ mod tests {
         assert!(text.lines().count() > 1);
         let _ = std::fs::remove_file(&path);
         let _ = std::fs::remove_file(&csv);
+    }
+
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn replay_emits_periodic_snapshots_and_prometheus_validates() {
+        let path = tmp("dartmon_metrics.trace");
+        let jsonl = tmp("dartmon_metrics.jsonl");
+        let prom = tmp("dartmon_metrics.prom");
+        let events = tmp("dartmon_events.jsonl");
+        run_line(&[
+            "generate",
+            &path,
+            "--connections",
+            "120",
+            "--duration-secs",
+            "3",
+        ])
+        .unwrap();
+        let report = run_line(&[
+            "--metrics-out",
+            &jsonl,
+            "--metrics-interval",
+            "2000",
+            "--metrics-prom",
+            &prom,
+            "--events-out",
+            &events,
+            "replay",
+            &path,
+        ])
+        .unwrap();
+        assert!(report.contains("metrics"), "{report}");
+
+        let series = std::fs::read_to_string(&jsonl).unwrap();
+        assert!(
+            series.lines().count() >= 2,
+            "expected >= 2 snapshots:\n{series}"
+        );
+        for needle in [
+            "dart_shard_packets_total",
+            "dart_rtt_ns",
+            "dart_recirc_queue_depth",
+            "\"buckets\":[",
+        ] {
+            assert!(series.contains(needle), "missing {needle} in snapshots");
+        }
+        let check = dart_telemetry::check_jsonl_series(&series);
+        assert!(check.ok(), "jsonl schema errors: {:?}", check.errors);
+
+        let text = std::fs::read_to_string(&prom).unwrap();
+        let check = dart_telemetry::check_prometheus(&text);
+        assert!(check.ok(), "prometheus schema errors: {:?}", check.errors);
+
+        let log = std::fs::read_to_string(&events).unwrap();
+        assert!(log.contains("\"message\":\"run start\""), "{log}");
+        assert!(log.contains("periodic snapshot"), "{log}");
+        for f in [&path, &jsonl, &prom, &events] {
+            let _ = std::fs::remove_file(f);
+        }
+    }
+
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn stats_prints_the_metric_table() {
+        let path = tmp("dartmon_stats.trace");
+        run_line(&[
+            "generate",
+            &path,
+            "--connections",
+            "40",
+            "--duration-secs",
+            "2",
+        ])
+        .unwrap();
+        let report = run_line(&["stats", &path]).unwrap();
+        for needle in ["dart_shard_packets_total", "dart_rtt_ns", "p99"] {
+            assert!(report.contains(needle), "missing {needle} in:\n{report}");
+        }
+        let sharded = run_line(&["stats", &path, "--shards", "2"]).unwrap();
+        assert!(sharded.contains("shard=\"1\""), "{sharded}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn metrics_interval_without_out_errors() {
+        let err = run_line(&["replay", "x.trace", "--metrics-interval", "5"]).unwrap_err();
+        assert!(err.contains("--metrics-out"), "{err}");
+    }
+
+    #[test]
+    fn diff_renders_counters_through_shared_formatter() {
+        let path = tmp("dartmon_diff_counters.trace");
+        run_line(&[
+            "generate",
+            &path,
+            "--connections",
+            "50",
+            "--duration-secs",
+            "2",
+        ])
+        .unwrap();
+        let report = run_line(&["diff", &path]).unwrap();
+        assert!(report.contains("counters[dart]"), "{report}");
+        assert!(report.contains("verdict: PASS"), "{report}");
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

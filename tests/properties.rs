@@ -117,7 +117,7 @@ proptest! {
 /// mirroring the `merge_counters!` guarantee.
 fn engine_stats() -> impl Strategy<Value = EngineStats> {
     // Bounded well under u64::MAX / 4 so sums of a few stats cannot wrap.
-    prop::collection::vec(0u64..(1 << 40), 29).prop_map(|v| {
+    prop::collection::vec(0u64..(1 << 40), 30).prop_map(|v| {
         let mut it = v.into_iter();
         let mut n = move || it.next().unwrap();
         EngineStats {
@@ -144,6 +144,7 @@ fn engine_stats() -> impl Strategy<Value = EngineStats> {
             recirc_cycles_broken: n(),
             recirc_filtered: n(),
             dual_role_recirc: n(),
+            no_role: n(),
             filtered_flows: n(),
             victim_cached: n(),
             victim_cache_hits: n(),
