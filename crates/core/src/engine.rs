@@ -96,9 +96,13 @@ impl RtCopy {
 
     /// Apply every write whose sync point has passed.
     fn drain(&mut self, now: Nanos) {
-        while self.pending.front().is_some_and(|(at, _, _)| *at <= now) {
-            let (_, sig, range) = self.pending.pop_front().expect("peeked");
-            self.shadow.insert(sig, range);
+        while let Some((at, _, _)) = self.pending.front() {
+            if *at > now {
+                break;
+            }
+            if let Some((_, sig, range)) = self.pending.pop_front() {
+                self.shadow.insert(sig, range);
+            }
         }
     }
 
@@ -343,12 +347,10 @@ impl DartEngine {
                     self.victim_cache
                         .iter()
                         .position(|r| r.id() == id)
-                        .map(|pos| {
+                        .and_then(|pos| self.victim_cache.remove(pos))
+                        .map(|rec| {
                             self.stats.victim_cache_hits += 1;
-                            self.victim_cache
-                                .remove(pos)
-                                .expect("position just found")
-                                .ts
+                            rec.ts
                         })
                 });
                 if let Some(ts0) = hit {
@@ -407,7 +409,12 @@ impl DartEngine {
             if self.victim_cache.len() <= self.cfg.victim_cache {
                 return;
             }
-            self.victim_cache.pop_front().expect("cache nonempty")
+            // The push above guarantees the cache is nonempty; if that ever
+            // changes, spilling nothing is the safe degradation.
+            let Some(spilled) = self.victim_cache.pop_front() else {
+                return;
+            };
+            spilled
         } else {
             old
         };
@@ -446,7 +453,9 @@ impl DartEngine {
     /// Re-admit recirculated records whose re-entry time has arrived.
     fn drain_recirc_until(&mut self, now: Nanos) {
         while self.recirc.peek().is_some_and(|e| e.record.ready <= now) {
-            let popped = self.recirc.pop().expect("peeked entry present");
+            let Some(popped) = self.recirc.pop() else {
+                break; // unreachable: peek just returned Some
+            };
             let mut rec = popped.record.rec;
             rec.trips = popped.trips;
             // Second chance: re-consult the Range Tracker (Fig. 5, event 5).

@@ -36,9 +36,14 @@
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+// The engine must never take down its host process: panicking unwraps are
+// banned from lib code (tests keep them). Intentional exceptions carry an
+// `#[allow]` with a justification at the call site.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod config;
 pub mod engine;
+pub mod error;
 pub mod filter;
 pub mod monitor;
 pub mod packet_tracker;
@@ -54,6 +59,7 @@ pub mod telemetry;
 
 pub use config::{DartConfig, Leg, PtMode, RtMode, SynPolicy};
 pub use engine::{run_trace, DartEngine, EngineEvent, EventSink, RecircFilter, RecirculateAll};
+pub use error::{EngineError, FailureKind, FailurePolicy, ShardFailure};
 pub use filter::{FlowFilter, FlowRule, PrefixMatch};
 pub use monitor::{run_monitor, run_monitor_slice, run_monitor_ticked, RttMonitor};
 pub use packet_tracker::{PacketTracker, PtInsert, PtRecord};
@@ -63,7 +69,8 @@ pub use range_tracker::{RangeTracker, RtAckOutcome, RtSeqOutcome};
 pub use rt_salu::SaluRangeTracker;
 pub use sample::{RttSample, SampleSink, SampleWeight};
 pub use sharded::{
-    run_trace_sharded, shard_of, ShardedConfig, ShardedDartEngine, ShardedMonitor, ShardedRun,
+    run_trace_sharded, shard_of, PacketHook, ShardedConfig, ShardedDartEngine, ShardedMonitor,
+    ShardedRun, SupervisorConfig,
 };
 pub use stats::EngineStats;
 #[cfg(feature = "telemetry")]

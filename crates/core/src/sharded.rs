@@ -1,4 +1,5 @@
-//! Flow-sharded parallel Dart engine.
+//! Flow-sharded parallel Dart engine under a supervised, fault-tolerant
+//! runtime.
 //!
 //! A hardware Dart instance is a single pipeline; a software replay of a
 //! multi-gigabit trace need not be. This module partitions a capture across
@@ -9,6 +10,35 @@
 //! Tracker, victim cache, and recirculation loop, and is driven by a worker
 //! thread fed over a bounded channel in batches of
 //! [`ShardedConfig::batch_size`] packets.
+//!
+//! ## Supervision
+//!
+//! A switch cannot stop forwarding because its measurement pipeline hit a
+//! bad state; the paper's whole design (lazy eviction, bounded
+//! recirculation) degrades instead of failing. The software runtime holds
+//! itself to the same standard:
+//!
+//! * every worker batch runs under panic isolation
+//!   ([`std::panic::catch_unwind`]) — a panicking shard becomes a recorded
+//!   [`ShardFailure`], never a process abort;
+//! * the feeder hands batches off with a watchdog
+//!   ([`SupervisorConfig::stall_timeout`]): a worker that stops consuming
+//!   is declared [`Stalled`](FailureKind::Stalled) and abandoned;
+//! * what happens next is the [`FailurePolicy`]: stop and surface a typed
+//!   [`EngineError`] with the partial merged output (`FailFast`), respawn
+//!   the shard's engine with fresh RT/PT state (`RestartShard`), or keep
+//!   every other shard measuring while the failed one sheds its traffic
+//!   (`ShedLoad` — the paper's lazy-eviction stance: measure less, never
+//!   measure wrong).
+//!
+//! Degradation is *accounted*: respawns in `shard_restarts`, live flows
+//! discarded with a failed engine in `flows_lost`, and every packet the
+//! runtime dropped without offering it to a healthy engine in
+//! `monitor_miss`, so `fed == stats.packets + stats.monitor_miss` holds for
+//! every run, degraded or not. Failures survive into
+//! [`ShardedRun::failures`] for reporting. The chaos harness in
+//! `dart-testkit` drives these paths deterministically through
+//! [`PacketHook`].
 //!
 //! ## Fidelity
 //!
@@ -37,6 +67,7 @@
 
 use crate::config::DartConfig;
 use crate::engine::{run_trace, DartEngine, EngineEvent};
+use crate::error::{EngineError, FailureKind, FailurePolicy, ShardFailure};
 use crate::monitor::RttMonitor;
 use crate::sample::{RttSample, SampleSink};
 use crate::stats::EngineStats;
@@ -44,14 +75,50 @@ use crate::stats::EngineStats;
 use crate::telemetry::EngineTelemetry;
 use dart_packet::{FlowKey, PacketMeta};
 #[cfg(feature = "telemetry")]
-use dart_telemetry::{Gauge, MetricRegistry};
+use dart_telemetry::{Counter, Gauge, MetricRegistry};
 use std::cell::{Cell, RefCell};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::rc::Rc;
-use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::sync::Arc;
 use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+/// Per-packet instrumentation hook run inside each worker, *before* the
+/// packet reaches the engine, with `(global packet index, shard)`. This is
+/// the chaos-injection seam: the testkit builds hooks that panic or stall
+/// at a seeded packet to drive the supervised failure paths
+/// deterministically. A hook that does nothing costs one indirect call per
+/// packet.
+pub type PacketHook = Arc<dyn Fn(u64, usize) + Send + Sync>;
+
+/// How the supervised runtime reacts to shard failures.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SupervisorConfig {
+    /// What to do when a shard worker panics or stalls.
+    pub policy: FailurePolicy,
+    /// How long the feeder may wait on a full hand-off channel before
+    /// declaring the worker stalled and abandoning it. Generous by
+    /// default: a slow consumer is backpressure, not a failure.
+    pub stall_timeout: Duration,
+    /// Respawn budget per shard under [`FailurePolicy::RestartShard`];
+    /// a shard that exhausts it degrades to shedding its traffic.
+    pub max_restarts: u32,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> SupervisorConfig {
+        SupervisorConfig {
+            policy: FailurePolicy::default(),
+            stall_timeout: Duration::from_secs(5),
+            max_restarts: 8,
+        }
+    }
+}
 
 /// Configuration of a sharded replay: the per-shard engine config plus the
-/// partitioning and hand-off parameters.
+/// partitioning, hand-off, and supervision parameters.
 #[derive(Clone, Copy, Debug)]
 pub struct ShardedConfig {
     /// Engine configuration applied to every shard.
@@ -65,6 +132,8 @@ pub struct ShardedConfig {
     /// run-ahead so memory stays proportional to
     /// `shards × queue_depth × batch_size`.
     pub queue_depth: usize,
+    /// Failure handling: policy, watchdog timeout, restart budget.
+    pub supervisor: SupervisorConfig,
 }
 
 impl ShardedConfig {
@@ -75,6 +144,7 @@ impl ShardedConfig {
             shards,
             batch_size: 1024,
             queue_depth: 8,
+            supervisor: SupervisorConfig::default(),
         }
     }
 
@@ -89,21 +159,53 @@ impl ShardedConfig {
         self.queue_depth = queue_depth;
         self
     }
+
+    /// Override the failure policy.
+    pub fn with_policy(mut self, policy: FailurePolicy) -> Self {
+        self.supervisor.policy = policy;
+        self
+    }
+
+    /// Override the watchdog stall timeout.
+    pub fn with_stall_timeout(mut self, timeout: Duration) -> Self {
+        self.supervisor.stall_timeout = timeout;
+        self
+    }
+
+    /// Override the whole supervision block.
+    pub fn with_supervisor(mut self, supervisor: SupervisorConfig) -> Self {
+        self.supervisor = supervisor;
+        self
+    }
 }
 
-/// Output of a sharded run: merged samples, combined counters, and merged
-/// engine events, all in the deterministic (packet index, shard) order.
+/// Output of a sharded run: merged samples, combined counters, merged
+/// engine events, and any shard failures the supervised runtime survived,
+/// all in the deterministic (packet index, shard) order.
 #[derive(Clone, Debug, Default)]
 pub struct ShardedRun {
     /// RTT samples from every shard, merged into serial emission order.
     pub samples: Vec<RttSample>,
-    /// Sum of all per-shard counters (see [`EngineStats::merge`]).
+    /// Sum of all per-shard counters (see [`EngineStats::merge`]), plus
+    /// the runtime's own restart/loss accounting.
     pub stats: EngineStats,
     /// Per-flow events (range collapses, optimistic ACKs) from every shard,
     /// merged into the same deterministic order as the samples.
     pub events: Vec<EngineEvent>,
-    /// Final counters of each individual shard, in shard order.
+    /// Final counters of each individual shard, in shard order (all-zero
+    /// for a shard abandoned by the watchdog — its results are lost and
+    /// counted in `monitor_miss`).
     pub per_shard: Vec<EngineStats>,
+    /// Every failure observed during the run, ordered by (shard, packet).
+    /// Empty on a healthy run.
+    pub failures: Vec<ShardFailure>,
+}
+
+impl ShardedRun {
+    /// True when no shard failed (the run is not degraded).
+    pub fn healthy(&self) -> bool {
+        self.failures.is_empty()
+    }
 }
 
 /// Which shard a flow belongs to: both directions of a connection map to
@@ -117,12 +219,25 @@ pub fn shard_of(flow: &FlowKey, shards: usize) -> usize {
 /// One unit of hand-off: packets tagged with their global trace index.
 type Batch = Vec<(u64, PacketMeta)>;
 
-/// What a worker sends back: index-tagged samples and events, plus the
-/// shard's final counters.
+/// What a worker sends back: index-tagged samples and events, the shard's
+/// final counters (retired engines + live engine + runtime accounting),
+/// and every failure it survived.
 struct ShardResult {
     samples: Vec<(u64, RttSample)>,
     events: Vec<(u64, EngineEvent)>,
     stats: EngineStats,
+    failures: Vec<ShardFailure>,
+}
+
+impl ShardResult {
+    fn empty() -> ShardResult {
+        ShardResult {
+            samples: Vec::new(),
+            events: Vec::new(),
+            stats: EngineStats::default(),
+            failures: Vec::new(),
+        }
+    }
 }
 
 /// Per-shard instrumentation handles, cloned into the worker thread.
@@ -138,6 +253,21 @@ struct ShardHooks {
     /// the live channel depth.
     #[cfg(feature = "telemetry")]
     channel: Option<Gauge>,
+    /// Runtime-level health gauge (`dart_supervisor_healthy_shards`),
+    /// decremented once when this shard stops measuring.
+    #[cfg(feature = "telemetry")]
+    healthy: Option<Gauge>,
+}
+
+/// Render a caught panic payload for [`FailureKind::Panicked`].
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
 }
 
 /// A flow-sharded Dart engine: `shards` independent [`DartEngine`]s, each
@@ -160,18 +290,29 @@ impl ShardedDartEngine {
         &self.cfg
     }
 
-    /// Replay a trace across the shards and merge the results.
-    ///
-    /// The calling thread acts as the feeder: it partitions packets by
-    /// [`shard_of`], accumulates per-shard batches, and pushes them over
-    /// bounded channels while the workers drain. Equivalent to driving a
-    /// [`ShardedMonitor`] over the slice; no worker outlives this call.
+    /// Replay a trace across the shards and merge the results, tolerating
+    /// degraded runs: shard failures are recorded in
+    /// [`ShardedRun::failures`] and accounted in the counters, but never
+    /// surfaced as an error. Use [`ShardedDartEngine::try_run`] to get the
+    /// policy-aware `Result`.
     pub fn run(&self, packets: &[PacketMeta]) -> ShardedRun {
         let mut monitor = ShardedMonitor::new(self.cfg);
         for pkt in packets {
             monitor.feed(pkt);
         }
         monitor.into_run()
+    }
+
+    /// Replay a trace and surface failures per the configured
+    /// [`FailurePolicy`]: under `FailFast` a shard failure returns
+    /// `Err(EngineError::ShardFailed)` carrying the partial merged output;
+    /// under the degrading policies the `Ok` run carries its failures.
+    pub fn try_run(&self, packets: &[PacketMeta]) -> Result<ShardedRun, EngineError> {
+        let mut monitor = ShardedMonitor::new(self.cfg);
+        for pkt in packets {
+            monitor.try_feed(pkt)?;
+        }
+        monitor.try_into_run()
     }
 }
 
@@ -187,76 +328,185 @@ impl ShardedDartEngine {
 /// [`RttMonitor::flush`]. Memory for results is proportional to the sample
 /// count, not the trace length; in-flight packets stay bounded by
 /// `shards × queue_depth × batch_size`.
+///
+/// The monitor is the supervised runtime's feeder: it applies the
+/// [`SupervisorConfig`] watchdog on every hand-off and the
+/// [`FailurePolicy`] bookkeeping described in the module docs.
 pub struct ShardedMonitor {
     cfg: ShardedConfig,
     name: String,
-    txs: Vec<SyncSender<Batch>>,
-    handles: Vec<JoinHandle<ShardResult>>,
+    /// `None` once a shard has been abandoned (watchdog) or its worker
+    /// ended early — no further sends.
+    txs: Vec<Option<SyncSender<Batch>>>,
+    /// `None` for abandoned shards: their stuck worker is detached, never
+    /// joined, and its results are written off into `monitor_miss`.
+    handles: Vec<Option<JoinHandle<ShardResult>>>,
     bufs: Vec<Batch>,
     /// Per-shard instrumentation handles (empty structs when the
     /// `telemetry` feature is off).
     #[cfg_attr(not(feature = "telemetry"), allow(dead_code))]
     hooks: Vec<ShardHooks>,
+    /// Set by a worker that stopped measuring (panic under any policy,
+    /// restart budget exhausted) or by the feeder on abandon; the feeder
+    /// drops that shard's traffic into `monitor_miss` from then on.
+    dead: Vec<Arc<AtomicBool>>,
+    /// Set on the first fatal failure under [`FailurePolicy::FailFast`]:
+    /// feeder and workers stop processing new packets everywhere.
+    fatal: Arc<AtomicBool>,
+    /// Packets handed to each shard's channel (abandon accounting).
+    sent: Vec<u64>,
+    abandoned: Vec<bool>,
+    feeder_failures: Vec<ShardFailure>,
+    /// Runtime accounting done at the feeder (packets never offered to a
+    /// healthy engine).
+    feeder_extra: EngineStats,
     fed: u64,
     done: Option<ShardedRun>,
+    /// First fatal failure, kept for [`ShardedMonitor::try_into_run`]
+    /// under `FailFast`.
+    fatal_failure: Option<ShardFailure>,
+    #[cfg(feature = "telemetry")]
+    sup_stalls: Option<Counter>,
 }
 
 impl ShardedMonitor {
     /// Spawn the shard workers and stand ready to feed them.
     pub fn new(cfg: ShardedConfig) -> ShardedMonitor {
-        Self::spawn(cfg, |_| ShardHooks::default())
+        Self::spawn(cfg, |_| ShardHooks::default(), None)
+    }
+
+    /// Spawn with a per-packet [`PacketHook`] installed in every worker
+    /// (the chaos-injection seam — see the type docs).
+    pub fn with_packet_hook(cfg: ShardedConfig, hook: PacketHook) -> ShardedMonitor {
+        Self::spawn(cfg, |_| ShardHooks::default(), Some(hook))
     }
 
     /// Spawn with per-shard telemetry: each worker's engine publishes
     /// `shard`-labelled counters, RTT and batch-latency histograms, and
     /// recirculation queue-depth gauges to `registry`, live while the
     /// replay runs. A `dart_shard_channel_batches` gauge per shard tracks
-    /// the hand-off channel depth.
+    /// the hand-off channel depth; the supervisor publishes
+    /// `dart_supervisor_healthy_shards` and
+    /// `dart_supervisor_stalls_total`.
     #[cfg(feature = "telemetry")]
     pub fn with_telemetry(cfg: ShardedConfig, registry: &MetricRegistry) -> ShardedMonitor {
-        let registry = registry.clone();
-        Self::spawn(cfg, move |shard| {
-            let shard_label = shard.to_string();
-            ShardHooks {
-                tel: Some(EngineTelemetry::register(&registry, shard)),
-                channel: Some(registry.gauge(
-                    "dart_shard_channel_batches",
-                    &[("shard", &shard_label)],
-                    "hand-off batches queued or being processed by this shard worker",
-                )),
-            }
-        })
+        Self::with_telemetry_and_hook(cfg, registry, None)
     }
 
-    fn spawn(cfg: ShardedConfig, make_hooks: impl Fn(usize) -> ShardHooks) -> ShardedMonitor {
+    /// [`ShardedMonitor::with_telemetry`] plus an optional chaos hook —
+    /// what the instrumented chaos harness uses.
+    #[cfg(feature = "telemetry")]
+    pub fn with_telemetry_and_hook(
+        cfg: ShardedConfig,
+        registry: &MetricRegistry,
+        hook: Option<PacketHook>,
+    ) -> ShardedMonitor {
+        let healthy = registry.gauge(
+            "dart_supervisor_healthy_shards",
+            &[],
+            "shard workers still measuring their traffic",
+        );
+        healthy.set(cfg.shards as i64);
+        let stalls = registry.counter(
+            "dart_supervisor_stalls_total",
+            &[],
+            "shard workers abandoned by the feeder watchdog",
+        );
+        let reg = registry.clone();
+        let healthy_for_hooks = healthy.clone();
+        let mut monitor = Self::spawn(
+            cfg,
+            move |shard| {
+                let shard_label = shard.to_string();
+                ShardHooks {
+                    tel: Some(EngineTelemetry::register(&reg, shard)),
+                    channel: Some(reg.gauge(
+                        "dart_shard_channel_batches",
+                        &[("shard", &shard_label)],
+                        "hand-off batches queued or being processed by this shard worker",
+                    )),
+                    healthy: Some(healthy_for_hooks.clone()),
+                }
+            },
+            hook,
+        );
+        monitor.sup_stalls = Some(stalls);
+        monitor
+    }
+
+    fn spawn(
+        cfg: ShardedConfig,
+        make_hooks: impl Fn(usize) -> ShardHooks,
+        packet_hook: Option<PacketHook>,
+    ) -> ShardedMonitor {
         assert!(cfg.shards >= 1, "need at least one shard");
         assert!(cfg.batch_size >= 1, "batch size must be positive");
         assert!(cfg.queue_depth >= 1, "queue depth must be positive");
+        let fatal = Arc::new(AtomicBool::new(false));
         let mut txs = Vec::with_capacity(cfg.shards);
         let mut handles = Vec::with_capacity(cfg.shards);
         let mut hooks = Vec::with_capacity(cfg.shards);
+        let mut dead = Vec::with_capacity(cfg.shards);
         for shard in 0..cfg.shards {
             let (tx, rx) = sync_channel::<Batch>(cfg.queue_depth);
-            let engine_cfg = cfg.engine;
             let shard_hooks = make_hooks(shard);
-            let worker_hooks = shard_hooks.clone();
+            let shard_dead = Arc::new(AtomicBool::new(false));
+            let ctx = ShardCtx {
+                shard,
+                engine_cfg: cfg.engine,
+                sup: cfg.supervisor,
+                hooks: shard_hooks.clone(),
+                packet_hook: packet_hook.clone(),
+                fatal: Arc::clone(&fatal),
+                dead: Arc::clone(&shard_dead),
+            };
             hooks.push(shard_hooks);
-            txs.push(tx);
-            handles.push(thread::spawn(move || {
-                run_shard(engine_cfg, rx, worker_hooks)
-            }));
+            dead.push(shard_dead);
+            txs.push(Some(tx));
+            let fallback_dead = Arc::clone(&ctx.dead);
+            let fallback_fatal = Arc::clone(&ctx.fatal);
+            handles.push(Some(thread::spawn(move || {
+                // Last-resort isolation: even a panic in the worker's own
+                // scaffolding becomes a failure record, not a poisoned
+                // join.
+                match catch_unwind(AssertUnwindSafe(|| run_shard(ctx, rx))) {
+                    Ok(result) => result,
+                    Err(payload) => {
+                        fallback_dead.store(true, Ordering::Relaxed);
+                        fallback_fatal.store(true, Ordering::Relaxed);
+                        let mut result = ShardResult::empty();
+                        result.failures.push(ShardFailure {
+                            shard,
+                            at_packet: None,
+                            kind: FailureKind::Panicked {
+                                message: panic_message(payload),
+                            },
+                        });
+                        result
+                    }
+                }
+            })));
         }
         ShardedMonitor {
             name: format!("dart-sharded-{}", cfg.shards),
             bufs: (0..cfg.shards)
                 .map(|_| Vec::with_capacity(cfg.batch_size))
                 .collect(),
+            sent: vec![0; cfg.shards],
+            abandoned: vec![false; cfg.shards],
+            feeder_failures: Vec::new(),
+            feeder_extra: EngineStats::default(),
             cfg,
             txs,
             handles,
             hooks,
+            dead,
+            fatal,
             fed: 0,
             done: None,
+            fatal_failure: None,
+            #[cfg(feature = "telemetry")]
+            sup_stalls: None,
         }
     }
 
@@ -271,54 +521,207 @@ impl ShardedMonitor {
     }
 
     /// Hand one packet to its shard (buffered into hand-off batches).
-    pub fn feed(&mut self, pkt: &PacketMeta) {
-        assert!(
-            self.done.is_none(),
-            "packet fed to a flushed ShardedMonitor"
-        );
-        let shard = shard_of(&pkt.flow, self.cfg.shards);
-        self.bufs[shard].push((self.fed, *pkt));
+    ///
+    /// Never blocks past the watchdog timeout and never panics: a packet
+    /// that cannot reach a healthy engine (failed shard, fail-fast stop)
+    /// is dropped into `monitor_miss`. The only error is
+    /// [`EngineError::FedAfterFlush`] — the run already ended.
+    pub fn try_feed(&mut self, pkt: &PacketMeta) -> Result<(), EngineError> {
+        if self.done.is_some() {
+            return Err(EngineError::FedAfterFlush);
+        }
+        let idx = self.fed;
         self.fed += 1;
+        if self.cfg.supervisor.policy == FailurePolicy::FailFast
+            && self.fatal.load(Ordering::Relaxed)
+        {
+            self.feeder_extra.monitor_miss += 1;
+            return Ok(());
+        }
+        let shard = shard_of(&pkt.flow, self.cfg.shards);
+        if self.abandoned[shard] || self.dead[shard].load(Ordering::Relaxed) {
+            self.feeder_extra.monitor_miss += 1;
+            return Ok(());
+        }
+        self.bufs[shard].push((idx, *pkt));
         if self.bufs[shard].len() >= self.cfg.batch_size {
-            let full = std::mem::replace(
-                &mut self.bufs[shard],
-                Vec::with_capacity(self.cfg.batch_size),
-            );
-            self.note_batch_sent(shard);
-            self.txs[shard].send(full).expect("shard worker hung up");
+            self.dispatch(shard);
+        }
+        Ok(())
+    }
+
+    /// [`ShardedMonitor::try_feed`], swallowing the post-flush case (the
+    /// packet is dropped; a debug build asserts).
+    pub fn feed(&mut self, pkt: &PacketMeta) {
+        let fed_after_flush = self.try_feed(pkt).is_err();
+        debug_assert!(!fed_after_flush, "packet fed to a flushed ShardedMonitor");
+    }
+
+    /// Send `shard`'s buffered batch under the watchdog: spin on
+    /// `try_send` until it lands or [`SupervisorConfig::stall_timeout`]
+    /// expires, in which case the worker is declared stalled and
+    /// abandoned.
+    fn dispatch(&mut self, shard: usize) {
+        let batch = std::mem::replace(
+            &mut self.bufs[shard],
+            Vec::with_capacity(self.cfg.batch_size),
+        );
+        if batch.is_empty() {
+            return;
+        }
+        let Some(tx) = self.txs[shard].clone() else {
+            self.feeder_extra.monitor_miss += batch.len() as u64;
+            return;
+        };
+        let len = batch.len() as u64;
+        let first_idx = batch.first().map(|(i, _)| *i);
+        let started = Instant::now();
+        let mut pending = batch;
+        loop {
+            match tx.try_send(pending) {
+                Ok(()) => {
+                    self.note_batch_sent(shard);
+                    self.sent[shard] += len;
+                    return;
+                }
+                Err(TrySendError::Full(back)) => {
+                    let waited = started.elapsed();
+                    if waited >= self.cfg.supervisor.stall_timeout {
+                        self.abandon(shard, waited, first_idx, len);
+                        return;
+                    }
+                    pending = back;
+                    thread::sleep(Duration::from_millis(1));
+                }
+                Err(TrySendError::Disconnected(back)) => {
+                    // The worker ended early (catastrophic fallback); its
+                    // result is still joinable — just stop sending.
+                    self.txs[shard] = None;
+                    self.mark_dead(shard);
+                    self.feeder_extra.monitor_miss += back.len() as u64;
+                    return;
+                }
+            }
         }
     }
 
-    /// Close the channels, join the workers, and cache the merged result.
-    fn finish(&mut self) -> &ShardedRun {
-        if self.done.is_none() {
-            let txs = std::mem::take(&mut self.txs);
-            for (shard, (buf, tx)) in std::mem::take(&mut self.bufs)
-                .into_iter()
-                .zip(&txs)
-                .enumerate()
-            {
-                if !buf.is_empty() {
-                    self.note_batch_sent(shard);
-                    tx.send(buf).expect("shard worker hung up");
-                }
+    /// Flip `shard`'s dead flag, decrementing the health gauge exactly
+    /// once across feeder and worker.
+    fn mark_dead(&self, shard: usize) {
+        if !self.dead[shard].swap(true, Ordering::Relaxed) {
+            #[cfg(feature = "telemetry")]
+            if let Some(g) = &self.hooks[shard].healthy {
+                g.sub(1);
             }
-            // Closing the senders ends each worker's receive loop.
-            drop(txs);
-            let results: Vec<ShardResult> = std::mem::take(&mut self.handles)
-                .into_iter()
-                .map(|h| h.join().expect("shard worker panicked"))
-                .collect();
-            self.done = Some(merge(results));
         }
-        self.done.as_ref().expect("just set")
+    }
+
+    /// Watchdog expiry: record the stall, stop talking to the worker, and
+    /// write off everything it was ever sent (its results are
+    /// unrecoverable without joining a possibly-hung thread).
+    fn abandon(&mut self, shard: usize, waited: Duration, at_packet: Option<u64>, pending: u64) {
+        self.feeder_failures.push(ShardFailure {
+            shard,
+            at_packet,
+            kind: FailureKind::Stalled { waited },
+        });
+        self.abandoned[shard] = true;
+        self.txs[shard] = None;
+        // Detach the stuck thread: dropping the handle lets it finish (or
+        // hang) on its own without ever blocking the supervisor.
+        self.handles[shard] = None;
+        self.mark_dead(shard);
+        if self.cfg.supervisor.policy == FailurePolicy::FailFast {
+            self.fatal.store(true, Ordering::Relaxed);
+        }
+        self.feeder_extra.monitor_miss += self.sent[shard] + pending;
+        self.sent[shard] = 0;
+        #[cfg(feature = "telemetry")]
+        if let Some(c) = &self.sup_stalls {
+            c.add(1);
+        }
+    }
+
+    /// Close the channels, collect the workers, and cache the merged
+    /// result.
+    fn finish(&mut self) {
+        if self.done.is_some() {
+            return;
+        }
+        for shard in 0..self.cfg.shards {
+            if self.abandoned[shard] || self.dead[shard].load(Ordering::Relaxed) {
+                // The worker is not (or no longer) measuring; don't bother
+                // queueing — the drain loop would only count them anyway.
+                self.feeder_extra.monitor_miss += self.bufs[shard].len() as u64;
+                self.bufs[shard].clear();
+            } else {
+                self.dispatch(shard);
+            }
+        }
+        // Closing the senders ends each worker's receive loop.
+        for tx in &mut self.txs {
+            *tx = None;
+        }
+        let mut results: Vec<Option<ShardResult>> = Vec::with_capacity(self.cfg.shards);
+        for shard in 0..self.cfg.shards {
+            match self.handles[shard].take() {
+                None => results.push(None), // abandoned: written off already
+                Some(handle) => match handle.join() {
+                    Ok(result) => results.push(Some(result)),
+                    Err(payload) => {
+                        // Unreachable in practice (the worker closure is
+                        // catch_unwind-wrapped), kept as defense in depth.
+                        self.feeder_failures.push(ShardFailure {
+                            shard,
+                            at_packet: None,
+                            kind: FailureKind::Panicked {
+                                message: panic_message(payload),
+                            },
+                        });
+                        self.feeder_extra.monitor_miss += self.sent[shard];
+                        results.push(None);
+                    }
+                },
+            }
+        }
+        let mut run = merge(results);
+        run.stats.merge(&self.feeder_extra);
+        run.failures.append(&mut self.feeder_failures);
+        run.failures.sort_by_key(|f| (f.shard, f.at_packet));
+        if self.cfg.supervisor.policy == FailurePolicy::FailFast {
+            self.fatal_failure = run
+                .failures
+                .iter()
+                .find(|f| !matches!(f.kind, FailureKind::SinkLeaked))
+                .cloned();
+        }
+        self.done = Some(run);
     }
 
     /// Finish the run (if not already flushed) and take the full merged
-    /// output, events and per-shard counters included.
+    /// output, events, per-shard counters, and failures included — even
+    /// when degraded. See [`ShardedMonitor::try_into_run`] for the
+    /// policy-aware variant.
     pub fn into_run(mut self) -> ShardedRun {
         self.finish();
-        self.done.take().expect("finish caches the run")
+        self.done.take().unwrap_or_default()
+    }
+
+    /// Finish the run and apply the [`FailurePolicy`] contract: under
+    /// `FailFast` any shard failure returns
+    /// [`EngineError::ShardFailed`] carrying the partial merged run;
+    /// under `RestartShard` / `ShedLoad` the `Ok` run records its
+    /// failures and keeps every sample the surviving engines produced.
+    pub fn try_into_run(mut self) -> Result<ShardedRun, EngineError> {
+        self.finish();
+        let run = self.done.take().unwrap_or_default();
+        match self.fatal_failure.take() {
+            Some(failure) => Err(EngineError::ShardFailed {
+                failure,
+                partial: Box::new(run),
+            }),
+            None => Ok(run),
+        }
     }
 }
 
@@ -329,8 +732,8 @@ impl RttMonitor for ShardedMonitor {
 
     fn describe(&self) -> String {
         format!(
-            "Dart partitioned across {} symmetric-hash flow shards, deterministic fan-in merge",
-            self.cfg.shards
+            "Dart partitioned across {} symmetric-hash flow shards, supervised ({}), deterministic fan-in merge",
+            self.cfg.shards, self.cfg.supervisor.policy
         )
     }
 
@@ -342,10 +745,12 @@ impl RttMonitor for ShardedMonitor {
     /// later flushes emit nothing.
     fn flush(&mut self, sink: &mut dyn SampleSink) {
         let first = self.done.is_none();
-        let run = self.finish();
+        self.finish();
         if first {
-            for s in &run.samples {
-                sink.on_sample(*s);
+            if let Some(run) = &self.done {
+                for s in &run.samples {
+                    sink.on_sample(*s);
+                }
             }
         }
     }
@@ -367,33 +772,128 @@ impl RttMonitor for ShardedMonitor {
 /// old end-of-trace tag, without needing to know the trace length up front.
 const FLUSH_TAG: u64 = u64::MAX;
 
-/// Worker body: one engine, fed batches until the channel closes.
-fn run_shard(cfg: DartConfig, rx: Receiver<Batch>, hooks: ShardHooks) -> ShardResult {
-    let mut engine = DartEngine::new(cfg);
+/// Everything a worker thread needs, bundled so the spawn site stays
+/// readable.
+struct ShardCtx {
+    shard: usize,
+    engine_cfg: DartConfig,
+    sup: SupervisorConfig,
+    hooks: ShardHooks,
+    packet_hook: Option<PacketHook>,
+    fatal: Arc<AtomicBool>,
+    dead: Arc<AtomicBool>,
+}
+
+/// Worker body: one engine (respawned under `RestartShard`), fed batches
+/// until the channel closes, every batch under panic isolation.
+#[cfg_attr(not(feature = "telemetry"), allow(unused_variables))]
+fn run_shard(ctx: ShardCtx, rx: Receiver<Batch>) -> ShardResult {
+    let ShardCtx {
+        shard,
+        engine_cfg,
+        sup,
+        hooks,
+        packet_hook,
+        fatal,
+        dead,
+    } = ctx;
+    // The event sink is installed once per engine but must tag events with
+    // the packet being processed; share the current index (and the buffer,
+    // across respawns) through Rc cells.
+    let current = Rc::new(Cell::new(0u64));
+    let events = Rc::new(RefCell::new(Vec::new()));
+    let install_sink = |engine: &mut DartEngine| {
+        let current = Rc::clone(&current);
+        let events = Rc::clone(&events);
+        engine.set_event_sink(Box::new(move |ev| {
+            events.borrow_mut().push((current.get(), ev))
+        }));
+    };
+    let mut engine = DartEngine::new(engine_cfg);
     #[cfg(feature = "telemetry")]
     if let Some(tel) = hooks.tel.clone() {
         engine.attach_telemetry(tel);
     }
-    #[cfg(not(feature = "telemetry"))]
-    let _ = &hooks;
-    // The event sink is installed once but must tag events with the packet
-    // being processed; share the current index through a cell.
-    let current = Rc::new(Cell::new(0u64));
-    let events = Rc::new(RefCell::new(Vec::new()));
-    engine.set_event_sink(Box::new({
-        let current = Rc::clone(&current);
-        let events = Rc::clone(&events);
-        move |ev| events.borrow_mut().push((current.get(), ev))
-    }));
+    install_sink(&mut engine);
 
     let mut samples: Vec<(u64, RttSample)> = Vec::new();
+    let mut failures: Vec<ShardFailure> = Vec::new();
+    // Counters of engines discarded by respawns.
+    let mut retired = EngineStats::default();
+    // The runtime's own accounting (restarts, losses, misses).
+    let mut extra = EngineStats::default();
+    let mut restarts = 0u32;
+    // True once this shard stopped measuring its own traffic.
+    let mut shedding = false;
+
     for batch in rx {
         #[cfg(feature = "telemetry")]
-        let batch_start = std::time::Instant::now();
-        for (idx, pkt) in batch {
-            current.set(idx);
-            let mut sink = |s: RttSample| samples.push((idx, s));
-            engine.process(&pkt, &mut sink);
+        let batch_start = Instant::now();
+        let batch_len = batch.len() as u64;
+        let failfast_stop = sup.policy == FailurePolicy::FailFast && fatal.load(Ordering::Relaxed);
+        if shedding || failfast_stop {
+            // Drain mode: keep consuming so the feeder never blocks on a
+            // channel nobody reads, but count every packet as missed.
+            extra.monitor_miss += batch_len;
+        } else {
+            let before = engine.stats().packets;
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                for (idx, pkt) in batch {
+                    current.set(idx);
+                    if let Some(hook) = &packet_hook {
+                        hook(idx, shard);
+                    }
+                    let mut sink = |s: RttSample| samples.push((idx, s));
+                    engine.process(&pkt, &mut sink);
+                }
+            }));
+            if let Err(payload) = outcome {
+                // Whether the panic fired before or after the engine
+                // counted the packet, `packets + monitor_miss` covers the
+                // batch exactly.
+                let processed = engine.stats().packets - before;
+                extra.monitor_miss += batch_len - processed;
+                failures.push(ShardFailure {
+                    shard,
+                    at_packet: Some(current.get()),
+                    kind: FailureKind::Panicked {
+                        message: panic_message(payload),
+                    },
+                });
+                let restart =
+                    sup.policy == FailurePolicy::RestartShard && restarts < sup.max_restarts;
+                if restart {
+                    // Respawn: fresh RT/PT state. The discarded engine's
+                    // counters stay (they describe real processing); its
+                    // live flows can no longer close.
+                    restarts += 1;
+                    extra.shard_restarts += 1;
+                    extra.flows_lost += engine.rt_occupancy() as u64;
+                    retired.merge(engine.stats());
+                    engine = DartEngine::new(engine_cfg);
+                    #[cfg(feature = "telemetry")]
+                    if let Some(tel) = hooks.tel.clone() {
+                        // Base the fresh engine's published series on the
+                        // retired totals so per-shard counters stay
+                        // monotone across the restart.
+                        let mut base = retired;
+                        base.merge(&extra);
+                        engine.attach_telemetry(tel.with_base(base));
+                    }
+                    install_sink(&mut engine);
+                } else {
+                    if sup.policy == FailurePolicy::FailFast {
+                        fatal.store(true, Ordering::Relaxed);
+                    }
+                    if !dead.swap(true, Ordering::Relaxed) {
+                        #[cfg(feature = "telemetry")]
+                        if let Some(g) = &hooks.healthy {
+                            g.sub(1);
+                        }
+                    }
+                    shedding = true;
+                }
+            }
         }
         #[cfg(feature = "telemetry")]
         {
@@ -406,33 +906,81 @@ fn run_shard(cfg: DartConfig, rx: Receiver<Batch>, hooks: ShardHooks) -> ShardRe
             }
         }
     }
-    current.set(FLUSH_TAG);
-    engine.flush();
-    let stats = *engine.stats();
+    if !shedding {
+        current.set(FLUSH_TAG);
+        if let Err(payload) = catch_unwind(AssertUnwindSafe(|| engine.flush())) {
+            failures.push(ShardFailure {
+                shard,
+                at_packet: None,
+                kind: FailureKind::Panicked {
+                    message: panic_message(payload),
+                },
+            });
+            if sup.policy == FailurePolicy::FailFast {
+                fatal.store(true, Ordering::Relaxed);
+            }
+            if !dead.swap(true, Ordering::Relaxed) {
+                #[cfg(feature = "telemetry")]
+                if let Some(g) = &hooks.healthy {
+                    g.sub(1);
+                }
+            }
+        }
+    }
+    let mut stats = retired;
+    stats.merge(engine.stats());
+    stats.merge(&extra);
+    #[cfg(feature = "telemetry")]
+    if let Some(tel) = &hooks.tel {
+        // Publish the shard's true final totals (runtime accounting
+        // included) regardless of any restart bases.
+        tel.clone()
+            .with_base(EngineStats::default())
+            .sync_stats(&stats);
+    }
     drop(engine); // releases its clone of the event sink's Rc
-    let events = Rc::try_unwrap(events)
-        .expect("event sink still alive")
-        .into_inner();
+    let events = match Rc::try_unwrap(events) {
+        Ok(cell) => cell.into_inner(),
+        Err(shared) => {
+            // A sink clone outlived the engine (it shouldn't): recover the
+            // events by draining the shared buffer and record the leak
+            // instead of panicking.
+            failures.push(ShardFailure {
+                shard,
+                at_packet: None,
+                kind: FailureKind::SinkLeaked,
+            });
+            std::mem::take(&mut *shared.borrow_mut())
+        }
+    };
     ShardResult {
         samples,
         events,
         stats,
+        failures,
     }
 }
 
 /// Deterministic merge: order by (global packet index, shard id). A packet
 /// lives on exactly one shard, so the shard tiebreaker only orders
 /// flush-time entries; the stable sort preserves a single packet's own
-/// emission order.
-fn merge(results: Vec<ShardResult>) -> ShardedRun {
+/// emission order. `None` slots are abandoned shards: they contribute
+/// all-zero per-shard counters and nothing else.
+fn merge(results: Vec<Option<ShardResult>>) -> ShardedRun {
     let mut samples: Vec<(u64, usize, RttSample)> = Vec::new();
     let mut events: Vec<(u64, usize, EngineEvent)> = Vec::new();
     let mut per_shard = Vec::with_capacity(results.len());
+    let mut failures = Vec::new();
     let mut stats = EngineStats::default();
     for (shard, r) in results.into_iter().enumerate() {
+        let Some(mut r) = r else {
+            per_shard.push(EngineStats::default());
+            continue;
+        };
         samples.extend(r.samples.into_iter().map(|(i, s)| (i, shard, s)));
         events.extend(r.events.into_iter().map(|(i, e)| (i, shard, e)));
         stats.merge(&r.stats);
+        failures.append(&mut r.failures);
         per_shard.push(r.stats);
     }
     samples.sort_by_key(|&(idx, shard, _)| (idx, shard));
@@ -442,6 +990,7 @@ fn merge(results: Vec<ShardResult>) -> ShardedRun {
         events: events.into_iter().map(|(_, _, e)| e).collect(),
         stats,
         per_shard,
+        failures,
     }
 }
 
@@ -508,6 +1057,7 @@ mod tests {
         let out = ShardedDartEngine::new(ShardedConfig::new(DartConfig::default(), 1)).run(&pkts);
         assert_eq!(out.samples, serial_samples);
         assert_eq!(out.stats, serial_stats);
+        assert!(out.healthy());
     }
 
     #[test]
@@ -624,5 +1174,210 @@ mod tests {
         drop(engine); // closes the sender so the drain below terminates
         let serial_events: Vec<EngineEvent> = rx.try_iter().collect();
         assert_eq!(a.events, serial_events);
+    }
+
+    // ---- supervised-runtime tests -------------------------------------
+
+    /// A hook that panics when the worker reaches global packet `at`.
+    fn panic_at(at: u64) -> PacketHook {
+        Arc::new(move |idx, _shard| {
+            if idx == at {
+                panic!("chaos: injected panic at packet {at}");
+            }
+        })
+    }
+
+    /// Supervised config with small batches so failures land mid-run.
+    fn sup_cfg(policy: FailurePolicy, shards: usize) -> ShardedConfig {
+        ShardedConfig::new(DartConfig::default(), shards)
+            .with_batch_size(8)
+            .with_policy(policy)
+    }
+
+    #[test]
+    fn failfast_surfaces_typed_error_with_partial_run() {
+        let pkts = trace(30, 6);
+        let target = (pkts.len() / 2) as u64;
+        let mut monitor =
+            ShardedMonitor::with_packet_hook(sup_cfg(FailurePolicy::FailFast, 4), panic_at(target));
+        for p in &pkts {
+            monitor.feed(p);
+        }
+        let err = monitor.try_into_run().expect_err("must surface the panic");
+        let EngineError::ShardFailed { failure, partial } = err else {
+            panic!("expected ShardFailed");
+        };
+        assert!(matches!(failure.kind, FailureKind::Panicked { .. }));
+        assert_eq!(failure.at_packet, Some(target));
+        // Partial output: something was processed, something was missed,
+        // and the books balance.
+        assert!(partial.stats.packets > 0);
+        assert!(partial.stats.monitor_miss > 0);
+        assert_eq!(
+            partial.stats.packets + partial.stats.monitor_miss,
+            pkts.len() as u64
+        );
+        assert!(!partial.healthy());
+    }
+
+    #[test]
+    fn restart_respawns_and_accounts_losses() {
+        let pkts = trace(30, 6);
+        let target = (pkts.len() / 2) as u64;
+        let mut monitor = ShardedMonitor::with_packet_hook(
+            sup_cfg(FailurePolicy::RestartShard, 4),
+            panic_at(target),
+        );
+        for p in &pkts {
+            monitor.feed(p);
+        }
+        let run = monitor
+            .try_into_run()
+            .expect("restart policy degrades, not errors");
+        assert_eq!(run.stats.shard_restarts, 1);
+        assert!(run.failures.len() == 1, "{:?}", run.failures);
+        assert_eq!(run.failures[0].at_packet, Some(target));
+        // Only the failed batch's tail is missed; everything else measured.
+        assert_eq!(
+            run.stats.packets + run.stats.monitor_miss,
+            pkts.len() as u64
+        );
+        assert!(run.stats.monitor_miss < 8, "at most one batch lost");
+        assert!(run.stats.samples > 0);
+    }
+
+    #[test]
+    fn shed_load_keeps_other_shards_measuring() {
+        let pkts = trace(30, 6);
+        let target = (pkts.len() / 3) as u64;
+        let mut monitor =
+            ShardedMonitor::with_packet_hook(sup_cfg(FailurePolicy::ShedLoad, 4), panic_at(target));
+        for p in &pkts {
+            monitor.feed(p);
+        }
+        let run = monitor
+            .try_into_run()
+            .expect("shed policy degrades, not errors");
+        assert_eq!(run.stats.shard_restarts, 0);
+        assert!(!run.healthy());
+        assert_eq!(
+            run.stats.packets + run.stats.monitor_miss,
+            pkts.len() as u64
+        );
+        // The three surviving shards kept producing samples.
+        assert!(run.stats.samples > 0);
+        // The dead shard's later packets were shed.
+        assert!(run.stats.monitor_miss > 0);
+    }
+
+    #[test]
+    fn stalled_worker_is_abandoned_by_watchdog() {
+        let pkts = trace(20, 8);
+        // Stall one worker long enough that the watchdog (10 ms) fires
+        // while the feeder still has traffic for it.
+        let hook: PacketHook = Arc::new(move |idx, _shard| {
+            if idx == 0 {
+                thread::sleep(Duration::from_millis(200));
+            }
+        });
+        let cfg = ShardedConfig::new(DartConfig::default(), 2)
+            .with_batch_size(1)
+            .with_queue_depth(1)
+            .with_policy(FailurePolicy::ShedLoad)
+            .with_stall_timeout(Duration::from_millis(10));
+        let mut monitor = ShardedMonitor::with_packet_hook(cfg, hook);
+        for p in &pkts {
+            monitor.feed(p);
+        }
+        let run = monitor
+            .try_into_run()
+            .expect("shed policy tolerates the stall");
+        assert!(
+            run.failures
+                .iter()
+                .any(|f| matches!(f.kind, FailureKind::Stalled { .. })),
+            "{:?}",
+            run.failures
+        );
+        assert_eq!(
+            run.stats.packets + run.stats.monitor_miss,
+            pkts.len() as u64
+        );
+        assert!(run.stats.monitor_miss > 0);
+    }
+
+    #[test]
+    fn feed_after_flush_is_a_typed_error() {
+        let pkts = trace(5, 2);
+        let mut monitor = ShardedMonitor::new(ShardedConfig::new(DartConfig::default(), 2));
+        for p in &pkts {
+            monitor.try_feed(p).expect("live monitor accepts packets");
+        }
+        let mut sink = Vec::new();
+        monitor.flush(&mut sink);
+        let err = monitor
+            .try_feed(&pkts[0])
+            .expect_err("flushed monitor rejects");
+        assert!(matches!(err, EngineError::FedAfterFlush));
+        // And the cached run is unaffected.
+        assert_eq!(RttMonitor::stats(&monitor).packets, pkts.len() as u64);
+    }
+
+    #[test]
+    fn restart_budget_exhaustion_degrades_to_shedding() {
+        let pkts = trace(16, 8);
+        // Panic on every 10th packet: more failures than the budget.
+        let hook: PacketHook = Arc::new(|idx, _| {
+            if idx % 10 == 0 {
+                panic!("chaos: repeated panic");
+            }
+        });
+        let cfg = ShardedConfig::new(DartConfig::default(), 2)
+            .with_batch_size(4)
+            .with_policy(FailurePolicy::RestartShard)
+            .with_supervisor(SupervisorConfig {
+                policy: FailurePolicy::RestartShard,
+                max_restarts: 2,
+                ..SupervisorConfig::default()
+            });
+        let mut monitor = ShardedMonitor::with_packet_hook(cfg, hook);
+        for p in &pkts {
+            monitor.feed(p);
+        }
+        let run = monitor.try_into_run().expect("restart policy never errors");
+        assert!(run.stats.shard_restarts <= 4, "2 shards × 2 restarts");
+        assert!(run.failures.len() as u64 > run.stats.shard_restarts);
+        assert_eq!(
+            run.stats.packets + run.stats.monitor_miss,
+            pkts.len() as u64
+        );
+    }
+
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn supervisor_metrics_track_health() {
+        use dart_telemetry::MetricRegistry;
+        let pkts = trace(20, 6);
+        let registry = MetricRegistry::new();
+        let target = (pkts.len() / 2) as u64;
+        let mut monitor = ShardedMonitor::with_telemetry_and_hook(
+            sup_cfg(FailurePolicy::ShedLoad, 4),
+            &registry,
+            Some(panic_at(target)),
+        );
+        let healthy = registry.gauge("dart_supervisor_healthy_shards", &[], "");
+        assert_eq!(healthy.get(), 4);
+        for p in &pkts {
+            monitor.feed(p);
+        }
+        let run = monitor.try_into_run().expect("shed degrades");
+        assert!(!run.healthy());
+        assert_eq!(healthy.get(), 3, "one shard died");
+        // The supervised counters made it into the per-shard series.
+        let snap = registry.scrape();
+        assert!(snap
+            .samples
+            .iter()
+            .any(|s| s.name == "dart_shard_monitor_miss_total"));
     }
 }

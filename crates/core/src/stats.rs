@@ -77,6 +77,21 @@ pub struct EngineStats {
 
     /// RTT samples emitted.
     pub samples: u64,
+
+    /// Supervised-runtime counter: shard engines respawned with fresh
+    /// RT/PT state after a panic or stall (policy
+    /// [`RestartShard`](crate::FailurePolicy::RestartShard)).
+    pub shard_restarts: u64,
+    /// Supervised-runtime counter: live Range Tracker flows discarded with
+    /// a failed shard engine. Their in-flight measurements can no longer
+    /// close; subsequent ACKs surface as `ack_no_flow`.
+    pub flows_lost: u64,
+    /// Supervised-runtime counter: packets the runtime dropped without
+    /// offering them to a healthy engine — the failed batch of a panicking
+    /// shard, traffic shed after a failure, or packets queued to an
+    /// abandoned (hung) worker. Not part of the `packets` disposition
+    /// partition: `fed == packets + monitor_miss`.
+    pub monitor_miss: u64,
 }
 
 /// Defines [`EngineStats::merge`] and [`EngineStats::metric_rows`] over
@@ -136,6 +151,9 @@ merge_counters!(
     rt_copy_reinserted,
     rt_copy_dropped,
     samples,
+    shard_restarts,
+    flows_lost,
+    monitor_miss,
 );
 
 impl std::ops::Add for EngineStats {
@@ -244,7 +262,8 @@ mod tests {
         let rows = s.metric_rows();
         // One row per field, in declaration order, values carried through.
         assert_eq!(rows.first(), Some(&("packets", 7)));
-        assert_eq!(rows.last(), Some(&("samples", 1)));
+        assert_eq!(rows.last(), Some(&("monitor_miss", 0)));
+        assert!(rows.contains(&("samples", 1)));
         assert!(rows.contains(&("no_role", 2)));
         let total: u64 = rows.iter().map(|(_, v)| v).sum();
         assert_eq!(total, 10, "exactly the three set fields");

@@ -27,8 +27,19 @@
 //! | `dart_recirc_queue_depth` | gauge | `shard` |
 //! | `dart_recirc_queue_depth_records` | histogram | `shard` |
 //! | `dart_shard_channel_batches` | gauge | `shard` |
+//! | `dart_supervisor_healthy_shards` | gauge | — |
+//! | `dart_supervisor_stalls_total` | counter | — |
 //! | `dart_run_<counter>_total` | counter | — |
 //! | `dart_run_rtt_ns` | histogram | — |
+//!
+//! The two `dart_supervisor_*` families are owned by the supervised
+//! sharded runtime (`sharded.rs`): the gauge drops by one each time a
+//! worker is retired (panicked past its restart budget, shedding, or
+//! abandoned by the watchdog) and the counter records watchdog firings.
+//! CI's `--example check --require` run lists them, together with the
+//! degradation counters (`dart_shard_shard_restarts_total`,
+//! `dart_shard_flows_lost_total`, `dart_shard_monitor_miss_total`), so
+//! the schema cannot silently drift from this table.
 
 use crate::monitor::RttMonitor;
 use crate::sample::{RttSample, SampleSink};
@@ -45,6 +56,9 @@ pub const SYNC_INTERVAL_PKTS: u64 = 1024;
 pub struct EngineTelemetry {
     /// Parallel to [`EngineStats::metric_rows`] order.
     counters: Vec<Counter>,
+    /// Offset folded into every `sync_stats` publication (see
+    /// [`EngineTelemetry::with_base`]).
+    base: EngineStats,
     rtt_ns: Histogram,
     batch_ns: Histogram,
     queue_depth: Gauge,
@@ -69,6 +83,7 @@ impl EngineTelemetry {
             .collect();
         EngineTelemetry {
             counters,
+            base: EngineStats::default(),
             rtt_ns: registry.histogram("dart_rtt_ns", labels, "RTT samples in nanoseconds"),
             batch_ns: registry.histogram(
                 "dart_batch_process_ns",
@@ -89,11 +104,25 @@ impl EngineTelemetry {
     }
 
     /// Publish the engine's accumulated counters (totals are stored, not
-    /// re-added, so sync points are idempotent).
+    /// re-added, so sync points are idempotent). The published value of
+    /// each counter is `base + stats` — see [`EngineTelemetry::with_base`].
     pub fn sync_stats(&self, stats: &EngineStats) {
-        for ((_, value), counter) in stats.metric_rows().iter().zip(&self.counters) {
+        let mut combined = self.base;
+        combined.merge(stats);
+        for ((_, value), counter) in combined.metric_rows().iter().zip(&self.counters) {
             counter.store(*value);
         }
+    }
+
+    /// Offset every future `sync_stats` publication by `base`. The
+    /// supervised sharded runtime attaches a based clone to each respawned
+    /// engine — the retired engines' totals plus the runtime's own
+    /// restart/loss accounting — so the per-shard counter series stay
+    /// cumulative (monotone) across engine restarts instead of resetting
+    /// with the fresh engine.
+    pub fn with_base(mut self, base: EngineStats) -> EngineTelemetry {
+        self.base = base;
+        self
     }
 
     /// Record one RTT sample.

@@ -17,6 +17,9 @@
 //!   fabricated samples) and **bounded loss** (missed samples accounted
 //!   for by `EngineStats` counters) across serial, sharded, and baseline
 //!   implementations;
+//! * [`chaos`] — seeded *runtime* faults (shard panic, worker stall, slow
+//!   consumer) injected through the supervised `ShardedMonitor`'s packet
+//!   hook, with oracle-backed soundness checks on the degraded output;
 //! * [`shrink`] — `ddmin` trace minimization writing reproducers under
 //!   `tests/shrunk/`;
 //! * [`broken`] — an intentionally unsound engine proving the harness
@@ -39,12 +42,17 @@
 #![forbid(unsafe_code)]
 
 pub mod broken;
+pub mod chaos;
 pub mod diff;
 pub mod faults;
 pub mod oracle;
 pub mod shrink;
 
 pub use broken::run_trace_skewed;
+pub use chaos::{
+    chaos_hook, quiet_chaos_panics, run_chaos, run_chaos_sweep, ChaosConfig, ChaosReport,
+    RuntimeFault,
+};
 pub use diff::{loss_budget, run_diff, run_diff_faulted, DiffConfig, DiffReport, EngineOutcome};
 #[cfg(feature = "telemetry")]
 pub use diff::{run_diff_faulted_instrumented, run_diff_instrumented};

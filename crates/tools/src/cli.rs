@@ -35,6 +35,12 @@ pub enum Command {
         /// Input path.
         input: String,
     },
+    /// Inject a seeded runtime fault into the supervised sharded engine
+    /// and verify the degraded output against the oracle.
+    Chaos {
+        /// Input path.
+        input: String,
+    },
     /// Print the data-plane resource report.
     Resources,
     /// Print usage.
@@ -113,6 +119,15 @@ COMMANDS:
 
 Engines are resolved from the shared registry: dart, dart-sharded-N,
 tcptrace, tcptrace-quirk, fridge, pping, dapper, strawman, seglist, lean.
+    chaos <input>                   inject a seeded runtime fault into the
+                                    supervised sharded engine (testkit)
+        --fault panic|stall|slow    (default panic: a shard worker panics
+                           mid-run; stall: a worker hangs past the
+                           watchdog; slow: backpressure only, no failure)
+        --failure-policy failfast|restart|shed|all (default all: run the
+                           same fault under every degradation policy)
+        --seed X          (default 0xC405; picks the poisoned packet)
+        plus the analyze engine flags (--leg/--pt/--rt/--stages/--max-recirc)
     resources                       Table-1 style resource report
     help                            this text
 
@@ -142,7 +157,10 @@ pub fn parse(args: &[String]) -> Result<(Command, Options), String> {
     let cmd = match pos.first().map(|s| s.as_str()) {
         None | Some("help") => Command::Help,
         Some("resources") => Command::Resources,
-        Some(c @ ("generate" | "analyze" | "replay" | "compare" | "detect" | "diff" | "stats")) => {
+        Some(
+            c @ ("generate" | "analyze" | "replay" | "compare" | "detect" | "diff" | "stats"
+            | "chaos"),
+        ) => {
             let arg = pos
                 .get(1)
                 .ok_or_else(|| format!("{c} needs a file argument"))?
@@ -153,6 +171,7 @@ pub fn parse(args: &[String]) -> Result<(Command, Options), String> {
                 "compare" => Command::Compare { input: arg },
                 "diff" => Command::Diff { input: arg },
                 "stats" => Command::Stats { input: arg },
+                "chaos" => Command::Chaos { input: arg },
                 _ => Command::Detect { input: arg },
             }
         }

@@ -5,6 +5,7 @@ use crate::cli::{Command, Options, USAGE};
 use crate::io::{load_file, parse_prefix, save_file};
 use dart_analytics::{ChangeDetector, ChangeDetectorConfig, RttDistribution, Verdict};
 use dart_baselines::EngineRegistry;
+use dart_core::FailurePolicy;
 use dart_core::{run_monitor_slice, DartConfig, Leg};
 #[cfg(feature = "telemetry")]
 use dart_core::{run_monitor_ticked, RttSample};
@@ -15,11 +16,11 @@ use dart_sim::scenario::{campus, CampusConfig};
 use dart_switch::{dart_program, estimate, DartProgramParams, TargetProfile};
 #[cfg(feature = "telemetry")]
 use dart_telemetry::{EventLog, MetricRegistry};
+use dart_testkit::{run_chaos, ChaosConfig, DiffConfig, FaultConfig};
 #[cfg(not(feature = "telemetry"))]
 use dart_testkit::{run_diff, run_diff_faulted};
 #[cfg(feature = "telemetry")]
 use dart_testkit::{run_diff_faulted_instrumented, run_diff_instrumented};
-use dart_testkit::{DiffConfig, FaultConfig};
 use std::fmt::Write as _;
 use std::net::Ipv4Addr;
 
@@ -34,7 +35,54 @@ pub fn run(cmd: Command, opts: &Options) -> Result<String, String> {
         Command::Detect { input } => detect(&input, opts),
         Command::Diff { input } => diff(&input, opts),
         Command::Stats { input } => stats_report(&input, opts),
+        Command::Chaos { input } => chaos(&input, opts),
     }
+}
+
+/// `dartmon chaos`: replay a trace through the supervised sharded engine
+/// with a seeded runtime fault injected, under one or all failure
+/// policies, and report whether the degraded output held the harness
+/// invariants (conservation, soundness, bounded loss).
+fn chaos(input: &str, opts: &Options) -> Result<String, String> {
+    let (packets, _) = load_file(input, internal_prefix(opts)?)?;
+    let engine = engine_config(opts)?;
+    let seed = opts.get_num("seed", 0xC405u64)?;
+    let fault = opts.get("fault").unwrap_or("panic");
+    if !matches!(fault, "panic" | "stall" | "slow") {
+        return Err(format!(
+            "unknown --fault {fault:?} (expected panic | stall | slow)"
+        ));
+    }
+    let policies: Vec<FailurePolicy> = match opts.get("failure-policy").unwrap_or("all") {
+        "all" => vec![
+            FailurePolicy::FailFast,
+            FailurePolicy::RestartShard,
+            FailurePolicy::ShedLoad,
+        ],
+        one => vec![one
+            .parse()
+            .map_err(|e: String| format!("--failure-policy: {e}"))?],
+    };
+    let mut out = String::new();
+    let mut all_pass = true;
+    for policy in policies {
+        let mut cfg = match fault {
+            "stall" => ChaosConfig::seeded_stall(seed, packets.len(), policy),
+            "slow" => ChaosConfig::seeded_slow(seed, policy),
+            _ => ChaosConfig::seeded_panic(seed, packets.len(), policy),
+        };
+        cfg.engine = engine;
+        let report = run_chaos(&cfg, &packets);
+        all_pass &= report.pass();
+        writeln!(out, "{report}\n").expect("string write");
+    }
+    writeln!(
+        out,
+        "chaos verdict: {} (process survived every injected fault)",
+        if all_pass { "PASS" } else { "FAIL" }
+    )
+    .expect("string write");
+    Ok(out)
 }
 
 /// Where the telemetry run should land, parsed from the shared flags.
@@ -765,6 +813,37 @@ mod tests {
         assert!(faulted.contains("verdict: PASS"));
         let err = run_line(&["diff", &path, "--shards", "0"]).unwrap_err();
         assert!(err.contains("at least 1"));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn chaos_sweep_survives_and_passes() {
+        let path = tmp("dartmon_chaos.trace");
+        run_line(&[
+            "generate",
+            &path,
+            "--connections",
+            "40",
+            "--duration-secs",
+            "2",
+        ])
+        .unwrap();
+        let report = run_line(&["chaos", &path]).unwrap();
+        for needle in [
+            "chaos[failfast]",
+            "chaos[restart]",
+            "chaos[shed]",
+            "chaos verdict: PASS",
+        ] {
+            assert!(report.contains(needle), "missing {needle} in:\n{report}");
+        }
+        let one = run_line(&["chaos", &path, "--failure-policy", "restart"]).unwrap();
+        assert!(one.contains("chaos[restart]"), "{one}");
+        assert!(!one.contains("chaos[failfast]"), "{one}");
+        let err = run_line(&["chaos", &path, "--failure-policy", "abort"]).unwrap_err();
+        assert!(err.contains("unknown failure policy"), "{err}");
+        let err = run_line(&["chaos", &path, "--fault", "meteor"]).unwrap_err();
+        assert!(err.contains("unknown --fault"), "{err}");
         let _ = std::fs::remove_file(&path);
     }
 
