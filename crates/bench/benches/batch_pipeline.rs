@@ -1,0 +1,54 @@
+//! Batch pipeline vs. per-packet hot path: the same serial replay driven
+//! packet-by-packet (`DartEngine::process`) and through the SoA batch
+//! pipeline (`process_batch`) at block sizes 32, 256, and 1024. The
+//! speedup targeted by DESIGN.md §5f is the `batch/*` / `per_packet`
+//! ratio here; `BENCH_throughput.json` records the full-trace numbers.
+//!
+//! ```text
+//! cargo bench -p dart-bench --bench batch_pipeline
+//! ```
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dart_bench::{standard_trace, TraceScale};
+use dart_core::{DartConfig, DartEngine, RttSample};
+
+const BLOCK_SIZES: [usize; 3] = [32, 256, 1024];
+
+fn batch_pipeline(c: &mut Criterion) {
+    let trace = standard_trace(TraceScale::Small);
+    let cfg = DartConfig::default();
+    let mut g = c.benchmark_group("batch_pipeline");
+    g.throughput(Throughput::Elements(trace.len() as u64));
+    g.sample_size(20);
+
+    g.bench_function("per_packet", |b| {
+        b.iter(|| {
+            let mut engine = DartEngine::new(cfg);
+            let mut samples: Vec<RttSample> = Vec::new();
+            for pkt in &trace.packets {
+                engine.process(pkt, &mut samples);
+            }
+            engine.flush();
+            samples.len()
+        });
+    });
+
+    for bs in BLOCK_SIZES {
+        g.bench_function(BenchmarkId::new("batch", bs), |b| {
+            b.iter(|| {
+                let mut engine = DartEngine::new(cfg);
+                let mut samples: Vec<RttSample> = Vec::new();
+                for chunk in trace.packets.chunks(bs) {
+                    engine.process_batch(chunk, &mut samples);
+                }
+                engine.flush();
+                samples.len()
+            });
+        });
+    }
+
+    g.finish();
+}
+
+criterion_group!(benches, batch_pipeline);
+criterion_main!(benches);

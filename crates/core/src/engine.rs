@@ -3,14 +3,14 @@
 
 use crate::config::{DartConfig, Leg, PtMode, SynPolicy};
 use crate::filter::FlowFilter;
-use crate::packet_tracker::{PacketTracker, PtInsert, PtRecord};
+use crate::packet_tracker::{PacketTracker, PtInsert, PtProbe, PtRecord};
 use crate::range::{AckVerdict, MeasurementRange, SeqVerdict};
-use crate::range_tracker::{RangeTracker, RtAckOutcome, RtSeqOutcome};
+use crate::range_tracker::{RangeTracker, RtAckOutcome, RtSeqOutcome, RtSlot};
 use crate::sample::{RttSample, SampleSink};
 use crate::stats::EngineStats;
 #[cfg(feature = "telemetry")]
 use crate::telemetry::{EngineTelemetry, SYNC_INTERVAL_PKTS};
-use dart_packet::{FlowSignature, Nanos, PacketId, PacketMeta};
+use dart_packet::{FlowKey, FlowSignature, Nanos, PacketId, PacketMeta, SeqNum};
 use dart_switch::RecircPort;
 use std::collections::{HashMap, VecDeque};
 
@@ -115,6 +115,92 @@ impl RtCopy {
     }
 }
 
+/// In-flight depth of the batch pipeline's fused decode/match loop: while
+/// matching packet `i` it decodes packet `i + PREFETCH_DIST` — classify,
+/// memoized RT location, warming reads — so each warmed slot has that many
+/// packets of real work to overlap its memory latency with (software
+/// pipelining). Far enough ahead to cover a DRAM miss, near enough that
+/// the warmed lines are still resident on arrival; also the size of the
+/// L1-resident decode ring, so it must stay a power of two.
+const PREFETCH_DIST: usize = 16;
+
+// Per-packet disposition flags from the batch decode pass.
+const LANE_SYN_SKIP: u8 = 1;
+const LANE_FILTERED: u8 = 2;
+const LANE_ACK: u8 = 4;
+const LANE_SEQ: u8 = 8;
+
+/// One decoded packet of the current block: disposition flags plus the
+/// pre-resolved RT locations its roles will touch. Kept as one struct
+/// (not parallel arrays) because the match loop reads every field of a
+/// packet together. PT probes are *not* pre-hashed: the Packet Tracker
+/// is consulted only after a rare RT outcome (an in-range ACK or an
+/// admitted data packet), so hashing its stages for every packet costs
+/// far more than the rare dependent load it would hide.
+#[derive(Clone, Copy, Debug, Default)]
+struct Decoded {
+    /// Disposition flags (`LANE_*`).
+    lane: u8,
+    /// Expected ACK (SEQ role only).
+    eack: SeqNum,
+    /// RT location of the data-direction flow (SEQ role).
+    seq_rt: RtSlot,
+    /// RT location of the reversed flow (ACK role).
+    ack_rt: RtSlot,
+}
+
+/// Direct-mapped memo capacity for [`RangeTracker::locate`] results.
+/// Power of two; sized to cover the hot flows of a trace segment while
+/// staying a few cache lines per way.
+const FLOW_MEMO_SLOTS: usize = 1024;
+
+/// Bulk [`EngineStats`] increments computed by the decode pass; the match
+/// loop adds them once per block instead of once per packet. Counter
+/// totals are only observable at block boundaries (sync points), so
+/// bulk-adding is indistinguishable from per-packet increments.
+#[derive(Default)]
+struct BlockCounts {
+    syn_skipped: u64,
+    filtered: u64,
+    no_role: u64,
+    dual_role_recirc: u64,
+}
+
+/// Reusable scratch for the batch pipeline (DESIGN.md §5f): the decode
+/// ring of the software pipeline plus a flow-locality memo of RT
+/// locations that persists across blocks. The ring holds exactly
+/// [`PREFETCH_DIST`] in-flight packets, so it lives in a few L1 lines
+/// regardless of block size — the whole block is never staged through
+/// memory. `locate` is a pure function of packet and table geometry, so
+/// memoizing it is invisible to results; packet trains within a flow make
+/// it hit often, skipping the FNV/CRC dependency chains entirely.
+struct BatchScratch {
+    ring: [Decoded; PREFETCH_DIST],
+    memo: Vec<Option<(FlowKey, RtSlot)>>,
+}
+
+impl Default for BatchScratch {
+    fn default() -> Self {
+        BatchScratch {
+            ring: [Decoded::default(); PREFETCH_DIST],
+            memo: Vec::new(),
+        }
+    }
+}
+
+impl BatchScratch {
+    /// Direct-mapped memo index: a cheap multiplicative fold of the flow
+    /// key (not a quality hash — collisions just miss the memo).
+    #[inline]
+    fn memo_idx(flow: &FlowKey) -> usize {
+        let s = u64::from(u32::from(flow.src_ip));
+        let d = u64::from(u32::from(flow.dst_ip));
+        let p = (u64::from(flow.src_port) << 16) | u64::from(flow.dst_port);
+        let h = (s ^ (d << 13) ^ (p << 29)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        (h >> 32) as usize & (FLOW_MEMO_SLOTS - 1)
+    }
+}
+
 /// The Dart engine. Feed it packets in capture order via
 /// [`DartEngine::process`]; it emits [`RttSample`]s into the supplied sink.
 pub struct DartEngine {
@@ -129,6 +215,7 @@ pub struct DartEngine {
     rt_copy: Option<RtCopy>,
     events: Option<EventSink>,
     stats: EngineStats,
+    scratch: BatchScratch,
     #[cfg(feature = "telemetry")]
     telemetry: Option<EngineTelemetry>,
 }
@@ -151,6 +238,7 @@ impl DartEngine {
             rt_copy: cfg.rt_copy_sync.map(RtCopy::new),
             events: None,
             stats: EngineStats::default(),
+            scratch: BatchScratch::default(),
             #[cfg(feature = "telemetry")]
             telemetry: None,
             cfg,
@@ -266,6 +354,151 @@ impl DartEngine {
         }
     }
 
+    /// Process a block of packets in capture order through the batch
+    /// pipeline: a software-pipelined loop that decodes packet
+    /// `i + PREFETCH_DIST` — classifying roles, pre-resolving RT locations
+    /// through a flow-locality memo, and issuing warming reads for the RT
+    /// slots it will probe — while matching packet `i` with its
+    /// already-decoded state. Decode is pure ALU work (hashing, flag
+    /// tests) and match is load-bound table work, so the two streams
+    /// overlap in the core instead of serializing per packet; the decode
+    /// ring stays L1-resident. Per-disposition counters are bulk-added
+    /// per block.
+    ///
+    /// Observationally identical to calling [`DartEngine::process`] per
+    /// packet — same samples, same [`EngineStats`], same table state — for
+    /// any block split: decode computes only pure functions of packet and
+    /// configuration (RT locations do not depend on table contents), and
+    /// the match half performs exactly the per-packet path's state
+    /// transitions in the same order. Only the telemetry publication
+    /// cadence differs (per block instead of every
+    /// [`SYNC_INTERVAL_PKTS`] packets).
+    pub fn process_batch(&mut self, pkts: &[PacketMeta], sink: &mut dyn SampleSink) {
+        let mut scratch = std::mem::take(&mut self.scratch);
+        if scratch.memo.is_empty() {
+            scratch.memo.resize(FLOW_MEMO_SLOTS, None);
+        }
+        scratch.ring.fill(Decoded::default());
+        let mut counts = BlockCounts::default();
+
+        // Prologue: decode the first DIST packets to fill the ring.
+        let fill = pkts.len().min(PREFETCH_DIST);
+        for (i, pkt) in pkts[..fill].iter().enumerate() {
+            scratch.ring[i] = self.decode_and_warm(pkt, &mut scratch.memo, &mut counts);
+        }
+        // Steady state, bounds-check-free via the zip: match packet `j`
+        // with its decoded state, then decode packet `j + PREFETCH_DIST`
+        // into the ring slot it just freed (the ring has exactly
+        // PREFETCH_DIST entries, so `j` and `j + PREFETCH_DIST` share a
+        // slot — match must read before decode overwrites). Decode order
+        // relative to match is immaterial for results: decode is pure,
+        // and the match stream runs in capture order.
+        let mut j = 0usize;
+        if pkts.len() > PREFETCH_DIST {
+            for (mp, dp) in pkts.iter().zip(pkts[PREFETCH_DIST..].iter()) {
+                let d = scratch.ring[j & (PREFETCH_DIST - 1)];
+                self.match_one(mp, &d, sink);
+                scratch.ring[j & (PREFETCH_DIST - 1)] =
+                    self.decode_and_warm(dp, &mut scratch.memo, &mut counts);
+                j += 1;
+            }
+        }
+        // Epilogue: drain the last DIST decoded packets from the ring.
+        for pkt in pkts[j..].iter() {
+            let d = scratch.ring[j & (PREFETCH_DIST - 1)];
+            self.match_one(pkt, &d, sink);
+            j += 1;
+        }
+
+        // Bulk per-disposition counters: totals are only observable at
+        // block boundaries, so adding them once per block is
+        // indistinguishable from the per-packet path's increments.
+        self.stats.packets += pkts.len() as u64;
+        self.stats.syn_skipped += counts.syn_skipped;
+        self.stats.filtered_flows += counts.filtered;
+        self.stats.no_role += counts.no_role;
+        self.stats.dual_role_recirc += counts.dual_role_recirc;
+
+        self.scratch = scratch;
+        // Batch-boundary sync point: one publication per block instead of
+        // a per-packet interval check.
+        #[cfg(feature = "telemetry")]
+        self.sync_telemetry();
+    }
+
+    /// The match half of the batch pipeline: exactly the per-packet path's
+    /// state transitions for one packet, with classification and RT
+    /// hashing already done by [`DartEngine::decode_and_warm`].
+    #[inline]
+    fn match_one(&mut self, pkt: &PacketMeta, d: &Decoded, sink: &mut dyn SampleSink) {
+        self.drain_recirc_until(pkt.ts);
+        if d.lane & LANE_ACK != 0 {
+            let data_flow = pkt.flow.reverse();
+            self.handle_ack_at(pkt, &data_flow, &d.ack_rt, None, sink);
+        }
+        if d.lane & LANE_SEQ != 0 {
+            self.handle_seq_at(pkt, d.eack, &d.seq_rt, None);
+        }
+    }
+
+    /// The decode half of the batch pipeline: classify one packet,
+    /// pre-resolve the RT locations its roles will touch (through the flow
+    /// memo), and issue warming reads for them. Pure per-packet compute —
+    /// nothing here writes the tables, so decoding ahead of execution
+    /// cannot change results.
+    #[inline]
+    fn decode_and_warm(
+        &self,
+        pkt: &PacketMeta,
+        memo: &mut [Option<(FlowKey, RtSlot)>],
+        counts: &mut BlockCounts,
+    ) -> Decoded {
+        let mut d = Decoded::default();
+        if self.cfg.syn_policy == SynPolicy::Skip && pkt.is_syn() {
+            d.lane = LANE_SYN_SKIP;
+            counts.syn_skipped += 1;
+        } else if !self.flow_filter.matches(&pkt.flow) {
+            d.lane = LANE_FILTERED;
+            counts.filtered += 1;
+        } else {
+            if self.cfg.ack_role_active(pkt.dir) && pkt.is_ack() {
+                d.lane |= LANE_ACK;
+                d.ack_rt = Self::locate_memo(&self.rt, memo, &pkt.flow.reverse());
+                self.rt.prefetch(&d.ack_rt);
+            }
+            if self.cfg.seq_role_active(pkt.dir) && pkt.is_seq() {
+                d.lane |= LANE_SEQ;
+                d.eack = pkt.eack();
+                d.seq_rt = Self::locate_memo(&self.rt, memo, &pkt.flow);
+                self.rt.prefetch(&d.seq_rt);
+            }
+            if d.lane == 0 {
+                counts.no_role += 1;
+            } else if d.lane == LANE_ACK | LANE_SEQ && self.cfg.leg == Leg::Both {
+                counts.dual_role_recirc += 1;
+            }
+        }
+        d
+    }
+
+    /// `rt.locate(flow)` through the direct-mapped flow memo.
+    #[inline]
+    fn locate_memo(
+        rt: &RangeTracker,
+        memo: &mut [Option<(FlowKey, RtSlot)>],
+        flow: &FlowKey,
+    ) -> RtSlot {
+        let idx = BatchScratch::memo_idx(flow);
+        if let Some((key, slot)) = &memo[idx] {
+            if key == flow {
+                return *slot;
+            }
+        }
+        let slot = rt.locate(flow);
+        memo[idx] = Some((*flow, slot));
+        slot
+    }
+
     /// Process an entire trace.
     pub fn process_trace<'a>(
         &mut self,
@@ -286,8 +519,22 @@ impl DartEngine {
     }
 
     fn handle_seq(&mut self, pkt: &PacketMeta) {
-        let eack = pkt.eack();
-        let outcome = self.rt.on_seq(&pkt.flow, pkt.seq, eack);
+        let at = self.rt.locate(&pkt.flow);
+        self.handle_seq_at(pkt, pkt.eack(), &at, None);
+    }
+
+    /// The SEQ role with a pre-resolved RT location and (on the batch
+    /// path) a pre-hashed PT probe. `at` must come from
+    /// `rt.locate(&pkt.flow)`; `probe`, when given, from
+    /// `pt.probe(&PacketId::new(at.sig(), eack))`.
+    fn handle_seq_at(
+        &mut self,
+        pkt: &PacketMeta,
+        eack: SeqNum,
+        at: &RtSlot,
+        probe: Option<&PtProbe>,
+    ) {
+        let outcome = self.rt.on_seq_at(&pkt.flow, at, pkt.seq, eack);
         match outcome {
             RtSeqOutcome::Created | RtSeqOutcome::Ruled(SeqVerdict::Extend) => {}
             RtSeqOutcome::Ruled(SeqVerdict::HoleReset) => self.stats.seq_hole_reset += 1,
@@ -309,8 +556,11 @@ impl DartEngine {
         }
         self.sync_rt_copy(pkt);
         self.stats.seq_tracked += 1;
-        let sig = self.rt.sig(&pkt.flow);
-        let result = self.pt.insert_new(&pkt.flow, sig, eack, pkt.ts);
+        let sig = at.sig();
+        let result = match probe {
+            Some(p) => self.pt.insert_new_probed(&pkt.flow, sig, eack, pkt.ts, p),
+            None => self.pt.insert_new(&pkt.flow, sig, eack, pkt.ts),
+        };
         let inserted_id = PacketId::new(sig, eack);
         self.account_insert(result, inserted_id, pkt.ts);
     }
@@ -336,11 +586,35 @@ impl DartEngine {
 
     fn handle_ack(&mut self, pkt: &PacketMeta, sink: &mut dyn SampleSink) {
         let data_flow = pkt.flow.reverse();
-        match self.rt.on_ack(&data_flow, pkt.ack, pkt.is_pure_ack()) {
+        let at = self.rt.locate(&data_flow);
+        self.handle_ack_at(pkt, &data_flow, &at, None, sink);
+    }
+
+    /// The ACK role with a pre-resolved RT location and (on the batch
+    /// path) a pre-hashed PT probe. `data_flow` is `pkt.flow.reverse()`;
+    /// `at` must come from `rt.locate(data_flow)`; `probe`, when given,
+    /// from `pt.probe(&PacketId::new(at.sig(), pkt.ack))`.
+    fn handle_ack_at(
+        &mut self,
+        pkt: &PacketMeta,
+        data_flow: &FlowKey,
+        at: &RtSlot,
+        probe: Option<&PtProbe>,
+        sink: &mut dyn SampleSink,
+    ) {
+        let data_flow = *data_flow;
+        match self
+            .rt
+            .on_ack_at(&data_flow, at, pkt.ack, pkt.is_pure_ack())
+        {
             RtAckOutcome::Ruled(AckVerdict::Advance) => {
                 self.stats.ack_advanced += 1;
-                let sig = self.rt.sig(&data_flow);
-                let hit = self.pt.match_ack(&data_flow, sig, pkt.ack).or_else(|| {
+                let sig = at.sig();
+                let pt_hit = match probe {
+                    Some(p) => self.pt.match_ack_probed(&data_flow, sig, pkt.ack, p),
+                    None => self.pt.match_ack(&data_flow, sig, pkt.ack),
+                };
+                let hit = pt_hit.or_else(|| {
                     // Victim cache (§7): evicted records get matched here
                     // instead of being lost to a missed recirculation.
                     let id = PacketId::new(sig, pkt.ack);
@@ -451,7 +725,17 @@ impl DartEngine {
     }
 
     /// Re-admit recirculated records whose re-entry time has arrived.
+    /// Fast path of the recirculation drain: a single front-of-queue check
+    /// inlined into both hot loops; the drain body stays out of line.
+    #[inline]
     fn drain_recirc_until(&mut self, now: Nanos) {
+        if self.recirc.peek().is_some_and(|e| e.record.ready <= now) {
+            self.drain_recirc_slow(now);
+        }
+    }
+
+    #[cold]
+    fn drain_recirc_slow(&mut self, now: Nanos) {
         while self.recirc.peek().is_some_and(|e| e.record.ready <= now) {
             let Some(popped) = self.recirc.pop() else {
                 break; // unreachable: peek just returned Some
@@ -494,6 +778,12 @@ impl crate::monitor::RttMonitor for DartEngine {
 
     fn on_packet(&mut self, pkt: &PacketMeta, sink: &mut dyn SampleSink) {
         self.process(pkt, sink);
+    }
+
+    /// The real batch pipeline (SoA decode → prefetch → match loop), not
+    /// the default per-packet loop.
+    fn on_batch(&mut self, pkts: &[PacketMeta], sink: &mut dyn SampleSink) {
+        self.process_batch(pkts, sink);
     }
 
     /// Drains the recirculation loop; never emits samples (recirculated
@@ -914,6 +1204,93 @@ mod tests {
             s.recirc_issued,
             s.recirc_stale_dropped + s.recirc_reinserted + s.recirc_cycles_broken
         );
+    }
+
+    /// The batch pipeline must be observationally identical to the
+    /// per-packet path — samples, stats, and subsequent table state — for
+    /// every config family (unlimited, constrained, multi-stage, victim
+    /// cache, RT copy) and for any block split, including empty and
+    /// size-1 blocks.
+    #[test]
+    fn batch_pipeline_matches_per_packet_across_configs() {
+        // A workload exercising every role: data, ACKs, dup-ACKs,
+        // retransmissions, piggybacks, SYNs, and eviction pressure.
+        let mut pkts = Vec::new();
+        for n in 0..200u32 {
+            let f = flow(n % 13);
+            let base = u64::from(n) * 400_000;
+            if n % 17 == 0 {
+                pkts.push(
+                    PacketBuilder::new(f, base)
+                        .seq(n * 100)
+                        .syn()
+                        .dir(Direction::Outbound)
+                        .build(),
+                );
+            }
+            pkts.push(
+                PacketBuilder::new(f, base + 50_000)
+                    .seq(n * 100)
+                    .payload(100)
+                    .dir(Direction::Outbound)
+                    .build(),
+            );
+            if n % 3 == 0 {
+                pkts.push(
+                    PacketBuilder::new(f.reverse(), base + 250_000)
+                        .ack(n * 100 + 100)
+                        .dir(Direction::Inbound)
+                        .build(),
+                );
+            }
+            if n % 11 == 0 {
+                // Retransmission of the same bytes → range collapse.
+                pkts.push(
+                    PacketBuilder::new(f, base + 300_000)
+                        .seq(n * 100)
+                        .payload(100)
+                        .dir(Direction::Outbound)
+                        .build(),
+                );
+            }
+            if n % 23 == 0 {
+                // Piggyback: data + ACK in one packet.
+                pkts.push(
+                    PacketBuilder::new(f.reverse(), base + 350_000)
+                        .seq(n * 50)
+                        .payload(20)
+                        .ack(n * 100 + 100)
+                        .dir(Direction::Inbound)
+                        .build(),
+                );
+            }
+        }
+        let cfgs = [
+            DartConfig::unlimited(),
+            DartConfig::default(),
+            DartConfig::default().with_pt(16, 4).with_max_recirc(4),
+            DartConfig::default().with_pt(4, 2).with_victim_cache(3),
+            DartConfig::default().with_pt(8, 1).with_rt_copy(1_000_000),
+            DartConfig::default().with_leg(Leg::Both),
+        ];
+        // Irregular splits, including empty and size-1 blocks.
+        let split_lens = [0usize, 1, 7, 0, 64, 3, 1, 200, 13];
+        for cfg in cfgs {
+            let (expected, expected_stats) = run_trace(cfg, &pkts);
+            let mut engine = DartEngine::new(cfg);
+            let mut got: Vec<RttSample> = Vec::new();
+            let mut off = 0;
+            let mut s = 0;
+            while off < pkts.len() {
+                let len = split_lens[s % split_lens.len()].min(pkts.len() - off);
+                engine.process_batch(&pkts[off..off + len], &mut got);
+                off += len;
+                s += 1;
+            }
+            engine.flush();
+            assert_eq!(got, expected, "samples diverge for {cfg:?}");
+            assert_eq!(*engine.stats(), expected_stats, "stats diverge for {cfg:?}");
+        }
     }
 
     #[test]

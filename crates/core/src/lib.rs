@@ -61,11 +61,13 @@ pub use config::{DartConfig, Leg, PtMode, RtMode, SynPolicy};
 pub use engine::{run_trace, DartEngine, EngineEvent, EventSink, RecircFilter, RecirculateAll};
 pub use error::{EngineError, FailureKind, FailurePolicy, ShardFailure};
 pub use filter::{FlowFilter, FlowRule, PrefixMatch};
-pub use monitor::{run_monitor, run_monitor_slice, run_monitor_ticked, RttMonitor};
-pub use packet_tracker::{PacketTracker, PtInsert, PtRecord};
+pub use monitor::{
+    run_monitor, run_monitor_slice, run_monitor_ticked, RttMonitor, DEFAULT_BLOCK_PKTS,
+};
+pub use packet_tracker::{PacketTracker, PtInsert, PtProbe, PtRecord};
 pub use pt_salu::{SaluPtSlot, SlotRecord};
 pub use range::{AckVerdict, MeasurementRange, SeqVerdict};
-pub use range_tracker::{RangeTracker, RtAckOutcome, RtSeqOutcome};
+pub use range_tracker::{RangeTracker, RtAckOutcome, RtSeqOutcome, RtSlot};
 pub use rt_salu::SaluRangeTracker;
 pub use sample::{RttSample, SampleSink, SampleWeight};
 pub use sharded::{

@@ -65,6 +65,35 @@ struct RtEntry {
     range: MeasurementRange,
 }
 
+/// A pre-resolved RT location for one flow: the data-plane signature plus
+/// the slot it hashes to (0 in unlimited mode, which looks up by exact
+/// key). The batch pipeline computes these for a whole block up front,
+/// prefetches the slots, and the per-packet helpers consume them via
+/// [`RangeTracker::on_seq_at`] / [`RangeTracker::on_ack_at`] — sparing the
+/// scalar path's second signature computation per role.
+#[derive(Clone, Copy, Debug)]
+pub struct RtSlot {
+    sig: FlowSignature,
+    idx: usize,
+}
+
+impl RtSlot {
+    /// The flow's signature under the tracker's configured width.
+    #[inline]
+    pub fn sig(&self) -> FlowSignature {
+        self.sig
+    }
+}
+
+impl Default for RtSlot {
+    fn default() -> RtSlot {
+        RtSlot {
+            sig: FlowSignature(0),
+            idx: 0,
+        }
+    }
+}
+
 enum RtStore {
     Unlimited(HashMap<FlowKey, MeasurementRange>),
     Constrained {
@@ -101,8 +130,43 @@ impl RangeTracker {
         hasher.index(&sig.raw().to_le_bytes(), size)
     }
 
+    /// Resolve where `flow` lives: its signature plus its slot index. Pure
+    /// (no table access), so the batch decode pass can pre-hash a whole
+    /// block before any slot is touched.
+    #[inline]
+    pub fn locate(&self, flow: &FlowKey) -> RtSlot {
+        let sig = flow.signature(self.sig_width);
+        let idx = match &self.store {
+            RtStore::Unlimited(_) => 0,
+            RtStore::Constrained { slots, hasher } => Self::index(hasher, slots.size(), sig),
+        };
+        RtSlot { sig, idx }
+    }
+
+    /// Warm a located slot into cache (no register access; unlimited mode
+    /// is a no-op since it has no slot array to warm).
+    #[inline]
+    pub fn prefetch(&self, at: &RtSlot) {
+        if let RtStore::Constrained { slots, .. } = &self.store {
+            slots.prefetch(at.idx);
+        }
+    }
+
     /// Offer a data packet occupying `[seq, eack)` on `flow`.
     pub fn on_seq(&mut self, flow: &FlowKey, seq: SeqNum, eack: SeqNum) -> RtSeqOutcome {
+        let at = self.locate(flow);
+        self.on_seq_at(flow, &at, seq, eack)
+    }
+
+    /// [`RangeTracker::on_seq`] with a pre-resolved location (batch path).
+    /// `at` must come from `locate(flow)` on this tracker.
+    pub fn on_seq_at(
+        &mut self,
+        flow: &FlowKey,
+        at: &RtSlot,
+        seq: SeqNum,
+        eack: SeqNum,
+    ) -> RtSeqOutcome {
         match &mut self.store {
             RtStore::Unlimited(map) => match map.get_mut(flow) {
                 Some(range) => RtSeqOutcome::Ruled(range.on_seq(seq, eack)),
@@ -111,9 +175,9 @@ impl RangeTracker {
                     RtSeqOutcome::Created
                 }
             },
-            RtStore::Constrained { slots, hasher } => {
-                let sig = flow.signature(self.sig_width);
-                let idx = Self::index(hasher, slots.size(), sig);
+            RtStore::Constrained { slots, .. } => {
+                let sig = at.sig;
+                let idx = at.idx;
                 slots.rmw(idx, |old| match old {
                     Some(mut e) if e.sig == sig => {
                         let v = e.range.on_seq(seq, eack);
@@ -139,14 +203,27 @@ impl RangeTracker {
     /// Offer an ACK numbered `ack` for the data-direction `flow`; `pure`
     /// marks a payload-free ACK (required for duplicate-ACK inference).
     pub fn on_ack(&mut self, flow: &FlowKey, ack: SeqNum, pure: bool) -> RtAckOutcome {
+        let at = self.locate(flow);
+        self.on_ack_at(flow, &at, ack, pure)
+    }
+
+    /// [`RangeTracker::on_ack`] with a pre-resolved location (batch path).
+    /// `at` must come from `locate(flow)` on this tracker.
+    pub fn on_ack_at(
+        &mut self,
+        flow: &FlowKey,
+        at: &RtSlot,
+        ack: SeqNum,
+        pure: bool,
+    ) -> RtAckOutcome {
         match &mut self.store {
             RtStore::Unlimited(map) => match map.get_mut(flow) {
                 Some(range) => RtAckOutcome::Ruled(range.on_ack(ack, pure)),
                 None => RtAckOutcome::NoFlow,
             },
-            RtStore::Constrained { slots, hasher } => {
-                let sig = flow.signature(self.sig_width);
-                let idx = Self::index(hasher, slots.size(), sig);
+            RtStore::Constrained { slots, .. } => {
+                let sig = at.sig;
+                let idx = at.idx;
                 slots.rmw(idx, |old| match old {
                     Some(mut e) if e.sig == sig => {
                         let v = e.range.on_ack(ack, pure);
@@ -314,6 +391,38 @@ mod tests {
             );
         }
         assert_eq!(rt.occupancy(), 1000);
+    }
+
+    /// The located (`_at`) entry points must behave identically to the
+    /// self-locating ones — the batch path rides on this.
+    #[test]
+    fn located_paths_match_plain_paths() {
+        for (mut plain, mut located) in
+            [(rt_unlimited(), rt_unlimited()), (rt_small(8), rt_small(8))]
+        {
+            for step in 0..200u32 {
+                let f = flow(step % 13);
+                let at = located.locate(&f);
+                assert_eq!(at.sig(), located.sig(&f));
+                located.prefetch(&at);
+                if step % 3 == 2 {
+                    let ack = SeqNum(step * 40);
+                    assert_eq!(
+                        plain.on_ack(&f, ack, true),
+                        located.on_ack_at(&f, &at, ack, true),
+                        "ack step {step}"
+                    );
+                } else {
+                    let (seq, eack) = (SeqNum(step * 100), SeqNum(step * 100 + 100));
+                    assert_eq!(
+                        plain.on_seq(&f, seq, eack),
+                        located.on_seq_at(&f, &at, seq, eack),
+                        "seq step {step}"
+                    );
+                }
+            }
+            assert_eq!(plain.occupancy(), located.occupancy());
+        }
     }
 
     #[test]

@@ -741,6 +741,16 @@ impl RttMonitor for ShardedMonitor {
         self.feed(pkt);
     }
 
+    /// Feed a whole block: one virtual call per block from the batch
+    /// drivers instead of one per packet. Partitioning stays per-packet
+    /// (each packet hashes to its own shard), so this is purely a
+    /// dispatch-cost optimization — ordering and results are unchanged.
+    fn on_batch(&mut self, pkts: &[PacketMeta], _sink: &mut dyn SampleSink) {
+        for pkt in pkts {
+            self.feed(pkt);
+        }
+    }
+
     /// First flush joins the workers and emits the merged sample stream;
     /// later flushes emit nothing.
     fn flush(&mut self, sink: &mut dyn SampleSink) {

@@ -227,6 +227,19 @@ impl RttMonitor for MeteredMonitor {
         }
     }
 
+    /// Forwards the whole block to the wrapped monitor's batch path and
+    /// publishes counters once at the block boundary — the run-level
+    /// sync-point is per block, not per packet, on batch drivers.
+    fn on_batch(&mut self, pkts: &[dart_packet::PacketMeta], sink: &mut dyn SampleSink) {
+        let mut observing = ObservingSink {
+            inner: sink,
+            rtt_ns: &self.rtt_ns,
+        };
+        self.inner.on_batch(pkts, &mut observing);
+        self.seen += pkts.len() as u64;
+        self.sync();
+    }
+
     fn flush(&mut self, sink: &mut dyn SampleSink) {
         let mut observing = ObservingSink {
             inner: sink,

@@ -43,6 +43,21 @@ pub trait PacketSource {
         }
         Ok(buf.len())
     }
+
+    /// The next block of up to `max` packets as a slice; an empty slice
+    /// means end of stream. This is the batch drivers' pull point: the
+    /// default buffers through `next_chunk` (so the trace readers get a
+    /// buffered-slice path for free), while in-memory sources like
+    /// [`SliceSource`] override it to hand out a borrowed subslice of the
+    /// trace with no copy at all.
+    fn next_block<'a>(
+        &'a mut self,
+        buf: &'a mut Vec<PacketMeta>,
+        max: usize,
+    ) -> Result<&'a [PacketMeta], PacketError> {
+        let n = self.next_chunk(buf, max)?;
+        Ok(&buf[..n])
+    }
 }
 
 /// A source over a borrowed, fully materialized trace.
@@ -71,6 +86,19 @@ impl PacketSource for SliceSource<'_> {
             self.next += 1;
         }
         Ok(p)
+    }
+
+    /// Zero-copy override: the block is a subslice of the backing trace;
+    /// `buf` is untouched.
+    fn next_block<'a>(
+        &'a mut self,
+        _buf: &'a mut Vec<PacketMeta>,
+        max: usize,
+    ) -> Result<&'a [PacketMeta], PacketError> {
+        let start = self.next;
+        let end = start + max.min(self.remaining());
+        self.next = end;
+        Ok(&self.packets[start..end])
     }
 }
 
@@ -197,6 +225,39 @@ mod tests {
         assert_eq!(buf, &packets[4..5]);
         assert_eq!(src.next_chunk(&mut buf, 2).unwrap(), 0);
         assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn slice_source_blocks_are_borrowed_subslices() {
+        let packets: Vec<PacketMeta> = (0..5).map(pkt).collect();
+        let mut src = SliceSource::new(&packets);
+        let mut buf = Vec::new();
+        let b1 = src.next_block(&mut buf, 2).unwrap().to_vec();
+        assert_eq!(b1, &packets[0..2]);
+        let b2 = src.next_block(&mut buf, 4).unwrap().to_vec();
+        assert_eq!(b2, &packets[2..5]);
+        assert!(src.next_block(&mut buf, 4).unwrap().is_empty());
+        assert!(
+            buf.is_empty(),
+            "slice blocks never touch the scratch buffer"
+        );
+        // Mixed pulls stay in order: packet-wise after block-wise.
+        let mut src = SliceSource::new(&packets);
+        let _ = src.next_block(&mut buf, 2).unwrap();
+        assert_eq!(src.next_packet().unwrap(), Some(packets[2]));
+    }
+
+    #[test]
+    fn default_next_block_buffers_through_chunk() {
+        let packets: Vec<PacketMeta> = (0..3).map(pkt).collect();
+        let bytes = crate::trace::to_bytes(&packets);
+        let mut src = TraceReader::new(&bytes[..]).unwrap();
+        let mut buf = Vec::new();
+        let b1 = src.next_block(&mut buf, 2).unwrap().to_vec();
+        assert_eq!(b1, &packets[0..2]);
+        let b2 = src.next_block(&mut buf, 2).unwrap().to_vec();
+        assert_eq!(b2, &packets[2..3]);
+        assert!(src.next_block(&mut buf, 2).unwrap().is_empty());
     }
 
     #[test]

@@ -8,15 +8,36 @@
 //! independent indexings of the same key — which is what gives a multi-stage
 //! Packet Tracker its k "ways".
 
+/// Byte-indexed lookup table for the reflected IEEE polynomial. A real hash
+/// unit computes the whole CRC in one cycle of dedicated XOR trees; the
+/// software analogue is one table lookup per byte instead of eight
+/// shift-and-conditional-XOR steps, which matters because every RT/PT probe
+/// hashes an 8–12 byte key.
+const CRC32_TABLE: [u32; 256] = build_crc32_table();
+
+const fn build_crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
 /// CRC-32 (IEEE, reflected) over `data`, starting from `seed`.
+#[inline]
 pub fn crc32(seed: u32, data: &[u8]) -> u32 {
     let mut crc = !seed;
     for &b in data {
-        crc ^= b as u32;
-        for _ in 0..8 {
-            let mask = (crc & 1).wrapping_neg();
-            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
-        }
+        crc = (crc >> 8) ^ CRC32_TABLE[((crc ^ b as u32) & 0xFF) as usize];
     }
     !crc
 }
@@ -75,6 +96,30 @@ mod tests {
     fn crc32_reference_vector() {
         // Standard CRC-32 of "123456789" with zero seed is 0xCBF43926.
         assert_eq!(crc32(0, b"123456789"), 0xCBF4_3926);
+    }
+
+    /// The table-driven implementation must be bit-identical to the
+    /// original bit-serial loop for arbitrary seeds and lengths — every
+    /// stored table index in the repo depends on it.
+    #[test]
+    fn crc32_table_matches_bit_serial() {
+        fn crc32_bitwise(seed: u32, data: &[u8]) -> u32 {
+            let mut crc = !seed;
+            for &b in data {
+                crc ^= b as u32;
+                for _ in 0..8 {
+                    let mask = (crc & 1).wrapping_neg();
+                    crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+                }
+            }
+            !crc
+        }
+        let mut data = Vec::new();
+        for i in 0u32..64 {
+            data.push((i.wrapping_mul(0x9E37_79B9) >> 24) as u8);
+            let seed = i.wrapping_mul(0x0123_4567);
+            assert_eq!(crc32(seed, &data), crc32_bitwise(seed, &data), "len {i}");
+        }
     }
 
     #[test]

@@ -47,6 +47,18 @@ impl<T: Clone> RegisterArray<T> {
         self.slots[idx].as_ref()
     }
 
+    /// Warm the slot at `idx` into cache without performing a register
+    /// access: the batch pipeline issues these for a whole block before its
+    /// match loop so the table probes overlap in the memory system. Not
+    /// counted as a read — hardware prefetch is not a register port access,
+    /// and resource reports must stay identical between the per-packet and
+    /// batch paths. (`black_box` forces the load; the crate forbids unsafe,
+    /// so an explicit prefetch intrinsic is not available.)
+    #[inline]
+    pub fn prefetch(&self, idx: usize) {
+        std::hint::black_box(self.slots[idx].is_some());
+    }
+
     /// Overwrite the slot at `idx`, returning the previous occupant.
     pub fn write(&mut self, idx: usize, value: T) -> Option<T> {
         self.writes += 1;
@@ -139,6 +151,16 @@ mod tests {
         assert_eq!(r.occupancy(), 2);
         r.clear(1);
         assert_eq!(r.occupancy(), 1);
+    }
+
+    #[test]
+    fn prefetch_counts_no_access() {
+        let mut r: RegisterArray<u8> = RegisterArray::new("t", 4);
+        r.write(1, 7);
+        r.prefetch(0);
+        r.prefetch(1);
+        assert_eq!(r.reads(), 0);
+        assert_eq!(r.writes(), 1);
     }
 
     #[test]

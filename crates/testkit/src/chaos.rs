@@ -4,7 +4,7 @@
 //! PR 2's [`faults`](crate::faults) module perturbs the **trace** — what
 //! the monitor sees. This module perturbs the **runtime** — what the
 //! monitor's own workers do — through the
-//! [`PacketHook`](dart_core::PacketHook) seam the supervised
+//! [`dart_core::PacketHook`] seam the supervised
 //! [`ShardedMonitor`] exposes: a seeded hook makes one worker panic at a
 //! chosen packet, hang long enough to trip the feeder watchdog, or consume
 //! slowly enough to exercise bounded-channel backpressure. Everything is a

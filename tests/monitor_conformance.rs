@@ -3,13 +3,17 @@
 //! sharded variants): whatever an engine does internally, driving it
 //! through the trait must be indistinguishable from its batch path.
 //!
-//! Three contracts from `dart_core::monitor`'s module docs:
+//! Four contracts from `dart_core::monitor`'s module docs:
 //!
 //! * **Batch/streaming equivalence** — feeding packets one at a time via
 //!   `on_packet` then flushing yields byte-identical samples and stats to
 //!   `run_monitor_slice` on a fresh instance.
+//! * **Block-split invariance** — delivering the stream through `on_batch`
+//!   over *any* split into blocks (empty and size-1 included) is
+//!   indistinguishable from the per-packet path, for the default
+//!   per-packet fallback and Dart's specialized SoA pipeline alike.
 //! * **Flush idempotence** — a second `flush` emits nothing and leaves
-//!   `stats()` unchanged.
+//!   `stats()` unchanged, through the batch path too.
 //! * **Chunked sources** — streaming through a [`PacketSource`] in bounded
 //!   chunks (`run_monitor`) equals the slice path, so traces never need
 //!   full materialization.
@@ -83,6 +87,58 @@ proptest! {
             streamed.monitor.flush(&mut got);
             prop_assert_eq!(got.len(), before, "second flush emitted for {}", &name);
             prop_assert_eq!(streamed.monitor.stats(), expected_stats,
+                "second flush changed stats for {}", &name);
+        }
+    }
+
+    /// Delivering the trace through `on_batch` over a random split into
+    /// blocks — empty and size-1 blocks included — produces byte-identical
+    /// samples and stats to the per-packet path, for every registered
+    /// engine (default fallback and Dart's specialized batch pipeline),
+    /// and flushing again through the batch path is a no-op.
+    #[test]
+    fn batched_splits_equal_per_packet(
+        (seed, conns, loss, reorder) in trace_params(),
+        splits in prop::collection::vec(0usize..70, 1..40)
+    ) {
+        let pkts = make_trace(seed, conns, loss, reorder);
+        let registry = EngineRegistry::standard();
+        let cfg = DartConfig::default();
+        for name in engine_names(&registry) {
+            let mut per_packet = registry.build(&name, &cfg).unwrap();
+            let mut expected: Vec<RttSample> = Vec::new();
+            for p in &pkts {
+                per_packet.monitor.on_packet(p, &mut expected);
+            }
+            per_packet.monitor.flush(&mut expected);
+            let expected_stats = per_packet.monitor.stats();
+
+            let mut batched = registry.build(&name, &cfg).unwrap();
+            let mut got: Vec<RttSample> = Vec::new();
+            let mut off = 0;
+            let mut s = 0;
+            while off < pkts.len() {
+                // Cycle the random split list; finish with the tail so the
+                // whole trace is always delivered.
+                let len = if s < splits.len() {
+                    splits[s].min(pkts.len() - off)
+                } else {
+                    pkts.len() - off
+                };
+                batched.monitor.on_batch(&pkts[off..off + len], &mut got);
+                off += len;
+                s += 1;
+            }
+            batched.monitor.flush(&mut got);
+            prop_assert_eq!(&got, &expected, "batched samples diverge for {}", &name);
+            prop_assert_eq!(batched.monitor.stats(), expected_stats,
+                "batched stats diverge for {}", &name);
+
+            // Flush idempotence through the batch path.
+            let before = got.len();
+            batched.monitor.flush(&mut got);
+            prop_assert_eq!(got.len(), before, "second flush emitted for {}", &name);
+            prop_assert_eq!(batched.monitor.stats(), expected_stats,
                 "second flush changed stats for {}", &name);
         }
     }
