@@ -17,6 +17,15 @@
 //! * [`pping::Pping`] — a pping-style TCP-timestamp matcher (§8), blind to
 //!   option-less traffic and quantized by the sender's timestamp clock.
 //!
+//! Plus the encrypted-transport engine family (§7's extension path):
+//!
+//! * [`spin::SpinMonitor`] — a QUIC spin-bit edge tracker with
+//!   reorder/loss rejection heuristics; measures traffic the SEQ/ACK
+//!   engines cannot see at all.
+//! * [`histo::HistMonitor`] — P4TG-style in-dataplane histogram: Dart
+//!   matching binned into log2 registers, exporting only the snapshot
+//!   (no per-sample stream).
+//!
 //! `tcptrace_const` — the constant-per-flow-state variant the paper actually
 //! sweeps against in §6.2 — is Dart itself with unlimited tables:
 //! `dart_core::DartConfig::unlimited()`.
@@ -26,18 +35,22 @@
 
 pub mod dapper;
 pub mod fridge;
+pub mod histo;
 pub mod lean;
 pub mod pping;
 pub mod registry;
 pub mod seglist;
+pub mod spin;
 pub mod strawman;
 pub mod tcptrace;
 
 pub use dapper::{Dapper, DapperConfig, DapperStats};
 pub use fridge::{Fridge, FridgeConfig, FridgeStats, WeightedSample};
+pub use histo::HistMonitor;
 pub use lean::{LeanEstimate, LeanRtt};
 pub use pping::{Pping, PpingConfig, PpingStats};
 pub use registry::{BuiltEngine, EngineEntry, EngineRegistry, Judgement};
 pub use seglist::{SegListMonitor, SegOutcome, Segment, SegmentList, SeqUnwrapper};
+pub use spin::{SpinConfig, SpinMonitor};
 pub use strawman::{Strawman, StrawmanConfig, StrawmanStats};
 pub use tcptrace::{run_trace as run_tcptrace, TcpTrace, TcpTraceConfig, TcpTraceStats};

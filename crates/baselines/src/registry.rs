@@ -12,9 +12,11 @@
 
 use crate::dapper::{Dapper, DapperConfig};
 use crate::fridge::{Fridge, FridgeConfig};
+use crate::histo::HistMonitor;
 use crate::lean::LeanRtt;
 use crate::pping::{Pping, PpingConfig};
 use crate::seglist::SegListMonitor;
+use crate::spin::{SpinConfig, SpinMonitor};
 use crate::strawman::{Strawman, StrawmanConfig};
 use crate::tcptrace::{TcpTrace, TcpTraceConfig};
 use dart_core::{DartConfig, DartEngine, RttMonitor, ShardedConfig, ShardedMonitor};
@@ -36,6 +38,16 @@ pub enum Judgement {
     /// Aliases flows or measures a different clock by design: scored for
     /// the record, never asserted.
     Reported,
+    /// Judged against QUIC spin-bit edge ground truth: every emitted
+    /// sample must anchor both of its endpoints to observed spin
+    /// transitions of its flow direction (a sample that does not is
+    /// fabricated — Impossible). Non-consecutive edge pairs are reported
+    /// as spanning, like `Ambiguous`; loss accounting is not asserted.
+    SpinEdge,
+    /// Judged at distribution level: the engine exports weighted log2
+    /// bucket rows instead of per-match samples, and its p50/p99 bucket
+    /// indices must land within ±1 of the oracle valid-sample histogram.
+    Histogram,
 }
 
 /// One registered engine: identity, judgement contract, and constructor.
@@ -78,8 +90,10 @@ fn sharded_shards(name: &str) -> Option<usize> {
 impl EngineRegistry {
     /// The standard registry: the nine engines of the comparison suite
     /// (`dart`, `dart-sharded-4`, `tcptrace`, `fridge`, `pping`, `dapper`,
-    /// `strawman`, `seglist`, `lean`) plus `tcptrace-quirk`, the Fig. 9
-    /// ground-truth variant with tcptrace's quadrant double-sample bug.
+    /// `strawman`, `seglist`, `lean`), plus `tcptrace-quirk` (the Fig. 9
+    /// ground-truth variant with tcptrace's quadrant double-sample bug),
+    /// plus the encrypted-transport family: `spin` (QUIC spin-bit edges)
+    /// and `dart-hist` (snapshot-only log2 histogram export).
     pub fn standard() -> EngineRegistry {
         EngineRegistry {
             entries: vec![
@@ -176,6 +190,18 @@ impl EngineRegistry {
                     description: "Lean: timestamp sums, per-flow averages at flush",
                     judgement: Judgement::Reported,
                     build: |cfg| Box::new(LeanRtt::new(cfg.leg)),
+                },
+                EngineEntry {
+                    name: "spin",
+                    description: "QUIC spin-bit edge tracker with reorder/loss rejection",
+                    judgement: Judgement::SpinEdge,
+                    build: |_cfg| Box::new(SpinMonitor::new(SpinConfig::default())),
+                },
+                EngineEntry {
+                    name: "dart-hist",
+                    description: "Dart matches binned into log2 registers, snapshot-only export",
+                    judgement: Judgement::Histogram,
+                    build: |cfg| Box::new(HistMonitor::new(*cfg)),
                 },
             ],
         }
@@ -287,7 +313,7 @@ mod tests {
     }
 
     #[test]
-    fn standard_registry_contains_the_nine_engines() {
+    fn standard_registry_contains_the_comparison_engines() {
         let reg = EngineRegistry::standard();
         for name in [
             "dart",
@@ -299,9 +325,13 @@ mod tests {
             "strawman",
             "seglist",
             "lean",
+            "spin",
+            "dart-hist",
         ] {
             assert!(reg.get(name).is_some(), "missing registry entry {name}");
         }
+        assert_eq!(reg.judgement("spin"), Ok(Judgement::SpinEdge));
+        assert_eq!(reg.judgement("dart-hist"), Ok(Judgement::Histogram));
     }
 
     #[test]

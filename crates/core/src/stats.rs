@@ -78,6 +78,13 @@ pub struct EngineStats {
     /// RTT samples emitted.
     pub samples: u64,
 
+    /// Spin-bit engine: QUIC spin transitions (edges) observed, across all
+    /// tracked flow directions.
+    pub spin_edges: u64,
+    /// Spin-bit engine: edge-to-edge periods discarded by the
+    /// reordering/loss rejection heuristics instead of being emitted.
+    pub spin_rejected: u64,
+
     /// Supervised-runtime counter: shard engines respawned with fresh
     /// RT/PT state after a panic or stall (policy
     /// [`RestartShard`](crate::FailurePolicy::RestartShard)).
@@ -151,6 +158,8 @@ merge_counters!(
     rt_copy_reinserted,
     rt_copy_dropped,
     samples,
+    spin_edges,
+    spin_rejected,
     shard_restarts,
     flows_lost,
     monitor_miss,

@@ -88,15 +88,34 @@ impl PacketMeta {
 
     /// True when this packet advances the sender's sequence space and can
     /// therefore await an acknowledgment: it carries payload or a SYN/FIN.
+    /// QUIC packets never do — their sequence space is encrypted.
     #[inline]
     pub fn is_seq(&self) -> bool {
-        self.payload_len > 0 || self.flags.is_syn() || self.flags.is_fin()
+        !self.is_quic() && (self.payload_len > 0 || self.flags.is_syn() || self.flags.is_fin())
     }
 
     /// True when this packet carries an acknowledgment usable for matching.
+    /// QUIC packets never do — their ACK frames are encrypted.
     #[inline]
     pub fn is_ack(&self) -> bool {
-        self.flags.is_ack()
+        !self.is_quic() && self.flags.is_ack()
+    }
+
+    /// True when this record describes a QUIC short-header packet
+    /// ([`TcpFlags::QUIC`] marker). SEQ/ACK fields are meaningless; the
+    /// only measurement signal is the spin bit ([`PacketMeta::spin`]).
+    #[inline]
+    pub fn is_quic(&self) -> bool {
+        self.flags.contains(TcpFlags::QUIC)
+    }
+
+    /// The QUIC spin-bit value, or `None` for TCP packets. Guaranteed
+    /// `Some` exactly when [`PacketMeta::is_quic`] — so TCP-only code can
+    /// route on `is_seq`/`is_ack` and spin-bit code on this, with no
+    /// packet claiming both roles.
+    #[inline]
+    pub fn spin(&self) -> Option<bool> {
+        self.is_quic().then(|| self.flags.contains(TcpFlags::SPIN))
     }
 
     /// True when the SYN flag is set (SYN or SYN-ACK) — the packets Dart's
@@ -115,11 +134,22 @@ impl PacketMeta {
 
 impl fmt::Display for PacketMeta {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "[{:>12}ns] {} {} seq={} ack={} len={}",
-            self.ts, self.flow, self.flags, self.seq, self.ack, self.payload_len
-        )
+        if let Some(spin) = self.spin() {
+            write!(
+                f,
+                "[{:>12}ns] {} {} spin={}",
+                self.ts,
+                self.flow,
+                self.flags,
+                u8::from(spin)
+            )
+        } else {
+            write!(
+                f,
+                "[{:>12}ns] {} {} seq={} ack={} len={}",
+                self.ts, self.flow, self.flags, self.seq, self.ack, self.payload_len
+            )
+        }
     }
 }
 
@@ -193,6 +223,17 @@ impl PacketBuilder {
         self
     }
 
+    /// Mark the packet as a QUIC short-header packet carrying `spin` as its
+    /// spin-bit value. SEQ/ACK/payload stay zero — QUIC exposes none of
+    /// them to a passive monitor.
+    pub fn quic_spin(mut self, spin: bool) -> Self {
+        self.meta.flags = self.meta.flags | TcpFlags::QUIC;
+        if spin {
+            self.meta.flags = self.meta.flags | TcpFlags::SPIN;
+        }
+        self
+    }
+
     /// Finish building.
     pub fn build(self) -> PacketMeta {
         self.meta
@@ -259,6 +300,29 @@ mod tests {
         assert_eq!(p.tsopt, Some((1234, 5678)));
         let q = PacketBuilder::new(flow(), 0).build();
         assert_eq!(q.tsopt, None);
+    }
+
+    #[test]
+    fn quic_packets_have_no_tcp_role() {
+        let p = PacketBuilder::new(flow(), 7).quic_spin(true).build();
+        assert!(p.is_quic());
+        assert_eq!(p.spin(), Some(true));
+        assert!(!p.is_seq());
+        assert!(!p.is_ack());
+        assert!(!p.is_pure_ack());
+        let q = PacketBuilder::new(flow(), 7).quic_spin(false).build();
+        assert_eq!(q.spin(), Some(false));
+        let tcp = PacketBuilder::new(flow(), 7).ack(1u32).build();
+        assert_eq!(tcp.spin(), None);
+        assert!(tcp.is_ack());
+    }
+
+    #[test]
+    fn quic_display_shows_spin_not_seq() {
+        let p = PacketBuilder::new(flow(), 7).quic_spin(true).build();
+        let s = p.to_string();
+        assert!(s.contains("spin=1"), "{s}");
+        assert!(!s.contains("seq="), "{s}");
     }
 
     #[test]

@@ -22,6 +22,18 @@ impl TcpFlags {
     /// URG: urgent pointer is significant.
     pub const URG: TcpFlags = TcpFlags(0x20);
 
+    /// Marker: this record describes a QUIC short-header packet, not a TCP
+    /// segment. Bits 0x40/0x80 are unused by the TCP flag set this crate
+    /// models, so QUIC spin observations reuse the same 43-byte trace
+    /// record with `seq`/`ack`/`payload_len` zeroed and carry the spin bit
+    /// in [`TcpFlags::SPIN`]. SEQ/ACK-based classification
+    /// (`PacketMeta::is_seq`/`is_ack`) treats marked packets as having no
+    /// role, so TCP engines and the TCP oracle are uniformly blind to them.
+    pub const QUIC: TcpFlags = TcpFlags(0x40);
+    /// The QUIC spin-bit value (RFC 9000 §17.4), meaningful only when
+    /// [`TcpFlags::QUIC`] is set.
+    pub const SPIN: TcpFlags = TcpFlags(0x80);
+
     /// No flags set.
     pub const EMPTY: TcpFlags = TcpFlags(0);
 
@@ -85,6 +97,8 @@ impl std::fmt::Display for TcpFlags {
             (Self::PSH, 'P'),
             (Self::ACK, 'A'),
             (Self::URG, 'U'),
+            (Self::QUIC, 'Q'),
+            (Self::SPIN, 'B'),
         ];
         let mut any = false;
         for (flag, c) in names {
@@ -290,6 +304,14 @@ mod tests {
         assert!(!f.is_fin());
         assert_eq!(f.to_string(), "SA");
         assert_eq!(TcpFlags::EMPTY.to_string(), ".");
+    }
+
+    #[test]
+    fn quic_marker_bits_render_and_stay_disjoint() {
+        assert_eq!(TcpFlags::QUIC.0 & 0x3F, 0, "QUIC must not alias a TCP flag");
+        assert_eq!(TcpFlags::SPIN.0 & 0x3F, 0, "SPIN must not alias a TCP flag");
+        assert_eq!((TcpFlags::QUIC | TcpFlags::SPIN).to_string(), "QB");
+        assert!(!(TcpFlags::QUIC | TcpFlags::SPIN).is_ack());
     }
 
     #[test]

@@ -27,6 +27,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod adversarial;
 pub mod endpoint;
 pub mod event;
 pub mod flowgen;
@@ -36,6 +37,10 @@ pub mod rng;
 pub mod scenario;
 pub mod spin;
 
+pub use adversarial::{
+    churn_storm, interception_storm, quic_mix, wireless_tail, ChurnStormConfig,
+    InterceptionStormConfig, QuicMixConfig, ScenarioKind, WirelessTailConfig,
+};
 pub use endpoint::{Action, AppSend, ConnState, Endpoint, EndpointCfg, SimPacket};
 pub use event::EventQueue;
 pub use flowgen::{Access, AddressPlan, ExternalRttModel, InternalRttModel, SizeModel};
@@ -46,6 +51,6 @@ pub use replay::{
 pub use rng::SimRng;
 pub use scenario::{
     campus, interception, syn_flood, AttackConfig, CampusConfig, ConnInfo, GeneratedTrace,
-    SynFloodConfig,
+    SpinInfo, SynFloodConfig,
 };
-pub use spin::{spin_flow, SpinFlowConfig, SpinObserver, SpinPacket};
+pub use spin::{spin_flow, spin_flow_meta, SpinFlowConfig, SpinObserver, SpinPacket};

@@ -28,6 +28,18 @@ pub struct ConnInfo {
     pub retransmissions: u64,
 }
 
+/// Per-spin-flow metadata: ground truth for the QUIC flows a scenario
+/// mixes into the trace (see [`crate::adversarial`]).
+#[derive(Clone, Copy, Debug)]
+pub struct SpinInfo {
+    /// Flow key (client → server).
+    pub flow: FlowKey,
+    /// Ground-truth base RTT: `2 · (int_owd + ext_owd)`.
+    pub base_rtt: Nanos,
+    /// Post-interception RTT, when the flow's path steps mid-trace.
+    pub stepped_rtt: Option<Nanos>,
+}
+
 /// A generated trace plus its ground truth.
 #[derive(Clone, Debug)]
 pub struct GeneratedTrace {
@@ -35,6 +47,9 @@ pub struct GeneratedTrace {
     pub packets: Vec<PacketMeta>,
     /// Per-connection metadata (parallel to the generating specs).
     pub conns: Vec<ConnInfo>,
+    /// Per-spin-flow metadata for the QUIC flows in the mix (empty for the
+    /// TCP-only scenarios in this module).
+    pub spin_flows: Vec<SpinInfo>,
 }
 
 impl GeneratedTrace {
@@ -234,6 +249,7 @@ pub fn campus(cfg: CampusConfig) -> GeneratedTrace {
     GeneratedTrace {
         packets: out.packets,
         conns,
+        spin_flows: Vec::new(),
     }
 }
 
@@ -324,6 +340,7 @@ pub fn interception(cfg: AttackConfig) -> GeneratedTrace {
     GeneratedTrace {
         packets: out.packets,
         conns,
+        spin_flows: Vec::new(),
     }
 }
 
@@ -425,6 +442,7 @@ pub fn syn_flood(cfg: SynFloodConfig) -> GeneratedTrace {
     GeneratedTrace {
         packets: out.packets,
         conns,
+        spin_flows: Vec::new(),
     }
 }
 

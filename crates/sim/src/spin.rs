@@ -9,7 +9,7 @@
 //! RTTs from edge to edge — at most one sample per RTT.
 
 use crate::rng::SimRng;
-use dart_packet::{Direction, FlowKey, Nanos};
+use dart_packet::{Direction, FlowKey, Nanos, PacketBuilder, PacketMeta};
 
 /// One observed QUIC-like packet (the monitor's view; QUIC exposes no
 /// sequence/ack numbers, only the spin bit).
@@ -23,6 +23,31 @@ pub struct SpinPacket {
     pub dir: Direction,
     /// The latency spin bit.
     pub spin: bool,
+}
+
+impl SpinPacket {
+    /// Encode into the shared [`PacketMeta`] record: the
+    /// [`dart_packet::TcpFlags::QUIC`] marker plus the spin bit, with
+    /// SEQ/ACK/payload zeroed (QUIC exposes none of them). This is how
+    /// spin flows enter mixed traces, the native trace format, and every
+    /// `RttMonitor` — TCP engines see the record as role-less.
+    pub fn to_meta(&self) -> PacketMeta {
+        PacketBuilder::new(self.flow, self.ts)
+            .dir(self.dir)
+            .quic_spin(self.spin)
+            .build()
+    }
+
+    /// Decode from a [`PacketMeta`], if it carries the QUIC marker.
+    pub fn from_meta(meta: &PacketMeta) -> Option<SpinPacket> {
+        let spin = meta.spin()?;
+        Some(SpinPacket {
+            ts: meta.ts,
+            flow: meta.flow,
+            dir: meta.dir,
+            spin,
+        })
+    }
 }
 
 /// Spin-bit flow generation parameters.
@@ -42,6 +67,10 @@ pub struct SpinFlowConfig {
     pub loss: f64,
     /// RNG seed.
     pub seed: u64,
+    /// Mid-trace path change: at absolute time `.0`, the external one-way
+    /// delay becomes `.1` (the spin-flow analogue of the interception
+    /// scenario's `ext_owd_step`). `None` keeps the delay constant.
+    pub ext_owd_step: Option<(Nanos, Nanos)>,
 }
 
 impl Default for SpinFlowConfig {
@@ -54,6 +83,7 @@ impl Default for SpinFlowConfig {
             duration: 2 * dart_packet::SECOND,
             loss: 0.0,
             seed: 0x5917,
+            ext_owd_step: None,
         }
     }
 }
@@ -66,21 +96,34 @@ impl Default for SpinFlowConfig {
 pub fn spin_flow(cfg: SpinFlowConfig) -> Vec<SpinPacket> {
     let mut rng = SimRng::new(cfg.seed);
     let gap = 1_000_000_000 / cfg.rate_pps.max(1);
-    let rtt = 2 * (cfg.int_owd + cfg.ext_owd);
 
     // The endpoints' spin state evolves in continuous time; model it by
-    // computing, for each send instant, which "spin epoch" the endpoint is
-    // in. The client flips the bit once per RTT (when its own previous bit
-    // completes the loop), so client spin at time t = (t / rtt) odd/even.
-    // The server echoes what it saw one server-side one-way delay ago:
-    // server spin at send time t = client spin at (t - owd_c2s - owd_s2c...)
-    // — i.e. delayed by one client→server one-way delay.
-    let c2s_owd = cfg.int_owd + cfg.ext_owd;
+    // precomputing the client's flip instants. The client flips once per
+    // round trip (when its own previous flip completes the loop), so the
+    // boundaries satisfy b_0 = rtt(0), b_{k+1} = b_k + rtt(b_k) — which
+    // for a constant RTT reduces to b_k = (k+1)·rtt, the closed form this
+    // function used before `ext_owd_step` existed. A path change alters
+    // the external delay from the step instant on, stretching (or
+    // shrinking) every later spin period.
+    let ext_at = |t: Nanos| match cfg.ext_owd_step {
+        Some((at, new_ext)) if t >= at => new_ext,
+        _ => cfg.ext_owd,
+    };
+    let rtt_at = |t: Nanos| (2 * (cfg.int_owd + ext_at(t))).max(1);
+    let mut boundaries = Vec::new();
+    let mut b = rtt_at(0);
+    while b <= cfg.duration {
+        boundaries.push(b);
+        b += rtt_at(b);
+    }
+    // Client spin state at absolute time t: number of flips so far, odd/even.
+    let spin_at = |t: Nanos| boundaries.partition_point(|&x| x <= t) % 2 == 1;
+
     let mut out = Vec::new();
     let mut t = 0;
     while t < cfg.duration {
         // Client → server packet, captured at monitor after int leg.
-        let client_spin = (t / rtt) % 2 == 1;
+        let client_spin = spin_at(t);
         if !rng.chance(cfg.loss) {
             out.push(SpinPacket {
                 ts: t + cfg.int_owd,
@@ -90,16 +133,12 @@ pub fn spin_flow(cfg: SpinFlowConfig) -> Vec<SpinPacket> {
             });
         }
         // Server → client packet sent at the same instant: echoes the
-        // client bit it saw one c2s delay ago (false before anything
-        // arrives).
-        let server_spin = if t >= c2s_owd {
-            ((t - c2s_owd) / rtt) % 2 == 1
-        } else {
-            false
-        };
+        // client bit it saw one client→server delay ago (false before
+        // anything arrives).
+        let server_spin = t.checked_sub(cfg.int_owd + ext_at(t)).is_some_and(spin_at);
         if !rng.chance(cfg.loss) {
             out.push(SpinPacket {
-                ts: t + cfg.ext_owd,
+                ts: t + ext_at(t),
                 flow: cfg.flow.reverse(),
                 dir: Direction::Inbound,
                 spin: server_spin,
@@ -109,6 +148,12 @@ pub fn spin_flow(cfg: SpinFlowConfig) -> Vec<SpinPacket> {
     }
     out.sort_by_key(|p| p.ts);
     out
+}
+
+/// [`spin_flow`] encoded as [`PacketMeta`] records, ready to merge into a
+/// mixed TCP/QUIC trace (sort the union by timestamp).
+pub fn spin_flow_meta(cfg: SpinFlowConfig) -> Vec<PacketMeta> {
+    spin_flow(cfg).iter().map(SpinPacket::to_meta).collect()
 }
 
 /// A spin-bit RTT observer (the in-network measurement §7 sketches):
@@ -218,6 +263,68 @@ mod tests {
             worst > 5_000_000,
             "expected visible degradation under loss, worst dev {worst}"
         );
+    }
+
+    #[test]
+    fn ext_owd_step_stretches_spin_period() {
+        // Path interception at 1 s: external OWD jumps 10 ms → 35 ms, so
+        // the spin period should move from ~21 ms to ~71 ms.
+        let cfg = SpinFlowConfig {
+            duration: 4 * dart_packet::SECOND,
+            ext_owd_step: Some((dart_packet::SECOND, 35 * MILLISECOND)),
+            ..SpinFlowConfig::default()
+        };
+        let pkts = spin_flow(cfg);
+        let mut obs = SpinObserver::new(Direction::Outbound);
+        for p in &pkts {
+            obs.offer(p);
+        }
+        let early: Vec<_> = obs.samples.iter().take(10).copied().collect();
+        let late: Vec<_> = obs.samples.iter().rev().take(10).copied().collect();
+        let mean = |v: &[Nanos]| v.iter().sum::<Nanos>() / v.len().max(1) as u64;
+        assert!(
+            mean(&early).abs_diff(21 * MILLISECOND) <= 6 * MILLISECOND,
+            "pre-step period {} far from 21ms",
+            mean(&early)
+        );
+        assert!(
+            mean(&late).abs_diff(71 * MILLISECOND) <= 8 * MILLISECOND,
+            "post-step period {} far from 71ms",
+            mean(&late)
+        );
+    }
+
+    #[test]
+    fn no_step_matches_legacy_closed_form() {
+        // With ext_owd_step = None the boundary recurrence must reduce to
+        // the old (t / rtt) % 2 closed form exactly.
+        let cfg = SpinFlowConfig::default();
+        let rtt = 2 * (cfg.int_owd + cfg.ext_owd);
+        let c2s = cfg.int_owd + cfg.ext_owd;
+        for p in spin_flow(cfg) {
+            let (send_t, expect) = if p.dir == Direction::Outbound {
+                let t = p.ts - cfg.int_owd;
+                (t, (t / rtt) % 2 == 1)
+            } else {
+                let t = p.ts - cfg.ext_owd;
+                (t, t >= c2s && ((t - c2s) / rtt) % 2 == 1)
+            };
+            assert_eq!(p.spin, expect, "divergence at send time {send_t}");
+        }
+    }
+
+    #[test]
+    fn meta_round_trip_preserves_spin() {
+        for p in spin_flow(SpinFlowConfig::default()).iter().take(50) {
+            let meta = p.to_meta();
+            assert!(meta.is_quic());
+            assert!(!meta.is_seq() && !meta.is_ack());
+            assert_eq!(SpinPacket::from_meta(&meta), Some(*p));
+        }
+        let tcp = PacketBuilder::new(SpinFlowConfig::default().flow, 0)
+            .ack(1u32)
+            .build();
+        assert_eq!(SpinPacket::from_meta(&tcp), None);
     }
 
     #[test]

@@ -27,10 +27,12 @@
 
 use crate::faults::{FaultConfig, FaultInjector, FaultLog};
 use crate::oracle::{run_oracle, OracleConfig, OracleReport, ScoreCard};
+use crate::spin_oracle::{run_spin_oracle, SpinReport};
 use dart_baselines::{EngineRegistry, Judgement};
 use dart_core::{run_monitor_slice, DartConfig, EngineStats, RttSample};
 use dart_packet::PacketMeta;
 use dart_sim::TraceTransform;
+use dart_telemetry::histogram::{Histogram, HistogramSnapshot, BUCKETS};
 use std::fmt;
 
 /// What to run and how strictly to judge it.
@@ -218,37 +220,126 @@ pub fn loss_budget(stats: &EngineStats) -> u64 {
         + stats.seq_wraparound
 }
 
+/// Build the oracle-side RTT histogram: every valid sample's exact RTT,
+/// binned through the same log2 buckets the `dart-hist` engine uses. This
+/// is the reference distribution for the [`Judgement::Histogram`]
+/// tolerance check.
+pub fn oracle_histogram(oracle: &OracleReport) -> HistogramSnapshot {
+    let h = Histogram::new();
+    for s in &oracle.valid {
+        h.observe(s.rtt);
+    }
+    h.snapshot()
+}
+
+/// Reconstruct a histogram snapshot from the weighted bucket rows a
+/// [`Judgement::Histogram`] engine exports (`eack` = bucket index,
+/// `weight` = count). Returns the snapshot plus any malformed rows
+/// (bucket index out of range) — those are fabrications and fail
+/// soundness outright.
+pub fn snapshot_from_rows(samples: &[RttSample]) -> (HistogramSnapshot, Vec<RttSample>) {
+    let mut buckets = vec![0u64; BUCKETS];
+    let mut malformed = Vec::new();
+    for s in samples {
+        let i = s.eack.raw() as usize;
+        if i >= BUCKETS {
+            malformed.push(*s);
+            continue;
+        }
+        buckets[i] += s.weight.as_f64().round() as u64;
+    }
+    let sum = 0; // bucket rows carry counts, not raw values
+    (HistogramSnapshot { buckets, sum }, malformed)
+}
+
+/// True when `engine`'s p50 and p99 bucket indices are each within
+/// `tol` log2 buckets of `oracle`'s — the distribution-level accuracy
+/// claim a data-plane histogram makes (DESIGN.md §5g). Quantiles both
+/// undefined (both histograms empty) count as agreement; one-sided
+/// emptiness does not.
+pub fn hist_within_tolerance(
+    engine: &HistogramSnapshot,
+    oracle: &HistogramSnapshot,
+    tol: usize,
+) -> bool {
+    [0.5, 0.99].iter().all(
+        |&q| match (engine.quantile_bucket(q), oracle.quantile_bucket(q)) {
+            (Some(e), Some(o)) => e.abs_diff(o) <= tol,
+            (None, None) => true,
+            _ => false,
+        },
+    )
+}
+
 /// Score one sample stream and apply the invariants the engine's registry
 /// [`Judgement`] promises. Everything engine-specific lives in the registry
 /// metadata; this function is the same for every runner.
+#[allow(clippy::too_many_arguments)]
 fn judge_engine(
     name: String,
     judgement: Judgement,
     samples: &[RttSample],
     stats: EngineStats,
     oracle: &OracleReport,
+    spin: &SpinReport,
+    oracle_hist: &HistogramSnapshot,
     impossible_budget: u64,
 ) -> EngineOutcome {
-    let card = oracle.score(samples);
-    let (sound, loss_bounded, budget) = match judgement {
+    let (card, sound, loss_bounded, budget) = match judgement {
         // Dart matches exact left edges only, so a cross-anchored sample
         // is as much a bug as a fabricated one — and every miss must fit
         // the engine's own loss counters.
         Judgement::ExactAnchored => {
+            let card = oracle.score(samples);
             let budget = loss_budget(&stats);
-            (
-                Some(card.impossible + card.cross_anchored <= impossible_budget),
-                Some(card.missed() <= budget),
-                Some(budget),
-            )
+            let sound = Some(card.impossible + card.cross_anchored <= impossible_budget);
+            let loss = Some(card.missed() <= budget);
+            (card, sound, loss, Some(budget))
         }
         // Real transmission times stored, so fabricated samples are bugs;
         // no loss accounting, and cross-anchoring is legitimate
         // (cumulative ACK semantics).
-        Judgement::Anchored => (Some(card.impossible == 0), None, None),
+        Judgement::Anchored => {
+            let card = oracle.score(samples);
+            let sound = Some(card.impossible == 0);
+            (card, sound, None, None)
+        }
         // Aliases flows or measures a different clock by design: scored
         // for the record, never asserted.
-        Judgement::Reported => (None, None, None),
+        Judgement::Reported => (oracle.score(samples), None, None, None),
+        // Spin engines are judged by the spin-edge oracle instead of the
+        // SEQ/ACK one: every emitted period must anchor both endpoints to
+        // observed transitions. Loss is expected (rejection heuristics)
+        // and not budgeted.
+        Judgement::SpinEdge => {
+            let card = spin.score(samples);
+            let sound = Some(card.impossible <= impossible_budget);
+            (card, sound, None, None)
+        }
+        // Histogram engines export bucket rows, not per-sample streams:
+        // reconstruct the snapshot and require p50/p99 within ±1 log2
+        // bucket of the oracle's exact-RTT histogram. With no oracle
+        // distribution to compare against, only well-formedness (no
+        // out-of-range buckets) is asserted.
+        Judgement::Histogram => {
+            let (snap, malformed) = snapshot_from_rows(samples);
+            let binned = snap.count();
+            let mut card = ScoreCard {
+                exact: binned,
+                impossible: malformed.len() as u64,
+                impossible_samples: malformed,
+                valid_total: oracle_hist.count(),
+                ..ScoreCard::default()
+            };
+            card.valid_matched = card.exact.min(card.valid_total);
+            let well_formed = card.impossible == 0;
+            let sound = if oracle_hist.count() == 0 {
+                Some(well_formed)
+            } else {
+                Some(well_formed && hist_within_tolerance(&snap, oracle_hist, 1))
+            };
+            (card, sound, None, None)
+        }
     };
     EngineOutcome {
         name,
@@ -281,6 +372,9 @@ pub fn run_diff(cfg: &DiffConfig, packets: &[PacketMeta]) -> DiffReport {
         packets,
     );
 
+    let spin = run_spin_oracle(packets);
+    let oracle_hist = oracle_histogram(&oracle);
+
     let registry = EngineRegistry::standard();
     let mut outcomes = Vec::new();
     for name in cfg.engine_names() {
@@ -294,6 +388,8 @@ pub fn run_diff(cfg: &DiffConfig, packets: &[PacketMeta]) -> DiffReport {
             &samples,
             stats,
             &oracle,
+            &spin,
+            &oracle_hist,
             cfg.impossible_budget,
         ));
     }
@@ -324,6 +420,8 @@ pub fn run_diff_instrumented(
         },
         packets,
     );
+    let spin = run_spin_oracle(packets);
+    let oracle_hist = oracle_histogram(&oracle);
     let registry = EngineRegistry::standard();
     let mut outcomes = Vec::new();
     let packet_count = packets.len().to_string();
@@ -343,6 +441,8 @@ pub fn run_diff_instrumented(
             &samples,
             stats,
             &oracle,
+            &spin,
+            &oracle_hist,
             cfg.impossible_budget,
         );
         events.info(

@@ -20,6 +20,12 @@
 //! * [`chaos`] — seeded *runtime* faults (shard panic, worker stall, slow
 //!   consumer) injected through the supervised `ShardedMonitor`'s packet
 //!   hook, with oracle-backed soundness checks on the degraded output;
+//! * [`spin_oracle`] — spin-edge ground truth for QUIC traffic the
+//!   SEQ/ACK oracle cannot see: every emitted period must anchor both
+//!   endpoints to observed spin transitions;
+//! * [`scenarios`] — adversarial scenario suites (QUIC mixes, churn
+//!   storms, interception, wireless tails) running the full differential
+//!   matrix with the spin and histogram engines judged;
 //! * [`shrink`] — `ddmin` trace minimization writing reproducers under
 //!   `tests/shrunk/`;
 //! * [`broken`] — an intentionally unsound engine proving the harness
@@ -46,14 +52,19 @@ pub mod chaos;
 pub mod diff;
 pub mod faults;
 pub mod oracle;
+pub mod scenarios;
 pub mod shrink;
+pub mod spin_oracle;
 
 pub use broken::run_trace_skewed;
 pub use chaos::{
     chaos_hook, quiet_chaos_panics, run_chaos, run_chaos_sweep, ChaosConfig, ChaosReport,
     RuntimeFault,
 };
-pub use diff::{loss_budget, run_diff, run_diff_faulted, DiffConfig, DiffReport, EngineOutcome};
+pub use diff::{
+    hist_within_tolerance, loss_budget, oracle_histogram, run_diff, run_diff_faulted,
+    snapshot_from_rows, DiffConfig, DiffReport, EngineOutcome,
+};
 #[cfg(feature = "telemetry")]
 pub use diff::{run_diff_faulted_instrumented, run_diff_instrumented};
 pub use faults::{
@@ -61,4 +72,9 @@ pub use faults::{
     PT_RECORD_BITS,
 };
 pub use oracle::{run_oracle, OracleConfig, OracleReport, SampleClass, ScoreCard};
+pub use scenarios::{
+    run_scenario, run_scenario_matrix, scenario_artifact_dir, scenario_diff_config,
+    write_scorecards, ScenarioConfig, ScenarioOutcome,
+};
 pub use shrink::{ddmin, shrink_and_save, shrunk_dir, write_artifact};
+pub use spin_oracle::{run_spin_oracle, SpinClass, SpinReport};

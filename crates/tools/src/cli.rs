@@ -41,6 +41,8 @@ pub enum Command {
         /// Input path.
         input: String,
     },
+    /// Run the adversarial scenario matrix and write judged scorecards.
+    Scenarios,
     /// Print the data-plane resource report.
     Resources,
     /// Print usage.
@@ -118,7 +120,8 @@ COMMANDS:
         capture one final snapshot and the runner's event narration)
 
 Engines are resolved from the shared registry: dart, dart-sharded-N,
-tcptrace, tcptrace-quirk, fridge, pping, dapper, strawman, seglist, lean.
+tcptrace, tcptrace-quirk, fridge, pping, dapper, strawman, seglist, lean,
+spin, dart-hist.
     chaos <input>                   inject a seeded runtime fault into the
                                     supervised sharded engine (testkit)
         --fault panic|stall|slow    (default panic: a shard worker panics
@@ -128,6 +131,18 @@ tcptrace, tcptrace-quirk, fridge, pping, dapper, strawman, seglist, lean.
                            same fault under every degradation policy)
         --seed X          (default 0xC405; picks the poisoned packet)
         plus the analyze engine flags (--leg/--pt/--rt/--stages/--max-recirc)
+    scenarios                       adversarial scenario matrix (testkit):
+                                    generated mixed TCP+QUIC captures judged
+                                    engine-by-engine (Dart by the SEQ/ACK
+                                    oracle, spin by edge truth, dart-hist by
+                                    +-1-bucket quantiles)
+        --scenario NAME[,NAME...]|all (quic-mix | churn-storm | interception
+                           | wireless-tail, default all)
+        --scale F         (traffic multiplier, default 0.2 = CI size)
+        --seed X          (generator seed, default 0xD1A7)
+        --fault-seed X    (also run each scenario with the seeded stress
+                           fault layer: drop/dup/reorder/truncate)
+        --out DIR         (scorecard directory, default target/tmp/scenarios)
     resources                       Table-1 style resource report
     help                            this text
 
@@ -157,6 +172,7 @@ pub fn parse(args: &[String]) -> Result<(Command, Options), String> {
     let cmd = match pos.first().map(|s| s.as_str()) {
         None | Some("help") => Command::Help,
         Some("resources") => Command::Resources,
+        Some("scenarios") => Command::Scenarios,
         Some(
             c @ ("generate" | "analyze" | "replay" | "compare" | "detect" | "diff" | "stats"
             | "chaos"),
@@ -238,6 +254,21 @@ mod tests {
     #[test]
     fn unknown_command_errors() {
         assert!(parse(&v(&["frobnicate"])).is_err());
+    }
+
+    #[test]
+    fn scenarios_takes_no_file_argument() {
+        let (cmd, opts) = parse(&v(&[
+            "scenarios",
+            "--scale",
+            "0.1",
+            "--scenario",
+            "quic-mix",
+        ]))
+        .unwrap();
+        assert_eq!(cmd, Command::Scenarios);
+        assert_eq!(opts.get("scenario"), Some("quic-mix"));
+        assert_eq!(opts.get_num("scale", 1.0f64).unwrap(), 0.1);
     }
 
     #[test]

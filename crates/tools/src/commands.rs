@@ -12,11 +12,15 @@ use dart_core::{run_monitor_ticked, RttSample};
 #[cfg(feature = "telemetry")]
 use dart_packet::SliceSource;
 use dart_packet::SECOND;
+use dart_sim::adversarial::ScenarioKind;
 use dart_sim::scenario::{campus, CampusConfig};
 use dart_switch::{dart_program, estimate, DartProgramParams, TargetProfile};
 #[cfg(feature = "telemetry")]
 use dart_telemetry::{EventLog, MetricRegistry};
-use dart_testkit::{run_chaos, ChaosConfig, DiffConfig, FaultConfig};
+use dart_testkit::{
+    run_chaos, run_scenario, scenario_artifact_dir, write_scorecards, ChaosConfig, DiffConfig,
+    FaultConfig, ScenarioConfig,
+};
 #[cfg(not(feature = "telemetry"))]
 use dart_testkit::{run_diff, run_diff_faulted};
 #[cfg(feature = "telemetry")]
@@ -36,7 +40,72 @@ pub fn run(cmd: Command, opts: &Options) -> Result<String, String> {
         Command::Diff { input } => diff(&input, opts),
         Command::Stats { input } => stats_report(&input, opts),
         Command::Chaos { input } => chaos(&input, opts),
+        Command::Scenarios => scenarios(opts),
     }
+}
+
+/// `dartmon scenarios`: run the adversarial scenario matrix — generated
+/// mixed TCP + QUIC captures judged engine-by-engine (the Dart engines by
+/// the SEQ/ACK oracle, `spin` by edge truth, `dart-hist` by ±1-bucket
+/// quantile tolerance) — and persist per-run scorecard artifacts.
+fn scenarios(opts: &Options) -> Result<String, String> {
+    let scale = opts.get_num("scale", 0.2f64)?;
+    if !scale.is_finite() || scale <= 0.0 {
+        return Err("--scale must be positive".to_string());
+    }
+    let seed = opts.get_num("seed", 0xD1A7u64)?;
+    let fault_seed = match opts.get("fault-seed") {
+        None => None,
+        Some(_) => Some(opts.get_num("fault-seed", 0u64)?),
+    };
+    let kinds: Vec<ScenarioKind> = match opts.get("scenario").unwrap_or("all") {
+        "all" => ScenarioKind::ALL.to_vec(),
+        spec => spec
+            .split(',')
+            .map(|s| s.trim())
+            .filter(|s| !s.is_empty())
+            .map(|s| {
+                ScenarioKind::parse(s).ok_or_else(|| {
+                    format!(
+                        "unknown --scenario {s:?} (expected quic-mix | churn-storm | \
+                         interception | wireless-tail | all)"
+                    )
+                })
+            })
+            .collect::<Result<_, _>>()?,
+    };
+    if kinds.is_empty() {
+        return Err("--scenario: empty selection".to_string());
+    }
+    let mut outcomes = Vec::new();
+    for kind in kinds {
+        outcomes.push(run_scenario(&ScenarioConfig::clean(kind, scale, seed)));
+        if let Some(fs) = fault_seed {
+            outcomes.push(run_scenario(&ScenarioConfig::stressed(
+                kind, scale, seed, fs,
+            )));
+        }
+    }
+    let dir = match opts.get("out") {
+        Some(d) => std::path::PathBuf::from(d),
+        None => scenario_artifact_dir(),
+    };
+    let summary = write_scorecards(&dir, &outcomes)
+        .map_err(|e| format!("write scorecards to {}: {e}", dir.display()))?;
+    let mut out = String::new();
+    for o in &outcomes {
+        writeln!(out, "{o}").expect("string write");
+    }
+    writeln!(out, "scorecards: {}", summary.display()).expect("string write");
+    let all_pass = outcomes.iter().all(|o| o.pass());
+    writeln!(
+        out,
+        "scenario verdict: {} ({} runs)",
+        if all_pass { "PASS" } else { "FAIL" },
+        outcomes.len()
+    )
+    .expect("string write");
+    Ok(out)
 }
 
 /// `dartmon chaos`: replay a trace through the supervised sharded engine
@@ -845,6 +914,48 @@ mod tests {
         let err = run_line(&["chaos", &path, "--fault", "meteor"]).unwrap_err();
         assert!(err.contains("unknown --fault"), "{err}");
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn scenarios_matrix_runs_and_writes_scorecards() {
+        let dir = tmp("dartmon_scenarios_out");
+        let _ = std::fs::remove_dir_all(&dir);
+        let report = run_line(&[
+            "scenarios",
+            "--scale",
+            "0.1",
+            "--scenario",
+            "quic-mix",
+            "--fault-seed",
+            "7",
+            "--out",
+            &dir,
+        ])
+        .unwrap();
+        assert!(report.contains("scenario[quic-mix]"), "{report}");
+        assert!(report.contains("spin"), "{report}");
+        assert!(report.contains("dart-hist"), "{report}");
+        assert!(
+            report.contains("scenario verdict: PASS (2 runs)"),
+            "{report}"
+        );
+        let base = std::path::Path::new(&dir);
+        for name in ["scorecard.txt", "quic-mix.txt", "quic-mix-stressed.txt"] {
+            assert!(base.join(name).exists(), "missing artifact {name}");
+        }
+        let summary = std::fs::read_to_string(base.join("scorecard.txt")).unwrap();
+        assert!(!summary.contains("FAIL"), "{summary}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn scenarios_rejects_bad_flags() {
+        let err = run_line(&["scenarios", "--scenario", "meteor"]).unwrap_err();
+        assert!(err.contains("unknown --scenario"), "{err}");
+        let err = run_line(&["scenarios", "--scale", "0"]).unwrap_err();
+        assert!(err.contains("positive"), "{err}");
+        let err = run_line(&["scenarios", "--scenario", ","]).unwrap_err();
+        assert!(err.contains("empty selection"), "{err}");
     }
 
     #[test]

@@ -20,12 +20,14 @@
 
 use dart::baselines::EngineRegistry;
 use dart::core::{run_monitor, run_monitor_slice, DartConfig, RttSample};
-use dart::packet::{PacketMeta, SliceSource};
+use dart::packet::{FlowKey, PacketMeta, SliceSource};
 use dart::sim::scenario::{campus, CampusConfig};
+use dart::sim::spin::SpinFlowConfig;
+use dart::sim::spin_flow_meta;
 use proptest::prelude::*;
 
 /// Randomized lossy/reordered campus workloads, kept small enough for a
-/// property-test budget across ~11 engines.
+/// property-test budget across ~13 engines.
 fn trace_params() -> impl Strategy<Value = (u64, usize, f64, f64)> {
     (
         0u64..10_000, // seed
@@ -35,8 +37,11 @@ fn trace_params() -> impl Strategy<Value = (u64, usize, f64, f64)> {
     )
 }
 
+/// A mixed TCP + QUIC capture: every conformance contract is checked over
+/// traffic both packet families see, so the spin-bit engine's edge state
+/// and the SEQ/ACK engines' blindness to QUIC get the same coverage.
 fn make_trace(seed: u64, connections: usize, loss: f64, reorder: f64) -> Vec<PacketMeta> {
-    campus(CampusConfig {
+    let mut pkts = campus(CampusConfig {
         connections,
         duration: dart::packet::SECOND,
         seed,
@@ -44,7 +49,17 @@ fn make_trace(seed: u64, connections: usize, loss: f64, reorder: f64) -> Vec<Pac
         reorder,
         ..CampusConfig::default()
     })
-    .packets
+    .packets;
+    for i in 0..2u32 {
+        pkts.extend(spin_flow_meta(SpinFlowConfig {
+            flow: FlowKey::from_raw(0x0a0c_0000 + i, 42_000 + i as u16, 0x5db8_d9f0 + i, 443),
+            duration: dart::packet::SECOND,
+            seed: seed ^ (0x51C0 + i as u64),
+            ..SpinFlowConfig::default()
+        }));
+    }
+    pkts.sort_by_key(|p| p.ts);
+    pkts
 }
 
 /// Every name the conformance suite exercises: the static registry plus a

@@ -117,7 +117,7 @@ proptest! {
 /// mirroring the `merge_counters!` guarantee.
 fn engine_stats() -> impl Strategy<Value = EngineStats> {
     // Bounded well under u64::MAX / 4 so sums of a few stats cannot wrap.
-    prop::collection::vec(0u64..(1 << 40), 33).prop_map(|v| {
+    prop::collection::vec(0u64..(1 << 40), 35).prop_map(|v| {
         let mut it = v.into_iter();
         let mut n = move || it.next().unwrap();
         EngineStats {
@@ -151,6 +151,8 @@ fn engine_stats() -> impl Strategy<Value = EngineStats> {
             rt_copy_reinserted: n(),
             rt_copy_dropped: n(),
             samples: n(),
+            spin_edges: n(),
+            spin_rejected: n(),
             shard_restarts: n(),
             flows_lost: n(),
             monitor_miss: n(),
