@@ -35,4 +35,4 @@ pub use discard::{min_discard_pair, MinTrackingSink, PreemptiveDiscard};
 pub use dist::{collection_error_at, max_error_5_to_95, RttDistribution};
 pub use minfilter::{MinFilter, Window, WindowMin};
 pub use prefix::{Prefix, PrefixAggregator};
-pub use sketch::{P2Quantile, RttQuantiles};
+pub use sketch::{CountMinSketch, HeavyHitters, P2Quantile, RttQuantiles};

@@ -10,6 +10,11 @@
 
 use dart_packet::Nanos;
 
+// Frequency sketches live in `dart_core::sketch` (the flow-state backends
+// use them on the hot path); analytics re-exports them so control-plane
+// code has a single home for every sketch and no second implementation.
+pub use dart_core::sketch::{CountMinSketch, HeavyHitters};
+
 /// Streaming estimator of a single quantile `q` in (0, 1).
 #[derive(Clone, Debug)]
 pub struct P2Quantile {

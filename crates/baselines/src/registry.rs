@@ -19,7 +19,7 @@ use crate::seglist::SegListMonitor;
 use crate::spin::{SpinConfig, SpinMonitor};
 use crate::strawman::{Strawman, StrawmanConfig};
 use crate::tcptrace::{TcpTrace, TcpTraceConfig};
-use dart_core::{DartConfig, DartEngine, RttMonitor, ShardedConfig, ShardedMonitor};
+use dart_core::{Backend, DartConfig, DartEngine, RttMonitor, ShardedConfig, ShardedMonitor};
 #[cfg(feature = "telemetry")]
 use dart_telemetry::MetricRegistry;
 
@@ -88,12 +88,15 @@ fn sharded_shards(name: &str) -> Option<usize> {
 }
 
 impl EngineRegistry {
-    /// The standard registry: the nine engines of the comparison suite
+    /// The standard registry: the engines of the comparison suite
     /// (`dart`, `dart-sharded-4`, `tcptrace`, `fridge`, `pping`, `dapper`,
     /// `strawman`, `seglist`, `lean`), plus `tcptrace-quirk` (the Fig. 9
     /// ground-truth variant with tcptrace's quadrant double-sample bug),
-    /// plus the encrypted-transport family: `spin` (QUIC spin-bit edges)
-    /// and `dart-hist` (snapshot-only log2 histogram export).
+    /// the encrypted-transport family — `spin` (QUIC spin-bit edges) and
+    /// `dart-hist` (snapshot-only log2 histogram export) — and the
+    /// alternative flow-state backends `dart@sketch` (recency-aged sketch
+    /// tables) and `dart@precision` (probabilistic recirculation
+    /// admission).
     pub fn standard() -> EngineRegistry {
         EngineRegistry {
             entries: vec![
@@ -102,6 +105,27 @@ impl EngineRegistry {
                     description: "Dart: RT/PT pipeline with lazy eviction and recirculation",
                     judgement: Judgement::ExactAnchored,
                     build: |cfg| Box::new(DartEngine::new(*cfg)),
+                },
+                EngineEntry {
+                    name: "dart@sketch",
+                    description: "Dart on recency-aged sketch RT/PT tables (DUNE-style)",
+                    // Sketch tables *lose* state (recency eviction, oldest-
+                    // cell overwrite) but never fabricate: every match
+                    // verifies a (sig, eACK) fingerprint and the RT rules
+                    // ACKs exactly, so samples stay exactly anchored and
+                    // losses land in counters the loss budget reads.
+                    judgement: Judgement::ExactAnchored,
+                    build: |cfg| Box::new(DartEngine::new(cfg.with_backend(Backend::Sketch))),
+                },
+                EngineEntry {
+                    name: "dart@precision",
+                    description:
+                        "Dart with probabilistic recirculation admission (heavy hitters bypass)",
+                    // Exact tables; the admission gate only *drops* evicted
+                    // records before recirculation, which the loss budget
+                    // already accounts as unmatched advances.
+                    judgement: Judgement::ExactAnchored,
+                    build: |cfg| Box::new(DartEngine::new(cfg.with_backend(Backend::Precision))),
                 },
                 EngineEntry {
                     name: "dart-sharded-4",
@@ -317,6 +341,8 @@ mod tests {
         let reg = EngineRegistry::standard();
         for name in [
             "dart",
+            "dart@sketch",
+            "dart@precision",
             "dart-sharded-4",
             "tcptrace",
             "fridge",

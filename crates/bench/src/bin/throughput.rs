@@ -235,6 +235,25 @@ fn main() {
         packets.len()
     );
 
+    // Cap shard counts at the host's parallelism: a row with more shards
+    // than cores measures oversubscription, not speedup, so it is clamped
+    // (with a warning) instead of silently reported as a scaling point.
+    let mut shard_list: Vec<usize> = shard_list
+        .into_iter()
+        .map(|s| {
+            if s > parallelism {
+                eprintln!(
+                    "warning: --shards {s} exceeds available_parallelism={parallelism}; \
+                     capping to {parallelism}"
+                );
+                parallelism
+            } else {
+                s
+            }
+        })
+        .collect();
+    shard_list.dedup();
+
     let cfg = DartConfig::default();
     let mut results: Vec<Measurement> = Vec::new();
     #[cfg(feature = "telemetry")]

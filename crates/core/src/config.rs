@@ -43,6 +43,19 @@ pub enum RtMode {
         /// Number of slots.
         slots: usize,
     },
+    /// A DUNE-style set-associative sketch of `slots` total entries split
+    /// across `ways` independently hashed ways, with recency-based
+    /// eviction: a new flow landing on a fully occupied way set overwrites
+    /// the least-recently-touched occupant instead of being rejected. Under
+    /// churn this reclaims slots leaked to dead flows, stretching a fixed
+    /// SRAM budget 10×–100× further at the cost of bounded, *counted*
+    /// sample loss ([`crate::EngineStats::sketch_overwritten`]).
+    Sketch {
+        /// Total entries across all ways.
+        slots: usize,
+        /// Number of ways (1 or 2; each way is its own hash function).
+        ways: usize,
+    },
 }
 
 /// Packet Tracker sizing.
@@ -58,6 +71,80 @@ pub enum PtMode {
         /// Number of stages (1 = the Tofino 1 layout).
         stages: usize,
     },
+    /// A compact fingerprint sketch: `slots` cells of `(fingerprint, ts)`
+    /// pairs — 80 bits vs. the exact record's 112 — split across `ways`
+    /// hashed ways. Insertion into a full way set overwrites the
+    /// oldest-timestamp cell (counted, never recirculated); matching
+    /// verifies the fingerprint before emitting a sample.
+    Sketch {
+        /// Total cells across all ways.
+        slots: usize,
+        /// Number of ways (each with its own hash function).
+        ways: usize,
+    },
+}
+
+/// How evicted Packet Tracker records are admitted to the recirculation
+/// port (the `dart@precision` backend's probabilistic-recirculation gate,
+/// after Ben Basat et al.).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum AdmissionMode {
+    /// Every eviction may recirculate (subject only to the recirc cap and
+    /// analytics filter) — the paper's behaviour and the default.
+    #[default]
+    All,
+    /// Spend the recirculation budget only on flows surviving a seeded
+    /// coin flip, with a CMS-backed heavy-hitter bypass so elephant flows
+    /// keep their in-flight measurements deterministically.
+    Probabilistic {
+        /// Coin-flip survival is `2^-sample_shift` (e.g. 3 → 1/8 of
+        /// evictions recirculate).
+        sample_shift: u32,
+        /// Number of flows tracked as heavy hitters (admitted regardless of
+        /// the coin flip). Zero disables the bypass.
+        hh_capacity: usize,
+        /// Seed for the deterministic coin flip (and CMS hashing).
+        seed: u64,
+    },
+}
+
+/// Which flow-state backend family a config describes — a convenience view
+/// over [`RtMode`]/[`PtMode`]/[`AdmissionMode`] used by the registry and
+/// CLI (`--backend exact|sketch|precision`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Backend {
+    /// Exact register tables (the reference implementation).
+    #[default]
+    Exact,
+    /// Sketch RT/PT (recency-aged, fingerprint cells).
+    Sketch,
+    /// Exact tables + probabilistic recirculation admission.
+    Precision,
+}
+
+impl std::str::FromStr for Backend {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Backend, String> {
+        match s {
+            "exact" => Ok(Backend::Exact),
+            "sketch" => Ok(Backend::Sketch),
+            "precision" => Ok(Backend::Precision),
+            other => Err(format!(
+                "unknown backend {other:?} (expected exact|sketch|precision)"
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for Backend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Backend::Exact => "exact",
+            Backend::Sketch => "sketch",
+            Backend::Precision => "precision",
+        })
+    }
 }
 
 /// Full engine configuration.
@@ -88,6 +175,8 @@ pub struct DartConfig {
     /// by this sync delay, so validation is approximate — it trades
     /// recirculation bandwidth for memory and a little accuracy.
     pub rt_copy_sync: Option<Nanos>,
+    /// Recirculation admission policy (the `precision` backend's gate).
+    pub admission: AdmissionMode,
 }
 
 impl Default for DartConfig {
@@ -107,6 +196,7 @@ impl Default for DartConfig {
             recirc_delay: 10_000, // 10 µs: a handful of pipeline passes
             victim_cache: 0,
             rt_copy_sync: None,
+            admission: AdmissionMode::All,
         }
     }
 }
@@ -166,6 +256,72 @@ impl DartConfig {
     pub fn with_rt_copy(mut self, sync: Nanos) -> Self {
         self.rt_copy_sync = Some(sync);
         self
+    }
+
+    /// Builder-style: set the recirculation admission policy.
+    pub fn with_admission(mut self, admission: AdmissionMode) -> Self {
+        self.admission = admission;
+        self
+    }
+
+    /// Builder-style: switch the flow-state backend family, keeping the
+    /// configured slot budgets. `Sketch` converts both constrained tables
+    /// into their sketch counterparts (RT 2-way, PT 4-way, clamped to the
+    /// slot count); `Precision` keeps exact tables and turns on the default
+    /// probabilistic admission gate (1/8 coin flip, 64 heavy hitters);
+    /// `Exact` reverts both.
+    pub fn with_backend(mut self, backend: Backend) -> Self {
+        // Normalise back to exact tables first so the conversion is
+        // idempotent and composable with the sizing builders.
+        if let RtMode::Sketch { slots, .. } = self.rt {
+            self.rt = RtMode::Constrained { slots };
+        }
+        if let PtMode::Sketch { slots, ways } = self.pt {
+            self.pt = PtMode::Constrained {
+                slots,
+                stages: ways,
+            };
+        }
+        self.admission = AdmissionMode::All;
+        match backend {
+            Backend::Exact => {}
+            Backend::Sketch => {
+                if let RtMode::Constrained { slots } = self.rt {
+                    self.rt = RtMode::Sketch {
+                        slots,
+                        ways: 2.min(slots),
+                    };
+                }
+                if let PtMode::Constrained { slots, .. } = self.pt {
+                    self.pt = PtMode::Sketch {
+                        slots,
+                        ways: 4.min(slots),
+                    };
+                }
+            }
+            Backend::Precision => {
+                self.admission = AdmissionMode::Probabilistic {
+                    sample_shift: 3,
+                    hh_capacity: 64,
+                    seed: 0xDA27_AD31,
+                };
+            }
+        }
+        self
+    }
+
+    /// The backend family this config describes (drives the engine's
+    /// registry name: `dart`, `dart@sketch`, `dart@precision`).
+    pub fn backend(&self) -> Backend {
+        let sketchy =
+            matches!(self.rt, RtMode::Sketch { .. }) || matches!(self.pt, PtMode::Sketch { .. });
+        if sketchy {
+            Backend::Sketch
+        } else if self.admission != AdmissionMode::All {
+            Backend::Precision
+        } else {
+            Backend::Exact
+        }
     }
 
     /// True when a data packet traveling `dir` should be processed as SEQ.

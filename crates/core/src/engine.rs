@@ -1,12 +1,14 @@
 //! The Dart engine: Range Tracker → Packet Tracker → analytics, with lazy
 //! eviction and second-chance recirculation (paper Fig. 3 / Fig. 5).
 
-use crate::config::{DartConfig, Leg, PtMode, SynPolicy};
+use crate::backend::{PtBackend, PtTable, RtBackend, RtTable};
+use crate::config::{AdmissionMode, Backend, DartConfig, Leg, PtMode, SynPolicy};
 use crate::filter::FlowFilter;
-use crate::packet_tracker::{PacketTracker, PtInsert, PtProbe, PtRecord};
+use crate::packet_tracker::{PtInsert, PtProbe, PtRecord};
 use crate::range::{AckVerdict, MeasurementRange, SeqVerdict};
-use crate::range_tracker::{RangeTracker, RtAckOutcome, RtSeqOutcome, RtSlot};
+use crate::range_tracker::{RtAckOutcome, RtSeqOutcome, RtSlot};
 use crate::sample::{RttSample, SampleSink};
+use crate::sketch::{Admission, AdmissionGate};
 use crate::stats::EngineStats;
 #[cfg(feature = "telemetry")]
 use crate::telemetry::{EngineTelemetry, SYNC_INTERVAL_PKTS};
@@ -205,10 +207,13 @@ impl BatchScratch {
 /// [`DartEngine::process`]; it emits [`RttSample`]s into the supplied sink.
 pub struct DartEngine {
     cfg: DartConfig,
-    rt: RangeTracker,
-    pt: PacketTracker,
+    rt: RtTable,
+    pt: PtTable,
     recirc: RecircPort<RecircEntry>,
     filter: Box<dyn RecircFilter>,
+    /// Probabilistic-recirculation admission (the `precision` backend);
+    /// `None` under [`AdmissionMode::All`].
+    admission: Option<AdmissionGate>,
     flow_filter: FlowFilter,
     /// Small fully-associative cache of evicted records (§7) — FIFO.
     victim_cache: VecDeque<PtRecord>,
@@ -229,10 +234,18 @@ impl DartEngine {
     /// Build an engine with an analytics recirculation filter (§3.3).
     pub fn with_filter(cfg: DartConfig, filter: Box<dyn RecircFilter>) -> DartEngine {
         DartEngine {
-            rt: RangeTracker::new(cfg.rt, cfg.sig_width),
-            pt: PacketTracker::new(cfg.pt),
+            rt: RtTable::new(cfg.rt, cfg.sig_width),
+            pt: PtTable::new(cfg.pt),
             recirc: RecircPort::new(cfg.max_recirc),
             filter,
+            admission: match cfg.admission {
+                AdmissionMode::All => None,
+                AdmissionMode::Probabilistic {
+                    sample_shift,
+                    hh_capacity,
+                    seed,
+                } => Some(AdmissionGate::new(sample_shift, hh_capacity, seed)),
+            },
             flow_filter: FlowFilter::all(),
             victim_cache: VecDeque::new(),
             rt_copy: cfg.rt_copy_sync.map(RtCopy::new),
@@ -381,10 +394,23 @@ impl DartEngine {
         scratch.ring.fill(Decoded::default());
         let mut counts = BlockCounts::default();
 
+        // The steady-state loop is stamped out once per RT backend variant
+        // so the decode half — the per-packet locate/prefetch stream this
+        // loop exists to overlap — inlines exactly one backend's hashing.
+        // Dispatching per call instead keeps both variants' bodies (or a
+        // call, and its register spills) inside the hot loop and costs the
+        // exact path its batch edge. The `unreachable!()` arms are
+        // genuinely unreachable: the variant is matched right before the
+        // loop and nothing in the loop can change it. The short prologue
+        // and epilogue (≤ PREFETCH_DIST packets each) stay on the
+        // dispatching path (`RtTable` is itself an `RtBackend`) to keep
+        // this function's code size — and its instruction-cache bill —
+        // down.
+
         // Prologue: decode the first DIST packets to fill the ring.
         let fill = pkts.len().min(PREFETCH_DIST);
         for (i, pkt) in pkts[..fill].iter().enumerate() {
-            scratch.ring[i] = self.decode_and_warm(pkt, &mut scratch.memo, &mut counts);
+            scratch.ring[i] = self.decode_and_warm(&self.rt, pkt, &mut scratch.memo, &mut counts);
         }
         // Steady state, bounds-check-free via the zip: match packet `j`
         // with its decoded state, then decode packet `j + PREFETCH_DIST`
@@ -395,12 +421,23 @@ impl DartEngine {
         // and the match stream runs in capture order.
         let mut j = 0usize;
         if pkts.len() > PREFETCH_DIST {
-            for (mp, dp) in pkts.iter().zip(pkts[PREFETCH_DIST..].iter()) {
-                let d = scratch.ring[j & (PREFETCH_DIST - 1)];
-                self.match_one(mp, &d, sink);
-                scratch.ring[j & (PREFETCH_DIST - 1)] =
-                    self.decode_and_warm(dp, &mut scratch.memo, &mut counts);
-                j += 1;
+            macro_rules! steady {
+                ($variant:path) => {
+                    for (mp, dp) in pkts.iter().zip(pkts[PREFETCH_DIST..].iter()) {
+                        let d = scratch.ring[j & (PREFETCH_DIST - 1)];
+                        self.match_one(mp, &d, sink);
+                        let $variant(rt) = &self.rt else {
+                            unreachable!()
+                        };
+                        scratch.ring[j & (PREFETCH_DIST - 1)] =
+                            self.decode_and_warm(rt, dp, &mut scratch.memo, &mut counts);
+                        j += 1;
+                    }
+                };
+            }
+            match self.rt {
+                RtTable::Exact(_) => steady!(RtTable::Exact),
+                RtTable::Sketch(_) => steady!(RtTable::Sketch),
             }
         }
         // Epilogue: drain the last DIST decoded packets from the ring.
@@ -447,8 +484,9 @@ impl DartEngine {
     /// nothing here writes the tables, so decoding ahead of execution
     /// cannot change results.
     #[inline]
-    fn decode_and_warm(
+    fn decode_and_warm<R: RtBackend>(
         &self,
+        rt: &R,
         pkt: &PacketMeta,
         memo: &mut [Option<(FlowKey, RtSlot)>],
         counts: &mut BlockCounts,
@@ -463,14 +501,14 @@ impl DartEngine {
         } else {
             if self.cfg.ack_role_active(pkt.dir) && pkt.is_ack() {
                 d.lane |= LANE_ACK;
-                d.ack_rt = Self::locate_memo(&self.rt, memo, &pkt.flow.reverse());
-                self.rt.prefetch(&d.ack_rt);
+                d.ack_rt = Self::locate_memo(rt, memo, &pkt.flow.reverse());
+                rt.prefetch(&d.ack_rt);
             }
             if self.cfg.seq_role_active(pkt.dir) && pkt.is_seq() {
                 d.lane |= LANE_SEQ;
                 d.eack = pkt.eack();
-                d.seq_rt = Self::locate_memo(&self.rt, memo, &pkt.flow);
-                self.rt.prefetch(&d.seq_rt);
+                d.seq_rt = Self::locate_memo(rt, memo, &pkt.flow);
+                rt.prefetch(&d.seq_rt);
             }
             if d.lane == 0 {
                 counts.no_role += 1;
@@ -483,8 +521,8 @@ impl DartEngine {
 
     /// `rt.locate(flow)` through the direct-mapped flow memo.
     #[inline]
-    fn locate_memo(
-        rt: &RangeTracker,
+    fn locate_memo<R: RtBackend>(
+        rt: &R,
         memo: &mut [Option<(FlowKey, RtSlot)>],
         flow: &FlowKey,
     ) -> RtSlot {
@@ -534,9 +572,10 @@ impl DartEngine {
         at: &RtSlot,
         probe: Option<&PtProbe>,
     ) {
-        let outcome = self.rt.on_seq_at(&pkt.flow, at, pkt.seq, eack);
+        let outcome = self.rt.on_seq_at(&pkt.flow, at, pkt.seq, eack, pkt.ts);
         match outcome {
             RtSeqOutcome::Created | RtSeqOutcome::Ruled(SeqVerdict::Extend) => {}
+            RtSeqOutcome::CreatedEvicting => self.stats.sketch_overwritten += 1,
             RtSeqOutcome::Ruled(SeqVerdict::HoleReset) => self.stats.seq_hole_reset += 1,
             RtSeqOutcome::Ruled(SeqVerdict::Retransmission) => {
                 self.stats.seq_retransmission += 1;
@@ -557,6 +596,13 @@ impl DartEngine {
         self.sync_rt_copy(pkt);
         self.stats.seq_tracked += 1;
         let sig = at.sig();
+        // The admission gate's heavy-hitter sketch observes every tracked
+        // data packet, so elephants bypass the recirculation coin later.
+        // Outlined: the gate is `None` for every backend but `precision`,
+        // and the CMS update must not bloat the fused batch loop.
+        if let Some(gate) = &mut self.admission {
+            gate_on_tracked(gate, sig);
+        }
         let result = match probe {
             Some(p) => self.pt.insert_new_probed(&pkt.flow, sig, eack, pkt.ts, p),
             None => self.pt.insert_new(&pkt.flow, sig, eack, pkt.ts),
@@ -605,7 +651,7 @@ impl DartEngine {
         let data_flow = *data_flow;
         match self
             .rt
-            .on_ack_at(&data_flow, at, pkt.ack, pkt.is_pure_ack())
+            .on_ack_at(&data_flow, at, pkt.ack, pkt.is_pure_ack(), pkt.ts)
         {
             RtAckOutcome::Ruled(AckVerdict::Advance) => {
                 self.stats.ack_advanced += 1;
@@ -663,6 +709,10 @@ impl DartEngine {
     fn account_insert(&mut self, result: PtInsert, inserted_id: PacketId, now: Nanos) {
         match result {
             PtInsert::Stored => self.stats.pt_stored += 1,
+            PtInsert::StoredOverwriting => {
+                self.stats.pt_stored += 1;
+                self.stats.sketch_overwritten += 1;
+            }
             PtInsert::StoredEvicting(old) => {
                 self.stats.pt_displaced += 1;
                 self.evict(old, inserted_id, now);
@@ -708,6 +758,19 @@ impl DartEngine {
                 self.stats.rt_copy_dropped += 1;
             }
             return;
+        }
+        // Probabilistic recirculation admission (the `precision` backend):
+        // heavy hitters always earn a second chance; the rest flip a pure,
+        // record-keyed coin, so the batch and streaming paths agree.
+        if let Some(gate) = &self.admission {
+            match gate_admit(gate, &old) {
+                Admission::Heavy => self.stats.recirc_admission_hh += 1,
+                Admission::Sampled => {}
+                Admission::Denied => {
+                    self.stats.recirc_admission_denied += 1;
+                    return;
+                }
+            }
         }
         if !self.filter.should_recirculate(&old, now) {
             self.stats.recirc_filtered += 1;
@@ -757,6 +820,22 @@ impl DartEngine {
     }
 }
 
+/// Outlined CMS update for the admission gate (see the call site in
+/// [`DartEngine`]): precision-backend work that must not be compiled into
+/// the fused batch loop of the default exact path.
+#[cold]
+#[inline(never)]
+fn gate_on_tracked(gate: &mut AdmissionGate, sig: FlowSignature) {
+    gate.on_tracked(sig);
+}
+
+/// Outlined admission ruling, same rationale as [`gate_on_tracked`].
+#[cold]
+#[inline(never)]
+fn gate_admit(gate: &AdmissionGate, rec: &PtRecord) -> Admission {
+    gate.admit(rec)
+}
+
 /// Convenience: run a full trace through a fresh engine and return the
 /// samples plus final statistics.
 pub fn run_trace(cfg: DartConfig, packets: &[PacketMeta]) -> (Vec<RttSample>, EngineStats) {
@@ -768,12 +847,20 @@ pub fn run_trace(cfg: DartConfig, packets: &[PacketMeta]) -> (Vec<RttSample>, En
 
 impl crate::monitor::RttMonitor for DartEngine {
     fn name(&self) -> &str {
-        "dart"
+        match self.cfg.backend() {
+            Backend::Exact => "dart",
+            Backend::Sketch => "dart@sketch",
+            Backend::Precision => "dart@precision",
+        }
     }
 
     fn describe(&self) -> String {
-        "Dart: RT/PT tables with lazy eviction and second-chance recirculation (SIGCOMM '22)"
-            .to_string()
+        let tables = match self.cfg.backend() {
+            Backend::Exact => "exact RT/PT tables",
+            Backend::Sketch => "recency-aged sketch RT/PT tables",
+            Backend::Precision => "exact RT/PT tables with probabilistic recirculation admission",
+        };
+        format!("Dart: {tables} with lazy eviction and second-chance recirculation (SIGCOMM '22)")
     }
 
     fn on_packet(&mut self, pkt: &PacketMeta, sink: &mut dyn SampleSink) {

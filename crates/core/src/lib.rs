@@ -41,6 +41,7 @@
 // `#[allow]` with a justification at the call site.
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod backend;
 pub mod config;
 pub mod engine;
 pub mod error;
@@ -53,11 +54,13 @@ pub mod range_tracker;
 pub mod rt_salu;
 pub mod sample;
 pub mod sharded;
+pub mod sketch;
 pub mod stats;
 #[cfg(feature = "telemetry")]
 pub mod telemetry;
 
-pub use config::{DartConfig, Leg, PtMode, RtMode, SynPolicy};
+pub use backend::{PtBackend, PtTable, RtBackend, RtTable};
+pub use config::{AdmissionMode, Backend, DartConfig, Leg, PtMode, RtMode, SynPolicy};
 pub use engine::{run_trace, DartEngine, EngineEvent, EventSink, RecircFilter, RecirculateAll};
 pub use error::{EngineError, FailureKind, FailurePolicy, ShardFailure};
 pub use filter::{FlowFilter, FlowRule, PrefixMatch};
@@ -73,6 +76,9 @@ pub use sample::{RttSample, SampleSink, SampleWeight};
 pub use sharded::{
     run_trace_sharded, shard_of, PacketHook, ShardedConfig, ShardedDartEngine, ShardedMonitor,
     ShardedRun, SupervisorConfig,
+};
+pub use sketch::{
+    Admission, AdmissionGate, CountMinSketch, HeavyHitters, SketchPacketTracker, SketchRangeTracker,
 };
 pub use stats::EngineStats;
 #[cfg(feature = "telemetry")]

@@ -59,6 +59,11 @@ pub enum PtInsert {
         /// dropped).
         kept_incumbent: bool,
     },
+    /// Sketch backend only: stored by overwriting the oldest cell of a full
+    /// way set. The victim is gone — fingerprint cells carry no record to
+    /// recirculate — and is counted as `sketch_overwritten`. The exact
+    /// tracker never returns this.
+    StoredOverwriting,
 }
 
 /// Pre-computed per-stage slot indices for one [`PacketId`] — the batch
@@ -79,8 +84,23 @@ impl PtProbe {
 
     /// The pre-resolved index for `stage`, if covered.
     #[inline]
-    fn get(&self, stage: usize) -> Option<usize> {
+    pub(crate) fn get(&self, stage: usize) -> Option<usize> {
         (stage < self.n as usize).then(|| self.idx[stage] as usize)
+    }
+
+    /// Assemble a probe from per-way indices (backend implementations in
+    /// this crate; the sketch tracker reuses the probe as its pre-hash).
+    #[inline]
+    pub(crate) fn from_ways(ways: &[usize]) -> PtProbe {
+        let n = ways.len().min(PtProbe::MAX);
+        let mut p = PtProbe {
+            n: n as u8,
+            idx: [0; PtProbe::MAX],
+        };
+        for (slot, &w) in p.idx.iter_mut().zip(ways.iter()).take(n) {
+            *slot = w as u32;
+        }
+        p
     }
 }
 
@@ -98,11 +118,18 @@ pub struct PacketTracker {
 }
 
 impl PacketTracker {
-    /// Build a tracker in the given mode.
+    /// Build a tracker in the given mode. `PtMode::Sketch` belongs to
+    /// [`crate::SketchPacketTracker`]; handed one anyway, this exact
+    /// tracker degrades it to a same-budget `Constrained` table with one
+    /// stage per way.
     pub fn new(mode: PtMode) -> PacketTracker {
         let store = match mode {
             PtMode::Unlimited => PtStore::Unlimited(HashMap::new()),
-            PtMode::Constrained { slots, stages } => {
+            PtMode::Constrained { slots, stages }
+            | PtMode::Sketch {
+                slots,
+                ways: stages,
+            } => {
                 assert!(stages >= 1 && slots >= stages);
                 let per_stage = slots / stages;
                 let arrays = (0..stages)

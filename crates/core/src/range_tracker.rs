@@ -28,13 +28,19 @@ pub enum RtSeqOutcome {
     /// The slot is held by a different live flow; the packet is not
     /// tracked (older flows are favored, §7).
     Collision,
+    /// Sketch backend only: a fresh entry was created by overwriting the
+    /// least-recently-touched *live* occupant of a full way set. The packet
+    /// is tracked; the victim's in-flight measurements are silently lost
+    /// (counted as `sketch_overwritten`). The exact tracker never returns
+    /// this.
+    CreatedEvicting,
 }
 
 impl RtSeqOutcome {
     /// Should the packet be inserted into the Packet Tracker?
     pub fn track(self) -> bool {
         match self {
-            RtSeqOutcome::Created => true,
+            RtSeqOutcome::Created | RtSeqOutcome::CreatedEvicting => true,
             RtSeqOutcome::Ruled(v) => v.track(),
             RtSeqOutcome::Collision => false,
         }
@@ -83,6 +89,19 @@ impl RtSlot {
     pub fn sig(&self) -> FlowSignature {
         self.sig
     }
+
+    /// Assemble a location (backend implementations in this crate; the
+    /// sketch tracker packs two way indices into `idx`).
+    #[inline]
+    pub(crate) fn from_parts(sig: FlowSignature, idx: usize) -> RtSlot {
+        RtSlot { sig, idx }
+    }
+
+    /// The raw packed index (backend implementations in this crate).
+    #[inline]
+    pub(crate) fn idx(&self) -> usize {
+        self.idx
+    }
 }
 
 impl Default for RtSlot {
@@ -109,11 +128,13 @@ pub struct RangeTracker {
 }
 
 impl RangeTracker {
-    /// Build a tracker in the given mode.
+    /// Build a tracker in the given mode. `RtMode::Sketch` belongs to
+    /// [`crate::SketchRangeTracker`]; handed one anyway, this exact tracker
+    /// degrades it to a same-budget one-way `Constrained` table.
     pub fn new(mode: RtMode, sig_width: SignatureWidth) -> RangeTracker {
         let store = match mode {
             RtMode::Unlimited => RtStore::Unlimited(HashMap::new()),
-            RtMode::Constrained { slots } => RtStore::Constrained {
+            RtMode::Constrained { slots } | RtMode::Sketch { slots, .. } => RtStore::Constrained {
                 slots: RegisterArray::new("range_tracker", slots),
                 hasher: HashUnit::new(0xA0, 32),
             },

@@ -75,6 +75,20 @@ pub struct EngineStats {
     /// recirculation).
     pub rt_copy_dropped: u64,
 
+    /// Sketch backend: live records overwritten inside a full sketch way
+    /// set (RT recency eviction or PT oldest-cell overwrite). Each one is a
+    /// silently dropped in-flight measurement, surfacing later as
+    /// `ack_no_flow` / unmatched `ack_advanced` and covered by the loss
+    /// budget.
+    pub sketch_overwritten: u64,
+    /// Precision backend: evicted records denied recirculation by the
+    /// probabilistic admission gate (neither heavy hitter nor coin-flip
+    /// survivor).
+    pub recirc_admission_denied: u64,
+    /// Precision backend: evicted records admitted to recirculation because
+    /// their flow is a tracked heavy hitter (bypassing the coin flip).
+    pub recirc_admission_hh: u64,
+
     /// RTT samples emitted.
     pub samples: u64,
 
@@ -157,6 +171,9 @@ merge_counters!(
     victim_cache_hits,
     rt_copy_reinserted,
     rt_copy_dropped,
+    sketch_overwritten,
+    recirc_admission_denied,
+    recirc_admission_hh,
     samples,
     spin_edges,
     spin_rejected,

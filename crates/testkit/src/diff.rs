@@ -67,14 +67,23 @@ impl Default for DiffConfig {
 }
 
 impl DiffConfig {
-    /// The registry names this configuration runs, in report order.
+    /// The registry names this configuration runs, in report order. The
+    /// serial Dart row carries its flow-state backend's registry name
+    /// (`dart@sketch`/`dart@precision`) so reports read as the engine
+    /// actually run; building that name re-applies `with_backend`, which
+    /// is idempotent on an already-normalized config.
     pub fn engine_names(&self) -> Vec<String> {
+        let serial = match self.engine.backend() {
+            dart_core::Backend::Exact => "dart",
+            dart_core::Backend::Sketch => "dart@sketch",
+            dart_core::Backend::Precision => "dart@precision",
+        };
         let mut names: Vec<String> = self
             .shards
             .iter()
             .map(|&s| {
                 if s <= 1 {
-                    "dart".to_string()
+                    serial.to_string()
                 } else {
                     format!("dart-sharded-{s}")
                 }

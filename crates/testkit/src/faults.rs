@@ -14,7 +14,7 @@
 //!   exhaustion, starved tables, narrow signatures — plus register-size
 //!   sweeps derived from `dart-switch` [`TargetProfile`] SRAM capacities.
 
-use dart_core::DartConfig;
+use dart_core::{Backend, DartConfig};
 use dart_packet::{Nanos, PacketMeta, SignatureWidth};
 use dart_sim::{SimRng, TraceTransform};
 use dart_switch::TargetProfile;
@@ -184,15 +184,41 @@ pub const PT_RECORD_BITS: u64 = 32 + 32 + 48;
 /// Tracker, size the PT to the largest power of two that fits (and the RT
 /// to 8× that, mirroring the default config's RT:PT ratio).
 pub fn register_sweep(profile: &TargetProfile, fractions: &[f64]) -> Vec<DartConfig> {
+    backend_sweep(profile, fractions, Backend::Exact)
+}
+
+/// Bits of one *sketch* Packet Tracker cell: a 32-bit fingerprint plus a
+/// 48-bit timestamp. The eACK is folded into the fingerprint instead of
+/// stored, so a sketch cell costs 80/112 ≈ 0.71× an exact record — the
+/// memory side of the accuracy-vs-memory frontier.
+pub const PT_SKETCH_CELL_BITS: u64 = 32 + 48;
+
+/// [`register_sweep`] generalised over flow-state backends: the same SRAM
+/// fractions, but each backend's own cell cost decides how many slots the
+/// budget buys (sketch cells are smaller, so an equal budget holds more of
+/// them), and every config is normalised through
+/// [`DartConfig::with_backend`]. Configs at the same index across backends
+/// occupy the *same* SRAM budget, which is what makes frontier points
+/// comparable.
+pub fn backend_sweep(
+    profile: &TargetProfile,
+    fractions: &[f64],
+    backend: Backend,
+) -> Vec<DartConfig> {
+    let cell_bits = match backend {
+        Backend::Sketch => PT_SKETCH_CELL_BITS,
+        Backend::Exact | Backend::Precision => PT_RECORD_BITS,
+    };
     fractions
         .iter()
         .map(|&frac| {
             let budget = (profile.sram_bits as f64 * frac) as u64;
-            let raw_slots = (budget / PT_RECORD_BITS).max(2);
+            let raw_slots = (budget / cell_bits).max(2);
             let pt_slots = 1usize << (63 - raw_slots.leading_zeros());
             DartConfig::default()
                 .with_pt(pt_slots, 1)
                 .with_rt(pt_slots.saturating_mul(8))
+                .with_backend(backend)
         })
         .collect()
 }
@@ -258,6 +284,33 @@ mod tests {
             apply_config_fault(base, ConfigFault::NarrowSignature).sig_width,
             SignatureWidth::W16
         );
+    }
+
+    #[test]
+    fn backend_sweep_buys_more_sketch_slots_for_equal_sram() {
+        let fracs = [0.01, 0.1];
+        let exact = backend_sweep(&TargetProfile::tofino1(), &fracs, Backend::Exact);
+        let sketch = backend_sweep(&TargetProfile::tofino1(), &fracs, Backend::Sketch);
+        for (e, s) in exact.iter().zip(&sketch) {
+            let e_slots = match e.pt {
+                dart_core::PtMode::Constrained { slots, .. } => slots,
+                other => panic!("exact sweep produced {other:?}"),
+            };
+            let s_slots = match s.pt {
+                dart_core::PtMode::Sketch { slots, .. } => slots,
+                other => panic!("sketch sweep produced {other:?}"),
+            };
+            // Equal budget, smaller cells: never fewer slots, and the
+            // 112/80 ratio crosses a power of two at least somewhere.
+            assert!(s_slots >= e_slots);
+        }
+        // Precision shares the exact geometry; only admission differs.
+        let precision = backend_sweep(&TargetProfile::tofino1(), &fracs, Backend::Precision);
+        for (e, p) in exact.iter().zip(&precision) {
+            assert_eq!(e.pt, p.pt);
+            assert_eq!(e.rt, p.rt);
+            assert_ne!(p.admission, dart_core::AdmissionMode::All);
+        }
     }
 
     #[test]

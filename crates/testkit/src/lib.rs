@@ -68,8 +68,8 @@ pub use diff::{
 #[cfg(feature = "telemetry")]
 pub use diff::{run_diff_faulted_instrumented, run_diff_instrumented};
 pub use faults::{
-    apply_config_fault, register_sweep, ConfigFault, FaultConfig, FaultInjector, FaultLog,
-    PT_RECORD_BITS,
+    apply_config_fault, backend_sweep, register_sweep, ConfigFault, FaultConfig, FaultInjector,
+    FaultLog, PT_RECORD_BITS, PT_SKETCH_CELL_BITS,
 };
 pub use oracle::{run_oracle, OracleConfig, OracleReport, SampleClass, ScoreCard};
 pub use scenarios::{

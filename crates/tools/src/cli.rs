@@ -91,11 +91,15 @@ COMMANDS:
     analyze <input>                 run one engine, print RTT report
                                     (alias: replay)
         --engine NAME     (any registered engine, default dart;
-                           dart-sharded-N follows --shards)
+                           dart-sharded-N follows --shards and
+                           dart@sketch/dart@precision follow --backend)
+        --backend exact|sketch|precision (flow-state backend for the Dart
+                           config, default exact)
         --leg external|internal|both (default external)
         --pt N (slots, default 131072)  --stages K (default 1)
         --rt N (slots, default 1048576) --max-recirc R (default 1)
-        --shards N (flow-sharded parallel engines, default 1 = serial)
+        --shards N (flow-sharded parallel engines, default 1 = serial;
+                           capped at available_parallelism with a warning)
         --csv <path>      dump per-sample CSV
         --metrics-out <path>        append one JSONL telemetry snapshot
                                     per interval during the replay
@@ -112,16 +116,18 @@ COMMANDS:
     diff <input>                    engines vs. ground-truth oracle (testkit)
         --engine NAME[,NAME...]|all (extra engines beside the Dart rows,
                            default tcptrace,fridge)
-        --shards N        (also run flow-sharded engine, default 4)
+        --shards N        (also run flow-sharded engine, default 4,
+                           capped at available_parallelism)
         --fault-seed X    (inject seeded drop/dup/reorder faults first)
         --impossible-budget B (tolerated fabricated samples, default 0)
-        plus the analyze engine flags (--leg/--pt/--rt/--stages/--max-recirc)
-        and the telemetry sinks (--metrics-out/--metrics-prom/--events-out
-        capture one final snapshot and the runner's event narration)
+        plus the analyze engine flags (--backend/--leg/--pt/--rt/--stages/
+        --max-recirc) and the telemetry sinks (--metrics-out/--metrics-prom/
+        --events-out capture one final snapshot and the runner's event
+        narration)
 
-Engines are resolved from the shared registry: dart, dart-sharded-N,
-tcptrace, tcptrace-quirk, fridge, pping, dapper, strawman, seglist, lean,
-spin, dart-hist.
+Engines are resolved from the shared registry: dart, dart@sketch,
+dart@precision, dart-sharded-N, tcptrace, tcptrace-quirk, fridge, pping,
+dapper, strawman, seglist, lean, spin, dart-hist.
     chaos <input>                   inject a seeded runtime fault into the
                                     supervised sharded engine (testkit)
         --fault panic|stall|slow    (default panic: a shard worker panics

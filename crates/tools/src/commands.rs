@@ -6,7 +6,7 @@ use crate::io::{load_file, parse_prefix, save_file};
 use dart_analytics::{ChangeDetector, ChangeDetectorConfig, RttDistribution, Verdict};
 use dart_baselines::EngineRegistry;
 use dart_core::FailurePolicy;
-use dart_core::{run_monitor_slice, DartConfig, Leg};
+use dart_core::{run_monitor_slice, Backend, DartConfig, Leg};
 #[cfg(feature = "telemetry")]
 use dart_core::{run_monitor_ticked, RttSample};
 #[cfg(feature = "telemetry")]
@@ -186,15 +186,40 @@ fn telemetry_sinks(opts: &Options) -> Result<TelemetrySinks, String> {
     Ok(sinks)
 }
 
+/// Cap a requested shard count at the host's parallelism: shards beyond
+/// the core count measure oversubscription, not speedup (the throughput
+/// benchmark applies the same cap). Warns on stderr when it bites.
+fn clamp_shards(requested: usize) -> usize {
+    let parallelism = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    if requested > parallelism {
+        eprintln!(
+            "warning: --shards {requested} exceeds available_parallelism={parallelism}; \
+             capping to {parallelism}"
+        );
+        parallelism
+    } else {
+        requested
+    }
+}
+
 /// Resolve the `--engine`/`--shards` pair the way `analyze` documents it:
-/// `--shards N` picks `dart-sharded-N` unless `--engine` overrides.
+/// `--shards N` (capped at `available_parallelism`) picks `dart-sharded-N`
+/// unless `--engine` overrides; `--backend` picks the matching serial Dart
+/// entry.
 fn resolve_engine(opts: &Options, registry: &EngineRegistry) -> Result<(String, usize), String> {
     let shards = opts.get_num("shards", 1usize)?;
     if shards == 0 {
         return Err("--shards must be at least 1".to_string());
     }
+    let shards = clamp_shards(shards);
     let default_engine = if shards <= 1 {
-        "dart".to_string()
+        match backend_flag(opts)? {
+            Backend::Exact => "dart".to_string(),
+            Backend::Sketch => "dart@sketch".to_string(),
+            Backend::Precision => "dart@precision".to_string(),
+        }
     } else {
         format!("dart-sharded-{shards}")
     };
@@ -228,6 +253,15 @@ fn generate(out: &str, opts: &Options) -> Result<String, String> {
     ))
 }
 
+/// The `--backend` flag: which flow-state backend family the Dart config
+/// uses (`exact` reference tables, `sketch`, or `precision` admission).
+fn backend_flag(opts: &Options) -> Result<Backend, String> {
+    match opts.get("backend") {
+        None => Ok(Backend::Exact),
+        Some(s) => s.parse().map_err(|e| format!("--backend: {e}")),
+    }
+}
+
 fn engine_config(opts: &Options) -> Result<DartConfig, String> {
     let leg = match opts.get("leg").unwrap_or("external") {
         "external" => Leg::External,
@@ -243,7 +277,8 @@ fn engine_config(opts: &Options) -> Result<DartConfig, String> {
         .with_leg(leg)
         .with_rt(rt)
         .with_pt(pt, stages)
-        .with_max_recirc(max_recirc))
+        .with_max_recirc(max_recirc)
+        .with_backend(backend_flag(opts)?))
 }
 
 /// Expand an `--engine` flag into validated registry names: a single name,
@@ -388,7 +423,13 @@ fn analyze(input: &str, opts: &Options) -> Result<String, String> {
         packets.len()
     )
     .unwrap();
-    writeln!(out, "engine            : {}", built.monitor.describe()).unwrap();
+    writeln!(
+        out,
+        "engine            : {} — {}",
+        built.monitor.name(),
+        built.monitor.describe()
+    )
+    .unwrap();
     writeln!(
         out,
         "config            : {:?} leg, PT {:?}, RT {:?}, recirc<={}, shards={shards}",
@@ -478,6 +519,7 @@ fn diff(input: &str, opts: &Options) -> Result<String, String> {
     if shards == 0 {
         return Err("--shards must be at least 1".to_string());
     }
+    let shards = clamp_shards(shards);
     let registry = EngineRegistry::standard();
     let selection = engine_selection(opts, &registry, "tcptrace,fridge")?;
     let shard_list = if shards == 1 {
@@ -485,11 +527,18 @@ fn diff(input: &str, opts: &Options) -> Result<String, String> {
     } else {
         vec![1, shards]
     };
+    // The serial Dart row is labeled by its backend so a `--backend` run
+    // reads as the registry engine it actually is.
+    let serial_name = match backend_flag(opts)? {
+        Backend::Exact => "dart",
+        Backend::Sketch => "dart@sketch",
+        Backend::Precision => "dart@precision",
+    };
     let shard_names: Vec<String> = shard_list
         .iter()
         .map(|&s| {
             if s <= 1 {
-                "dart".to_string()
+                serial_name.to_string()
             } else {
                 format!("dart-sharded-{s}")
             }
@@ -726,11 +775,44 @@ mod tests {
         .unwrap();
         let serial = run_line(&["analyze", &path]).unwrap();
         assert!(serial.contains("shards=1"));
+        // Shard counts are capped at the host's parallelism, so the
+        // reported count adapts to the machine running the test.
+        let par = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
         let sharded = run_line(&["analyze", &path, "--shards", "4"]).unwrap();
-        assert!(sharded.contains("shards=4"));
+        assert!(
+            sharded.contains(&format!("shards={}", 4.min(par))),
+            "{sharded}"
+        );
         assert!(sharded.contains("p50"));
+        let capped = run_line(&["analyze", &path, "--shards", "4096"]).unwrap();
+        assert!(capped.contains(&format!("shards={par}")), "{capped}");
         let err = run_line(&["analyze", &path, "--shards", "0"]).unwrap_err();
         assert!(err.contains("at least 1"));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn analyze_selects_backends_by_flag() {
+        let path = tmp("dartmon_backend.trace");
+        run_line(&[
+            "generate",
+            &path,
+            "--connections",
+            "60",
+            "--duration-secs",
+            "2",
+        ])
+        .unwrap();
+        let sketch = run_line(&["analyze", &path, "--backend", "sketch"]).unwrap();
+        assert!(sketch.contains("dart@sketch"), "{sketch}");
+        let precision = run_line(&["analyze", &path, "--backend", "precision"]).unwrap();
+        assert!(precision.contains("dart@precision"), "{precision}");
+        let exact = run_line(&["analyze", &path, "--backend", "exact"]).unwrap();
+        assert!(!exact.contains("dart@"), "{exact}");
+        let err = run_line(&["analyze", &path, "--backend", "nonsense"]).unwrap_err();
+        assert!(err.contains("unknown backend"), "{err}");
         let _ = std::fs::remove_file(&path);
     }
 
@@ -831,8 +913,18 @@ mod tests {
         for needle in ["dart_shard_packets_total", "dart_rtt_ns", "p99"] {
             assert!(report.contains(needle), "missing {needle} in:\n{report}");
         }
+        let par = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
         let sharded = run_line(&["stats", &path, "--shards", "2"]).unwrap();
-        assert!(sharded.contains("shard=\"1\""), "{sharded}");
+        // With ≥2 cores the second shard's series appears; on a 1-core
+        // host the count is capped and only shard 0 reports.
+        let expect = if par >= 2 {
+            "shard=\"1\""
+        } else {
+            "shard=\"0\""
+        };
+        assert!(sharded.contains(expect), "{sharded}");
         let _ = std::fs::remove_file(&path);
     }
 
@@ -874,7 +966,13 @@ mod tests {
         .unwrap();
         let clean = run_line(&["diff", &path]).unwrap();
         assert!(clean.contains("oracle:"));
-        assert!(clean.contains("dart-sharded-4"));
+        // The default 4-shard row is capped at the host's parallelism.
+        let par = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        if par >= 4 {
+            assert!(clean.contains("dart-sharded-4"));
+        }
         assert!(clean.contains("tcptrace"));
         assert!(clean.contains("verdict: PASS"));
         let faulted = run_line(&["diff", &path, "--fault-seed", "9"]).unwrap();

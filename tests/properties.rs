@@ -117,7 +117,7 @@ proptest! {
 /// mirroring the `merge_counters!` guarantee.
 fn engine_stats() -> impl Strategy<Value = EngineStats> {
     // Bounded well under u64::MAX / 4 so sums of a few stats cannot wrap.
-    prop::collection::vec(0u64..(1 << 40), 35).prop_map(|v| {
+    prop::collection::vec(0u64..(1 << 40), 38).prop_map(|v| {
         let mut it = v.into_iter();
         let mut n = move || it.next().unwrap();
         EngineStats {
@@ -150,6 +150,9 @@ fn engine_stats() -> impl Strategy<Value = EngineStats> {
             victim_cache_hits: n(),
             rt_copy_reinserted: n(),
             rt_copy_dropped: n(),
+            sketch_overwritten: n(),
+            recirc_admission_denied: n(),
+            recirc_admission_hh: n(),
             samples: n(),
             spin_edges: n(),
             spin_rejected: n(),
@@ -349,6 +352,7 @@ proptest! {
             let sig = f.signature(SignatureWidth::W32);
             match pt.insert_new(&f, sig, SeqNum(*eack), i as u64) {
                 PtInsert::Stored => live += 1,
+                PtInsert::StoredOverwriting => {} // sketch only: +1 in, -1 out
                 PtInsert::StoredEvicting(_) => {} // +1 in, -1 out
                 PtInsert::CycleBroken { .. } => {}
             }
