@@ -3,6 +3,12 @@
 //! recirculation gauges). The <3% overhead budget in DESIGN.md §5d is the
 //! `instrumented` / `bare` ratio here.
 //!
+//! The `staged` row adds the daemon driver's per-stage timing
+//! (`StageTimers` around decode/match/flush, exactly as `dartmon serve`
+//! runs the loop) on top of the attached hooks — the clock is in the
+//! driver, once per *block*, so the row must stay inside the same <3%
+//! budget.
+//!
 //! The `bare` row compiled with `--no-default-features` is the true
 //! feature-off baseline; compiled with default features it still measures
 //! the engine without hooks attached (the `telemetry` field is `None`, so
@@ -41,6 +47,27 @@ fn telemetry_overhead(c: &mut Criterion) {
             let mut engine = DartEngine::new(cfg);
             engine.attach_telemetry(EngineTelemetry::register(&registry, 0));
             run_monitor_slice(&mut engine, &trace.packets).0.len()
+        });
+    });
+
+    #[cfg(feature = "telemetry")]
+    g.bench_function("staged", |b| {
+        use dart_core::{EngineTelemetry, RttMonitor, RttSample, Stage, StageTimers};
+        use dart_telemetry::MetricRegistry;
+        let registry = MetricRegistry::new();
+        let stage = StageTimers::register(&registry);
+        b.iter(|| {
+            let mut engine = DartEngine::new(cfg);
+            engine.attach_telemetry(EngineTelemetry::register(&registry, 0));
+            let mut sink: Vec<RttSample> = Vec::new();
+            // The same zero-copy block loop `run_monitor` drives (and the
+            // daemon mirrors), with the stage clock as the only addition.
+            let mut blocks = trace.packets.chunks(dart_core::DEFAULT_BLOCK_PKTS);
+            while let Some(block) = stage.time(Stage::Decode, || blocks.next()) {
+                stage.time(Stage::Match, || engine.on_batch(block, &mut sink));
+            }
+            stage.time(Stage::Flush, || RttMonitor::flush(&mut engine, &mut sink));
+            sink.len()
         });
     });
 

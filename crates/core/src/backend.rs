@@ -68,6 +68,12 @@ pub trait RtBackend {
     ) -> RtAckOutcome;
     /// Re-validate an evicted PT record during recirculation (§3.2).
     fn revalidate(&mut self, sig: FlowSignature, eack: SeqNum) -> bool;
+    /// Epoch rotation (control-plane): sweep entries stale at `cutoff`,
+    /// returning `(carried, dropped)` flow counts. The sketch judges
+    /// staleness by its recency stamps against `cutoff`; the exact tracker
+    /// carries no timestamps and uses activity generations instead
+    /// (entries untouched for a whole epoch are swept — `cutoff` ignored).
+    fn rotate(&mut self, cutoff: Nanos) -> (u64, u64);
     /// Live entries (control plane).
     fn occupancy(&self) -> usize;
     /// A flow's current range, if present (tests / control plane).
@@ -100,6 +106,9 @@ pub trait PtBackend {
         ack: SeqNum,
         probe: &PtProbe,
     ) -> Option<Nanos>;
+    /// Epoch rotation (control-plane): sweep records whose send timestamp
+    /// predates `cutoff`, returning `(carried, dropped)` record counts.
+    fn rotate(&mut self, cutoff: Nanos) -> (u64, u64);
     /// Live records (control plane).
     fn occupancy(&self) -> usize;
     /// Total slots (`usize::MAX` for unlimited).
@@ -146,6 +155,10 @@ impl RtBackend for RangeTracker {
     #[inline]
     fn revalidate(&mut self, sig: FlowSignature, eack: SeqNum) -> bool {
         RangeTracker::revalidate(self, sig, eack)
+    }
+
+    fn rotate(&mut self, _cutoff: Nanos) -> (u64, u64) {
+        RangeTracker::rotate(self)
     }
 
     fn occupancy(&self) -> usize {
@@ -210,6 +223,10 @@ impl RtBackend for SketchRangeTracker {
         SketchRangeTracker::revalidate(self, sig, eack)
     }
 
+    fn rotate(&mut self, cutoff: Nanos) -> (u64, u64) {
+        SketchRangeTracker::rotate(self, cutoff)
+    }
+
     fn occupancy(&self) -> usize {
         SketchRangeTracker::occupancy(self)
     }
@@ -256,6 +273,10 @@ impl PtBackend for PacketTracker {
         probe: &PtProbe,
     ) -> Option<Nanos> {
         PacketTracker::match_ack_probed(self, flow, sig, ack, probe)
+    }
+
+    fn rotate(&mut self, cutoff: Nanos) -> (u64, u64) {
+        PacketTracker::rotate(self, cutoff)
     }
 
     fn occupancy(&self) -> usize {
@@ -309,6 +330,10 @@ impl PtBackend for SketchPacketTracker {
         probe: &PtProbe,
     ) -> Option<Nanos> {
         SketchPacketTracker::match_ack_probed(self, sig, ack, probe)
+    }
+
+    fn rotate(&mut self, cutoff: Nanos) -> (u64, u64) {
+        SketchPacketTracker::rotate(self, cutoff)
     }
 
     fn occupancy(&self) -> usize {
@@ -419,6 +444,10 @@ impl RtBackend for RtTable {
         rt_dispatch!(self, t => RtBackend::revalidate(t, sig, eack))
     }
 
+    fn rotate(&mut self, cutoff: Nanos) -> (u64, u64) {
+        rt_dispatch!(self, t => RtBackend::rotate(t, cutoff))
+    }
+
     fn occupancy(&self) -> usize {
         rt_dispatch!(self, t => RtBackend::occupancy(t))
     }
@@ -517,6 +546,10 @@ impl PtBackend for PtTable {
         probe: &PtProbe,
     ) -> Option<Nanos> {
         pt_dispatch!(self, t => PtBackend::match_ack_probed(t, flow, sig, ack, probe))
+    }
+
+    fn rotate(&mut self, cutoff: Nanos) -> (u64, u64) {
+        pt_dispatch!(self, t => PtBackend::rotate(t, cutoff))
     }
 
     fn occupancy(&self) -> usize {

@@ -78,7 +78,9 @@ struct RecircEntry {
 /// instead of recirculating.
 struct RtCopy {
     sync: Nanos,
-    shadow: HashMap<FlowSignature, MeasurementRange>,
+    /// Signature → (range, apply time). The apply time doubles as a
+    /// recency stamp so epoch rotation can sweep stale shadow entries.
+    shadow: HashMap<FlowSignature, (MeasurementRange, Nanos)>,
     pending: VecDeque<(Nanos, FlowSignature, MeasurementRange)>,
 }
 
@@ -102,8 +104,8 @@ impl RtCopy {
             if *at > now {
                 break;
             }
-            if let Some((_, sig, range)) = self.pending.pop_front() {
-                self.shadow.insert(sig, range);
+            if let Some((at, sig, range)) = self.pending.pop_front() {
+                self.shadow.insert(sig, (range, at));
             }
         }
     }
@@ -113,7 +115,16 @@ impl RtCopy {
         self.drain(now);
         self.shadow
             .get(&rec.sig)
-            .is_some_and(|r| rec.eack.in_range(r.left, r.right))
+            .is_some_and(|(r, _)| rec.eack.in_range(r.left, r.right))
+    }
+
+    /// Epoch rotation: sweep shadow entries last refreshed before `cutoff`
+    /// and pending writes whose apply time already predates it. The shadow
+    /// is a derived cache — swept entries only make validation
+    /// conservative (records fall out as `rt_copy_dropped`), never wrong.
+    fn rotate(&mut self, cutoff: Nanos) {
+        self.shadow.retain(|_, (_, at)| *at >= cutoff);
+        self.pending.retain(|(at, _, _)| *at >= cutoff);
     }
 }
 
@@ -556,6 +567,42 @@ impl DartEngine {
         self.sync_telemetry();
     }
 
+    /// Epoch rotation (control-plane): sweep RT flows idle for a whole
+    /// epoch, PT and victim-cache records sent before `cutoff`, and stale
+    /// RT-copy shadow entries, so a long-lived run's tables keep serving
+    /// the live population instead of silting up (or, in unlimited mode,
+    /// growing without bound). Records still traveling the recirculation
+    /// loop are left alone — they are transient by construction (re-entry
+    /// is one recirculation delay away) and drain with the next packets.
+    ///
+    /// Call between batches, never mid-batch. With attached telemetry the
+    /// rotation is instrumented: `dart_epoch_rotations_total`, the
+    /// carried/dropped counters, and the rotation-pause histogram.
+    pub fn rotate_epoch(&mut self, cutoff: Nanos) -> crate::monitor::EpochRotation {
+        #[cfg(feature = "telemetry")]
+        let start = std::time::Instant::now();
+        let (flows_carried, flows_dropped) = self.rt.rotate(cutoff);
+        let (records_carried, mut records_dropped) = self.pt.rotate(cutoff);
+        let vc_before = self.victim_cache.len();
+        self.victim_cache.retain(|r| r.ts >= cutoff);
+        records_dropped += (vc_before - self.victim_cache.len()) as u64;
+        if let Some(copy) = &mut self.rt_copy {
+            copy.rotate(cutoff);
+        }
+        let rotation = crate::monitor::EpochRotation {
+            flows_carried,
+            flows_dropped,
+            records_carried,
+            records_dropped,
+        };
+        #[cfg(feature = "telemetry")]
+        if let Some(t) = &self.telemetry {
+            let pause_ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            t.observe_rotation(&rotation, pause_ns);
+        }
+        rotation
+    }
+
     fn handle_seq(&mut self, pkt: &PacketMeta) {
         let at = self.rt.locate(&pkt.flow);
         self.handle_seq_at(pkt, pkt.eack(), &at, None);
@@ -878,6 +925,10 @@ impl crate::monitor::RttMonitor for DartEngine {
     /// the loop empty and is a no-op.
     fn flush(&mut self, _sink: &mut dyn SampleSink) {
         DartEngine::flush(self);
+    }
+
+    fn rotate_epoch(&mut self, cutoff: Nanos) -> crate::monitor::EpochRotation {
+        DartEngine::rotate_epoch(self, cutoff)
     }
 
     fn stats(&self) -> EngineStats {

@@ -65,7 +65,8 @@ pub use engine::{run_trace, DartEngine, EngineEvent, EventSink, RecircFilter, Re
 pub use error::{EngineError, FailureKind, FailurePolicy, ShardFailure};
 pub use filter::{FlowFilter, FlowRule, PrefixMatch};
 pub use monitor::{
-    run_monitor, run_monitor_slice, run_monitor_ticked, RttMonitor, DEFAULT_BLOCK_PKTS,
+    run_monitor, run_monitor_slice, run_monitor_ticked, EpochRotation, RttMonitor,
+    DEFAULT_BLOCK_PKTS,
 };
 pub use packet_tracker::{PacketTracker, PtInsert, PtProbe, PtRecord};
 pub use pt_salu::{SaluPtSlot, SlotRecord};
@@ -75,11 +76,11 @@ pub use rt_salu::SaluRangeTracker;
 pub use sample::{RttSample, SampleSink, SampleWeight};
 pub use sharded::{
     run_trace_sharded, shard_of, PacketHook, ShardedConfig, ShardedDartEngine, ShardedMonitor,
-    ShardedRun, SupervisorConfig,
+    ShardedRun, SupervisorConfig, SupervisorHealth,
 };
 pub use sketch::{
     Admission, AdmissionGate, CountMinSketch, HeavyHitters, SketchPacketTracker, SketchRangeTracker,
 };
 pub use stats::EngineStats;
 #[cfg(feature = "telemetry")]
-pub use telemetry::{EngineTelemetry, MeteredMonitor, SYNC_INTERVAL_PKTS};
+pub use telemetry::{EngineTelemetry, MeteredMonitor, Stage, StageTimers, SYNC_INTERVAL_PKTS};

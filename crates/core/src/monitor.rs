@@ -36,7 +36,35 @@
 
 use crate::sample::{RttSample, SampleSink};
 use crate::stats::EngineStats;
-use dart_packet::{PacketError, PacketMeta, PacketSource, SliceSource};
+use dart_packet::{Nanos, PacketError, PacketMeta, PacketSource, SliceSource};
+
+/// What one epoch rotation swept: flow counts from the Range Tracker,
+/// record counts from the Packet Tracker (plus any auxiliary state the
+/// engine holds, e.g. victim-cache records). Long-lived daemons rotate
+/// periodically so tables keep serving the live population instead of
+/// growing (unlimited mode) or silting up with dead flows (constrained
+/// modes).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EpochRotation {
+    /// RT flows that survived the rotation.
+    pub flows_carried: u64,
+    /// RT flows swept as stale.
+    pub flows_dropped: u64,
+    /// PT records that survived the rotation.
+    pub records_carried: u64,
+    /// PT (and auxiliary) records swept as stale.
+    pub records_dropped: u64,
+}
+
+impl EpochRotation {
+    /// Accumulate another rotation's counts (sharded fan-in).
+    pub fn merge(&mut self, other: &EpochRotation) {
+        self.flows_carried += other.flows_carried;
+        self.flows_dropped += other.flows_dropped;
+        self.records_carried += other.records_carried;
+        self.records_dropped += other.records_dropped;
+    }
+}
 
 /// One streaming RTT measurement engine.
 pub trait RttMonitor {
@@ -64,6 +92,18 @@ pub trait RttMonitor {
         for pkt in pkts {
             self.on_packet(pkt, sink);
         }
+    }
+
+    /// Epoch rotation: sweep flow/record state stale at `cutoff` (packet
+    /// time) so long runs stay bounded, returning what was swept. Called by
+    /// daemons between batches — never mid-batch — so implementations may
+    /// treat it as a quiescent point. Samples already emitted are
+    /// unaffected; in-flight state for swept flows is lost (their later
+    /// ACKs surface as ordinary misses, which the loss accounting already
+    /// counts). The default is a no-op for engines without rotatable state
+    /// (baselines estimate from whatever they hold).
+    fn rotate_epoch(&mut self, _cutoff: Nanos) -> EpochRotation {
+        EpochRotation::default()
     }
 
     /// End of stream: emit anything buffered (sharded fan-in, end-of-trace

@@ -380,6 +380,32 @@ impl PacketTracker {
         }
     }
 
+    /// Epoch rotation (control-plane): sweep every record whose data packet
+    /// was sent before `cutoff` — an ACK that old is either lost or will
+    /// produce a sample too stale to trust — returning `(carried, dropped)`
+    /// record counts. PT records carry their send timestamp in the data
+    /// plane (it *is* the RTT measurement), so rotation judges them by time
+    /// directly, unlike the RT's activity generations.
+    pub fn rotate(&mut self, cutoff: Nanos) -> (u64, u64) {
+        match &mut self.store {
+            PtStore::Unlimited(map) => {
+                let before = map.len() as u64;
+                map.retain(|_, ts| *ts >= cutoff);
+                let kept = map.len() as u64;
+                (kept, before - kept)
+            }
+            PtStore::Constrained { stages, .. } => {
+                let (mut kept, mut cleared) = (0u64, 0u64);
+                for stage in stages {
+                    let (k, c) = stage.sweep(|r| r.ts >= cutoff);
+                    kept += k;
+                    cleared += c;
+                }
+                (kept, cleared)
+            }
+        }
+    }
+
     /// Total slots (`usize::MAX` for unlimited mode).
     pub fn capacity(&self) -> usize {
         match &self.store {
@@ -648,6 +674,29 @@ mod tests {
         assert_eq!(pt.capacity(), 64);
         assert_eq!(pt.occupancy(), 0);
         assert_eq!(PacketTracker::new(PtMode::Unlimited).capacity(), usize::MAX);
+    }
+
+    /// Rotation sweeps records older than the cutoff in both stores and
+    /// leaves fresh ones matchable.
+    #[test]
+    fn rotation_sweeps_stale_records() {
+        for mode in [
+            PtMode::Unlimited,
+            PtMode::Constrained {
+                slots: 64,
+                stages: 2,
+            },
+        ] {
+            let mut pt = PacketTracker::new(mode);
+            pt.insert_new(&flow(1), sig(1), SeqNum(100), 1_000);
+            pt.insert_new(&flow(2), sig(2), SeqNum(200), 5_000);
+            pt.insert_new(&flow(3), sig(3), SeqNum(300), 9_000);
+            assert_eq!(pt.rotate(5_000), (2, 1), "mode {mode:?}");
+            assert_eq!(pt.match_ack(&flow(1), sig(1), SeqNum(100)), None);
+            assert_eq!(pt.match_ack(&flow(2), sig(2), SeqNum(200)), Some(5_000));
+            assert_eq!(pt.match_ack(&flow(3), sig(3), SeqNum(300)), Some(9_000));
+            assert_eq!(pt.occupancy(), 0);
+        }
     }
 
     #[test]

@@ -64,11 +64,22 @@ impl RtAckOutcome {
     }
 }
 
-/// One constrained-mode RT record.
+/// One constrained-mode RT record. `gen` is the epoch generation the entry
+/// was last touched in: RT entries carry no timestamps in the data plane,
+/// so epoch rotation judges staleness by activity generations instead (an
+/// entry untouched for a full epoch is swept).
 #[derive(Clone, Copy, Debug)]
 struct RtEntry {
     sig: FlowSignature,
     range: MeasurementRange,
+    gen: u32,
+}
+
+/// Unlimited-mode record: the range plus the same activity generation.
+#[derive(Clone, Copy, Debug)]
+struct RtMapEntry {
+    range: MeasurementRange,
+    gen: u32,
 }
 
 /// A pre-resolved RT location for one flow: the data-plane signature plus
@@ -114,7 +125,7 @@ impl Default for RtSlot {
 }
 
 enum RtStore {
-    Unlimited(HashMap<FlowKey, MeasurementRange>),
+    Unlimited(HashMap<FlowKey, RtMapEntry>),
     Constrained {
         slots: RegisterArray<RtEntry>,
         hasher: HashUnit,
@@ -125,6 +136,9 @@ enum RtStore {
 pub struct RangeTracker {
     store: RtStore,
     sig_width: SignatureWidth,
+    /// Current epoch generation; entries are stamped with it on every
+    /// touch and [`RangeTracker::rotate`] sweeps entries left behind.
+    epoch: u32,
 }
 
 impl RangeTracker {
@@ -139,7 +153,11 @@ impl RangeTracker {
                 hasher: HashUnit::new(0xA0, 32),
             },
         };
-        RangeTracker { store, sig_width }
+        RangeTracker {
+            store,
+            sig_width,
+            epoch: 0,
+        }
     }
 
     /// The data-plane signature of a flow under this tracker's width.
@@ -188,11 +206,21 @@ impl RangeTracker {
         seq: SeqNum,
         eack: SeqNum,
     ) -> RtSeqOutcome {
+        let gen = self.epoch;
         match &mut self.store {
             RtStore::Unlimited(map) => match map.get_mut(flow) {
-                Some(range) => RtSeqOutcome::Ruled(range.on_seq(seq, eack)),
+                Some(e) => {
+                    e.gen = gen;
+                    RtSeqOutcome::Ruled(e.range.on_seq(seq, eack))
+                }
                 None => {
-                    map.insert(*flow, MeasurementRange::open(seq, eack));
+                    map.insert(
+                        *flow,
+                        RtMapEntry {
+                            range: MeasurementRange::open(seq, eack),
+                            gen,
+                        },
+                    );
                     RtSeqOutcome::Created
                 }
             },
@@ -202,10 +230,13 @@ impl RangeTracker {
                 slots.rmw(idx, |old| match old {
                     Some(mut e) if e.sig == sig => {
                         let v = e.range.on_seq(seq, eack);
+                        e.gen = gen;
                         (Some(e), RtSeqOutcome::Ruled(v))
                     }
                     Some(e) if !e.range.is_collapsed() => {
-                        // Different live flow holds the slot: favor it.
+                        // Different live flow holds the slot: favor it. The
+                        // interloper's packet does not refresh the
+                        // incumbent's generation.
                         (Some(e), RtSeqOutcome::Collision)
                     }
                     _ => {
@@ -213,6 +244,7 @@ impl RangeTracker {
                         let e = RtEntry {
                             sig,
                             range: MeasurementRange::open(seq, eack),
+                            gen,
                         };
                         (Some(e), RtSeqOutcome::Created)
                     }
@@ -237,9 +269,13 @@ impl RangeTracker {
         ack: SeqNum,
         pure: bool,
     ) -> RtAckOutcome {
+        let gen = self.epoch;
         match &mut self.store {
             RtStore::Unlimited(map) => match map.get_mut(flow) {
-                Some(range) => RtAckOutcome::Ruled(range.on_ack(ack, pure)),
+                Some(e) => {
+                    e.gen = gen;
+                    RtAckOutcome::Ruled(e.range.on_ack(ack, pure))
+                }
                 None => RtAckOutcome::NoFlow,
             },
             RtStore::Constrained { slots, .. } => {
@@ -248,6 +284,7 @@ impl RangeTracker {
                 slots.rmw(idx, |old| match old {
                     Some(mut e) if e.sig == sig => {
                         let v = e.range.on_ack(ack, pure);
+                        e.gen = gen;
                         (Some(e), RtAckOutcome::Ruled(v))
                     }
                     other => (other, RtAckOutcome::NoFlow),
@@ -283,10 +320,36 @@ impl RangeTracker {
         }
     }
 
+    /// Epoch rotation (control-plane): sweep every entry not touched since
+    /// the previous rotation, then open a new generation. Returns
+    /// `(carried, dropped)` flow counts.
+    ///
+    /// RT entries carry no timestamps — the data plane spends its SALU
+    /// budget on the range bounds — so unlike the Packet Tracker (which
+    /// judges records by their stored send timestamp against a cutoff) the
+    /// exact RT uses activity generations: a flow survives a rotation iff
+    /// it saw at least one packet during the epoch that just closed.
+    /// Without any rotation, behavior is identical to the unrotated
+    /// tracker.
+    pub fn rotate(&mut self) -> (u64, u64) {
+        let gen = self.epoch;
+        let counts = match &mut self.store {
+            RtStore::Unlimited(map) => {
+                let before = map.len() as u64;
+                map.retain(|_, e| e.gen == gen);
+                let kept = map.len() as u64;
+                (kept, before - kept)
+            }
+            RtStore::Constrained { slots, .. } => slots.sweep(|e| e.gen == gen),
+        };
+        self.epoch = self.epoch.wrapping_add(1);
+        counts
+    }
+
     /// Read a flow's current range, if present (tests / control plane).
     pub fn peek(&mut self, flow: &FlowKey) -> Option<MeasurementRange> {
         match &mut self.store {
-            RtStore::Unlimited(map) => map.get(flow).copied(),
+            RtStore::Unlimited(map) => map.get(flow).map(|e| e.range),
             RtStore::Constrained { slots, hasher } => {
                 let sig = flow.signature(self.sig_width);
                 let idx = Self::index(hasher, slots.size(), sig);
@@ -444,6 +507,47 @@ mod tests {
             }
             assert_eq!(plain.occupancy(), located.occupancy());
         }
+    }
+
+    /// A flow survives a rotation iff it was touched during the epoch that
+    /// just closed; two idle rotations clear everything.
+    #[test]
+    fn rotation_sweeps_idle_flows() {
+        for mut rt in [rt_unlimited(), rt_small(64)] {
+            let (a, b) = (flow(1), flow(2));
+            rt.on_seq(&a, SeqNum(0), SeqNum(100));
+            rt.on_seq(&b, SeqNum(0), SeqNum(100));
+            assert_eq!(rt.rotate(), (2, 0), "both touched this epoch");
+            // Only `a` stays active in the new epoch (an ACK counts).
+            rt.on_ack(&a, SeqNum(100), true);
+            assert_eq!(rt.rotate(), (1, 1));
+            assert!(rt.peek(&a).is_some());
+            assert!(rt.peek(&b).is_none());
+            // Fully idle epoch: everything is swept.
+            assert_eq!(rt.rotate(), (0, 1));
+            assert_eq!(rt.occupancy(), 0);
+            // The table remains usable after rotation.
+            assert_eq!(rt.on_seq(&b, SeqNum(0), SeqNum(50)), RtSeqOutcome::Created);
+        }
+    }
+
+    /// An interloper's collision must not refresh the incumbent's
+    /// generation: the incumbent is swept once it goes idle even if the
+    /// colliding flow keeps hammering the slot.
+    #[test]
+    fn collision_does_not_refresh_incumbent_generation() {
+        let mut rt = rt_small(1);
+        let (a, b) = (flow(10), flow(11));
+        rt.on_seq(&a, SeqNum(0), SeqNum(100));
+        rt.rotate();
+        // New epoch: only b (the interloper) sends; a is idle.
+        assert_eq!(
+            rt.on_seq(&b, SeqNum(0), SeqNum(100)),
+            RtSeqOutcome::Collision
+        );
+        assert_eq!(rt.rotate(), (0, 1), "idle incumbent swept");
+        // b can now claim the freed slot.
+        assert_eq!(rt.on_seq(&b, SeqNum(0), SeqNum(100)), RtSeqOutcome::Created);
     }
 
     #[test]

@@ -68,12 +68,12 @@
 use crate::config::DartConfig;
 use crate::engine::{run_trace, DartEngine, EngineEvent};
 use crate::error::{EngineError, FailureKind, FailurePolicy, ShardFailure};
-use crate::monitor::RttMonitor;
+use crate::monitor::{EpochRotation, RttMonitor};
 use crate::sample::{RttSample, SampleSink};
 use crate::stats::EngineStats;
 #[cfg(feature = "telemetry")]
 use crate::telemetry::EngineTelemetry;
-use dart_packet::{FlowKey, PacketMeta};
+use dart_packet::{FlowKey, Nanos, PacketMeta};
 #[cfg(feature = "telemetry")]
 use dart_telemetry::{Counter, Gauge, MetricRegistry};
 use std::cell::{Cell, RefCell};
@@ -134,6 +134,12 @@ pub struct ShardedConfig {
     pub queue_depth: usize,
     /// Failure handling: policy, watchdog timeout, restart budget.
     pub supervisor: SupervisorConfig,
+    /// Retain per-packet samples and per-flow events for the merged
+    /// [`ShardedRun`]. Replays want them (`true`, the default); a
+    /// long-lived daemon that watches only counters and histograms sets
+    /// this `false` so worker memory stays bounded over an unbounded
+    /// packet stream — `stats` and telemetry are unaffected.
+    pub keep_samples: bool,
 }
 
 impl ShardedConfig {
@@ -145,6 +151,7 @@ impl ShardedConfig {
             batch_size: 1024,
             queue_depth: 8,
             supervisor: SupervisorConfig::default(),
+            keep_samples: true,
         }
     }
 
@@ -176,6 +183,62 @@ impl ShardedConfig {
     pub fn with_supervisor(mut self, supervisor: SupervisorConfig) -> Self {
         self.supervisor = supervisor;
         self
+    }
+
+    /// Override sample/event retention (see [`ShardedConfig::keep_samples`]).
+    pub fn with_keep_samples(mut self, keep_samples: bool) -> Self {
+        self.keep_samples = keep_samples;
+        self
+    }
+}
+
+/// Point-in-time health of the supervised runtime, cheap to take from the
+/// feeder thread at any moment — this is what a daemon's `/healthz`
+/// endpoint reports between scrapes.
+///
+/// Worker-side failures (panics recorded inside a shard) only become
+/// visible when that worker is joined at flush; until then `failures`
+/// counts what the feeder has observed (stalls, disconnects). The
+/// `healthy_shards` count is live either way: workers flip their shared
+/// dead flag the moment they stop measuring.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SupervisorHealth {
+    /// Configured shard count.
+    pub shards: usize,
+    /// Shards still measuring their traffic (not dead, not abandoned).
+    pub healthy_shards: usize,
+    /// Shards abandoned by the feeder watchdog.
+    pub abandoned: usize,
+    /// Watchdog expiries observed by the feeder.
+    pub stalls: u64,
+    /// Packets handed to the monitor so far.
+    pub fed: u64,
+    /// Failures visible so far (all of them once the run is flushed).
+    pub failures: usize,
+    /// True once the run has been flushed and the workers joined.
+    pub flushed: bool,
+}
+
+impl SupervisorHealth {
+    /// True when every shard is measuring and nothing has failed.
+    pub fn healthy(&self) -> bool {
+        self.healthy_shards == self.shards && self.failures == 0
+    }
+
+    /// Render as a single JSON object (stable key order) for health
+    /// endpoints.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"healthy\":{},\"shards\":{},\"healthy_shards\":{},\"abandoned\":{},\"stalls\":{},\"fed\":{},\"failures\":{},\"flushed\":{}}}",
+            self.healthy(),
+            self.shards,
+            self.healthy_shards,
+            self.abandoned,
+            self.stalls,
+            self.fed,
+            self.failures,
+            self.flushed,
+        )
     }
 }
 
@@ -218,6 +281,16 @@ pub fn shard_of(flow: &FlowKey, shards: usize) -> usize {
 
 /// One unit of hand-off: packets tagged with their global trace index.
 type Batch = Vec<(u64, PacketMeta)>;
+
+/// What travels over a shard's hand-off channel: a batch of packets, or a
+/// control message asking the worker to rotate its engine's epoch. Control
+/// messages ride the same bounded queue as traffic, so a rotation is
+/// ordered after every batch dispatched before it and never preempts one
+/// mid-batch.
+enum ShardMsg {
+    Batch(Batch),
+    Rotate(Nanos),
+}
 
 /// What a worker sends back: index-tagged samples and events, the shard's
 /// final counters (retired engines + live engine + runtime accounting),
@@ -337,7 +410,7 @@ pub struct ShardedMonitor {
     name: String,
     /// `None` once a shard has been abandoned (watchdog) or its worker
     /// ended early — no further sends.
-    txs: Vec<Option<SyncSender<Batch>>>,
+    txs: Vec<Option<SyncSender<ShardMsg>>>,
     /// `None` for abandoned shards: their stuck worker is detached, never
     /// joined, and its results are written off into `monitor_miss`.
     handles: Vec<Option<JoinHandle<ShardResult>>>,
@@ -448,13 +521,14 @@ impl ShardedMonitor {
         let mut hooks = Vec::with_capacity(cfg.shards);
         let mut dead = Vec::with_capacity(cfg.shards);
         for shard in 0..cfg.shards {
-            let (tx, rx) = sync_channel::<Batch>(cfg.queue_depth);
+            let (tx, rx) = sync_channel::<ShardMsg>(cfg.queue_depth);
             let shard_hooks = make_hooks(shard);
             let shard_dead = Arc::new(AtomicBool::new(false));
             let ctx = ShardCtx {
                 shard,
                 engine_cfg: cfg.engine,
                 sup: cfg.supervisor,
+                keep_samples: cfg.keep_samples,
                 hooks: shard_hooks.clone(),
                 packet_hook: packet_hook.clone(),
                 fatal: Arc::clone(&fatal),
@@ -569,25 +643,35 @@ impl ShardedMonitor {
         if batch.is_empty() {
             return;
         }
-        let Some(tx) = self.txs[shard].clone() else {
-            self.feeder_extra.monitor_miss += batch.len() as u64;
-            return;
-        };
         let len = batch.len() as u64;
         let first_idx = batch.first().map(|(i, _)| *i);
+        self.send_msg(shard, ShardMsg::Batch(batch), first_idx, len);
+    }
+
+    /// Watchdog-guarded send of one message to `shard`. `pkts` is the
+    /// number of packets the message carries (0 for control messages) —
+    /// it drives the channel gauge, the abandon accounting, and the
+    /// monitor-miss write-off on a dead worker.
+    fn send_msg(&mut self, shard: usize, msg: ShardMsg, first_idx: Option<u64>, pkts: u64) {
+        let Some(tx) = self.txs[shard].clone() else {
+            self.feeder_extra.monitor_miss += pkts;
+            return;
+        };
         let started = Instant::now();
-        let mut pending = batch;
+        let mut pending = msg;
         loop {
             match tx.try_send(pending) {
                 Ok(()) => {
-                    self.note_batch_sent(shard);
-                    self.sent[shard] += len;
+                    if pkts > 0 {
+                        self.note_batch_sent(shard);
+                        self.sent[shard] += pkts;
+                    }
                     return;
                 }
                 Err(TrySendError::Full(back)) => {
                     let waited = started.elapsed();
                     if waited >= self.cfg.supervisor.stall_timeout {
-                        self.abandon(shard, waited, first_idx, len);
+                        self.abandon(shard, waited, first_idx, pkts);
                         return;
                     }
                     pending = back;
@@ -598,10 +682,62 @@ impl ShardedMonitor {
                     // result is still joinable — just stop sending.
                     self.txs[shard] = None;
                     self.mark_dead(shard);
-                    self.feeder_extra.monitor_miss += back.len() as u64;
+                    if let ShardMsg::Batch(b) = back {
+                        self.feeder_extra.monitor_miss += b.len() as u64;
+                    }
                     return;
                 }
             }
+        }
+    }
+
+    /// Ask every live shard to rotate its engine's epoch (see
+    /// [`DartEngine::rotate_epoch`]): entries idle since `cutoff` are
+    /// swept so table occupancy stays bounded over a long-lived run.
+    ///
+    /// Partial feeder buffers are dispatched first, so the rotation is
+    /// ordered after every packet fed before this call. The rotation
+    /// itself is asynchronous — each worker performs it when the control
+    /// message reaches the front of its queue — and its totals surface
+    /// through the per-shard telemetry (`dart_epoch_*` series), not as a
+    /// return value.
+    pub fn rotate_epoch(&mut self, cutoff: Nanos) {
+        if self.done.is_some() {
+            return;
+        }
+        for shard in 0..self.cfg.shards {
+            if self.abandoned[shard] || self.dead[shard].load(Ordering::Relaxed) {
+                continue;
+            }
+            self.dispatch(shard);
+            self.send_msg(shard, ShardMsg::Rotate(cutoff), None, 0);
+        }
+    }
+
+    /// Point-in-time health of the runtime — see [`SupervisorHealth`].
+    pub fn health(&self) -> SupervisorHealth {
+        let dead = (0..self.cfg.shards)
+            .filter(|&s| self.abandoned[s] || self.dead[s].load(Ordering::Relaxed))
+            .count();
+        SupervisorHealth {
+            shards: self.cfg.shards,
+            healthy_shards: self.cfg.shards - dead,
+            abandoned: self.abandoned.iter().filter(|a| **a).count(),
+            stalls: self
+                .feeder_failures
+                .iter()
+                .filter(|f| matches!(f.kind, FailureKind::Stalled { .. }))
+                .count() as u64
+                + self.done.as_ref().map_or(0, |r| {
+                    r.failures
+                        .iter()
+                        .filter(|f| matches!(f.kind, FailureKind::Stalled { .. }))
+                        .count() as u64
+                }),
+            fed: self.fed,
+            failures: self.feeder_failures.len()
+                + self.done.as_ref().map_or(0, |r| r.failures.len()),
+            flushed: self.done.is_some(),
         }
     }
 
@@ -751,6 +887,17 @@ impl RttMonitor for ShardedMonitor {
         }
     }
 
+    /// Dispatch the rotation to every live shard.
+    ///
+    /// Always returns [`EpochRotation::default`]: the sweep happens
+    /// asynchronously on the workers, and its totals are published through
+    /// each shard's `dart_epoch_*` telemetry series rather than merged
+    /// into a synchronous return value.
+    fn rotate_epoch(&mut self, cutoff: Nanos) -> EpochRotation {
+        ShardedMonitor::rotate_epoch(self, cutoff);
+        EpochRotation::default()
+    }
+
     /// First flush joins the workers and emits the merged sample stream;
     /// later flushes emit nothing.
     fn flush(&mut self, sink: &mut dyn SampleSink) {
@@ -788,6 +935,7 @@ struct ShardCtx {
     shard: usize,
     engine_cfg: DartConfig,
     sup: SupervisorConfig,
+    keep_samples: bool,
     hooks: ShardHooks,
     packet_hook: Option<PacketHook>,
     fatal: Arc<AtomicBool>,
@@ -797,11 +945,12 @@ struct ShardCtx {
 /// Worker body: one engine (respawned under `RestartShard`), fed batches
 /// until the channel closes, every batch under panic isolation.
 #[cfg_attr(not(feature = "telemetry"), allow(unused_variables))]
-fn run_shard(ctx: ShardCtx, rx: Receiver<Batch>) -> ShardResult {
+fn run_shard(ctx: ShardCtx, rx: Receiver<ShardMsg>) -> ShardResult {
     let ShardCtx {
         shard,
         engine_cfg,
         sup,
+        keep_samples,
         hooks,
         packet_hook,
         fatal,
@@ -813,6 +962,12 @@ fn run_shard(ctx: ShardCtx, rx: Receiver<Batch>) -> ShardResult {
     let current = Rc::new(Cell::new(0u64));
     let events = Rc::new(RefCell::new(Vec::new()));
     let install_sink = |engine: &mut DartEngine| {
+        // Without sample retention there is no merged run to feed: leave
+        // the engine's default (discarding) event sink in place too, so
+        // neither buffer grows with the stream.
+        if !keep_samples {
+            return;
+        }
         let current = Rc::clone(&current);
         let events = Rc::clone(&events);
         engine.set_event_sink(Box::new(move |ev| {
@@ -836,7 +991,48 @@ fn run_shard(ctx: ShardCtx, rx: Receiver<Batch>) -> ShardResult {
     // True once this shard stopped measuring its own traffic.
     let mut shedding = false;
 
-    for batch in rx {
+    for msg in rx {
+        let batch = match msg {
+            ShardMsg::Batch(batch) => batch,
+            ShardMsg::Rotate(cutoff) => {
+                let failfast_stop =
+                    sup.policy == FailurePolicy::FailFast && fatal.load(Ordering::Relaxed);
+                if !(shedding || failfast_stop) {
+                    // The engine publishes rotation counters and the pause
+                    // histogram itself through its attached telemetry.
+                    let outcome = catch_unwind(AssertUnwindSafe(|| {
+                        engine.rotate_epoch(cutoff);
+                    }));
+                    if let Err(payload) = outcome {
+                        // A panicking rotation leaves the tables in an
+                        // unknown intermediate state; the shard stops
+                        // measuring under every policy (a respawn would
+                        // also forfeit all live flows — shedding is the
+                        // same loss, honestly accounted).
+                        failures.push(ShardFailure {
+                            shard,
+                            at_packet: None,
+                            kind: FailureKind::Panicked {
+                                message: panic_message(payload),
+                            },
+                        });
+                        if sup.policy == FailurePolicy::FailFast {
+                            fatal.store(true, Ordering::Relaxed);
+                        }
+                        if !dead.swap(true, Ordering::Relaxed) {
+                            #[cfg(feature = "telemetry")]
+                            if let Some(g) = &hooks.healthy {
+                                g.sub(1);
+                            }
+                        }
+                        shedding = true;
+                    }
+                    #[cfg(feature = "telemetry")]
+                    engine.sync_telemetry();
+                }
+                continue;
+            }
+        };
         #[cfg(feature = "telemetry")]
         let batch_start = Instant::now();
         let batch_len = batch.len() as u64;
@@ -853,7 +1049,11 @@ fn run_shard(ctx: ShardCtx, rx: Receiver<Batch>) -> ShardResult {
                     if let Some(hook) = &packet_hook {
                         hook(idx, shard);
                     }
-                    let mut sink = |s: RttSample| samples.push((idx, s));
+                    let mut sink = |s: RttSample| {
+                        if keep_samples {
+                            samples.push((idx, s));
+                        }
+                    };
                     engine.process(&pkt, &mut sink);
                 }
             }));
@@ -1361,6 +1561,138 @@ mod tests {
             run.stats.packets + run.stats.monitor_miss,
             pkts.len() as u64
         );
+    }
+
+    #[test]
+    fn rotation_with_past_cutoff_preserves_the_run() {
+        // cutoff 0 keeps every PT record; the RT generation sweep keeps
+        // every flow touched in the current epoch — rotating mid-run over
+        // continuously-active flows must not change the merged output.
+        let pkts = trace(30, 6);
+        let cfg = ShardedConfig::new(DartConfig::unlimited(), 4).with_batch_size(16);
+        let baseline = ShardedDartEngine::new(cfg).run(&pkts);
+
+        let mut monitor = ShardedMonitor::new(cfg);
+        for (i, p) in pkts.iter().enumerate() {
+            monitor.feed(p);
+            if i == pkts.len() / 2 {
+                ShardedMonitor::rotate_epoch(&mut monitor, 0);
+            }
+        }
+        let run = monitor.try_into_run().expect("healthy rotation");
+        assert!(run.healthy());
+        assert_eq!(run.samples, baseline.samples);
+        assert_eq!(run.stats.packets, pkts.len() as u64);
+    }
+
+    #[test]
+    fn rotation_with_future_cutoff_sweeps_but_keeps_measuring() {
+        // A cutoff past every timestamp drops all in-flight PT records:
+        // their ACKs miss, yet conservation holds and later exchanges
+        // still produce samples.
+        let pkts = trace(20, 6);
+        let cfg = ShardedConfig::new(DartConfig::default(), 3).with_batch_size(8);
+        let mut monitor = ShardedMonitor::new(cfg);
+        // Split mid-exchange: each exchange is 20 data packets then their
+        // 20 ACKs (the 5 ms RTT dwarfs the µs flow stagger), so cutting
+        // after exchange 3's data burst leaves 20 records in flight.
+        let half = 3 * 40 + 20;
+        for p in &pkts[..half] {
+            monitor.feed(p);
+        }
+        ShardedMonitor::rotate_epoch(&mut monitor, Nanos::MAX);
+        for p in &pkts[half..] {
+            monitor.feed(p);
+        }
+        let run = monitor.try_into_run().expect("rotation is not a failure");
+        assert!(run.healthy());
+        assert_eq!(run.stats.packets, pkts.len() as u64);
+        assert!(run.stats.samples > 0, "post-rotation exchanges measured");
+        let (serial, _) = run_trace(DartConfig::default(), &pkts);
+        assert!(
+            (run.stats.samples as usize) < serial.len(),
+            "the sweep must cost some in-flight matches"
+        );
+    }
+
+    #[test]
+    fn health_reports_the_runtime_state() {
+        let pkts = trace(10, 2);
+        let mut monitor = ShardedMonitor::new(ShardedConfig::new(DartConfig::default(), 3));
+        let h = monitor.health();
+        assert!(h.healthy());
+        assert_eq!(h.shards, 3);
+        assert_eq!(h.healthy_shards, 3);
+        assert_eq!(h.fed, 0);
+        assert!(!h.flushed);
+        for p in &pkts {
+            monitor.feed(p);
+        }
+        assert_eq!(monitor.health().fed, pkts.len() as u64);
+        let mut sink = Vec::new();
+        monitor.flush(&mut sink);
+        let h = monitor.health();
+        assert!(h.flushed);
+        assert!(h.healthy());
+        let json = h.to_json();
+        assert!(json.contains("\"healthy\":true"), "{json}");
+        assert!(json.contains("\"shards\":3"), "{json}");
+    }
+
+    #[test]
+    fn health_counts_dead_shards() {
+        let pkts = trace(20, 6);
+        let target = (pkts.len() / 3) as u64;
+        let mut monitor =
+            ShardedMonitor::with_packet_hook(sup_cfg(FailurePolicy::ShedLoad, 4), panic_at(target));
+        for p in &pkts {
+            monitor.feed(p);
+        }
+        let mut sink = Vec::new();
+        monitor.flush(&mut sink);
+        let h = monitor.health();
+        assert!(!h.healthy());
+        assert_eq!(h.healthy_shards, 3, "one shard died");
+        assert!(h.failures >= 1);
+    }
+
+    #[test]
+    fn keep_samples_off_bounds_memory_but_keeps_counters() {
+        let pkts = trace(25, 5);
+        let cfg = ShardedConfig::new(DartConfig::default(), 3).with_keep_samples(false);
+        let out = ShardedDartEngine::new(cfg).run(&pkts);
+        assert!(out.samples.is_empty(), "retention off: no merged samples");
+        assert!(out.events.is_empty(), "retention off: no merged events");
+        assert_eq!(out.stats.packets, pkts.len() as u64);
+        assert!(out.stats.samples > 0, "counters still tally the samples");
+        assert!(out.healthy());
+    }
+
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn rotation_publishes_per_shard_epoch_series() {
+        use dart_telemetry::MetricRegistry;
+        let pkts = trace(20, 4);
+        let registry = MetricRegistry::new();
+        let cfg = ShardedConfig::new(DartConfig::default(), 2).with_batch_size(8);
+        let mut monitor = ShardedMonitor::with_telemetry(cfg, &registry);
+        for p in &pkts {
+            monitor.feed(p);
+        }
+        ShardedMonitor::rotate_epoch(&mut monitor, 0);
+        let mut sink = Vec::new();
+        monitor.flush(&mut sink);
+        let snap = registry.scrape();
+        let rotations: u64 = snap
+            .samples
+            .iter()
+            .filter(|s| s.name == "dart_epoch_rotations_total")
+            .map(|s| match s.value {
+                dart_telemetry::MetricValue::Counter { total, .. } => total,
+                _ => 0,
+            })
+            .sum();
+        assert_eq!(rotations, 2, "one rotation on each of the two shards");
     }
 
     #[cfg(feature = "telemetry")]

@@ -456,6 +456,20 @@ impl SketchRangeTracker {
         false
     }
 
+    /// Epoch rotation (control-plane): sweep every entry whose recency
+    /// stamp predates `cutoff`, returning `(carried, dropped)` flow counts.
+    /// The sketch already stamps entries with the packet clock for LRU
+    /// eviction, so rotation is a plain cutoff sweep over the ways.
+    pub fn rotate(&mut self, cutoff: Nanos) -> (u64, u64) {
+        let (mut kept, mut cleared) = (0u64, 0u64);
+        for way in &mut self.ways {
+            let (k, c) = way.sweep(|e| e.last >= cutoff);
+            kept += k;
+            cleared += c;
+        }
+        (kept, cleared)
+    }
+
     /// Current number of live entries.
     pub fn occupancy(&self) -> usize {
         self.ways.iter().map(|w| w.occupancy()).sum()
@@ -671,6 +685,19 @@ impl SketchPacketTracker {
             }
         }
         None
+    }
+
+    /// Epoch rotation (control-plane): sweep every cell whose stored send
+    /// timestamp predates `cutoff`, returning `(carried, dropped)` record
+    /// counts — the same time-cutoff rule as the exact Packet Tracker.
+    pub fn rotate(&mut self, cutoff: Nanos) -> (u64, u64) {
+        let (mut kept, mut cleared) = (0u64, 0u64);
+        for way in &mut self.ways {
+            let (k, c) = way.sweep(|cell| cell.ts >= cutoff);
+            kept += k;
+            cleared += c;
+        }
+        (kept, cleared)
     }
 
     /// Live cells (control-plane visibility).
@@ -946,6 +973,25 @@ mod tests {
             }
             assert_eq!(plain.occupancy(), probed.occupancy());
         }
+    }
+
+    /// Rotation sweeps by the recency stamp (RT) / send timestamp (PT):
+    /// entries at or past the cutoff survive, older ones are cleared.
+    #[test]
+    fn sketch_rotation_sweeps_by_cutoff() {
+        let mut t = rt(64, 2);
+        t.on_seq(&flow(1), SeqNum(0), SeqNum(100), 1_000);
+        t.on_seq(&flow(2), SeqNum(0), SeqNum(100), 9_000);
+        assert_eq!(t.rotate(5_000), (1, 1));
+        assert!(t.peek(&flow(1)).is_none());
+        assert!(t.peek(&flow(2)).is_some());
+
+        let mut p = pt(64, 2);
+        p.insert_new(sig(1), SeqNum(100), 1_000);
+        p.insert_new(sig(2), SeqNum(200), 9_000);
+        assert_eq!(p.rotate(5_000), (1, 1));
+        assert_eq!(p.match_ack(sig(1), SeqNum(100)), None);
+        assert_eq!(p.match_ack(sig(2), SeqNum(200)), Some(9_000));
     }
 
     #[test]

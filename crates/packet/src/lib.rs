@@ -37,5 +37,5 @@ pub use error::PacketError;
 pub use flow::{FlowKey, FlowSignature, PacketId, SignatureWidth};
 pub use meta::{Direction, Nanos, PacketBuilder, PacketMeta, MICROSECOND, MILLISECOND, SECOND};
 pub use seq::SeqNum;
-pub use source::{IterSource, PacketSource, PcapSource, SliceSource};
+pub use source::{CycleSource, Follow, IterSource, PacketSource, PcapSource, SliceSource};
 pub use tcp::TcpFlags;

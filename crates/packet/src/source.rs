@@ -8,7 +8,13 @@
 //! * [`IterSource`] — any infallible packet iterator (simulators);
 //! * [`TraceReader`] — the native on-disk format, already record-streaming;
 //! * [`PcapSource`] — a pcap capture, parsed and direction-classified on
-//!   the fly, skipping non-TCP frames like the hardware parser would.
+//!   the fly, skipping non-TCP frames like the hardware parser would;
+//! * [`Follow`] — a [`Read`] adapter that turns end-of-file into "wait for
+//!   more", so the trace/pcap readers can tail a growing capture file or a
+//!   fifo that a producer is still writing (the daemon's live ingest);
+//! * [`CycleSource`] — an owned trace replayed in a loop with timestamps
+//!   rebased each pass, so a finite capture drives an indefinitely long
+//!   run with ever-advancing time (soak tests, epoch-rotation exercise).
 //!
 //! The contract is deliberately minimal: `next_packet` returns `Ok(Some)`
 //! per packet in order, `Ok(None)` exactly once at end of stream (and on
@@ -19,11 +25,14 @@
 //! method.
 
 use crate::error::PacketError;
-use crate::meta::PacketMeta;
+use crate::meta::{Nanos, PacketMeta};
 use crate::parse::{parse_ethernet_frame, DirectionClassifier};
 use crate::pcap::PcapReader;
 use crate::trace::TraceReader;
 use std::io::Read;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
 
 /// A stream of packets in capture order.
 pub trait PacketSource {
@@ -185,6 +194,146 @@ impl<R: Read, C: DirectionClassifier> PacketSource for PcapSource<R, C> {
     }
 }
 
+/// A [`Read`] adapter that tails a growing input: where the inner reader
+/// reports end-of-file, `Follow` sleeps briefly and retries, so a
+/// `TraceReader<Follow<File>>` or `PcapSource<Follow<File>, _>` keeps
+/// yielding packets as a producer appends to the file (or writes into a
+/// fifo). End-of-file becomes real — a final `Ok(0)` — only once the
+/// shared stop flag is set.
+///
+/// Because [`Read::read_exact`] retries through this adapter too, a record
+/// split mid-write is simply waited out: the reader blocks at the record
+/// boundary until the producer finishes the write, never sees a torn
+/// record, and never spins faster than the poll interval.
+pub struct Follow<R> {
+    inner: R,
+    stop: Arc<AtomicBool>,
+    poll: Duration,
+}
+
+impl<R: Read> Follow<R> {
+    /// Tail `inner`, polling every 10 ms at end-of-data, until `stop` is
+    /// set (at which point end-of-data becomes end-of-file).
+    pub fn new(inner: R, stop: Arc<AtomicBool>) -> Follow<R> {
+        Follow {
+            inner,
+            stop,
+            poll: Duration::from_millis(10),
+        }
+    }
+
+    /// Override the end-of-data poll interval.
+    pub fn with_poll_interval(mut self, poll: Duration) -> Follow<R> {
+        self.poll = poll;
+        self
+    }
+}
+
+impl<R: Read> Read for Follow<R> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        if buf.is_empty() {
+            return Ok(0);
+        }
+        loop {
+            match self.inner.read(buf) {
+                Ok(0) => {
+                    if self.stop.load(Ordering::Relaxed) {
+                        return Ok(0);
+                    }
+                    std::thread::sleep(self.poll);
+                }
+                other => return other,
+            }
+        }
+    }
+}
+
+/// An owned trace replayed in a loop with timestamps rebased each pass:
+/// pass `k` yields the original packets with `k × period` added to every
+/// timestamp, where the period spans the trace plus a configurable
+/// inter-pass gap. Time therefore advances monotonically forever — exactly
+/// what a long-lived daemon needs to exercise epoch rotation from a finite
+/// capture.
+///
+/// Flow keys repeat across passes by design (it is the same capture), so
+/// under rotation each pass's flows look like returning flows whose stale
+/// state the previous rotation swept.
+#[derive(Clone, Debug)]
+pub struct CycleSource {
+    packets: Vec<PacketMeta>,
+    next: usize,
+    offset: Nanos,
+    period: Nanos,
+    passes_done: u64,
+    max_passes: Option<u64>,
+    ended: bool,
+}
+
+impl CycleSource {
+    /// Loop `packets` (capture order assumed) with a 1 ms inter-pass gap.
+    /// An empty trace is an immediately-ended source.
+    pub fn new(packets: Vec<PacketMeta>) -> CycleSource {
+        Self::with_gap(packets, crate::meta::MILLISECOND)
+    }
+
+    /// Loop `packets` with `gap` nanoseconds of virtual idle time between
+    /// the last packet of one pass and the first of the next.
+    pub fn with_gap(packets: Vec<PacketMeta>, gap: Nanos) -> CycleSource {
+        let span = match (packets.first(), packets.last()) {
+            (Some(first), Some(last)) => last.ts.saturating_sub(first.ts),
+            _ => 0,
+        };
+        CycleSource {
+            packets,
+            next: 0,
+            offset: 0,
+            period: span.saturating_add(gap).max(1),
+            passes_done: 0,
+            max_passes: None,
+            ended: false,
+        }
+    }
+
+    /// Stop after `passes` full replays instead of looping forever (the
+    /// unbounded default is for daemons that end via their own shutdown
+    /// signal, not stream exhaustion).
+    pub fn with_passes(mut self, passes: u64) -> CycleSource {
+        self.max_passes = Some(passes);
+        self
+    }
+
+    /// Full passes completed so far.
+    pub fn passes_completed(&self) -> u64 {
+        self.passes_done
+    }
+
+    /// The timestamp advance applied per pass (trace span + gap).
+    pub fn period(&self) -> Nanos {
+        self.period
+    }
+}
+
+impl PacketSource for CycleSource {
+    fn next_packet(&mut self) -> Result<Option<PacketMeta>, PacketError> {
+        if self.packets.is_empty() || self.ended {
+            return Ok(None);
+        }
+        if self.next == self.packets.len() {
+            self.passes_done += 1;
+            if self.max_passes.is_some_and(|max| self.passes_done >= max) {
+                self.ended = true;
+                return Ok(None);
+            }
+            self.next = 0;
+            self.offset = self.offset.saturating_add(self.period);
+        }
+        let mut p = self.packets[self.next];
+        self.next += 1;
+        p.ts = p.ts.saturating_add(self.offset);
+        Ok(Some(p))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -268,6 +417,107 @@ mod tests {
             seen.push(p.ts);
         }
         assert_eq!(seen, vec![0, 1, 2]);
+    }
+
+    /// A scripted reader: each `read` yields the next chunk, an empty
+    /// chunk models "no data yet", and exhaustion flips the stop flag —
+    /// a deterministic stand-in for a fifo with a slow producer.
+    struct Scripted {
+        chunks: std::collections::VecDeque<Vec<u8>>,
+        stop: Arc<AtomicBool>,
+    }
+
+    impl Read for Scripted {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            match self.chunks.front_mut() {
+                None => {
+                    self.stop.store(true, Ordering::Relaxed);
+                    Ok(0)
+                }
+                Some(chunk) if chunk.is_empty() => {
+                    // A dry spell: one 0-byte read, then the next chunk.
+                    self.chunks.pop_front();
+                    Ok(0)
+                }
+                Some(chunk) => {
+                    let n = chunk.len().min(buf.len());
+                    buf[..n].copy_from_slice(&chunk[..n]);
+                    chunk.drain(..n);
+                    if chunk.is_empty() {
+                        self.chunks.pop_front();
+                    }
+                    Ok(n)
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn follow_tails_across_data_gaps_and_torn_records() {
+        let packets: Vec<PacketMeta> = (0..4).map(pkt).collect();
+        let bytes = crate::trace::to_bytes(&packets);
+        // Script: header+first record, a dry spell, a *partial* record
+        // (torn write), the rest. Follow must wait through the gaps and
+        // never surface a torn record to the trace reader.
+        let cut_a = bytes.len() / 3;
+        let cut_b = cut_a + 5;
+        let stop = Arc::new(AtomicBool::new(false));
+        let scripted = Scripted {
+            chunks: [
+                bytes[..cut_a].to_vec(),
+                Vec::new(),
+                Vec::new(),
+                bytes[cut_a..cut_b].to_vec(),
+                Vec::new(),
+                bytes[cut_b..].to_vec(),
+            ]
+            .into_iter()
+            .collect(),
+            stop: Arc::clone(&stop),
+        };
+        let follow = Follow::new(scripted, stop).with_poll_interval(Duration::from_millis(1));
+        let mut src = TraceReader::new(follow).expect("header arrives eventually");
+        let mut back = Vec::new();
+        while let Some(p) = PacketSource::next_packet(&mut src).expect("no torn records") {
+            back.push(p);
+        }
+        assert_eq!(back, packets);
+    }
+
+    #[test]
+    fn cycle_source_rebases_each_pass() {
+        let packets = vec![pkt(0), pkt(10), pkt(20)];
+        let mut src = CycleSource::with_gap(packets.clone(), 5).with_passes(2);
+        assert_eq!(src.period(), 25, "span 20 + gap 5");
+        let mut ts = Vec::new();
+        while let Some(p) = src.next_packet().unwrap() {
+            ts.push(p.ts);
+        }
+        assert_eq!(ts, vec![0, 10, 20, 25, 35, 45]);
+        assert_eq!(src.passes_completed(), 2);
+        // End is sticky and the pass count stops moving.
+        assert_eq!(src.next_packet().unwrap(), None);
+        assert_eq!(src.passes_completed(), 2);
+    }
+
+    #[test]
+    fn cycle_source_preserves_flows_and_payloads() {
+        let packets = vec![pkt(3), pkt(9)];
+        let mut src = CycleSource::new(packets.clone()).with_passes(2);
+        let first = src.next_packet().unwrap().expect("pass 1");
+        assert_eq!(first, packets[0]);
+        let _ = src.next_packet().unwrap();
+        let again = src.next_packet().unwrap().expect("pass 2");
+        assert_eq!(again.flow, packets[0].flow);
+        assert_eq!(again.seq, packets[0].seq);
+        assert_eq!(again.ts, packets[0].ts + src.period());
+    }
+
+    #[test]
+    fn empty_cycle_source_ends_immediately() {
+        let mut src = CycleSource::new(Vec::new());
+        assert_eq!(src.next_packet().unwrap(), None);
+        assert_eq!(src.passes_completed(), 0);
     }
 
     #[test]

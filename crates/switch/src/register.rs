@@ -89,6 +89,27 @@ impl<T: Clone> RegisterArray<T> {
         self.slots.iter().filter(|s| s.is_some()).count()
     }
 
+    /// Control-plane sweep: clear every occupied slot `keep` rejects,
+    /// returning `(kept, cleared)`. Like [`RegisterArray::occupancy`] this
+    /// is a control-plane scan — the switch CPU walking the array between
+    /// epochs, not a data-plane register access — so it is deliberately
+    /// **not** counted in [`RegisterArray::reads`]/[`RegisterArray::writes`]:
+    /// resource reports must reflect per-packet access costs only.
+    pub fn sweep(&mut self, mut keep: impl FnMut(&T) -> bool) -> (u64, u64) {
+        let (mut kept, mut cleared) = (0u64, 0u64);
+        for slot in &mut self.slots {
+            match slot {
+                Some(v) if keep(v) => kept += 1,
+                Some(_) => {
+                    *slot = None;
+                    cleared += 1;
+                }
+                None => {}
+            }
+        }
+        (kept, cleared)
+    }
+
     /// Total reads performed.
     pub fn reads(&self) -> u64 {
         self.reads
@@ -161,6 +182,21 @@ mod tests {
         r.prefetch(1);
         assert_eq!(r.reads(), 0);
         assert_eq!(r.writes(), 1);
+    }
+
+    #[test]
+    fn sweep_clears_rejected_without_counting_accesses() {
+        let mut r: RegisterArray<u8> = RegisterArray::new("t", 8);
+        r.write(0, 10);
+        r.write(3, 20);
+        r.write(5, 30);
+        let (reads0, writes0) = (r.reads(), r.writes());
+        let (kept, cleared) = r.sweep(|v| *v >= 20);
+        assert_eq!((kept, cleared), (2, 1));
+        assert_eq!(r.occupancy(), 2);
+        assert_eq!(r.read(0), None);
+        assert_eq!(r.writes(), writes0, "sweep must not count as writes");
+        assert_eq!(r.reads(), reads0 + 1, "only the assertion read counts");
     }
 
     #[test]

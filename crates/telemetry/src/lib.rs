@@ -15,7 +15,10 @@
 //!   [`Snapshot`]s (each scrape reports cumulative totals *and* the delta
 //!   since the previous scrape);
 //! * [`EventLog`] — a bounded ring buffer of structured events (level +
-//!   component + key/value fields) with JSONL export.
+//!   component + key/value fields) with JSONL export;
+//! * [`HttpServer`] — an embedded `std`-only HTTP server exposing all of
+//!   the above live (`/metrics`, `/healthz`, `/snapshot`, `/events`) plus
+//!   the daemon control plane (`/control/shutdown`, `/control/reload`).
 //!
 //! Two exposition formats: Prometheus text ([`Snapshot::prometheus`]) and
 //! JSONL time-series ([`Snapshot::jsonl_line`], one snapshot per line).
@@ -37,6 +40,7 @@ pub mod json;
 pub mod metric;
 pub mod registry;
 pub mod schema;
+pub mod server;
 pub mod snapshot;
 
 pub use events::{Event, EventLog, Level};
@@ -44,4 +48,5 @@ pub use histogram::{Histogram, HistogramSnapshot};
 pub use metric::{Counter, Gauge};
 pub use registry::{MetricKind, MetricRegistry};
 pub use schema::{check_jsonl_series, check_prometheus, check_required, SchemaReport};
+pub use server::{HealthProvider, HttpServer};
 pub use snapshot::{render_rows, MetricSample, MetricValue, Snapshot};

@@ -1,0 +1,142 @@
+//! Property tests for windowed delta snapshots: the `/snapshot` endpoint
+//! and the daemon's periodic JSONL export both lean on `Snapshot` deltas
+//! being exact *windows* — every increment lands in exactly one scrape's
+//! delta, no matter how increments (including bursts from epoch
+//! rotations) interleave with scrapes.
+
+use dart_telemetry::{MetricRegistry, MetricValue};
+use proptest::prelude::*;
+
+/// The one counter/histogram value in a snapshot, by name.
+fn counter_value(reg: &MetricRegistry, name: &str) -> (u64, u64) {
+    let snap = reg.scrape();
+    let sample = snap
+        .samples
+        .iter()
+        .find(|s| s.name == name)
+        .expect("series exists");
+    match &sample.value {
+        MetricValue::Counter { total, delta } => (*total, *delta),
+        other => panic!("expected counter, got {other:?}"),
+    }
+}
+
+fn histogram_delta(reg: &MetricRegistry, name: &str) -> (u64, u64) {
+    let snap = reg.scrape();
+    let sample = snap
+        .samples
+        .iter()
+        .find(|s| s.name == name)
+        .expect("series exists");
+    match &sample.value {
+        MetricValue::Histogram { hist, delta_count } => (hist.count(), *delta_count),
+        other => panic!("expected histogram, got {other:?}"),
+    }
+}
+
+proptest! {
+    /// For ANY interleaving of counter increments and scrapes — a model of
+    /// the daemon loop, where rotation bursts add between scrape windows —
+    /// each scrape's delta is exactly the increments since the previous
+    /// scrape, and the deltas partition the final total: nothing negative
+    /// (the type forbids it), nothing lost, nothing double-counted.
+    #[test]
+    fn counter_deltas_partition_the_total(
+        ops in proptest::collection::vec((0u64..1_000, any::<bool>()), 1..60),
+    ) {
+        let reg = MetricRegistry::new();
+        let counter = reg.counter("dart_test_window_total", &[], "test counter");
+        let mut since_last = 0u64;
+        let mut expected_total = 0u64;
+        let mut delta_sum = 0u64;
+        for &(inc, scrape_after) in &ops {
+            counter.add(inc);
+            since_last += inc;
+            expected_total += inc;
+            if scrape_after {
+                let (total, delta) = counter_value(&reg, "dart_test_window_total");
+                prop_assert_eq!(delta, since_last, "window != increments since last scrape");
+                prop_assert_eq!(total, expected_total);
+                delta_sum += delta;
+                since_last = 0;
+            }
+        }
+        // Final scrape drains whatever the last window left.
+        let (total, delta) = counter_value(&reg, "dart_test_window_total");
+        prop_assert_eq!(delta, since_last);
+        delta_sum += delta;
+        prop_assert_eq!(total, expected_total);
+        prop_assert_eq!(delta_sum, expected_total, "deltas must partition the total");
+        // An empty window scrapes as zero, not a re-count of old increments.
+        let (total, delta) = counter_value(&reg, "dart_test_window_total");
+        prop_assert_eq!(delta, 0, "idle window re-counted increments");
+        prop_assert_eq!(total, expected_total);
+    }
+
+    /// The same windowing contract for histogram observation counts (the
+    /// rotation-pause and stage-timer series): each scrape's `delta_count`
+    /// is the observations since the previous scrape, and they sum to the
+    /// cumulative count.
+    #[test]
+    fn histogram_delta_counts_partition_observations(
+        ops in proptest::collection::vec((0u64..1u64 << 40, any::<bool>()), 1..60),
+    ) {
+        let reg = MetricRegistry::new();
+        let hist = reg.histogram("dart_test_window_ns", &[], "test histogram");
+        let mut since_last = 0u64;
+        let mut observed = 0u64;
+        let mut delta_sum = 0u64;
+        for &(v, scrape_after) in &ops {
+            hist.observe(v);
+            since_last += 1;
+            observed += 1;
+            if scrape_after {
+                let (count, delta) = histogram_delta(&reg, "dart_test_window_ns");
+                prop_assert_eq!(delta, since_last);
+                prop_assert_eq!(count, observed);
+                delta_sum += delta;
+                since_last = 0;
+            }
+        }
+        let (count, delta) = histogram_delta(&reg, "dart_test_window_ns");
+        prop_assert_eq!(delta, since_last);
+        delta_sum += delta;
+        prop_assert_eq!(count, observed);
+        prop_assert_eq!(delta_sum, observed, "delta_counts must partition the count");
+    }
+
+    /// Scrapes observe concurrent writers without tearing the window
+    /// invariant: with increments racing a scrape, the delta may land in
+    /// either window, but the sum of all windows still equals the final
+    /// total — the cross-thread version of "no loss, no double count".
+    #[test]
+    fn concurrent_increments_land_in_exactly_one_window(
+        per_thread in 1u64..400,
+        scrapes in 2usize..8,
+    ) {
+        let reg = MetricRegistry::new();
+        let counter = reg.counter("dart_test_race_total", &[], "test counter");
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let c = counter.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..per_thread {
+                        c.inc();
+                    }
+                })
+            })
+            .collect();
+        let mut delta_sum = 0u64;
+        for _ in 0..scrapes {
+            let (_, delta) = counter_value(&reg, "dart_test_race_total");
+            delta_sum += delta;
+        }
+        for t in threads {
+            t.join().expect("writer thread");
+        }
+        let (total, delta) = counter_value(&reg, "dart_test_race_total");
+        delta_sum += delta;
+        prop_assert_eq!(total, 4 * per_thread);
+        prop_assert_eq!(delta_sum, total, "windows lost or double-counted increments");
+    }
+}

@@ -26,6 +26,9 @@
 //! * [`scenarios`] — adversarial scenario suites (QUIC mixes, churn
 //!   storms, interception, wireless tails) running the full differential
 //!   matrix with the spin and histogram engines judged;
+//! * [`daemon`] — the long-lived `dartmon serve` core: a supervised
+//!   sharded engine on a live source with wall-clock epoch rotation and
+//!   the embedded observability server (`telemetry` feature);
 //! * [`shrink`] — `ddmin` trace minimization writing reproducers under
 //!   `tests/shrunk/`;
 //! * [`broken`] — an intentionally unsound engine proving the harness
@@ -49,6 +52,8 @@
 
 pub mod broken;
 pub mod chaos;
+#[cfg(feature = "telemetry")]
+pub mod daemon;
 pub mod diff;
 pub mod faults;
 pub mod oracle;
@@ -61,6 +66,8 @@ pub use chaos::{
     chaos_hook, quiet_chaos_panics, run_chaos, run_chaos_sweep, ChaosConfig, ChaosReport,
     RuntimeFault,
 };
+#[cfg(feature = "telemetry")]
+pub use daemon::{Daemon, DaemonConfig, DaemonReport};
 pub use diff::{
     hist_within_tolerance, loss_budget, oracle_histogram, run_diff, run_diff_faulted,
     snapshot_from_rows, DiffConfig, DiffReport, EngineOutcome,

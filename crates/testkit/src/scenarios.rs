@@ -22,6 +22,7 @@
 use crate::diff::{run_diff, run_diff_faulted, DiffConfig, DiffReport};
 use crate::faults::FaultConfig;
 use crate::spin_oracle::run_spin_oracle;
+use dart_core::Backend;
 use dart_sim::adversarial::ScenarioKind;
 use dart_sim::TraceTransform;
 use std::fmt;
@@ -39,6 +40,9 @@ pub struct ScenarioConfig {
     pub seed: u64,
     /// Optional capture-level fault layer on top of the generated trace.
     pub fault: Option<FaultConfig>,
+    /// Flow-state backend the Dart rows run under — per-backend scorecards
+    /// are how the accuracy frontier gets adversarial coverage.
+    pub backend: Backend,
 }
 
 impl ScenarioConfig {
@@ -49,6 +53,7 @@ impl ScenarioConfig {
             scale,
             seed,
             fault: None,
+            backend: Backend::Exact,
         }
     }
 
@@ -59,6 +64,12 @@ impl ScenarioConfig {
             fault: Some(FaultConfig::stress(fault_seed)),
             ..ScenarioConfig::clean(kind, scale, seed)
         }
+    }
+
+    /// The same run under a different flow-state backend.
+    pub fn with_backend(mut self, backend: Backend) -> ScenarioConfig {
+        self.backend = backend;
+        self
     }
 }
 
@@ -102,13 +113,17 @@ impl fmt::Display for ScenarioOutcome {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "scenario[{}] scale {} · seed {:#x}{}",
+            "scenario[{}] scale {} · seed {:#x}{}{}",
             self.config.kind,
             self.config.scale,
             self.config.seed,
             match &self.config.fault {
                 Some(fc) => format!(" · fault seed {:#x}", fc.seed),
                 None => String::new(),
+            },
+            match self.config.backend {
+                Backend::Exact => String::new(),
+                other => format!(" · backend {other}"),
             }
         )?;
         writeln!(
@@ -124,7 +139,8 @@ impl fmt::Display for ScenarioOutcome {
 /// full differential suite over it.
 pub fn run_scenario(cfg: &ScenarioConfig) -> ScenarioOutcome {
     let trace = cfg.kind.generate(cfg.scale, cfg.seed);
-    let diff_cfg = scenario_diff_config();
+    let mut diff_cfg = scenario_diff_config();
+    diff_cfg.engine = diff_cfg.engine.with_backend(cfg.backend);
     let report = match cfg.fault {
         Some(fault) => run_diff_faulted(&diff_cfg, fault, &trace.packets),
         None => run_diff(&diff_cfg, &trace.packets),
@@ -149,15 +165,23 @@ pub fn run_scenario(cfg: &ScenarioConfig) -> ScenarioOutcome {
 
 /// Run every scenario kind at the same scale, clean and (when
 /// `fault_seed` is given) stressed — the acceptance sweep the CI
-/// `scenarios` job and `dartmon scenarios` report.
-pub fn run_scenario_matrix(scale: f64, seed: u64, fault_seed: Option<u64>) -> Vec<ScenarioOutcome> {
+/// `scenarios` job and `dartmon scenarios` report. All Dart rows run
+/// under `backend`, so the sweep produces a per-backend scorecard.
+pub fn run_scenario_matrix(
+    scale: f64,
+    seed: u64,
+    fault_seed: Option<u64>,
+    backend: Backend,
+) -> Vec<ScenarioOutcome> {
     let mut outcomes = Vec::new();
     for kind in ScenarioKind::ALL {
-        outcomes.push(run_scenario(&ScenarioConfig::clean(kind, scale, seed)));
+        outcomes.push(run_scenario(
+            &ScenarioConfig::clean(kind, scale, seed).with_backend(backend),
+        ));
         if let Some(fs) = fault_seed {
-            outcomes.push(run_scenario(&ScenarioConfig::stressed(
-                kind, scale, seed, fs,
-            )));
+            outcomes.push(run_scenario(
+                &ScenarioConfig::stressed(kind, scale, seed, fs).with_backend(backend),
+            ));
         }
     }
     outcomes
@@ -176,10 +200,13 @@ pub fn write_scorecards(dir: &Path, outcomes: &[ScenarioOutcome]) -> std::io::Re
     std::fs::create_dir_all(dir)?;
     let mut summary = String::new();
     for o in outcomes {
-        let stem = match o.config.fault {
+        let mut stem = match o.config.fault {
             Some(_) => format!("{}-stressed", o.config.kind),
             None => o.config.kind.to_string(),
         };
+        if o.config.backend != Backend::Exact {
+            stem.push_str(&format!("@{}", o.config.backend));
+        }
         let mut text = o.to_string();
         text.push('\n');
         text.push_str(&o.report.counters_text());
@@ -221,6 +248,21 @@ mod tests {
         for name in ["dart", "dart-sharded-4", "tcptrace", "spin", "dart-hist"] {
             assert!(names.contains(&name.to_string()), "{names:?}");
         }
+    }
+
+    #[test]
+    fn backend_runs_tag_display_and_scorecard_stem() {
+        let dir = std::env::temp_dir().join("dart-scenario-backend-selftest");
+        let outcome = run_scenario(
+            &ScenarioConfig::clean(ScenarioKind::ChurnStorm, 0.1, 3).with_backend(Backend::Sketch),
+        );
+        assert!(outcome.to_string().contains("backend sketch"), "{outcome}");
+        write_scorecards(&dir, std::slice::from_ref(&outcome)).unwrap();
+        assert!(
+            dir.join("churn-storm@sketch.txt").exists(),
+            "backend-suffixed scorecard missing"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

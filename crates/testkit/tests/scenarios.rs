@@ -105,7 +105,7 @@ fn histogram_engine_tracks_the_oracle_distribution() {
 
 #[test]
 fn matrix_writes_scorecard_artifacts() {
-    let outcomes = run_scenario_matrix(SCALE, SEED, Some(FAULT_SEED));
+    let outcomes = run_scenario_matrix(SCALE, SEED, Some(FAULT_SEED), dart_core::Backend::Exact);
     assert_eq!(outcomes.len(), 2 * ScenarioKind::ALL.len());
     let dir = scenario_artifact_dir();
     let summary = write_scorecards(&dir, &outcomes).expect("write scorecards");

@@ -43,6 +43,12 @@ pub enum Command {
     },
     /// Run the adversarial scenario matrix and write judged scorecards.
     Scenarios,
+    /// Long-lived monitoring daemon: feed a live source through the
+    /// supervised sharded engine with the observability server attached.
+    Serve {
+        /// Input path (trace to follow or cycle).
+        input: String,
+    },
     /// Print the data-plane resource report.
     Resources,
     /// Print usage.
@@ -149,6 +155,26 @@ dapper, strawman, seglist, lean, spin, dart-hist.
         --fault-seed X    (also run each scenario with the seeded stress
                            fault layer: drop/dup/reorder/truncate)
         --out DIR         (scorecard directory, default target/tmp/scenarios)
+        --backend exact|sketch|precision (flow-state backend for the Dart
+                           rows; non-exact runs tag their scorecards
+                           `<kind>@<backend>.txt`)
+    serve <input>                   long-lived monitoring daemon (telemetry):
+                                    supervised sharded engine on a live
+                                    source, observability plane over HTTP
+                                    (GET /metrics /healthz /snapshot /events,
+                                    POST /control/shutdown /control/reload)
+        --listen ADDR     (bind address, default 127.0.0.1:9464)
+        --mode once|follow|cycle    (once: read the trace to EOF and exit;
+                           follow: tail the file/fifo until a shutdown is
+                           POSTed; cycle: loop the trace, rebasing
+                           timestamps each pass — default once)
+        --passes N        (cycle mode: stop after N passes, default endless)
+        --rotate-millis M (wall-clock epoch rotation period, default 900000)
+        --retain-secs S   (rotation keeps flows touched in the last S
+                           seconds of trace time, default 10)
+        --block N         (packets per ingest block, default 1024)
+        plus the analyze engine flags (--shards/--backend/--leg/--pt/--rt/
+        --stages/--max-recirc)
     resources                       Table-1 style resource report
     help                            this text
 
@@ -181,7 +207,7 @@ pub fn parse(args: &[String]) -> Result<(Command, Options), String> {
         Some("scenarios") => Command::Scenarios,
         Some(
             c @ ("generate" | "analyze" | "replay" | "compare" | "detect" | "diff" | "stats"
-            | "chaos"),
+            | "chaos" | "serve"),
         ) => {
             let arg = pos
                 .get(1)
@@ -194,12 +220,70 @@ pub fn parse(args: &[String]) -> Result<(Command, Options), String> {
                 "diff" => Command::Diff { input: arg },
                 "stats" => Command::Stats { input: arg },
                 "chaos" => Command::Chaos { input: arg },
+                "serve" => Command::Serve { input: arg },
                 _ => Command::Detect { input: arg },
             }
         }
-        Some(other) => return Err(format!("unknown command {other:?} (try `dartmon help`)")),
+        // A bare existing file is the legacy pre-subcommand shorthand for
+        // `detect <file>`; anything else is a typo and must not silently
+        // run change detection on it.
+        Some(other) if std::path::Path::new(other).is_file() => Command::Detect {
+            input: other.to_string(),
+        },
+        Some(other) => {
+            let hint = closest_command(other)
+                .map(|c| format!(" — did you mean `{c}`?"))
+                .unwrap_or_default();
+            return Err(format!(
+                "unknown command {other:?}{hint} (try `dartmon help`)"
+            ));
+        }
     };
     Ok((cmd, opts))
+}
+
+/// Every accepted subcommand name, for the did-you-mean hint.
+const COMMANDS: [&str; 12] = [
+    "generate",
+    "analyze",
+    "replay",
+    "compare",
+    "detect",
+    "diff",
+    "stats",
+    "chaos",
+    "scenarios",
+    "serve",
+    "resources",
+    "help",
+];
+
+/// The known command within Levenshtein distance 2 of `input`, if any
+/// (ties go to the earlier entry in [`COMMANDS`]).
+fn closest_command(input: &str) -> Option<&'static str> {
+    COMMANDS
+        .iter()
+        .map(|&c| (levenshtein(input, c), c))
+        .filter(|&(d, _)| d <= 2)
+        .min_by_key(|&(d, _)| d)
+        .map(|(_, c)| c)
+}
+
+/// Classic two-row edit distance; command names are short, so no need
+/// for anything cleverer.
+fn levenshtein(a: &str, b: &str) -> usize {
+    let b: Vec<char> = b.chars().collect();
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0; b.len() + 1];
+    for (i, ca) in a.chars().enumerate() {
+        cur[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            cur[j + 1] = sub.min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
 }
 
 #[cfg(test)]
@@ -260,6 +344,43 @@ mod tests {
     #[test]
     fn unknown_command_errors() {
         assert!(parse(&v(&["frobnicate"])).is_err());
+    }
+
+    #[test]
+    fn unknown_command_suggests_the_closest_subcommand() {
+        let err = parse(&v(&["anaylze", "x.trace"])).unwrap_err();
+        assert!(err.contains("did you mean `analyze`"), "{err}");
+        let err = parse(&v(&["sevre", "x.trace"])).unwrap_err();
+        assert!(err.contains("did you mean `serve`"), "{err}");
+        // Nothing within distance 2: no hint, still an error.
+        let err = parse(&v(&["frobnicate"])).unwrap_err();
+        assert!(!err.contains("did you mean"), "{err}");
+        assert!(err.contains("dartmon help"), "{err}");
+    }
+
+    #[test]
+    fn bare_existing_file_is_legacy_detect_shorthand() {
+        let path = std::env::temp_dir().join("dartmon_cli_legacy.trace");
+        std::fs::write(&path, b"x").unwrap();
+        let arg = path.to_str().unwrap().to_string();
+        let (cmd, _) = parse(std::slice::from_ref(&arg)).unwrap();
+        assert_eq!(cmd, Command::Detect { input: arg });
+        let _ = std::fs::remove_file(&path);
+        // The same spelling without a file behind it is a typo, not detect.
+        assert!(parse(&v(&["/nonexistent/no.trace"])).is_err());
+    }
+
+    #[test]
+    fn serve_parses_with_flags() {
+        let (cmd, opts) = parse(&v(&["serve", "x.trace", "--mode", "cycle"])).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Serve {
+                input: "x.trace".into()
+            }
+        );
+        assert_eq!(opts.get("mode"), Some("cycle"));
+        assert!(parse(&v(&["serve"])).is_err());
     }
 
     #[test]

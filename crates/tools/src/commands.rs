@@ -41,6 +41,143 @@ pub fn run(cmd: Command, opts: &Options) -> Result<String, String> {
         Command::Stats { input } => stats_report(&input, opts),
         Command::Chaos { input } => chaos(&input, opts),
         Command::Scenarios => scenarios(opts),
+        Command::Serve { input } => serve(&input, opts),
+    }
+}
+
+/// `dartmon serve`: the long-lived monitoring daemon (DESIGN.md §5i) —
+/// the supervised sharded engine on a live source, with wall-clock epoch
+/// rotation and the embedded observability plane (`GET /metrics`,
+/// `/healthz`, `/snapshot`, `/events`; `POST /control/shutdown`,
+/// `/control/reload`).
+fn serve(input: &str, opts: &Options) -> Result<String, String> {
+    #[cfg(not(feature = "telemetry"))]
+    {
+        let _ = (input, opts);
+        Err("`dartmon serve` needs the `telemetry` feature; \
+             this binary was built with --no-default-features"
+            .to_string())
+    }
+    #[cfg(feature = "telemetry")]
+    {
+        use dart_core::sharded::ShardedConfig;
+        use dart_packet::{CycleSource, Follow, PacketSource, PcapSource};
+        use dart_testkit::{Daemon, DaemonConfig};
+        use std::time::Duration;
+
+        let mode = opts.get("mode").unwrap_or("once");
+        if !matches!(mode, "once" | "follow" | "cycle") {
+            return Err(format!(
+                "unknown --mode {mode:?} (expected once | follow | cycle)"
+            ));
+        }
+        let passes = match opts.get("passes") {
+            None => None,
+            Some(_) if mode != "cycle" => return Err("--passes needs --mode cycle".to_string()),
+            Some(_) => Some(opts.get_num("passes", 0u64)?),
+        };
+        let shards = opts.get_num("shards", 2usize)?;
+        if shards == 0 {
+            return Err("--shards must be at least 1".to_string());
+        }
+        let shards = clamp_shards(shards);
+        let rotate_millis = opts.get_num("rotate-millis", 900_000u64)?;
+        if rotate_millis == 0 {
+            return Err("--rotate-millis must be at least 1".to_string());
+        }
+        let cfg = DaemonConfig {
+            sharded: ShardedConfig::new(engine_config(opts)?, shards),
+            block_pkts: opts.get_num("block", 1024usize)?.max(1),
+            rotate_every: Duration::from_millis(rotate_millis),
+            retain: opts.get_num("retain-secs", 10u64)?.saturating_mul(SECOND),
+            bind: opts.get("listen").unwrap_or("127.0.0.1:9464").to_string(),
+            ..DaemonConfig::default()
+        };
+        let internal = internal_prefix(opts)?;
+        let daemon = Daemon::start(cfg).map_err(|e| format!("bind observability server: {e}"))?;
+        let addr = daemon.addr();
+        eprintln!(
+            "dartmon serve: observability plane on http://{addr} \
+             (POST /control/shutdown to stop)"
+        );
+        let run = |daemon: Daemon, source: &mut dyn PacketSource| {
+            daemon
+                .run(source)
+                .map_err(|e| format!("ingest {input}: {e}"))
+        };
+        let (report, mode_note) = match mode {
+            "follow" => {
+                // Build the tail *after* the server is up: the shared
+                // shutdown flag is what wakes a source parked at
+                // end-of-data, so a quiet fifo cannot outlive a POSTed
+                // shutdown.
+                let stop = daemon.server().shutdown_flag();
+                let file = std::fs::File::open(input).map_err(|e| format!("open {input}: {e}"))?;
+                let follow = Follow::new(file, stop);
+                let mut source: Box<dyn PacketSource> = if input.ends_with(".pcap") {
+                    let classifier = dart_packet::parse::PrefixClassifier::new([internal]);
+                    Box::new(
+                        PcapSource::new(follow, classifier)
+                            .map_err(|e| format!("open {input}: {e}"))?,
+                    )
+                } else {
+                    Box::new(
+                        dart_packet::trace::TraceReader::new(follow)
+                            .map_err(|e| format!("open {input}: {e}"))?,
+                    )
+                };
+                (
+                    run(daemon, source.as_mut())?,
+                    "follow (tail until shutdown)".to_string(),
+                )
+            }
+            "cycle" => {
+                let (packets, _) = load_file(input, internal)?;
+                let mut source = CycleSource::new(packets);
+                if let Some(n) = passes {
+                    source = source.with_passes(n);
+                }
+                let report = run(daemon, &mut source)?;
+                let note = format!("cycle ({} passes completed)", source.passes_completed());
+                (report, note)
+            }
+            _ => {
+                let (packets, _) = load_file(input, internal)?;
+                let mut source = SliceSource::new(&packets);
+                (
+                    run(daemon, &mut source)?,
+                    "once (drain and exit)".to_string(),
+                )
+            }
+        };
+        let mut out = String::new();
+        writeln!(out, "listened          : http://{addr}").expect("string write");
+        writeln!(out, "mode              : {mode_note}").expect("string write");
+        writeln!(out, "packets           : {}", report.packets).expect("string write");
+        writeln!(out, "samples           : {}", report.stats.samples).expect("string write");
+        writeln!(out, "epoch rotations   : {}", report.rotations).expect("string write");
+        writeln!(out, "reloads           : {}", report.reloads).expect("string write");
+        writeln!(
+            out,
+            "ended by          : {}",
+            if report.shutdown_requested {
+                "shutdown request"
+            } else {
+                "source drained"
+            }
+        )
+        .expect("string write");
+        writeln!(
+            out,
+            "supervisor        : {}",
+            if report.health.healthy() {
+                "healthy"
+            } else {
+                "degraded"
+            }
+        )
+        .expect("string write");
+        Ok(out)
     }
 }
 
@@ -77,13 +214,16 @@ fn scenarios(opts: &Options) -> Result<String, String> {
     if kinds.is_empty() {
         return Err("--scenario: empty selection".to_string());
     }
+    let backend = backend_flag(opts)?;
     let mut outcomes = Vec::new();
     for kind in kinds {
-        outcomes.push(run_scenario(&ScenarioConfig::clean(kind, scale, seed)));
+        outcomes.push(run_scenario(
+            &ScenarioConfig::clean(kind, scale, seed).with_backend(backend),
+        ));
         if let Some(fs) = fault_seed {
-            outcomes.push(run_scenario(&ScenarioConfig::stressed(
-                kind, scale, seed, fs,
-            )));
+            outcomes.push(run_scenario(
+                &ScenarioConfig::stressed(kind, scale, seed, fs).with_backend(backend),
+            ));
         }
     }
     let dir = match opts.get("out") {
@@ -1044,6 +1184,114 @@ mod tests {
         let summary = std::fs::read_to_string(base.join("scorecard.txt")).unwrap();
         assert!(!summary.contains("FAIL"), "{summary}");
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn scenarios_backend_flag_tags_the_scorecards() {
+        let dir = tmp("dartmon_scenarios_backend_out");
+        let _ = std::fs::remove_dir_all(&dir);
+        let report = run_line(&[
+            "scenarios",
+            "--scale",
+            "0.1",
+            "--scenario",
+            "quic-mix",
+            "--backend",
+            "sketch",
+            "--out",
+            &dir,
+        ])
+        .unwrap();
+        assert!(report.contains("backend sketch"), "{report}");
+        assert!(
+            std::path::Path::new(&dir)
+                .join("quic-mix@sketch.txt")
+                .exists(),
+            "backend-suffixed scorecard missing"
+        );
+        let err = run_line(&["scenarios", "--backend", "nonsense"]).unwrap_err();
+        assert!(err.contains("unknown backend"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn serve_once_drains_and_reports() {
+        let path = tmp("dartmon_serve_once.trace");
+        run_line(&[
+            "generate",
+            &path,
+            "--connections",
+            "60",
+            "--duration-secs",
+            "2",
+        ])
+        .unwrap();
+        let report = run_line(&["serve", &path, "--listen", "127.0.0.1:0"]).unwrap();
+        assert!(report.contains("mode              : once"), "{report}");
+        assert!(
+            report.contains("ended by          : source drained"),
+            "{report}"
+        );
+        assert!(report.contains("supervisor        : healthy"), "{report}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn serve_cycle_rotates_epochs_over_a_looped_trace() {
+        let path = tmp("dartmon_serve_cycle.trace");
+        run_line(&[
+            "generate",
+            &path,
+            "--connections",
+            "60",
+            "--duration-secs",
+            "2",
+        ])
+        .unwrap();
+        let report = run_line(&[
+            "serve",
+            &path,
+            "--listen",
+            "127.0.0.1:0",
+            "--mode",
+            "cycle",
+            "--passes",
+            "3",
+            "--rotate-millis",
+            "1",
+            "--retain-secs",
+            "1",
+        ])
+        .unwrap();
+        assert!(report.contains("cycle (3 passes completed)"), "{report}");
+        let rotations: u64 = report
+            .lines()
+            .find(|l| l.starts_with("epoch rotations"))
+            .and_then(|l| l.split(':').nth(1))
+            .and_then(|v| v.trim().parse().ok())
+            .expect("rotation count line");
+        assert!(rotations >= 1, "{report}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn serve_rejects_bad_flags() {
+        let err = run_line(&["serve", "x.trace", "--mode", "sideways"]).unwrap_err();
+        assert!(err.contains("unknown --mode"), "{err}");
+        let err = run_line(&["serve", "x.trace", "--passes", "2"]).unwrap_err();
+        assert!(err.contains("--passes needs --mode cycle"), "{err}");
+        let err = run_line(&["serve", "x.trace", "--shards", "0"]).unwrap_err();
+        assert!(err.contains("at least 1"), "{err}");
+    }
+
+    #[cfg(not(feature = "telemetry"))]
+    #[test]
+    fn serve_without_telemetry_points_at_the_feature() {
+        let err = run_line(&["serve", "x.trace"]).unwrap_err();
+        assert!(err.contains("telemetry"), "{err}");
     }
 
     #[test]
