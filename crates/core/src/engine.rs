@@ -9,12 +9,19 @@ use crate::range::{AckVerdict, MeasurementRange, SeqVerdict};
 use crate::range_tracker::{RtAckOutcome, RtSeqOutcome, RtSlot};
 use crate::sample::{RttSample, SampleSink};
 use crate::sketch::{Admission, AdmissionGate};
+use crate::snapshot::{SnapReader, SnapWriter, Snapshot, SnapshotError};
 use crate::stats::EngineStats;
 #[cfg(feature = "telemetry")]
 use crate::telemetry::{EngineTelemetry, SYNC_INTERVAL_PKTS};
+use dart_packet::flow::fnv1a_64;
 use dart_packet::{FlowKey, FlowSignature, Nanos, PacketId, PacketMeta, SeqNum};
-use dart_switch::RecircPort;
+use dart_switch::{RecircPort, Recirculated};
 use std::collections::{HashMap, VecDeque};
+
+/// Engine-kind tag leading every single-engine snapshot payload; the
+/// sharded monitor writes [`crate::sharded`]'s own tag so the two formats
+/// can never be restored into the wrong monitor shape.
+pub(crate) const SNAP_KIND_ENGINE: u8 = 1;
 
 /// A notable per-flow event the engine can report to the analytics module
 /// beyond RTT samples: range collapses are the §3.1 congestion indicator
@@ -603,6 +610,273 @@ impl DartEngine {
         rotation
     }
 
+    /// Identity of the configuration this engine was built from. Restoring
+    /// a snapshot into an engine with a different configuration would
+    /// silently mis-key every table (different geometry, signature width,
+    /// or backend), so both ends of the snapshot carry this fingerprint.
+    fn config_fingerprint(&self) -> u64 {
+        fnv1a_64(format!("{:?}", self.cfg).as_bytes())
+    }
+
+    /// Serialize the engine's complete measurement state — both flow
+    /// tables, the victim cache, records mid-recirculation, the RT copy,
+    /// the admission gate's heavy-hitter book, and every counter — into a
+    /// checksummed [`Snapshot`]. Control-plane only: call between batches,
+    /// never mid-batch (same quiescence contract as
+    /// [`DartEngine::rotate_epoch`]).
+    pub fn snapshot(&self) -> Result<Snapshot, SnapshotError> {
+        let mut w = SnapWriter::new();
+        w.put_u8(SNAP_KIND_ENGINE);
+        self.snapshot_into(&mut w);
+        Ok(Snapshot::from_payload(w.into_payload()))
+    }
+
+    /// Restore a [`DartEngine::snapshot`] into this engine, replacing all
+    /// measurement state. The engine must have been built from the same
+    /// configuration the snapshot was taken under
+    /// ([`SnapshotError::Mismatch`] otherwise); the snapshot's counters
+    /// replace the current ones, so the conservation law
+    /// (`fed == packets + monitor_miss`) resumes from where the
+    /// checkpointed run left off.
+    pub fn restore(&mut self, snap: &Snapshot) -> Result<(), SnapshotError> {
+        let mut r = SnapReader::new(snap.payload());
+        let kind = r.get_u8()?;
+        if kind != SNAP_KIND_ENGINE {
+            return Err(SnapshotError::Mismatch(format!(
+                "payload kind {kind} is not a single-engine snapshot"
+            )));
+        }
+        self.restore_from(&mut r)?;
+        if r.remaining() != 0 {
+            return Err(SnapshotError::Corrupt(format!(
+                "{} trailing bytes after the engine state",
+                r.remaining()
+            )));
+        }
+        Ok(())
+    }
+
+    /// The engine-state section of the payload (no kind tag, no framing):
+    /// the sharded monitor embeds one of these per shard inside its own
+    /// payload.
+    pub(crate) fn snapshot_into(&self, w: &mut SnapWriter) {
+        w.put_u64(self.config_fingerprint());
+
+        // Counters, name-tagged: a snapshot taken before a counter existed
+        // restores every field it knows about (see EngineStats::set_metric).
+        let rows = self.stats.metric_rows();
+        w.put_u32(rows.len() as u32);
+        for (name, value) in rows {
+            w.put_str(name);
+            w.put_u64(value);
+        }
+
+        match &self.rt {
+            RtTable::Exact(t) => {
+                w.put_u8(0);
+                t.snapshot_into(w);
+            }
+            RtTable::Sketch(t) => {
+                w.put_u8(1);
+                t.snapshot_into(w);
+            }
+        }
+        match &self.pt {
+            PtTable::Exact(t) => {
+                w.put_u8(0);
+                t.snapshot_into(w);
+            }
+            PtTable::Sketch(t) => {
+                w.put_u8(1);
+                t.snapshot_into(w);
+            }
+        }
+
+        w.put_usize(self.victim_cache.len());
+        for rec in &self.victim_cache {
+            rec.snapshot_into(w);
+        }
+
+        // Records mid-recirculation, plus the port's accumulated books.
+        let rstats = self.recirc.stats();
+        w.put_u64(rstats.accepted);
+        w.put_u64(rstats.refused_cap);
+        w.put_usize(rstats.max_queue_depth);
+        w.put_usize(self.recirc.in_flight());
+        for e in self.recirc.iter() {
+            e.record.rec.snapshot_into(w);
+            w.put_u64(e.record.displaced_by.sig.0);
+            w.put_u32(e.record.displaced_by.eack.0);
+            w.put_u64(e.record.ready);
+            w.put_u32(e.trips);
+        }
+
+        match &self.rt_copy {
+            None => w.put_u8(0),
+            Some(copy) => {
+                w.put_u8(1);
+                w.put_u64(copy.sync);
+                // Sorted for a deterministic byte stream (HashMap iteration
+                // order is not).
+                let mut shadow: Vec<_> = copy
+                    .shadow
+                    .iter()
+                    .map(|(sig, (range, at))| (sig.0, range.left.0, range.right.0, *at))
+                    .collect();
+                shadow.sort_unstable();
+                w.put_usize(shadow.len());
+                for (sig, left, right, at) in shadow {
+                    w.put_u64(sig);
+                    w.put_u32(left);
+                    w.put_u32(right);
+                    w.put_u64(at);
+                }
+                w.put_usize(copy.pending.len());
+                for (at, sig, range) in &copy.pending {
+                    w.put_u64(*at);
+                    w.put_u64(sig.0);
+                    w.put_u32(range.left.0);
+                    w.put_u32(range.right.0);
+                }
+            }
+        }
+
+        match &self.admission {
+            None => w.put_u8(0),
+            Some(gate) => {
+                w.put_u8(1);
+                gate.snapshot_into(w);
+            }
+        }
+    }
+
+    /// Restore the engine-state section written by
+    /// [`DartEngine::snapshot_into`].
+    pub(crate) fn restore_from(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapshotError> {
+        let fp = r.get_u64()?;
+        if fp != self.config_fingerprint() {
+            return Err(SnapshotError::Mismatch(format!(
+                "snapshot was taken under a different configuration \
+                 (fingerprint {fp:#018x}, this engine {:#018x})",
+                self.config_fingerprint()
+            )));
+        }
+
+        let mut stats = EngineStats::default();
+        let rows = r.get_u32()?;
+        for _ in 0..rows {
+            let name = r.get_str()?;
+            let value = r.get_u64()?;
+            // Unknown names are tolerated: a newer build's snapshot may
+            // carry counters this build does not have.
+            let _ = stats.set_metric(name, value);
+        }
+        self.stats = stats;
+
+        let rt_tag = r.get_u8()?;
+        match (&mut self.rt, rt_tag) {
+            (RtTable::Exact(t), 0) => t.restore_from(r)?,
+            (RtTable::Sketch(t), 1) => t.restore_from(r)?,
+            (_, tag) => {
+                return Err(SnapshotError::Mismatch(format!(
+                    "RT backend tag {tag} does not match this engine's backend"
+                )))
+            }
+        }
+        let pt_tag = r.get_u8()?;
+        match (&mut self.pt, pt_tag) {
+            (PtTable::Exact(t), 0) => t.restore_from(r)?,
+            (PtTable::Sketch(t), 1) => t.restore_from(r)?,
+            (_, tag) => {
+                return Err(SnapshotError::Mismatch(format!(
+                    "PT backend tag {tag} does not match this engine's backend"
+                )))
+            }
+        }
+
+        let vc = r.get_usize()?;
+        self.victim_cache.clear();
+        for _ in 0..vc {
+            self.victim_cache.push_back(PtRecord::restore_from(r)?);
+        }
+
+        let rstats = dart_switch::RecircStats {
+            accepted: r.get_u64()?,
+            refused_cap: r.get_u64()?,
+            max_queue_depth: r.get_usize()?,
+        };
+        let depth = r.get_usize()?;
+        let mut entries = Vec::with_capacity(depth.min(1 << 20));
+        for _ in 0..depth {
+            let rec = PtRecord::restore_from(r)?;
+            let displaced_by = PacketId::new(FlowSignature(r.get_u64()?), SeqNum(r.get_u32()?));
+            let ready = r.get_u64()?;
+            let trips = r.get_u32()?;
+            entries.push(Recirculated {
+                record: RecircEntry {
+                    rec,
+                    displaced_by,
+                    ready,
+                },
+                trips,
+            });
+        }
+        self.recirc.restore(entries, rstats);
+
+        let copy_tag = r.get_u8()?;
+        match (&mut self.rt_copy, copy_tag) {
+            (None, 0) => {}
+            (Some(copy), 1) => {
+                copy.sync = r.get_u64()?;
+                copy.shadow.clear();
+                let n = r.get_usize()?;
+                for _ in 0..n {
+                    let sig = FlowSignature(r.get_u64()?);
+                    let range = MeasurementRange {
+                        left: SeqNum(r.get_u32()?),
+                        right: SeqNum(r.get_u32()?),
+                    };
+                    let at = r.get_u64()?;
+                    copy.shadow.insert(sig, (range, at));
+                }
+                copy.pending.clear();
+                let n = r.get_usize()?;
+                for _ in 0..n {
+                    let at = r.get_u64()?;
+                    let sig = FlowSignature(r.get_u64()?);
+                    let range = MeasurementRange {
+                        left: SeqNum(r.get_u32()?),
+                        right: SeqNum(r.get_u32()?),
+                    };
+                    copy.pending.push_back((at, sig, range));
+                }
+            }
+            (_, tag) => {
+                return Err(SnapshotError::Mismatch(format!(
+                    "RT-copy section tag {tag} does not match this engine"
+                )))
+            }
+        }
+
+        let gate_tag = r.get_u8()?;
+        match (&mut self.admission, gate_tag) {
+            (None, 0) => {}
+            (Some(gate), 1) => gate.restore_from(r)?,
+            (_, tag) => {
+                return Err(SnapshotError::Mismatch(format!(
+                    "admission section tag {tag} does not match this engine"
+                )))
+            }
+        }
+
+        // The batch scratch is a pure cache (locations are pure functions
+        // of packet and geometry), but start it cold anyway.
+        self.scratch = BatchScratch::default();
+        #[cfg(feature = "telemetry")]
+        self.sync_telemetry();
+        Ok(())
+    }
+
     fn handle_seq(&mut self, pkt: &PacketMeta) {
         let at = self.rt.locate(&pkt.flow);
         self.handle_seq_at(pkt, pkt.eack(), &at, None);
@@ -929,6 +1203,14 @@ impl crate::monitor::RttMonitor for DartEngine {
 
     fn rotate_epoch(&mut self, cutoff: Nanos) -> crate::monitor::EpochRotation {
         DartEngine::rotate_epoch(self, cutoff)
+    }
+
+    fn snapshot(&mut self) -> Result<Snapshot, SnapshotError> {
+        DartEngine::snapshot(self)
+    }
+
+    fn restore(&mut self, snap: &Snapshot) -> Result<(), SnapshotError> {
+        DartEngine::restore(self, snap)
     }
 
     fn stats(&self) -> EngineStats {
@@ -1429,6 +1711,124 @@ mod tests {
             assert_eq!(got, expected, "samples diverge for {cfg:?}");
             assert_eq!(*engine.stats(), expected_stats, "stats diverge for {cfg:?}");
         }
+    }
+
+    /// Snapshot → restore into a fresh engine must reproduce the original
+    /// engine bit for bit as far as observation goes: identical stats
+    /// (byte-identical snapshot bytes on re-snapshot), and identical
+    /// samples/stats when both engines process the same continuation
+    /// traffic. Exercised across every config family the batch conformance
+    /// test covers, plus sketch and precision backends.
+    #[test]
+    fn snapshot_restore_resumes_identically() {
+        let cfgs = [
+            DartConfig::unlimited(),
+            DartConfig::default(),
+            DartConfig::default().with_pt(16, 4).with_max_recirc(4),
+            DartConfig::default().with_pt(4, 2).with_victim_cache(3),
+            DartConfig::default().with_pt(8, 1).with_rt_copy(1_000_000),
+            DartConfig::default().with_backend(Backend::Sketch),
+            DartConfig::default().with_backend(Backend::Precision),
+        ];
+        // Traffic with eviction pressure so the victim cache and recirc
+        // queue are non-empty at the checkpoint.
+        let mut first = Vec::new();
+        let mut second = Vec::new();
+        for n in 0..120u32 {
+            let f = flow(n % 7);
+            let base = u64::from(n) * 500_000;
+            let into = if n < 70 { &mut first } else { &mut second };
+            into.push(
+                PacketBuilder::new(f, base)
+                    .seq(n * 100)
+                    .payload(100)
+                    .dir(Direction::Outbound)
+                    .build(),
+            );
+            if n % 2 == 0 {
+                into.push(
+                    PacketBuilder::new(f.reverse(), base + 200_000)
+                        .ack(n * 100 + 100)
+                        .dir(Direction::Inbound)
+                        .build(),
+                );
+            }
+        }
+        for cfg in cfgs {
+            // Reference: one engine over the whole trace.
+            let mut all = first.clone();
+            all.extend(second.iter().cloned());
+            let (expected, expected_stats) = run_trace(cfg, &all);
+
+            let mut a = DartEngine::new(cfg);
+            let mut samples: Vec<RttSample> = Vec::new();
+            for p in &first {
+                a.process(p, &mut samples);
+            }
+            let snap = a.snapshot().unwrap();
+
+            // Restore into a fresh engine ("the restarted process").
+            let mut b = DartEngine::new(cfg);
+            b.restore(&snap).unwrap();
+            assert_eq!(*b.stats(), *a.stats(), "restored counters for {cfg:?}");
+            assert_eq!(b.rt_occupancy(), a.rt_occupancy());
+            assert_eq!(b.pt_occupancy(), a.pt_occupancy());
+            // Re-snapshot is byte-identical: nothing was lost or invented.
+            assert_eq!(
+                b.snapshot().unwrap().as_bytes(),
+                snap.as_bytes(),
+                "re-snapshot diverges for {cfg:?}"
+            );
+
+            for p in &second {
+                b.process(p, &mut samples);
+            }
+            b.flush();
+            assert_eq!(samples, expected, "samples diverge for {cfg:?}");
+            assert_eq!(*b.stats(), expected_stats, "stats diverge for {cfg:?}");
+        }
+    }
+
+    #[test]
+    fn restore_refuses_other_configs_and_torn_payloads() {
+        let f = flow(40);
+        let pkts: Vec<_> = data_ack(f, 0, 500, 0, 10_000_000).into();
+        let mut a = DartEngine::new(DartConfig::default());
+        let mut sink: Vec<RttSample> = Vec::new();
+        for p in &pkts {
+            a.process(p, &mut sink);
+        }
+        let snap = a.snapshot().unwrap();
+
+        // Different geometry → fingerprint mismatch.
+        let mut other = DartEngine::new(DartConfig::default().with_pt(4, 2));
+        assert!(matches!(
+            other.restore(&snap),
+            Err(SnapshotError::Mismatch(_))
+        ));
+        // Different backend → fingerprint mismatch.
+        let mut sketchy = DartEngine::new(DartConfig::default().with_backend(Backend::Sketch));
+        assert!(matches!(
+            sketchy.restore(&snap),
+            Err(SnapshotError::Mismatch(_))
+        ));
+        // A truncated payload surfaces as Corrupt from the reader, never a
+        // panic (the frame itself would normally catch this first; this
+        // drives the payload parser directly).
+        let payload = snap.payload();
+        for cut in [1usize, 9, 20, payload.len() - 3] {
+            let torn = Snapshot::from_payload(payload[..cut].to_vec());
+            let mut fresh = DartEngine::new(DartConfig::default());
+            assert!(
+                fresh.restore(&torn).is_err(),
+                "cut at {cut} must not restore"
+            );
+        }
+        // Trailing garbage is refused too.
+        let mut padded = payload.to_vec();
+        padded.extend_from_slice(&[0u8; 5]);
+        let mut fresh = DartEngine::new(DartConfig::default());
+        assert!(fresh.restore(&Snapshot::from_payload(padded)).is_err());
     }
 
     #[test]

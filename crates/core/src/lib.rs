@@ -55,6 +55,7 @@ pub mod rt_salu;
 pub mod sample;
 pub mod sharded;
 pub mod sketch;
+pub mod snapshot;
 pub mod stats;
 #[cfg(feature = "telemetry")]
 pub mod telemetry;
@@ -80,6 +81,9 @@ pub use sharded::{
 };
 pub use sketch::{
     Admission, AdmissionGate, CountMinSketch, HeavyHitters, SketchPacketTracker, SketchRangeTracker,
+};
+pub use snapshot::{
+    SnapReader, SnapWriter, Snapshot, SnapshotError, SNAPSHOT_MAGIC, SNAPSHOT_VERSION,
 };
 pub use stats::EngineStats;
 #[cfg(feature = "telemetry")]

@@ -35,6 +35,7 @@
 //! (without trace materialization) for free.
 
 use crate::sample::{RttSample, SampleSink};
+use crate::snapshot::{Snapshot, SnapshotError};
 use crate::stats::EngineStats;
 use dart_packet::{Nanos, PacketError, PacketMeta, PacketSource, SliceSource};
 
@@ -104,6 +105,33 @@ pub trait RttMonitor {
     /// (baselines estimate from whatever they hold).
     fn rotate_epoch(&mut self, _cutoff: Nanos) -> EpochRotation {
         EpochRotation::default()
+    }
+
+    /// Checkpoint (control-plane): serialize the monitor's complete
+    /// measurement state into a checksummed [`Snapshot`] a later process
+    /// can [`RttMonitor::restore`]. Called between batches — never
+    /// mid-batch — at the same quiescent points as
+    /// [`RttMonitor::rotate_epoch`]. The default refuses: baselines that
+    /// hold no restorable state (or buffer samples they could not replay)
+    /// are not checkpointable, and a daemon asked to checkpoint one should
+    /// fail loudly rather than silently persist nothing.
+    fn snapshot(&mut self) -> Result<Snapshot, SnapshotError> {
+        Err(SnapshotError::Unsupported(format!(
+            "{} does not support checkpointing",
+            self.name()
+        )))
+    }
+
+    /// Restore a [`RttMonitor::snapshot`] taken by a compatible monitor
+    /// (same engine shape, same configuration), replacing all measurement
+    /// state. Counters resume from the checkpointed values, so the
+    /// conservation law (`fed == packets + monitor_miss`) holds summed
+    /// across a crash boundary. Call before feeding any packets.
+    fn restore(&mut self, _snap: &Snapshot) -> Result<(), SnapshotError> {
+        Err(SnapshotError::Unsupported(format!(
+            "{} does not support checkpointing",
+            self.name()
+        )))
     }
 
     /// End of stream: emit anything buffered (sharded fan-in, end-of-trace

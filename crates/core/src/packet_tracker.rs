@@ -18,6 +18,8 @@
 //!   displacing and cleaning those squatters (Fig. 13's recovery).
 
 use crate::config::PtMode;
+use crate::range_tracker::flow_key_from_wire;
+use crate::snapshot::{SnapReader, SnapWriter, SnapshotError};
 use dart_packet::{FlowKey, FlowSignature, Nanos, PacketId, SeqNum};
 use dart_switch::{HashUnit, RegisterArray};
 use std::collections::HashMap;
@@ -39,6 +41,24 @@ impl PtRecord {
     /// The record's identity.
     pub fn id(&self) -> PacketId {
         PacketId::new(self.sig, self.eack)
+    }
+
+    /// Serialize into a checkpoint payload (24 bytes: sig, eack, ts, trips).
+    pub(crate) fn snapshot_into(&self, w: &mut SnapWriter) {
+        w.put_u64(self.sig.raw());
+        w.put_u32(self.eack.raw());
+        w.put_u64(self.ts);
+        w.put_u32(self.trips);
+    }
+
+    /// Deserialize a record written by [`PtRecord::snapshot_into`].
+    pub(crate) fn restore_from(r: &mut SnapReader<'_>) -> Result<PtRecord, SnapshotError> {
+        Ok(PtRecord {
+            sig: FlowSignature(r.get_u64()?),
+            eack: SeqNum(r.get_u32()?),
+            ts: r.get_u64()?,
+            trips: r.get_u32()?,
+        })
     }
 }
 
@@ -413,6 +433,91 @@ impl PacketTracker {
             PtStore::Constrained { stages, .. } => stages.iter().map(|s| s.size()).sum(),
         }
     }
+
+    /// Serialize every outstanding record into `w` (control plane).
+    pub(crate) fn snapshot_into(&self, w: &mut SnapWriter) {
+        match &self.store {
+            PtStore::Unlimited(map) => {
+                w.put_u8(0);
+                w.put_usize(map.len());
+                // Sorted by (wire key, eack): HashMap iteration order would
+                // make two snapshots of identical state byte-different.
+                let mut entries: Vec<_> = map.iter().collect();
+                entries.sort_unstable_by_key(|((flow, eack), _)| (flow.to_bytes(), eack.raw()));
+                for ((flow, eack), ts) in entries {
+                    w.put_bytes(&flow.to_bytes());
+                    w.put_u32(eack.raw());
+                    w.put_u64(*ts);
+                }
+            }
+            PtStore::Constrained { stages, .. } => {
+                w.put_u8(1);
+                w.put_usize(stages.len());
+                for stage in stages {
+                    w.put_usize(stage.size());
+                    w.put_usize(stage.occupancy());
+                    for (idx, rec) in stage.iter() {
+                        w.put_usize(idx);
+                        rec.snapshot_into(w);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Replace this tracker's contents with a checkpointed state written by
+    /// [`PacketTracker::snapshot_into`]. The store kind and stage geometry
+    /// must match.
+    pub(crate) fn restore_from(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapshotError> {
+        let tag = r.get_u8()?;
+        match (&mut self.store, tag) {
+            (PtStore::Unlimited(map), 0) => {
+                let count = r.get_usize()?;
+                map.clear();
+                for _ in 0..count {
+                    let flow = flow_key_from_wire(r.get_bytes(12)?);
+                    let eack = SeqNum(r.get_u32()?);
+                    let ts = r.get_u64()?;
+                    map.insert((flow, eack), ts);
+                }
+            }
+            (PtStore::Constrained { stages, .. }, 1) => {
+                let n = r.get_usize()?;
+                if n != stages.len() {
+                    return Err(SnapshotError::Mismatch(format!(
+                        "PT snapshot has {n} stages, this tracker has {}",
+                        stages.len()
+                    )));
+                }
+                for stage in stages.iter_mut() {
+                    let size = r.get_usize()?;
+                    if size != stage.size() {
+                        return Err(SnapshotError::Mismatch(format!(
+                            "PT snapshot stage has {size} slots, this tracker has {}",
+                            stage.size()
+                        )));
+                    }
+                    let count = r.get_usize()?;
+                    stage.sweep(|_| false);
+                    for _ in 0..count {
+                        let idx = r.get_usize()?;
+                        if idx >= size {
+                            return Err(SnapshotError::Corrupt(format!(
+                                "PT record index {idx} out of bounds ({size} slots)"
+                            )));
+                        }
+                        stage.load(idx, PtRecord::restore_from(r)?);
+                    }
+                }
+            }
+            (_, other) => {
+                return Err(SnapshotError::Mismatch(format!(
+                    "PT snapshot store kind {other} does not match this tracker"
+                )));
+            }
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -696,6 +801,72 @@ mod tests {
             assert_eq!(pt.match_ack(&flow(2), sig(2), SeqNum(200)), Some(5_000));
             assert_eq!(pt.match_ack(&flow(3), sig(3), SeqNum(300)), Some(9_000));
             assert_eq!(pt.occupancy(), 0);
+        }
+    }
+
+    /// Snapshot then restore into a fresh tracker: every outstanding record
+    /// stays matchable with its original timestamp, on both store kinds.
+    #[test]
+    fn snapshot_restore_round_trips() {
+        for mode in [
+            PtMode::Unlimited,
+            PtMode::Constrained {
+                slots: 64,
+                stages: 2,
+            },
+        ] {
+            let mut pt = PacketTracker::new(mode);
+            for n in 0..10u32 {
+                pt.insert_new(&flow(n), sig(n), SeqNum(100 + n), u64::from(1000 + n));
+            }
+            let mut w = crate::snapshot::SnapWriter::new();
+            pt.snapshot_into(&mut w);
+            let payload = w.into_payload();
+
+            let mut fresh = PacketTracker::new(mode);
+            let mut r = crate::snapshot::SnapReader::new(&payload);
+            fresh.restore_from(&mut r).unwrap();
+            assert_eq!(r.remaining(), 0);
+            assert_eq!(fresh.occupancy(), pt.occupancy());
+            for n in 0..10u32 {
+                assert_eq!(
+                    fresh.match_ack(&flow(n), sig(n), SeqNum(100 + n)),
+                    pt.match_ack(&flow(n), sig(n), SeqNum(100 + n)),
+                    "record {n} under {mode:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn restore_rejects_mismatched_geometry() {
+        let mut pt = PacketTracker::new(PtMode::Constrained {
+            slots: 64,
+            stages: 2,
+        });
+        pt.insert_new(&flow(1), sig(1), SeqNum(100), 10);
+        let mut w = crate::snapshot::SnapWriter::new();
+        pt.snapshot_into(&mut w);
+        let payload = w.into_payload();
+        for wrong in [
+            PtMode::Unlimited,
+            PtMode::Constrained {
+                slots: 64,
+                stages: 4,
+            },
+            PtMode::Constrained {
+                slots: 32,
+                stages: 2,
+            },
+        ] {
+            let mut tracker = PacketTracker::new(wrong);
+            assert!(
+                matches!(
+                    tracker.restore_from(&mut crate::snapshot::SnapReader::new(&payload)),
+                    Err(crate::snapshot::SnapshotError::Mismatch(_))
+                ),
+                "{wrong:?} must be refused"
+            );
         }
     }
 

@@ -70,6 +70,7 @@ use crate::engine::{run_trace, DartEngine, EngineEvent};
 use crate::error::{EngineError, FailureKind, FailurePolicy, ShardFailure};
 use crate::monitor::{EpochRotation, RttMonitor};
 use crate::sample::{RttSample, SampleSink};
+use crate::snapshot::{SnapReader, SnapWriter, Snapshot, SnapshotError};
 use crate::stats::EngineStats;
 #[cfg(feature = "telemetry")]
 use crate::telemetry::EngineTelemetry;
@@ -80,7 +81,9 @@ use std::cell::{Cell, RefCell};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::rc::Rc;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::sync::mpsc::{
+    channel, sync_channel, Receiver, Sender as MpscSender, SyncSender, TrySendError,
+};
 use std::sync::Arc;
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
@@ -290,6 +293,119 @@ type Batch = Vec<(u64, PacketMeta)>;
 enum ShardMsg {
     Batch(Batch),
     Rotate(Nanos),
+    /// Serialize the live engine's state section and reply with the raw
+    /// payload bytes. Rides the same bounded queue as traffic, so the
+    /// checkpoint is ordered after every batch dispatched before it — the
+    /// same quiescence seam [`ShardMsg::Rotate`] uses.
+    Checkpoint(MpscSender<Result<Vec<u8>, SnapshotError>>),
+    /// Replace the live engine's state with a serialized section produced
+    /// by [`ShardMsg::Checkpoint`] and acknowledge over the channel.
+    Restore(Vec<u8>, MpscSender<Result<(), SnapshotError>>),
+}
+
+/// Kind tag of a sharded-runtime snapshot payload (the serial engine
+/// writes `SNAP_KIND_ENGINE`), so a snapshot restored into the wrong
+/// monitor kind fails loudly instead of misparsing.
+pub(crate) const SNAP_KIND_SHARDED: u8 = 2;
+
+/// Serialize one name-tagged counter block — the same forward-compatible
+/// shape the engine section uses for its stats.
+fn put_stats(w: &mut SnapWriter, stats: &EngineStats) {
+    let rows = stats.metric_rows();
+    w.put_u32(rows.len() as u32);
+    for (name, value) in rows {
+        w.put_str(name);
+        w.put_u64(value);
+    }
+}
+
+/// Read a counter block written by [`put_stats`]. Unknown counter names
+/// are tolerated (a newer writer may track counters this build does not);
+/// counters absent from the block keep their zero default.
+fn read_stats(r: &mut SnapReader<'_>) -> Result<EngineStats, SnapshotError> {
+    let mut stats = EngineStats::default();
+    let rows = r.get_u32()?;
+    for _ in 0..rows {
+        let name = r.get_str()?;
+        let value = r.get_u64()?;
+        let _ = stats.set_metric(name, value);
+    }
+    Ok(stats)
+}
+
+/// Serialize one buffered `(global index, sample)` pair. Samples a worker
+/// holds for the flush-time merge would otherwise be lost across a crash,
+/// so they travel in the shard's checkpoint section.
+fn put_sample(w: &mut SnapWriter, idx: u64, s: &RttSample) {
+    w.put_u64(idx);
+    w.put_bytes(&s.flow.to_bytes());
+    w.put_u32(s.eack.raw());
+    w.put_u64(s.rtt);
+    w.put_u64(s.ts);
+    w.put_u32(s.weight.0);
+}
+
+fn read_sample(r: &mut SnapReader<'_>) -> Result<(u64, RttSample), SnapshotError> {
+    let idx = r.get_u64()?;
+    let flow = crate::range_tracker::flow_key_from_wire(r.get_bytes(12)?);
+    let eack = dart_packet::SeqNum(r.get_u32()?);
+    let rtt = r.get_u64()?;
+    let ts = r.get_u64()?;
+    let weight = crate::sample::SampleWeight(r.get_u32()?);
+    Ok((
+        idx,
+        RttSample {
+            flow,
+            eack,
+            rtt,
+            ts,
+            weight,
+        },
+    ))
+}
+
+/// Serialize one buffered `(global index, event)` pair (same rationale as
+/// [`put_sample`]).
+fn put_event(w: &mut SnapWriter, idx: u64, ev: &EngineEvent) {
+    w.put_u64(idx);
+    match ev {
+        EngineEvent::RangeCollapse {
+            flow,
+            ts,
+            from_retransmission,
+        } => {
+            w.put_u8(0);
+            w.put_bytes(&flow.to_bytes());
+            w.put_u64(*ts);
+            w.put_u8(u8::from(*from_retransmission));
+        }
+        EngineEvent::OptimisticAck { flow, ts } => {
+            w.put_u8(1);
+            w.put_bytes(&flow.to_bytes());
+            w.put_u64(*ts);
+        }
+    }
+}
+
+fn read_event(r: &mut SnapReader<'_>) -> Result<(u64, EngineEvent), SnapshotError> {
+    let idx = r.get_u64()?;
+    let tag = r.get_u8()?;
+    let flow = crate::range_tracker::flow_key_from_wire(r.get_bytes(12)?);
+    let ts = r.get_u64()?;
+    let ev = match tag {
+        0 => EngineEvent::RangeCollapse {
+            flow,
+            ts,
+            from_retransmission: r.get_u8()? != 0,
+        },
+        1 => EngineEvent::OptimisticAck { flow, ts },
+        _ => {
+            return Err(SnapshotError::Corrupt(format!(
+                "unknown engine-event tag {tag}"
+            )))
+        }
+    };
+    Ok((idx, ev))
 }
 
 /// What a worker sends back: index-tagged samples and events, the shard's
@@ -714,6 +830,163 @@ impl ShardedMonitor {
         }
     }
 
+    /// Checkpoint the whole runtime into one [`Snapshot`].
+    ///
+    /// Mirrors [`ShardedMonitor::rotate_epoch`]'s quiescence seam: partial
+    /// feeder buffers are dispatched first, then a `Checkpoint` control
+    /// message rides each live shard's bounded queue, so every shard
+    /// serializes its engine exactly after the packets fed before this
+    /// call and before any fed after it. The feeder blocks for the
+    /// replies (watchdog-bounded), so the returned snapshot is a
+    /// consistent cut of the run.
+    ///
+    /// Shards that are dead, refuse (shedding), or fail to reply within
+    /// the budget are written off *inside the snapshot*: their section is
+    /// absent and every packet ever handed to them is added to the
+    /// serialized `monitor_miss`, so books restored from this snapshot
+    /// still satisfy the conservation law `fed == packets +
+    /// monitor_miss`.
+    pub fn checkpoint(&mut self) -> Result<Snapshot, SnapshotError> {
+        if self.done.is_some() {
+            return Err(SnapshotError::Unsupported(
+                "monitor already flushed; nothing left to checkpoint".to_string(),
+            ));
+        }
+        // Collect sections first: a shard that fails here mutates the
+        // feeder books (watchdog write-off), which are serialized after.
+        //
+        // Two passes: every live shard gets its `Checkpoint` message before
+        // any reply is awaited, so the shards serialize their tables
+        // concurrently and the feeder's pause is one table walk, not a sum
+        // over shards.
+        type SectionReply = Receiver<Result<Vec<u8>, SnapshotError>>;
+        let mut pending: Vec<Option<SectionReply>> = Vec::with_capacity(self.cfg.shards);
+        for shard in 0..self.cfg.shards {
+            if self.abandoned[shard] || self.dead[shard].load(Ordering::Relaxed) {
+                pending.push(None);
+                continue;
+            }
+            self.dispatch(shard);
+            let (reply_tx, reply_rx) = channel();
+            self.send_msg(shard, ShardMsg::Checkpoint(reply_tx), None, 0);
+            pending.push(Some(reply_rx));
+        }
+        // The watchdog allows `stall_timeout` per hand-off and at most
+        // `queue_depth` messages sit ahead of ours in the queue.
+        let budget = self.cfg.supervisor.stall_timeout * (self.cfg.queue_depth as u32 + 1);
+        let mut sections: Vec<Option<Vec<u8>>> = Vec::with_capacity(self.cfg.shards);
+        for reply_rx in pending {
+            // If send_msg abandoned the shard (watchdog) or found the
+            // worker gone, the reply sender was dropped and recv fails
+            // immediately — the shard is written off like any other
+            // absent section.
+            match reply_rx.map(|rx| rx.recv_timeout(budget)) {
+                Some(Ok(Ok(bytes))) => sections.push(Some(bytes)),
+                Some(Ok(Err(_))) | Some(Err(_)) => sections.push(None),
+                None => sections.push(None),
+            }
+        }
+        let mut w = SnapWriter::new();
+        w.put_u8(SNAP_KIND_SHARDED);
+        w.put_usize(self.cfg.shards);
+        w.put_u64(self.fed);
+        // Snapshot-local books: a shard without a section loses its
+        // worker-side state across the crash, so its packets — everything
+        // ever handed to its channel plus anything still sitting in its
+        // feeder buffer — move to `monitor_miss` in the serialized feeder
+        // accounting (the live run's own books are untouched — the worker
+        // still reports at join time).
+        let mut snap_extra = self.feeder_extra;
+        let mut snap_sent = self.sent.clone();
+        for shard in 0..self.cfg.shards {
+            if sections[shard].is_none() {
+                snap_extra.monitor_miss += snap_sent[shard] + self.bufs[shard].len() as u64;
+                snap_sent[shard] = 0;
+            }
+        }
+        put_stats(&mut w, &snap_extra);
+        for shard in 0..self.cfg.shards {
+            w.put_u64(snap_sent[shard]);
+            match &sections[shard] {
+                Some(bytes) => {
+                    w.put_u8(1);
+                    w.put_usize(bytes.len());
+                    w.put_bytes(bytes);
+                }
+                None => w.put_u8(0),
+            }
+        }
+        Ok(Snapshot::from_payload(w.into_payload()))
+    }
+
+    /// Restore a [`ShardedMonitor::checkpoint`] into this (freshly
+    /// spawned, never fed) monitor: each shard section is shipped to its
+    /// worker over the hand-off channel and installed before any traffic,
+    /// and the feeder books (`fed`, write-offs) resume where the snapshot
+    /// left them. Shard count and per-shard engine configuration must
+    /// match; a shard whose section was written off at checkpoint time
+    /// restarts fresh (its history is already in the restored
+    /// `monitor_miss`).
+    pub fn restore(&mut self, snap: &Snapshot) -> Result<(), SnapshotError> {
+        if self.done.is_some() {
+            return Err(SnapshotError::Unsupported(
+                "monitor already flushed; cannot restore".to_string(),
+            ));
+        }
+        if self.fed != 0 {
+            return Err(SnapshotError::Unsupported(
+                "restore must precede feeding".to_string(),
+            ));
+        }
+        let mut r = SnapReader::new(snap.payload());
+        let kind = r.get_u8()?;
+        if kind != SNAP_KIND_SHARDED {
+            return Err(SnapshotError::Mismatch(format!(
+                "payload kind {kind} is not a sharded-runtime snapshot"
+            )));
+        }
+        let shards = r.get_usize()?;
+        if shards != self.cfg.shards {
+            return Err(SnapshotError::Mismatch(format!(
+                "snapshot has {shards} shards, monitor has {}",
+                self.cfg.shards
+            )));
+        }
+        let fed = r.get_u64()?;
+        let extra = read_stats(&mut r)?;
+        let mut sent = vec![0u64; shards];
+        let budget = self.cfg.supervisor.stall_timeout * (self.cfg.queue_depth as u32 + 1);
+        for (shard, slot) in sent.iter_mut().enumerate() {
+            *slot = r.get_u64()?;
+            if r.get_u8()? == 0 {
+                continue; // written off at checkpoint time: starts fresh
+            }
+            let len = r.get_usize()?;
+            let bytes = r.get_bytes(len)?.to_vec();
+            let (reply_tx, reply_rx) = channel();
+            self.send_msg(shard, ShardMsg::Restore(bytes, reply_tx), None, 0);
+            match reply_rx.recv_timeout(budget) {
+                Ok(Ok(())) => {}
+                Ok(Err(e)) => return Err(e),
+                Err(_) => {
+                    return Err(SnapshotError::Unsupported(format!(
+                        "shard {shard} did not acknowledge the restore"
+                    )))
+                }
+            }
+        }
+        if r.remaining() != 0 {
+            return Err(SnapshotError::Corrupt(format!(
+                "{} trailing bytes after sharded snapshot",
+                r.remaining()
+            )));
+        }
+        self.fed = fed;
+        self.feeder_extra = extra;
+        self.sent = sent;
+        Ok(())
+    }
+
     /// Point-in-time health of the runtime — see [`SupervisorHealth`].
     pub fn health(&self) -> SupervisorHealth {
         let dead = (0..self.cfg.shards)
@@ -898,6 +1171,14 @@ impl RttMonitor for ShardedMonitor {
         EpochRotation::default()
     }
 
+    fn snapshot(&mut self) -> Result<Snapshot, SnapshotError> {
+        ShardedMonitor::checkpoint(self)
+    }
+
+    fn restore(&mut self, snap: &Snapshot) -> Result<(), SnapshotError> {
+        ShardedMonitor::restore(self, snap)
+    }
+
     /// First flush joins the workers and emits the merged sample stream;
     /// later flushes emit nothing.
     fn flush(&mut self, sink: &mut dyn SampleSink) {
@@ -1030,6 +1311,89 @@ fn run_shard(ctx: ShardCtx, rx: Receiver<ShardMsg>) -> ShardResult {
                     #[cfg(feature = "telemetry")]
                     engine.sync_telemetry();
                 }
+                continue;
+            }
+            ShardMsg::Checkpoint(reply) => {
+                let failfast_stop =
+                    sup.policy == FailurePolicy::FailFast && fatal.load(Ordering::Relaxed);
+                let res = if shedding || failfast_stop {
+                    Err(SnapshotError::Unsupported(format!(
+                        "shard {shard} is shedding and holds no restorable state"
+                    )))
+                } else {
+                    // Serialization only reads the tables; a panic here
+                    // (there is no known path) would still leave the engine
+                    // intact, but treat it like a failed rotation anyway.
+                    catch_unwind(AssertUnwindSafe(|| {
+                        let mut w = SnapWriter::new();
+                        w.put_u32(restarts);
+                        put_stats(&mut w, &retired);
+                        put_stats(&mut w, &extra);
+                        // Flush-time buffers: without them every sample
+                        // produced since the run began would vanish in a
+                        // crash even with a fresh checkpoint.
+                        w.put_usize(samples.len());
+                        for (idx, s) in &samples {
+                            put_sample(&mut w, *idx, s);
+                        }
+                        let evs = events.borrow();
+                        w.put_usize(evs.len());
+                        for (idx, ev) in evs.iter() {
+                            put_event(&mut w, *idx, ev);
+                        }
+                        drop(evs);
+                        engine.snapshot_into(&mut w);
+                        w.into_payload()
+                    }))
+                    .map_err(|payload| {
+                        SnapshotError::Unsupported(format!(
+                            "shard {shard} checkpoint panicked: {}",
+                            panic_message(payload)
+                        ))
+                    })
+                };
+                let _ = reply.send(res);
+                continue;
+            }
+            ShardMsg::Restore(bytes, reply) => {
+                let failfast_stop =
+                    sup.policy == FailurePolicy::FailFast && fatal.load(Ordering::Relaxed);
+                let res = if shedding || failfast_stop {
+                    Err(SnapshotError::Unsupported(format!(
+                        "shard {shard} is shedding and cannot accept state"
+                    )))
+                } else {
+                    let mut r = SnapReader::new(&bytes);
+                    (|| {
+                        let snap_restarts = r.get_u32()?;
+                        let snap_retired = read_stats(&mut r)?;
+                        let snap_extra = read_stats(&mut r)?;
+                        let n = r.get_usize()?;
+                        let mut snap_samples = Vec::with_capacity(n.min(4096));
+                        for _ in 0..n {
+                            snap_samples.push(read_sample(&mut r)?);
+                        }
+                        let n = r.get_usize()?;
+                        let mut snap_events = Vec::with_capacity(n.min(4096));
+                        for _ in 0..n {
+                            snap_events.push(read_event(&mut r)?);
+                        }
+                        engine.restore_from(&mut r)?;
+                        if r.remaining() != 0 {
+                            return Err(SnapshotError::Corrupt(format!(
+                                "{} trailing bytes after shard {shard} section",
+                                r.remaining()
+                            )));
+                        }
+                        restarts = snap_restarts;
+                        retired = snap_retired;
+                        extra = snap_extra;
+                        samples = snap_samples;
+                        *events.borrow_mut() = snap_events;
+                        Ok(())
+                    })()
+                };
+                let _ = reply.send(res);
                 continue;
             }
         };
@@ -1721,5 +2085,117 @@ mod tests {
             .samples
             .iter()
             .any(|s| s.name == "dart_shard_monitor_miss_total"));
+    }
+
+    // ---- checkpoint/restore tests --------------------------------------
+
+    #[test]
+    fn sharded_checkpoint_restore_resumes_identically() {
+        let pkts = trace(30, 5);
+        let cfg = ShardedConfig::new(DartConfig::default(), 4).with_batch_size(7);
+
+        // Reference: one uninterrupted run over the whole trace.
+        let whole = ShardedDartEngine::new(cfg).run(&pkts);
+
+        let split = pkts.len() * 2 / 3;
+        let mut a = ShardedMonitor::new(cfg);
+        for p in &pkts[..split] {
+            a.feed(p);
+        }
+        let snap = a.checkpoint().expect("checkpoint");
+        drop(a); // the crash: this side's results are never collected
+
+        let mut b = ShardedMonitor::new(cfg);
+        b.restore(&snap).expect("restore");
+        for p in &pkts[split..] {
+            b.feed(p);
+        }
+        let run = b.into_run();
+        assert_eq!(run.samples, whole.samples);
+        assert_eq!(run.stats, whole.stats);
+        // Conservation across the crash boundary: every packet fed on
+        // either side of it is processed or accounted as missed.
+        assert_eq!(
+            run.stats.packets + run.stats.monitor_miss,
+            pkts.len() as u64
+        );
+        assert!(run.healthy());
+    }
+
+    #[test]
+    fn checkpoint_writes_off_dead_shards_conservatively() {
+        let pkts = trace(30, 6);
+        let target = (pkts.len() / 3) as u64;
+        let split = pkts.len() / 2;
+        let cfg = sup_cfg(FailurePolicy::ShedLoad, 4);
+        let mut a = ShardedMonitor::with_packet_hook(cfg, panic_at(target));
+        for p in &pkts[..split] {
+            a.feed(p);
+        }
+        let snap = a.checkpoint().expect("checkpoint survives a dead shard");
+        drop(a);
+
+        let mut b = ShardedMonitor::new(cfg);
+        b.restore(&snap).expect("restore");
+        for p in &pkts[split..] {
+            b.feed(p);
+        }
+        let run = b.into_run();
+        // The dead shard's entire history was written off into the
+        // snapshot's monitor_miss (its worker-side books are
+        // unrecoverable), so conservation holds across the crash and the
+        // shard restarts fresh on the other side.
+        assert_eq!(
+            run.stats.packets + run.stats.monitor_miss,
+            pkts.len() as u64
+        );
+        assert!(run.stats.monitor_miss > 0);
+    }
+
+    #[test]
+    fn sharded_restore_guards() {
+        let pkts = trace(10, 3);
+        let cfg = ShardedConfig::new(DartConfig::default(), 4);
+        let mut a = ShardedMonitor::new(cfg);
+        for p in &pkts {
+            a.feed(p);
+        }
+        let snap = a.checkpoint().expect("checkpoint");
+
+        // Restoring into a monitor that already saw traffic is refused.
+        let mut fed = ShardedMonitor::new(cfg);
+        fed.feed(&pkts[0]);
+        assert!(matches!(
+            fed.restore(&snap),
+            Err(SnapshotError::Unsupported(_))
+        ));
+
+        // Shard-count mismatch is refused before any worker is touched.
+        let mut other = ShardedMonitor::new(ShardedConfig::new(DartConfig::default(), 2));
+        assert!(matches!(
+            other.restore(&snap),
+            Err(SnapshotError::Mismatch(_))
+        ));
+
+        // Engine-geometry mismatch surfaces from the per-shard config
+        // fingerprint.
+        let mut narrow =
+            ShardedMonitor::new(ShardedConfig::new(DartConfig::default().with_pt(16, 2), 4));
+        assert!(matches!(
+            narrow.restore(&snap),
+            Err(SnapshotError::Mismatch(_))
+        ));
+
+        // Kind tags keep serial and sharded snapshots apart.
+        let mut engine = DartEngine::new(DartConfig::default());
+        assert!(matches!(
+            engine.restore(&snap),
+            Err(SnapshotError::Mismatch(_))
+        ));
+        let esnap = DartEngine::new(DartConfig::default())
+            .snapshot()
+            .expect("engine snapshot");
+        let mut m = ShardedMonitor::new(cfg);
+        assert!(matches!(m.restore(&esnap), Err(SnapshotError::Mismatch(_))));
     }
 }

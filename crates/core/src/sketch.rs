@@ -28,6 +28,7 @@ use crate::config::{PtMode, RtMode};
 use crate::packet_tracker::{PtInsert, PtProbe, PtRecord};
 use crate::range::MeasurementRange;
 use crate::range_tracker::{RtAckOutcome, RtSeqOutcome, RtSlot};
+use crate::snapshot::{SnapReader, SnapWriter, SnapshotError};
 use dart_packet::{FlowKey, FlowSignature, Nanos, PacketId, SeqNum, SignatureWidth};
 use dart_switch::{HashUnit, RegisterArray};
 
@@ -103,6 +104,39 @@ impl CountMinSketch {
     pub fn counters(&self) -> usize {
         self.rows.len() * self.width
     }
+
+    /// Serialize dimensions and every counter into `w` (control plane).
+    pub(crate) fn snapshot_into(&self, w: &mut SnapWriter) {
+        w.put_usize(self.width);
+        w.put_usize(self.rows.len());
+        for row in &self.rows {
+            for &c in row {
+                w.put_u32(c);
+            }
+        }
+    }
+
+    /// Replace the counters with a checkpointed state written by
+    /// [`CountMinSketch::snapshot_into`]. Dimensions must match (the hash
+    /// seeds come from the configuration, so same-config means same row
+    /// indexing).
+    pub(crate) fn restore_from(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapshotError> {
+        let width = r.get_usize()?;
+        let depth = r.get_usize()?;
+        if width != self.width || depth != self.rows.len() {
+            return Err(SnapshotError::Mismatch(format!(
+                "CMS snapshot is {width}x{depth}, this sketch is {}x{}",
+                self.width,
+                self.rows.len()
+            )));
+        }
+        for row in &mut self.rows {
+            for c in row.iter_mut() {
+                *c = r.get_u32()?;
+            }
+        }
+        Ok(())
+    }
 }
 
 /// A CMS-filtered top-K heavy-hitter store: keys whose estimated count
@@ -167,6 +201,42 @@ impl HeavyHitters {
     /// The underlying CMS (estimate queries, memory report).
     pub fn cms(&self) -> &CountMinSketch {
         &self.cms
+    }
+
+    /// Serialize the top set and the CMS counters into `w`.
+    pub(crate) fn snapshot_into(&self, w: &mut SnapWriter) {
+        w.put_usize(self.capacity);
+        w.put_usize(self.top.len());
+        for &(key, count) in &self.top {
+            w.put_u64(key);
+            w.put_u32(count);
+        }
+        self.cms.snapshot_into(w);
+    }
+
+    /// Replace the top set and CMS counters with a checkpointed state
+    /// written by [`HeavyHitters::snapshot_into`].
+    pub(crate) fn restore_from(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapshotError> {
+        let capacity = r.get_usize()?;
+        if capacity != self.capacity {
+            return Err(SnapshotError::Mismatch(format!(
+                "heavy-hitter snapshot capacity {capacity}, this store holds {}",
+                self.capacity
+            )));
+        }
+        let len = r.get_usize()?;
+        if len > capacity {
+            return Err(SnapshotError::Corrupt(format!(
+                "heavy-hitter snapshot has {len} entries over capacity {capacity}"
+            )));
+        }
+        self.top.clear();
+        for _ in 0..len {
+            let key = r.get_u64()?;
+            let count = r.get_u32()?;
+            self.top.push((key, count));
+        }
+        self.cms.restore_from(r)
     }
 }
 
@@ -235,6 +305,31 @@ impl AdmissionGate {
     /// The heavy-hitter store (reports / tests).
     pub fn heavy_hitters(&self) -> &HeavyHitters {
         &self.hh
+    }
+
+    /// Serialize the gate's identity (mask, seed) and heavy-hitter book
+    /// into `w`. The coin flip itself is stateless — only the elephant set
+    /// must survive a restart, or a heavy flow would lose its deterministic
+    /// recirculation bypass after recovery.
+    pub(crate) fn snapshot_into(&self, w: &mut SnapWriter) {
+        w.put_u64(self.mask);
+        w.put_u64(self.seed);
+        self.hh.snapshot_into(w);
+    }
+
+    /// Restore a gate checkpointed by [`AdmissionGate::snapshot_into`];
+    /// the mask and seed (configuration identity) must match.
+    pub(crate) fn restore_from(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapshotError> {
+        let mask = r.get_u64()?;
+        let seed = r.get_u64()?;
+        if mask != self.mask || seed != self.seed {
+            return Err(SnapshotError::Mismatch(format!(
+                "admission-gate snapshot (mask {mask:#x}, seed {seed:#x}) does not match \
+                 this gate (mask {:#x}, seed {:#x})",
+                self.mask, self.seed
+            )));
+        }
+        self.hh.restore_from(r)
     }
 }
 
@@ -489,6 +584,62 @@ impl SketchRangeTracker {
         }
         None
     }
+
+    /// Serialize every live entry of every way into `w` (control plane).
+    pub(crate) fn snapshot_into(&self, w: &mut SnapWriter) {
+        w.put_usize(self.ways.len());
+        w.put_usize(self.way_size);
+        for way in &self.ways {
+            w.put_usize(way.occupancy());
+            for (idx, e) in way.iter() {
+                w.put_usize(idx);
+                w.put_u64(e.sig.raw());
+                w.put_u32(e.range.left.raw());
+                w.put_u32(e.range.right.raw());
+                w.put_u64(e.last);
+            }
+        }
+    }
+
+    /// Replace this tracker's contents with a checkpointed state written by
+    /// [`SketchRangeTracker::snapshot_into`]. Way count and way size must
+    /// match.
+    pub(crate) fn restore_from(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapshotError> {
+        let ways = r.get_usize()?;
+        let way_size = r.get_usize()?;
+        if ways != self.ways.len() || way_size != self.way_size {
+            return Err(SnapshotError::Mismatch(format!(
+                "sketch RT snapshot is {ways}x{way_size}, this tracker is {}x{}",
+                self.ways.len(),
+                self.way_size
+            )));
+        }
+        for way in &mut self.ways {
+            let count = r.get_usize()?;
+            way.sweep(|_| false);
+            for _ in 0..count {
+                let idx = r.get_usize()?;
+                if idx >= way_size {
+                    return Err(SnapshotError::Corrupt(format!(
+                        "sketch RT entry index {idx} out of bounds ({way_size} slots)"
+                    )));
+                }
+                let sig = FlowSignature(r.get_u64()?);
+                let left = SeqNum(r.get_u32()?);
+                let right = SeqNum(r.get_u32()?);
+                let last = r.get_u64()?;
+                way.load(
+                    idx,
+                    SketchRtEntry {
+                        sig,
+                        range: MeasurementRange { left, right },
+                        last,
+                    },
+                );
+            }
+        }
+        Ok(())
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -708,6 +859,51 @@ impl SketchPacketTracker {
     /// Total cells.
     pub fn capacity(&self) -> usize {
         self.ways.iter().map(|w| w.size()).sum()
+    }
+
+    /// Serialize every live cell of every way into `w` (control plane).
+    pub(crate) fn snapshot_into(&self, w: &mut SnapWriter) {
+        w.put_usize(self.ways.len());
+        w.put_usize(self.way_size);
+        for way in &self.ways {
+            w.put_usize(way.occupancy());
+            for (idx, c) in way.iter() {
+                w.put_usize(idx);
+                w.put_u32(c.fp);
+                w.put_u64(c.ts);
+            }
+        }
+    }
+
+    /// Replace this tracker's contents with a checkpointed state written by
+    /// [`SketchPacketTracker::snapshot_into`]. Way count and way size must
+    /// match.
+    pub(crate) fn restore_from(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapshotError> {
+        let ways = r.get_usize()?;
+        let way_size = r.get_usize()?;
+        if ways != self.ways.len() || way_size != self.way_size {
+            return Err(SnapshotError::Mismatch(format!(
+                "sketch PT snapshot is {ways}x{way_size}, this tracker is {}x{}",
+                self.ways.len(),
+                self.way_size
+            )));
+        }
+        for way in &mut self.ways {
+            let count = r.get_usize()?;
+            way.sweep(|_| false);
+            for _ in 0..count {
+                let idx = r.get_usize()?;
+                if idx >= way_size {
+                    return Err(SnapshotError::Corrupt(format!(
+                        "sketch PT cell index {idx} out of bounds ({way_size} cells)"
+                    )));
+                }
+                let fp = r.get_u32()?;
+                let ts = r.get_u64()?;
+                way.load(idx, SketchPtCell { fp, ts });
+            }
+        }
+        Ok(())
     }
 }
 
@@ -992,6 +1188,81 @@ mod tests {
         assert_eq!(p.rotate(5_000), (1, 1));
         assert_eq!(p.match_ack(sig(1), SeqNum(100)), None);
         assert_eq!(p.match_ack(sig(2), SeqNum(200)), Some(9_000));
+    }
+
+    /// Snapshot then restore into fresh sketch tables: live entries,
+    /// recency stamps, and the admission gate's elephant set all survive.
+    #[test]
+    fn sketch_snapshot_restore_round_trips() {
+        let mut t = rt(64, 2);
+        t.on_seq(&flow(1), SeqNum(0), SeqNum(100), 1_000);
+        t.on_seq(&flow(2), SeqNum(0), SeqNum(100), 9_000);
+        let mut w = SnapWriter::new();
+        t.snapshot_into(&mut w);
+        let rt_payload = w.into_payload();
+        let mut t2 = rt(64, 2);
+        t2.restore_from(&mut SnapReader::new(&rt_payload)).unwrap();
+        assert_eq!(t2.occupancy(), 2);
+        assert_eq!(t2.peek(&flow(1)), t.peek(&flow(1)));
+        // Recency stamps survived: the same cutoff sweeps the same entry.
+        assert_eq!(t2.rotate(5_000), (1, 1));
+
+        let mut p = pt(64, 2);
+        p.insert_new(sig(1), SeqNum(100), 1_000);
+        p.insert_new(sig(2), SeqNum(200), 9_000);
+        let mut w = SnapWriter::new();
+        p.snapshot_into(&mut w);
+        let pt_payload = w.into_payload();
+        let mut p2 = pt(64, 2);
+        p2.restore_from(&mut SnapReader::new(&pt_payload)).unwrap();
+        assert_eq!(p2.match_ack(sig(1), SeqNum(100)), Some(1_000));
+        assert_eq!(p2.match_ack(sig(2), SeqNum(200)), Some(9_000));
+
+        let mut gate = AdmissionGate::new(63, 8, 0x5EED); // coin ~never admits
+        for _ in 0..50 {
+            gate.on_tracked(sig(42));
+        }
+        let mut w = SnapWriter::new();
+        gate.snapshot_into(&mut w);
+        let gate_payload = w.into_payload();
+        let mut gate2 = AdmissionGate::new(63, 8, 0x5EED);
+        gate2
+            .restore_from(&mut SnapReader::new(&gate_payload))
+            .unwrap();
+        let rec = PtRecord {
+            sig: sig(42),
+            eack: SeqNum(7),
+            ts: 1,
+            trips: 0,
+        };
+        assert_eq!(
+            gate2.admit(&rec),
+            Admission::Heavy,
+            "elephant set survived the restore"
+        );
+    }
+
+    #[test]
+    fn sketch_restores_reject_mismatched_geometry() {
+        let t = rt(64, 2);
+        let mut w = SnapWriter::new();
+        t.snapshot_into(&mut w);
+        let payload = w.into_payload();
+        let mut wrong = rt(32, 2);
+        assert!(matches!(
+            wrong.restore_from(&mut SnapReader::new(&payload)),
+            Err(SnapshotError::Mismatch(_))
+        ));
+
+        let gate = AdmissionGate::new(3, 8, 0x5EED);
+        let mut w = SnapWriter::new();
+        gate.snapshot_into(&mut w);
+        let payload = w.into_payload();
+        let mut wrong_seed = AdmissionGate::new(3, 8, 0xBEEF);
+        assert!(matches!(
+            wrong_seed.restore_from(&mut SnapReader::new(&payload)),
+            Err(SnapshotError::Mismatch(_))
+        ));
     }
 
     #[test]

@@ -1,0 +1,499 @@
+//! Crash-consistent engine snapshots: a versioned, checksummed binary
+//! format for checkpointing flow state across process restarts.
+//!
+//! The paper's monitor runs continuously in the data plane; a software
+//! daemon that loses every Range Tracker entry, Packet Tracker record and
+//! counter the moment its process dies cannot honour that contract. This
+//! module gives the engine a control-plane serialization of everything the
+//! conservation law (`fed == packets + monitor_miss`) and the in-flight
+//! measurements depend on:
+//!
+//! * both flow tables under every backend (exact, sketch, precision),
+//!   including the exact RT's activity-generation epoch,
+//! * the victim cache and the recirculation queue (records mid-loop),
+//! * the probabilistic-admission gate's heavy-hitter book,
+//! * all [`crate::EngineStats`] counters, name-tagged so a snapshot taken
+//!   by an older build restores cleanly into a newer one.
+//!
+//! # Format
+//!
+//! ```text
+//! magic "DSNP" | version u32 | payload_len u64 | payload | fnv1a-64(payload)
+//! ```
+//!
+//! All integers little-endian. The payload is engine-defined (see
+//! [`crate::DartEngine::snapshot`]); this module only guarantees framing:
+//! a [`Snapshot`] that deserializes at all has a verified checksum, so a
+//! crash mid-checkpoint-write can never restore half a table.
+//!
+//! # Crash consistency
+//!
+//! [`Snapshot::to_file`] writes a sibling temporary file, fsyncs it, and
+//! renames it over the destination — the POSIX publish idiom. A reader
+//! therefore observes either the previous complete snapshot or the new
+//! complete snapshot, never a torn one; a crash between fsync and rename
+//! leaves a stale `.tmp` that [`Snapshot::from_file`] ignores.
+
+use dart_packet::flow::fnv1a_64;
+use std::fmt;
+use std::fs;
+use std::io::{self, Write as _};
+use std::path::Path;
+
+/// Leading magic of every snapshot file.
+pub const SNAPSHOT_MAGIC: [u8; 4] = *b"DSNP";
+/// Current format version. Bumped on any layout change; older versions are
+/// refused rather than misread.
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+/// Why a snapshot could not be produced, parsed, or restored.
+#[derive(Debug)]
+pub enum SnapshotError {
+    /// Filesystem failure while persisting or loading.
+    Io(io::Error),
+    /// The bytes are not a complete, checksum-valid snapshot (truncated
+    /// write, bit rot, or not a snapshot at all).
+    Corrupt(String),
+    /// The snapshot is valid but was taken under an incompatible
+    /// configuration (different backend, table geometry, or signature
+    /// width) — restoring it would silently mis-key every table.
+    Mismatch(String),
+    /// The monitor implementation does not support checkpointing.
+    Unsupported(String),
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::Io(e) => write!(f, "snapshot io error: {e}"),
+            SnapshotError::Corrupt(why) => write!(f, "corrupt snapshot: {why}"),
+            SnapshotError::Mismatch(why) => write!(f, "snapshot mismatch: {why}"),
+            SnapshotError::Unsupported(what) => write!(f, "snapshot unsupported: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SnapshotError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for SnapshotError {
+    fn from(e: io::Error) -> SnapshotError {
+        SnapshotError::Io(e)
+    }
+}
+
+/// Little-endian payload writer used by the per-table serializers.
+#[derive(Debug, Default)]
+pub struct SnapWriter {
+    buf: Vec<u8>,
+}
+
+impl SnapWriter {
+    /// Start an empty payload.
+    pub fn new() -> SnapWriter {
+        SnapWriter::default()
+    }
+
+    /// Append one byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Append a little-endian u16.
+    pub fn put_u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian u32.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian u64.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a `usize` as a u64 (snapshots are architecture-portable).
+    pub fn put_usize(&mut self, v: usize) {
+        self.put_u64(v as u64);
+    }
+
+    /// Append raw bytes (caller encodes the length).
+    pub fn put_bytes(&mut self, b: &[u8]) {
+        self.buf.extend_from_slice(b);
+    }
+
+    /// Append a length-prefixed short string (u16 length).
+    pub fn put_str(&mut self, s: &str) {
+        debug_assert!(s.len() <= u16::MAX as usize, "snapshot string too long");
+        self.put_u16(s.len() as u16);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    /// Finish, yielding the raw payload bytes.
+    pub fn into_payload(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+}
+
+/// Little-endian payload reader; every getter fails loudly on truncation
+/// instead of panicking, so a corrupt payload surfaces as
+/// [`SnapshotError::Corrupt`].
+#[derive(Debug)]
+pub struct SnapReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> SnapReader<'a> {
+    /// Read from the start of `payload`.
+    pub fn new(payload: &'a [u8]) -> SnapReader<'a> {
+        SnapReader {
+            buf: payload,
+            pos: 0,
+        }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], SnapshotError> {
+        let end = self.pos.checked_add(n).ok_or_else(|| {
+            SnapshotError::Corrupt("snapshot length overflows the payload".into())
+        })?;
+        if end > self.buf.len() {
+            return Err(SnapshotError::Corrupt(format!(
+                "truncated snapshot payload: needed {n} bytes at offset {}, {} remain",
+                self.pos,
+                self.buf.len() - self.pos
+            )));
+        }
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    /// Read one byte.
+    pub fn get_u8(&mut self) -> Result<u8, SnapshotError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Read a little-endian u16.
+    pub fn get_u16(&mut self) -> Result<u16, SnapshotError> {
+        let b = self.take(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    /// Read a little-endian u32.
+    pub fn get_u32(&mut self) -> Result<u32, SnapshotError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Read a little-endian u64.
+    pub fn get_u64(&mut self) -> Result<u64, SnapshotError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    /// Read a u64 and narrow it to `usize`, rejecting values this
+    /// architecture cannot index.
+    pub fn get_usize(&mut self) -> Result<usize, SnapshotError> {
+        let v = self.get_u64()?;
+        usize::try_from(v)
+            .map_err(|_| SnapshotError::Corrupt(format!("snapshot count {v} exceeds usize")))
+    }
+
+    /// Read `n` raw bytes.
+    pub fn get_bytes(&mut self, n: usize) -> Result<&'a [u8], SnapshotError> {
+        self.take(n)
+    }
+
+    /// Read a length-prefixed short string written by
+    /// [`SnapWriter::put_str`].
+    pub fn get_str(&mut self) -> Result<&'a str, SnapshotError> {
+        let len = self.get_u16()? as usize;
+        let b = self.take(len)?;
+        std::str::from_utf8(b)
+            .map_err(|_| SnapshotError::Corrupt("snapshot string is not UTF-8".into()))
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+}
+
+/// A complete framed snapshot: magic, version, length, payload, checksum.
+///
+/// Constructing one via [`Snapshot::from_bytes`] / [`Snapshot::from_file`]
+/// verifies the frame end to end, so holding a `Snapshot` is proof the
+/// payload arrived intact.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Snapshot {
+    bytes: Vec<u8>,
+    payload_at: usize,
+    payload_len: usize,
+}
+
+impl Snapshot {
+    /// Frame `payload` into a snapshot (computes the trailing checksum).
+    pub fn from_payload(payload: Vec<u8>) -> Snapshot {
+        let mut bytes = Vec::with_capacity(payload.len() + 24);
+        bytes.extend_from_slice(&SNAPSHOT_MAGIC);
+        bytes.extend_from_slice(&SNAPSHOT_VERSION.to_le_bytes());
+        bytes.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        let payload_at = bytes.len();
+        let payload_len = payload.len();
+        bytes.extend_from_slice(&payload);
+        bytes.extend_from_slice(&fnv1a_64(&payload).to_le_bytes());
+        Snapshot {
+            bytes,
+            payload_at,
+            payload_len,
+        }
+    }
+
+    /// Parse and verify a framed snapshot.
+    pub fn from_bytes(bytes: Vec<u8>) -> Result<Snapshot, SnapshotError> {
+        if bytes.len() < 24 {
+            return Err(SnapshotError::Corrupt(format!(
+                "{} bytes is shorter than the minimal frame",
+                bytes.len()
+            )));
+        }
+        if bytes[0..4] != SNAPSHOT_MAGIC {
+            return Err(SnapshotError::Corrupt("bad magic (not a snapshot)".into()));
+        }
+        let version = u32::from_le_bytes([bytes[4], bytes[5], bytes[6], bytes[7]]);
+        if version != SNAPSHOT_VERSION {
+            return Err(SnapshotError::Mismatch(format!(
+                "snapshot version {version}, this build reads {SNAPSHOT_VERSION}"
+            )));
+        }
+        let len = u64::from_le_bytes([
+            bytes[8], bytes[9], bytes[10], bytes[11], bytes[12], bytes[13], bytes[14], bytes[15],
+        ]);
+        let payload_len = usize::try_from(len)
+            .map_err(|_| SnapshotError::Corrupt(format!("payload length {len} exceeds usize")))?;
+        let expected_total = 16usize
+            .checked_add(payload_len)
+            .and_then(|n| n.checked_add(8))
+            .ok_or_else(|| SnapshotError::Corrupt("payload length overflows".into()))?;
+        if bytes.len() != expected_total {
+            return Err(SnapshotError::Corrupt(format!(
+                "frame is {} bytes, header promises {expected_total} (truncated write?)",
+                bytes.len()
+            )));
+        }
+        let payload = &bytes[16..16 + payload_len];
+        let stored = u64::from_le_bytes(
+            bytes[16 + payload_len..].try_into().unwrap_or([0u8; 8]), // length verified above; unreachable
+        );
+        let computed = fnv1a_64(payload);
+        if stored != computed {
+            return Err(SnapshotError::Corrupt(format!(
+                "checksum mismatch: stored {stored:#018x}, computed {computed:#018x}"
+            )));
+        }
+        Ok(Snapshot {
+            bytes,
+            payload_at: 16,
+            payload_len,
+        })
+    }
+
+    /// The verified payload.
+    pub fn payload(&self) -> &[u8] {
+        &self.bytes[self.payload_at..self.payload_at + self.payload_len]
+    }
+
+    /// The full frame (what [`Snapshot::to_file`] persists).
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Consume into the full frame bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.bytes
+    }
+
+    /// Persist atomically: write `<path>.tmp`, fsync, rename over `path`.
+    /// A crash at any point leaves either the previous snapshot or this
+    /// one at `path` — never a torn file.
+    pub fn to_file(&self, path: &Path) -> Result<(), SnapshotError> {
+        let tmp = tmp_path(path);
+        {
+            let mut f = fs::File::create(&tmp)?;
+            f.write_all(&self.bytes)?;
+            f.sync_all()?;
+        }
+        fs::rename(&tmp, path)?;
+        // Publish the rename itself (best-effort: directory fsync is not
+        // available on every platform, and the rename already ordered the
+        // data).
+        if let Some(dir) = path.parent() {
+            if let Ok(d) = fs::File::open(dir) {
+                let _ = d.sync_all();
+            }
+        }
+        Ok(())
+    }
+
+    /// Load and verify a snapshot file.
+    pub fn from_file(path: &Path) -> Result<Snapshot, SnapshotError> {
+        Snapshot::from_bytes(fs::read(path)?)
+    }
+}
+
+/// The sibling temporary path [`Snapshot::to_file`] stages through (same
+/// directory, so the final rename is atomic).
+pub fn tmp_path(path: &Path) -> std::path::PathBuf {
+    let mut name = path.file_name().unwrap_or_default().to_os_string();
+    name.push(".tmp");
+    path.with_file_name(name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_payload() -> Vec<u8> {
+        let mut w = SnapWriter::new();
+        w.put_u8(7);
+        w.put_u16(300);
+        w.put_u32(70_000);
+        w.put_u64(0xDEAD_BEEF_CAFE_F00D);
+        w.put_usize(42);
+        w.put_str("dart");
+        w.put_bytes(&[1, 2, 3]);
+        w.into_payload()
+    }
+
+    #[test]
+    fn writer_reader_round_trip() {
+        let payload = sample_payload();
+        let mut r = SnapReader::new(&payload);
+        assert_eq!(r.get_u8().unwrap(), 7);
+        assert_eq!(r.get_u16().unwrap(), 300);
+        assert_eq!(r.get_u32().unwrap(), 70_000);
+        assert_eq!(r.get_u64().unwrap(), 0xDEAD_BEEF_CAFE_F00D);
+        assert_eq!(r.get_usize().unwrap(), 42);
+        assert_eq!(r.get_str().unwrap(), "dart");
+        assert_eq!(r.get_bytes(3).unwrap(), &[1, 2, 3]);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn truncated_read_is_an_error_not_a_panic() {
+        let payload = vec![1u8, 2];
+        let mut r = SnapReader::new(&payload);
+        assert!(matches!(r.get_u64(), Err(SnapshotError::Corrupt(_))));
+    }
+
+    #[test]
+    fn frame_round_trips() {
+        let snap = Snapshot::from_payload(sample_payload());
+        let back = Snapshot::from_bytes(snap.as_bytes().to_vec()).unwrap();
+        assert_eq!(back.payload(), sample_payload().as_slice());
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn bit_flip_is_detected() {
+        let snap = Snapshot::from_payload(sample_payload());
+        let mut bytes = snap.into_bytes();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        assert!(matches!(
+            Snapshot::from_bytes(bytes),
+            Err(SnapshotError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn truncated_frame_is_detected() {
+        let snap = Snapshot::from_payload(sample_payload());
+        let mut bytes = snap.into_bytes();
+        bytes.truncate(bytes.len() - 5);
+        assert!(matches!(
+            Snapshot::from_bytes(bytes),
+            Err(SnapshotError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn wrong_magic_and_version_are_refused() {
+        let snap = Snapshot::from_payload(vec![0u8; 16]);
+        let mut bad_magic = snap.as_bytes().to_vec();
+        bad_magic[0] = b'X';
+        assert!(matches!(
+            Snapshot::from_bytes(bad_magic),
+            Err(SnapshotError::Corrupt(_))
+        ));
+        let mut bad_version = snap.into_bytes();
+        bad_version[4] = 99;
+        assert!(matches!(
+            Snapshot::from_bytes(bad_version),
+            Err(SnapshotError::Mismatch(_))
+        ));
+    }
+
+    #[test]
+    fn empty_payload_frames_fine() {
+        let snap = Snapshot::from_payload(Vec::new());
+        let back = Snapshot::from_bytes(snap.into_bytes()).unwrap();
+        assert!(back.payload().is_empty());
+    }
+
+    #[test]
+    fn atomic_file_round_trip() {
+        let dir = std::env::temp_dir().join(format!(
+            "dart-snapshot-test-{}-{:x}",
+            std::process::id(),
+            fnv1a_64(b"atomic_file_round_trip")
+        ));
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("state.dsnp");
+        let snap = Snapshot::from_payload(sample_payload());
+        snap.to_file(&path).unwrap();
+        // No staging file left behind.
+        assert!(!tmp_path(&path).exists());
+        let back = Snapshot::from_file(&path).unwrap();
+        assert_eq!(back.payload(), snap.payload());
+        // Overwrite publishes the new state.
+        let snap2 = Snapshot::from_payload(vec![9u8; 64]);
+        snap2.to_file(&path).unwrap();
+        assert_eq!(
+            Snapshot::from_file(&path).unwrap().payload(),
+            &[9u8; 64][..]
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_tmp_file_never_parses() {
+        // Simulate a crash mid-write: a prefix of the frame on disk.
+        let snap = Snapshot::from_payload(sample_payload());
+        for cut in [0, 3, 10, 20] {
+            let torn = snap.as_bytes()[..cut.min(snap.as_bytes().len())].to_vec();
+            assert!(Snapshot::from_bytes(torn).is_err(), "cut at {cut}");
+        }
+    }
+}

@@ -137,6 +137,18 @@ macro_rules! merge_counters {
             pub fn metric_rows(&self) -> Vec<(&'static str, u64)> {
                 vec![ $( (stringify!($field), self.$field) ),* ]
             }
+
+            /// Set one counter by its metric-row name, returning whether the
+            /// name exists. The snapshot restore path uses this so counters
+            /// are matched by name rather than position: a checkpoint taken
+            /// before a new counter was added still restores every field it
+            /// knows about.
+            pub fn set_metric(&mut self, name: &str, value: u64) -> bool {
+                match name {
+                    $( stringify!($field) => { self.$field = value; true } )*
+                    _ => false,
+                }
+            }
         }
     };
 }
@@ -293,6 +305,22 @@ mod tests {
         assert!(rows.contains(&("no_role", 2)));
         let total: u64 = rows.iter().map(|(_, v)| v).sum();
         assert_eq!(total, 10, "exactly the three set fields");
+    }
+
+    #[test]
+    fn set_metric_round_trips_every_row() {
+        let s = EngineStats {
+            packets: 11,
+            ack_no_flow: 4,
+            monitor_miss: 9,
+            ..EngineStats::default()
+        };
+        let mut restored = EngineStats::default();
+        for (name, value) in s.metric_rows() {
+            assert!(restored.set_metric(name, value), "unknown row {name}");
+        }
+        assert_eq!(restored, s);
+        assert!(!restored.set_metric("not_a_counter", 1));
     }
 
     #[test]

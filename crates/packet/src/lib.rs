@@ -18,6 +18,7 @@
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod error;
 pub mod ethernet;
@@ -28,6 +29,7 @@ pub mod meta;
 pub mod parse;
 pub mod payload;
 pub mod pcap;
+pub mod reconnect;
 pub mod seq;
 pub mod source;
 pub mod tcp;
@@ -36,6 +38,17 @@ pub mod trace;
 pub use error::PacketError;
 pub use flow::{FlowKey, FlowSignature, PacketId, SignatureWidth};
 pub use meta::{Direction, Nanos, PacketBuilder, PacketMeta, MICROSECOND, MILLISECOND, SECOND};
+pub use reconnect::{Reconnecting, SourceCounters, SourceFactory};
 pub use seq::SeqNum;
 pub use source::{CycleSource, Follow, IterSource, PacketSource, PcapSource, SliceSource};
 pub use tcp::TcpFlags;
+
+/// Copy the first `N` bytes of `b` into a fixed array. Callers pass
+/// compile-time in-bounds slices of fixed-size buffers (a shorter slice
+/// panics like the indexing it replaces), so field decoding avoids
+/// `try_into().unwrap()` under the crate's unwrap-denying lint.
+pub(crate) fn arr<const N: usize>(b: &[u8]) -> [u8; N] {
+    let mut out = [0u8; N];
+    out.copy_from_slice(&b[..N]);
+    out
+}

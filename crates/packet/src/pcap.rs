@@ -90,7 +90,7 @@ impl<R: Read> PcapReader<R> {
     pub fn new(mut input: R) -> Result<Self, PacketError> {
         let mut hdr = [0u8; 24];
         input.read_exact(&mut hdr)?;
-        let magic = u32::from_le_bytes(hdr[0..4].try_into().unwrap());
+        let magic = u32::from_le_bytes(crate::arr(&hdr[0..4]));
         let (swapped, nanos) = match magic {
             MAGIC_US => (false, false),
             MAGIC_NS => (false, true),
@@ -99,7 +99,7 @@ impl<R: Read> PcapReader<R> {
             _ => return Err(PacketError::BadTrace("unknown pcap magic".into())),
         };
         let read_u32 = |b: &[u8]| {
-            let v = u32::from_le_bytes(b.try_into().unwrap());
+            let v = u32::from_le_bytes(crate::arr(b));
             if swapped {
                 v.swap_bytes()
             } else {
@@ -116,7 +116,7 @@ impl<R: Read> PcapReader<R> {
     }
 
     fn u32_at(&self, b: &[u8]) -> u32 {
-        let v = u32::from_le_bytes(b.try_into().unwrap());
+        let v = u32::from_le_bytes(crate::arr(b));
         if self.swapped {
             v.swap_bytes()
         } else {

@@ -1,0 +1,476 @@
+//! Ingest-failure recovery: a [`PacketSource`] combinator that survives
+//! decode errors and transport outages instead of aborting the run.
+//!
+//! A long-lived monitoring daemon reads from things that fail: a fifo whose
+//! producer restarts, an NFS-mounted capture that stalls, a trace with a
+//! few torn records at a rotation boundary. [`Reconnecting`] wraps any
+//! inner source with two independent recovery policies:
+//!
+//! * **Decode tolerance** — decode-class errors ([`PacketError::Truncated`],
+//!   [`PacketError::Malformed`], [`PacketError::Unsupported`],
+//!   [`PacketError::BadTrace`]) are *skipped and counted* rather than
+//!   surfaced, on the theory that one bad record should not end a run that
+//!   has been healthy for a week. `--strict-decode` semantics
+//!   ([`Reconnecting::with_strict_decode`]) restore fail-on-first-error for
+//!   operators who prefer loud ingestion. A cap on *consecutive* skips
+//!   ([`Reconnecting::with_decode_skip_cap`]) keeps a permanently
+//!   desynchronized stream from spinning forever: past the cap the stream
+//!   is declared broken and handed to the reconnect policy.
+//! * **Reconnection** — I/O-class errors drop the inner source and rebuild
+//!   it through a caller-supplied factory, under bounded exponential
+//!   backoff with deterministic jitter and a finite retry budget. The
+//!   factory receives the attempt number and may itself decline (`None`) —
+//!   that consumes an attempt and backs off like a failed open.
+//!
+//! Every outcome is counted in a shared [`SourceCounters`] handle that the
+//! telemetry plane can keep after the source moves into the feed loop
+//! (`dart_source_reconnects_total`, `dart_source_decode_errors_total`).
+//!
+//! Backoff is deterministic: the jitter derives from a seed and the attempt
+//! number, never from wall-clock entropy, so recovery schedules replay
+//! identically in tests. Sleeping is injectable for the same reason.
+
+use crate::error::PacketError;
+use crate::meta::PacketMeta;
+use crate::source::PacketSource;
+use std::io;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Shared, cloneable recovery counters: clone a handle before the source
+/// moves into the feed loop and the telemetry plane can publish them live.
+#[derive(Clone, Debug, Default)]
+pub struct SourceCounters {
+    reconnects: Arc<AtomicU64>,
+    decode_errors: Arc<AtomicU64>,
+    io_errors: Arc<AtomicU64>,
+}
+
+impl SourceCounters {
+    /// Successful reconnections (`dart_source_reconnects_total`).
+    pub fn reconnects(&self) -> u64 {
+        self.reconnects.load(Ordering::Relaxed)
+    }
+
+    /// Records skipped as undecodable
+    /// (`dart_source_decode_errors_total`).
+    pub fn decode_errors(&self) -> u64 {
+        self.decode_errors.load(Ordering::Relaxed)
+    }
+
+    /// I/O-class stream failures that triggered the reconnect policy.
+    pub fn io_errors(&self) -> u64 {
+        self.io_errors.load(Ordering::Relaxed)
+    }
+}
+
+/// Builds (and rebuilds) the inner source. Receives the attempt number:
+/// `0` for the initial connection, `1..` for reconnections after a
+/// failure. Returning `None` means "cannot connect right now" and consumes
+/// one attempt from the retry budget.
+pub type SourceFactory<S> = Box<dyn FnMut(u32) -> Option<S> + Send>;
+
+/// A [`PacketSource`] wrapper that skips undecodable records and rebuilds
+/// a failed transport under bounded, deterministic backoff — see the
+/// module docs for the full policy.
+pub struct Reconnecting<S> {
+    source: Option<S>,
+    factory: SourceFactory<S>,
+    counters: SourceCounters,
+    strict_decode: bool,
+    /// Consecutive decode errors tolerated before the stream is declared
+    /// desynchronized and rebuilt.
+    decode_skip_cap: u32,
+    consecutive_skips: u32,
+    /// Failed connection attempts in the current outage.
+    attempts: u32,
+    /// Attempts allowed per outage (the initial open of each outage is
+    /// attempt 1).
+    retry_budget: u32,
+    base_backoff: Duration,
+    max_backoff: Duration,
+    jitter_seed: u64,
+    sleeper: Box<dyn FnMut(Duration) + Send>,
+    /// Set once the retry budget is exhausted; every later call returns
+    /// the same terminal error.
+    failed: bool,
+}
+
+/// True for errors that condemn one record, not the stream.
+fn is_decode_error(e: &PacketError) -> bool {
+    matches!(
+        e,
+        PacketError::Truncated { .. }
+            | PacketError::Malformed { .. }
+            | PacketError::Unsupported { .. }
+            | PacketError::BadTrace(_)
+    )
+}
+
+/// SplitMix64 finalizer: a cheap, deterministic bit mixer for jitter.
+fn mix64(mut x: u64) -> u64 {
+    x ^= x >> 33;
+    x = x.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    x ^= x >> 33;
+    x = x.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+    x ^ (x >> 33)
+}
+
+impl<S: PacketSource> Reconnecting<S> {
+    /// Wrap `factory`'s sources. The first connection happens lazily on
+    /// the first [`PacketSource::next_packet`] call (attempt `0`, no
+    /// backoff before it).
+    pub fn new(factory: SourceFactory<S>) -> Reconnecting<S> {
+        Reconnecting {
+            source: None,
+            factory,
+            counters: SourceCounters::default(),
+            strict_decode: false,
+            decode_skip_cap: 4096,
+            consecutive_skips: 0,
+            attempts: 0,
+            retry_budget: 8,
+            base_backoff: Duration::from_millis(50),
+            max_backoff: Duration::from_secs(5),
+            jitter_seed: 0xDA27_0001,
+            sleeper: Box::new(std::thread::sleep),
+            failed: false,
+        }
+    }
+
+    /// Wrap an already-open source; `factory` is only consulted after a
+    /// failure.
+    pub fn with_initial(source: S, factory: SourceFactory<S>) -> Reconnecting<S> {
+        let mut r = Reconnecting::new(factory);
+        r.source = Some(source);
+        r
+    }
+
+    /// Fail on the first undecodable record instead of skipping it
+    /// (`--strict-decode`).
+    pub fn with_strict_decode(mut self, strict: bool) -> Reconnecting<S> {
+        self.strict_decode = strict;
+        self
+    }
+
+    /// Consecutive decode errors tolerated before the stream is treated
+    /// as broken (and the reconnect policy takes over).
+    pub fn with_decode_skip_cap(mut self, cap: u32) -> Reconnecting<S> {
+        self.decode_skip_cap = cap.max(1);
+        self
+    }
+
+    /// Connection attempts allowed per outage before giving up for good.
+    pub fn with_retry_budget(mut self, budget: u32) -> Reconnecting<S> {
+        self.retry_budget = budget.max(1);
+        self
+    }
+
+    /// Exponential backoff bounds: the n-th failed attempt in an outage
+    /// sleeps `base × 2ⁿ⁻¹` capped at `max`, plus up to 50% deterministic
+    /// jitter.
+    pub fn with_backoff(mut self, base: Duration, max: Duration) -> Reconnecting<S> {
+        self.base_backoff = base;
+        self.max_backoff = max.max(base);
+        self
+    }
+
+    /// Seed for the deterministic backoff jitter.
+    pub fn with_jitter_seed(mut self, seed: u64) -> Reconnecting<S> {
+        self.jitter_seed = seed;
+        self
+    }
+
+    /// Replace the sleep implementation (virtual time in tests).
+    pub fn with_sleeper(mut self, sleeper: Box<dyn FnMut(Duration) + Send>) -> Reconnecting<S> {
+        self.sleeper = sleeper;
+        self
+    }
+
+    /// A counters handle to keep (or register with telemetry) after the
+    /// source moves into the feed loop.
+    pub fn counters(&self) -> SourceCounters {
+        self.counters.clone()
+    }
+
+    /// The backoff before attempt `n` (1-based within an outage):
+    /// exponential from the base, capped, plus up to 50% jitter derived
+    /// from the seed and `n` — fully deterministic.
+    fn backoff(&self, attempt: u32) -> Duration {
+        let base = self.base_backoff.as_nanos() as u64;
+        let max = self.max_backoff.as_nanos() as u64;
+        let shift = attempt.saturating_sub(1).min(20);
+        let exp = base.saturating_mul(1u64 << shift).min(max);
+        let jitter = mix64(self.jitter_seed ^ u64::from(attempt)) % (exp / 2 + 1);
+        Duration::from_nanos(exp.saturating_add(jitter))
+    }
+
+    /// Drop the broken source and rebuild it under backoff. `Ok` leaves
+    /// `self.source` connected; `Err` means the budget ran out.
+    fn reconnect(&mut self, cause: &str) -> Result<(), PacketError> {
+        self.source = None;
+        loop {
+            self.attempts += 1;
+            if self.attempts > self.retry_budget {
+                self.failed = true;
+                return Err(PacketError::Io(io::Error::new(
+                    io::ErrorKind::TimedOut,
+                    format!(
+                        "source lost ({cause}); retry budget of {} attempts exhausted",
+                        self.retry_budget
+                    ),
+                )));
+            }
+            // First attempt of an outage reconnects immediately; later
+            // ones back off exponentially.
+            if self.attempts > 1 {
+                let pause = self.backoff(self.attempts - 1);
+                (self.sleeper)(pause);
+            }
+            if let Some(src) = (self.factory)(self.attempts) {
+                self.source = Some(src);
+                self.counters.reconnects.fetch_add(1, Ordering::Relaxed);
+                self.attempts = 0;
+                return Ok(());
+            }
+        }
+    }
+}
+
+impl<S: PacketSource> PacketSource for Reconnecting<S> {
+    fn next_packet(&mut self) -> Result<Option<PacketMeta>, PacketError> {
+        if self.failed {
+            return Err(PacketError::Io(io::Error::new(
+                io::ErrorKind::TimedOut,
+                "source previously declared dead (retry budget exhausted)",
+            )));
+        }
+        loop {
+            if self.source.is_none() {
+                self.reconnect("not yet connected")?;
+            }
+            let Some(src) = self.source.as_mut() else {
+                unreachable!("reconnect() leaves a source or errors");
+            };
+            match src.next_packet() {
+                Ok(p) => {
+                    // A genuine end of stream stays an end of stream: the
+                    // inner source (e.g. a Follow-tailed fifo) decides
+                    // when the data is really over.
+                    self.consecutive_skips = 0;
+                    return Ok(p);
+                }
+                Err(e) if is_decode_error(&e) => {
+                    if self.strict_decode {
+                        return Err(e);
+                    }
+                    self.counters.decode_errors.fetch_add(1, Ordering::Relaxed);
+                    self.consecutive_skips += 1;
+                    if self.consecutive_skips >= self.decode_skip_cap {
+                        // The stream never recovers alignment: stop
+                        // skipping and rebuild it.
+                        self.consecutive_skips = 0;
+                        self.counters.io_errors.fetch_add(1, Ordering::Relaxed);
+                        self.reconnect("decode-skip cap reached")?;
+                    }
+                    // Skip the bad record and try the next one.
+                }
+                // The guard above catches every decode-class variant, so
+                // this is the I/O-class (transport) path.
+                Err(e) => {
+                    self.counters.io_errors.fetch_add(1, Ordering::Relaxed);
+                    self.reconnect(&e.to_string())?;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flow::FlowKey;
+    use crate::meta::PacketBuilder;
+    use std::sync::Mutex;
+
+    fn pkt(ts: u64) -> PacketMeta {
+        let flow = FlowKey::from_raw(0x0a00_0001, 443, 0xc0a8_0001, 55_000);
+        PacketBuilder::new(flow, ts)
+            .seq(ts as u32)
+            .payload(100)
+            .build()
+    }
+
+    /// A scripted source: each step yields a packet, an error, or ends.
+    enum Step {
+        Pkt(u64),
+        Decode,
+        Io,
+        End,
+    }
+
+    struct Scripted {
+        steps: std::vec::IntoIter<Step>,
+    }
+
+    impl Scripted {
+        fn new(steps: Vec<Step>) -> Scripted {
+            Scripted {
+                steps: steps.into_iter(),
+            }
+        }
+    }
+
+    impl PacketSource for Scripted {
+        fn next_packet(&mut self) -> Result<Option<PacketMeta>, PacketError> {
+            match self.steps.next() {
+                None | Some(Step::End) => Ok(None),
+                Some(Step::Pkt(ts)) => Ok(Some(pkt(ts))),
+                Some(Step::Decode) => Err(PacketError::BadTrace("torn record".into())),
+                Some(Step::Io) => Err(PacketError::Io(io::Error::new(
+                    io::ErrorKind::BrokenPipe,
+                    "producer died",
+                ))),
+            }
+        }
+    }
+
+    /// Collect every packet the source yields (panics on error).
+    fn drain<S: PacketSource>(src: &mut S) -> Vec<u64> {
+        let mut out = Vec::new();
+        while let Some(p) = src.next_packet().expect("source must recover") {
+            out.push(p.ts);
+        }
+        out
+    }
+
+    fn no_sleep() -> Box<dyn FnMut(Duration) + Send> {
+        Box::new(|_| {})
+    }
+
+    #[test]
+    fn decode_errors_are_skipped_and_counted() {
+        let mut src = Reconnecting::with_initial(
+            Scripted::new(vec![
+                Step::Pkt(1),
+                Step::Decode,
+                Step::Pkt(2),
+                Step::Decode,
+                Step::Decode,
+                Step::Pkt(3),
+                Step::End,
+            ]),
+            Box::new(|_| None),
+        )
+        .with_sleeper(no_sleep());
+        let counters = src.counters();
+        assert_eq!(drain(&mut src), vec![1, 2, 3]);
+        assert_eq!(counters.decode_errors(), 3);
+        assert_eq!(counters.reconnects(), 0);
+    }
+
+    #[test]
+    fn strict_decode_surfaces_the_first_bad_record() {
+        let mut src = Reconnecting::with_initial(
+            Scripted::new(vec![Step::Pkt(1), Step::Decode, Step::Pkt(2)]),
+            Box::new(|_| None),
+        )
+        .with_strict_decode(true)
+        .with_sleeper(no_sleep());
+        assert_eq!(src.next_packet().unwrap().unwrap().ts, 1);
+        assert!(matches!(src.next_packet(), Err(PacketError::BadTrace(_))));
+    }
+
+    #[test]
+    fn io_failure_reconnects_and_resumes() {
+        // The replacement source picks up where the broken one left off.
+        let mut src = Reconnecting::with_initial(
+            Scripted::new(vec![Step::Pkt(1), Step::Io]),
+            Box::new(|attempt| {
+                assert!(attempt >= 1);
+                Some(Scripted::new(vec![Step::Pkt(2), Step::End]))
+            }),
+        )
+        .with_sleeper(no_sleep());
+        let counters = src.counters();
+        assert_eq!(drain(&mut src), vec![1, 2]);
+        assert_eq!(counters.reconnects(), 1);
+        assert_eq!(counters.io_errors(), 1);
+    }
+
+    #[test]
+    fn retry_budget_bounds_the_outage_and_is_sticky() {
+        let calls = Arc::new(AtomicU64::new(0));
+        let calls2 = Arc::clone(&calls);
+        let mut src: Reconnecting<Scripted> = Reconnecting::new(Box::new(move |_| {
+            calls2.fetch_add(1, Ordering::Relaxed);
+            None
+        }))
+        .with_retry_budget(3)
+        .with_sleeper(no_sleep());
+        assert!(matches!(src.next_packet(), Err(PacketError::Io(_))));
+        assert_eq!(calls.load(Ordering::Relaxed), 3, "budget caps attempts");
+        // Dead is dead: no further factory calls.
+        assert!(matches!(src.next_packet(), Err(PacketError::Io(_))));
+        assert_eq!(calls.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn backoff_is_exponential_bounded_and_deterministic() {
+        let sleeps = Arc::new(Mutex::new(Vec::new()));
+        let record = |log: &Arc<Mutex<Vec<Duration>>>| {
+            let log = Arc::clone(log);
+            Box::new(move |d: Duration| log.lock().unwrap().push(d))
+                as Box<dyn FnMut(Duration) + Send>
+        };
+        let run = |log: Arc<Mutex<Vec<Duration>>>| {
+            let mut src: Reconnecting<Scripted> = Reconnecting::new(Box::new(|_| None))
+                .with_retry_budget(6)
+                .with_backoff(Duration::from_millis(10), Duration::from_millis(100))
+                .with_sleeper(record(&log));
+            let _ = src.next_packet();
+        };
+        run(Arc::clone(&sleeps));
+        let first: Vec<Duration> = sleeps.lock().unwrap().clone();
+        // Attempt 1 is immediate; 5 backoffs follow for attempts 2..=6.
+        assert_eq!(first.len(), 5);
+        // Monotone non-decreasing up to the cap, and every pause is within
+        // [exp, 1.5×exp] of the ideal exponential (jitter ≤ 50%).
+        let ideal = [10u64, 20, 40, 80, 100];
+        for (d, &ms) in first.iter().zip(&ideal) {
+            let lo = Duration::from_millis(ms);
+            let hi = lo + lo / 2;
+            assert!(*d >= lo && *d <= hi, "pause {d:?} outside [{lo:?}, {hi:?}]");
+        }
+        // Deterministic: a second run produces the identical schedule.
+        let sleeps2 = Arc::new(Mutex::new(Vec::new()));
+        run(Arc::clone(&sleeps2));
+        assert_eq!(first, *sleeps2.lock().unwrap());
+    }
+
+    #[test]
+    fn decode_skip_cap_escalates_to_reconnect() {
+        let mut src = Reconnecting::with_initial(
+            Scripted::new(vec![Step::Decode, Step::Decode, Step::Decode, Step::Decode]),
+            Box::new(|_| Some(Scripted::new(vec![Step::Pkt(9), Step::End]))),
+        )
+        .with_decode_skip_cap(3)
+        .with_sleeper(no_sleep());
+        let counters = src.counters();
+        assert_eq!(drain(&mut src), vec![9]);
+        assert_eq!(counters.decode_errors(), 3, "capped skips counted");
+        assert_eq!(counters.reconnects(), 1, "then the stream was rebuilt");
+    }
+
+    #[test]
+    fn end_of_stream_is_not_an_outage() {
+        let mut src = Reconnecting::with_initial(
+            Scripted::new(vec![Step::Pkt(1), Step::End]),
+            Box::new(|_| panic!("EOF must not trigger reconnection")),
+        )
+        .with_sleeper(no_sleep());
+        assert_eq!(drain(&mut src), vec![1]);
+        assert_eq!(src.next_packet().unwrap(), None, "end stays sticky");
+    }
+}

@@ -30,7 +30,7 @@ use crate::parse::{parse_ethernet_frame, DirectionClassifier};
 use crate::pcap::PcapReader;
 use crate::trace::TraceReader;
 use std::io::Read;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -66,6 +66,29 @@ pub trait PacketSource {
     ) -> Result<&'a [PacketMeta], PacketError> {
         let n = self.next_chunk(buf, max)?;
         Ok(&buf[..n])
+    }
+}
+
+/// Boxed sources are sources — this is what lets combinators like
+/// `Reconnecting` wrap a `Box<dyn PacketSource + Send>` chosen at runtime
+/// by file type. All three methods forward so a concrete source's
+/// overrides (e.g. [`SliceSource::next_block`]'s no-copy path) survive
+/// the indirection.
+impl<P: PacketSource + ?Sized> PacketSource for Box<P> {
+    fn next_packet(&mut self) -> Result<Option<PacketMeta>, PacketError> {
+        (**self).next_packet()
+    }
+
+    fn next_chunk(&mut self, buf: &mut Vec<PacketMeta>, max: usize) -> Result<usize, PacketError> {
+        (**self).next_chunk(buf, max)
+    }
+
+    fn next_block<'a>(
+        &'a mut self,
+        buf: &'a mut Vec<PacketMeta>,
+        max: usize,
+    ) -> Result<&'a [PacketMeta], PacketError> {
+        (**self).next_block(buf, max)
     }
 }
 
@@ -201,6 +224,13 @@ impl<R: Read, C: DirectionClassifier> PacketSource for PcapSource<R, C> {
 /// fifo). End-of-file becomes real — a final `Ok(0)` — only once the
 /// shared stop flag is set.
 ///
+/// The poll sleep backs off: the first dry read waits the base interval
+/// (10 ms by default), each consecutive dry read doubles the wait up to a
+/// cap (640 ms by default), and any data resets the ladder. A daemon
+/// tailing an idle capture therefore wakes O(log idle-time + idle-time/cap)
+/// times instead of once per base interval, while a busy stream still
+/// sees the base latency.
+///
 /// Because [`Read::read_exact`] retries through this adapter too, a record
 /// split mid-write is simply waited out: the reader blocks at the record
 /// boundary until the producer finishes the write, never sees a torn
@@ -209,23 +239,59 @@ pub struct Follow<R> {
     inner: R,
     stop: Arc<AtomicBool>,
     poll: Duration,
+    max_poll: Duration,
+    /// The next dry-read sleep (reset to `poll` whenever data arrives).
+    current: Duration,
+    /// Dry-read sleeps performed, shared so tests (and gauges) can
+    /// observe poll pressure after the adapter moves into a reader.
+    polls: Arc<AtomicU64>,
+    sleeper: Box<dyn FnMut(Duration) + Send>,
 }
 
 impl<R: Read> Follow<R> {
-    /// Tail `inner`, polling every 10 ms at end-of-data, until `stop` is
-    /// set (at which point end-of-data becomes end-of-file).
+    /// Tail `inner`, sleeping 10 ms at end-of-data (doubling to a 640 ms
+    /// cap while the input stays dry), until `stop` is set (at which
+    /// point end-of-data becomes end-of-file).
     pub fn new(inner: R, stop: Arc<AtomicBool>) -> Follow<R> {
+        let poll = Duration::from_millis(10);
         Follow {
             inner,
             stop,
-            poll: Duration::from_millis(10),
+            poll,
+            max_poll: Duration::from_millis(640),
+            current: poll,
+            polls: Arc::new(AtomicU64::new(0)),
+            sleeper: Box::new(std::thread::sleep),
         }
     }
 
-    /// Override the end-of-data poll interval.
+    /// Override the base end-of-data poll interval (the backoff ladder
+    /// starts here after every successful read).
     pub fn with_poll_interval(mut self, poll: Duration) -> Follow<R> {
         self.poll = poll;
+        self.current = poll;
+        if self.max_poll < poll {
+            self.max_poll = poll;
+        }
         self
+    }
+
+    /// Override the backoff cap (clamped to at least the base interval).
+    pub fn with_max_poll_interval(mut self, max: Duration) -> Follow<R> {
+        self.max_poll = max.max(self.poll);
+        self
+    }
+
+    /// Replace the sleep implementation (virtual time in tests).
+    pub fn with_sleeper(mut self, sleeper: Box<dyn FnMut(Duration) + Send>) -> Follow<R> {
+        self.sleeper = sleeper;
+        self
+    }
+
+    /// A handle counting dry-read sleeps, usable after the adapter moves
+    /// into a reader.
+    pub fn poll_counter(&self) -> Arc<AtomicU64> {
+        Arc::clone(&self.polls)
     }
 }
 
@@ -240,9 +306,16 @@ impl<R: Read> Read for Follow<R> {
                     if self.stop.load(Ordering::Relaxed) {
                         return Ok(0);
                     }
-                    std::thread::sleep(self.poll);
+                    self.polls.fetch_add(1, Ordering::Relaxed);
+                    (self.sleeper)(self.current);
+                    self.current = (self.current * 2).min(self.max_poll);
                 }
-                other => return other,
+                other => {
+                    if matches!(other, Ok(n) if n > 0) {
+                        self.current = self.poll;
+                    }
+                    return other;
+                }
             }
         }
     }
@@ -482,6 +555,63 @@ mod tests {
             back.push(p);
         }
         assert_eq!(back, packets);
+    }
+
+    #[test]
+    fn follow_poll_backoff_is_sublinear_in_wait_time() {
+        use std::sync::Mutex;
+
+        /// Dry until `ready_at` on a virtual clock, then one payload.
+        struct DryUntil {
+            ready_at: Duration,
+            clock: Arc<Mutex<Duration>>,
+            payload: Vec<u8>,
+            stop: Arc<AtomicBool>,
+        }
+
+        impl Read for DryUntil {
+            fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+                if *self.clock.lock().unwrap() < self.ready_at {
+                    return Ok(0);
+                }
+                if self.payload.is_empty() {
+                    self.stop.store(true, Ordering::Relaxed);
+                    return Ok(0);
+                }
+                let n = self.payload.len().min(buf.len());
+                buf[..n].copy_from_slice(&self.payload[..n]);
+                self.payload.drain(..n);
+                Ok(n)
+            }
+        }
+
+        let clock = Arc::new(Mutex::new(Duration::ZERO));
+        let stop = Arc::new(AtomicBool::new(false));
+        let reader = DryUntil {
+            ready_at: Duration::from_secs(10),
+            clock: Arc::clone(&clock),
+            payload: vec![7u8; 16],
+            stop: Arc::clone(&stop),
+        };
+        let sleeper_clock = Arc::clone(&clock);
+        let mut follow = Follow::new(reader, stop).with_sleeper(Box::new(move |d| {
+            *sleeper_clock.lock().unwrap() += d;
+        }));
+        let polls = follow.poll_counter();
+        let mut buf = [0u8; 16];
+        assert_eq!(follow.read(&mut buf).unwrap(), 16, "data after the wait");
+        // A fixed 10 ms poll would sleep ~1000 times across 10 s of dry
+        // input; the doubling ladder (10 ms → 640 ms cap) needs about
+        // 6 doubling steps plus ~15 capped sleeps.
+        let dry_polls = polls.load(Ordering::Relaxed);
+        assert!(
+            (10..=40).contains(&dry_polls),
+            "expected a few dozen backoff polls, got {dry_polls}"
+        );
+        // Data resets the ladder: the final end-of-stream read is
+        // immediate (stop flag), so the count stops moving.
+        assert_eq!(follow.read(&mut buf).unwrap(), 0);
+        assert_eq!(polls.load(Ordering::Relaxed), dry_polls);
     }
 
     #[test]

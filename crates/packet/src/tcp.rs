@@ -241,8 +241,8 @@ impl TcpHeader {
                 option::TIMESTAMPS => {
                     // kind(1) + len(1) + tsval(4) + tsecr(4)
                     if rest.len() >= 9 && rest[0] == 10 {
-                        let tsval = u32::from_be_bytes(rest[1..5].try_into().unwrap());
-                        let tsecr = u32::from_be_bytes(rest[5..9].try_into().unwrap());
+                        let tsval = u32::from_be_bytes(crate::arr(&rest[1..5]));
+                        let tsecr = u32::from_be_bytes(crate::arr(&rest[5..9]));
                         return Some((tsval, tsecr));
                     }
                     return None;

@@ -89,7 +89,7 @@ impl<R: Read> TraceReader<R> {
         if hdr[0..4] != MAGIC {
             return Err(PacketError::BadTrace("bad trace magic".into()));
         }
-        let version = u32::from_le_bytes(hdr[4..8].try_into().unwrap());
+        let version = u32::from_le_bytes(crate::arr(&hdr[4..8]));
         if version != VERSION {
             return Err(PacketError::BadTrace(format!(
                 "unsupported trace version {version}"
@@ -117,14 +117,14 @@ impl<R: Read> TraceReader<R> {
                 Err(e) => return Err(e.into()),
             }
         }
-        let ts = Nanos::from_le_bytes(rec[0..8].try_into().unwrap());
-        let src_ip = u32::from_be_bytes(rec[8..12].try_into().unwrap());
-        let dst_ip = u32::from_be_bytes(rec[12..16].try_into().unwrap());
-        let src_port = u16::from_le_bytes(rec[16..18].try_into().unwrap());
-        let dst_port = u16::from_le_bytes(rec[18..20].try_into().unwrap());
-        let seq = SeqNum(u32::from_le_bytes(rec[20..24].try_into().unwrap()));
-        let ack = SeqNum(u32::from_le_bytes(rec[24..28].try_into().unwrap()));
-        let payload_len = u32::from_le_bytes(rec[28..32].try_into().unwrap());
+        let ts = Nanos::from_le_bytes(crate::arr(&rec[0..8]));
+        let src_ip = u32::from_be_bytes(crate::arr(&rec[8..12]));
+        let dst_ip = u32::from_be_bytes(crate::arr(&rec[12..16]));
+        let src_port = u16::from_le_bytes(crate::arr(&rec[16..18]));
+        let dst_port = u16::from_le_bytes(crate::arr(&rec[18..20]));
+        let seq = SeqNum(u32::from_le_bytes(crate::arr(&rec[20..24])));
+        let ack = SeqNum(u32::from_le_bytes(crate::arr(&rec[24..28])));
+        let payload_len = u32::from_le_bytes(crate::arr(&rec[28..32]));
         let flags = TcpFlags(rec[32]);
         let dir = match rec[33] {
             0 => Direction::Outbound,
@@ -134,8 +134,8 @@ impl<R: Read> TraceReader<R> {
         let tsopt = match rec[34] {
             0 => None,
             1 => Some((
-                u32::from_le_bytes(rec[35..39].try_into().unwrap()),
-                u32::from_le_bytes(rec[39..43].try_into().unwrap()),
+                u32::from_le_bytes(crate::arr(&rec[35..39])),
+                u32::from_le_bytes(crate::arr(&rec[39..43])),
             )),
             _ => return Err(PacketError::BadTrace("bad tsopt flag byte".into())),
         };
@@ -171,6 +171,7 @@ impl<R: Read> Iterator for TracePackets<R> {
 }
 
 /// Serialize a whole trace to a byte vector.
+#[allow(clippy::expect_used)] // Vec<u8> writes are infallible
 pub fn to_bytes(packets: &[PacketMeta]) -> Vec<u8> {
     let mut buf = Vec::with_capacity(16 + packets.len() * RECORD_LEN);
     let mut w = TraceWriter::new(&mut buf).expect("vec write cannot fail");

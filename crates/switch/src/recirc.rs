@@ -128,6 +128,23 @@ impl<T> RecircPort<T> {
     pub fn stats(&self) -> RecircStats {
         self.stats
     }
+
+    /// Iterate the queued records front-to-back (control plane: the
+    /// checkpoint writer walking the loop, not a data-plane pop).
+    pub fn iter(&self) -> impl Iterator<Item = &Recirculated<T>> {
+        self.queue.iter()
+    }
+
+    /// Control-plane restore: replace the queue contents and accumulated
+    /// statistics with a checkpointed state. Entries keep their recorded
+    /// trip counts; nothing here counts toward the accepted/refused books
+    /// beyond what the restored `stats` already carries.
+    pub fn restore(&mut self, entries: Vec<Recirculated<T>>, stats: RecircStats) {
+        self.queue = entries.into();
+        self.stats = stats;
+        #[cfg(feature = "telemetry")]
+        self.publish_depth(false);
+    }
 }
 
 #[cfg(test)]

@@ -15,6 +15,12 @@ use std::fmt;
 pub struct RegisterArray<T> {
     name: &'static str,
     slots: Vec<Option<T>>,
+    /// One bit per slot, set iff the slot is occupied. Control-plane walks
+    /// (checkpoint serialization, epoch sweeps) scan this instead of the
+    /// slot vector, so their cost scales with occupancy — a sparse 2^20
+    /// table walk touches 16 KiB of words, not tens of megabytes of slots.
+    bitmap: Vec<u64>,
+    occupied: usize,
     reads: u64,
     writes: u64,
 }
@@ -26,6 +32,8 @@ impl<T: Clone> RegisterArray<T> {
         RegisterArray {
             name,
             slots: vec![None; size],
+            bitmap: vec![0; size.div_ceil(64)],
+            occupied: 0,
             reads: 0,
             writes: 0,
         }
@@ -62,13 +70,19 @@ impl<T: Clone> RegisterArray<T> {
     /// Overwrite the slot at `idx`, returning the previous occupant.
     pub fn write(&mut self, idx: usize, value: T) -> Option<T> {
         self.writes += 1;
-        self.slots[idx].replace(value)
+        let prev = self.slots[idx].replace(value);
+        self.occupied += usize::from(prev.is_none());
+        self.bitmap[idx / 64] |= 1u64 << (idx % 64);
+        prev
     }
 
     /// Clear the slot at `idx`, returning the previous occupant.
     pub fn clear(&mut self, idx: usize) -> Option<T> {
         self.writes += 1;
-        self.slots[idx].take()
+        let prev = self.slots[idx].take();
+        self.occupied -= usize::from(prev.is_some());
+        self.bitmap[idx / 64] &= !(1u64 << (idx % 64));
+        prev
     }
 
     /// Single-traversal read-modify-write: the only pattern the hardware
@@ -78,15 +92,24 @@ impl<T: Clone> RegisterArray<T> {
         self.reads += 1;
         self.writes += 1;
         let old = self.slots[idx].take();
+        self.occupied -= usize::from(old.is_some());
         let (new, result) = f(old);
+        if new.is_some() {
+            self.occupied += 1;
+            self.bitmap[idx / 64] |= 1u64 << (idx % 64);
+        } else {
+            self.bitmap[idx / 64] &= !(1u64 << (idx % 64));
+        }
         self.slots[idx] = new;
         result
     }
 
     /// Number of occupied slots (control-plane visibility only; a real
-    /// data plane cannot scan its registers).
+    /// data plane cannot scan its registers). O(1): tracked across every
+    /// mutation so checkpoint serialization never needs a counting scan
+    /// of a multi-megabyte array on top of its entry walk.
     pub fn occupancy(&self) -> usize {
-        self.slots.iter().filter(|s| s.is_some()).count()
+        self.occupied
     }
 
     /// Control-plane sweep: clear every occupied slot `keep` rejects,
@@ -97,16 +120,24 @@ impl<T: Clone> RegisterArray<T> {
     /// resource reports must reflect per-packet access costs only.
     pub fn sweep(&mut self, mut keep: impl FnMut(&T) -> bool) -> (u64, u64) {
         let (mut kept, mut cleared) = (0u64, 0u64);
-        for slot in &mut self.slots {
-            match slot {
-                Some(v) if keep(v) => kept += 1,
-                Some(_) => {
-                    *slot = None;
-                    cleared += 1;
+        for word_idx in 0..self.bitmap.len() {
+            let mut word = self.bitmap[word_idx];
+            while word != 0 {
+                let bit = word.trailing_zeros();
+                word &= word - 1;
+                let idx = word_idx * 64 + bit as usize;
+                match &self.slots[idx] {
+                    Some(v) if keep(v) => kept += 1,
+                    Some(_) => {
+                        self.slots[idx] = None;
+                        self.bitmap[word_idx] &= !(1u64 << bit);
+                        cleared += 1;
+                    }
+                    None => {}
                 }
-                None => {}
             }
         }
+        self.occupied -= cleared as usize;
         (kept, cleared)
     }
 
@@ -120,12 +151,36 @@ impl<T: Clone> RegisterArray<T> {
         self.writes
     }
 
-    /// Iterate occupied slots (control-plane only).
+    /// Iterate occupied slots (control-plane only). Walks the occupancy
+    /// bitmap, so the cost is proportional to `size / 64` plus the number
+    /// of occupied slots — not to the full slot vector.
     pub fn iter(&self) -> impl Iterator<Item = (usize, &T)> {
-        self.slots
+        self.bitmap
             .iter()
             .enumerate()
-            .filter_map(|(i, s)| s.as_ref().map(|v| (i, v)))
+            .flat_map(|(word_idx, &bits)| {
+                let mut word = bits;
+                std::iter::from_fn(move || {
+                    if word == 0 {
+                        return None;
+                    }
+                    let bit = word.trailing_zeros();
+                    word &= word - 1;
+                    Some(word_idx * 64 + bit as usize)
+                })
+            })
+            .filter_map(|idx| self.slots[idx].as_ref().map(|v| (idx, v)))
+    }
+
+    /// Control-plane slot load: place `value` at `idx` without counting a
+    /// register access. This is the restore half of [`RegisterArray::iter`]
+    /// — the switch CPU repopulating a table from a checkpoint, not a packet
+    /// traversing the stage — so like [`RegisterArray::sweep`] it is
+    /// deliberately uncounted: resource reports must reflect per-packet
+    /// access costs only.
+    pub fn load(&mut self, idx: usize, value: T) {
+        self.occupied += usize::from(self.slots[idx].replace(value).is_none());
+        self.bitmap[idx / 64] |= 1u64 << (idx % 64);
     }
 }
 

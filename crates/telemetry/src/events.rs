@@ -99,7 +99,7 @@ impl EventLog {
 
     /// Append one event, evicting the oldest if the ring is full.
     pub fn log(&self, level: Level, component: &str, message: &str, fields: &[(&str, &str)]) {
-        let mut inner = self.inner.lock().expect("event log poisoned");
+        let mut inner = crate::lock(&self.inner);
         inner.next_seq += 1;
         let seq = inner.next_seq;
         if inner.ring.len() == inner.cap {
@@ -130,18 +130,18 @@ impl EventLog {
 
     /// Events currently retained, oldest first.
     pub fn snapshot(&self) -> Vec<Event> {
-        let inner = self.inner.lock().expect("event log poisoned");
+        let inner = crate::lock(&self.inner);
         inner.ring.iter().cloned().collect()
     }
 
     /// Events evicted by the ring bound so far.
     pub fn dropped(&self) -> u64 {
-        self.inner.lock().expect("event log poisoned").dropped
+        crate::lock(&self.inner).dropped
     }
 
     /// Total events ever logged (retained + dropped).
     pub fn len_logged(&self) -> u64 {
-        self.inner.lock().expect("event log poisoned").next_seq
+        crate::lock(&self.inner).next_seq
     }
 
     /// The retained events as JSONL, one object per line.

@@ -173,7 +173,8 @@ impl<'a> Parser<'a> {
         {
             self.i += 1;
         }
-        let text = std::str::from_utf8(&self.b[start..self.i]).expect("ascii digits");
+        let text = std::str::from_utf8(&self.b[start..self.i])
+            .map_err(|_| self.err("malformed number"))?;
         text.parse::<f64>()
             .map(JsonValue::Number)
             .map_err(|_| self.err("malformed number"))
@@ -223,7 +224,9 @@ impl<'a> Parser<'a> {
                     // is always on a boundary).
                     let rest = std::str::from_utf8(&self.b[self.i..])
                         .map_err(|_| self.err("invalid utf-8"))?;
-                    let ch = rest.chars().next().expect("non-empty");
+                    let Some(ch) = rest.chars().next() else {
+                        return Err(self.err("unterminated string"));
+                    };
                     out.push(ch);
                     self.i += ch.len_utf8();
                 }

@@ -33,6 +33,7 @@
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod events;
 pub mod histogram;
@@ -50,3 +51,11 @@ pub use registry::{MetricKind, MetricRegistry};
 pub use schema::{check_jsonl_series, check_prometheus, check_required, SchemaReport};
 pub use server::{HealthProvider, HttpServer};
 pub use snapshot::{render_rows, MetricSample, MetricValue, Snapshot};
+
+/// Lock a mutex, recovering from poisoning. Telemetry state (counter maps,
+/// event rings) stays internally consistent under panics elsewhere — every
+/// critical section completes its structural updates before returning — so
+/// observability keeps working while the process unwinds and reports.
+pub(crate) fn lock<T>(m: &std::sync::Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}

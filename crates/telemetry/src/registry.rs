@@ -115,7 +115,7 @@ impl MetricRegistry {
         }
         let labels = own_labels(labels);
         let key = series_key(name, &labels);
-        let mut inner = self.inner.lock().expect("registry poisoned");
+        let mut inner = crate::lock(&self.inner);
         if let Some(&i) = inner.index.get(&key) {
             return i;
         }
@@ -139,7 +139,7 @@ impl MetricRegistry {
             "counter {name:?} must end in _total"
         );
         let i = self.register(name, labels, help, || Handle::Counter(Counter::new()));
-        let inner = self.inner.lock().expect("registry poisoned");
+        let inner = crate::lock(&self.inner);
         match &inner.entries[i].handle {
             Handle::Counter(c) => c.clone(),
             _ => panic!("{name:?} already registered with a different kind"),
@@ -149,7 +149,7 @@ impl MetricRegistry {
     /// Get or create a gauge.
     pub fn gauge(&self, name: &str, labels: &[(&str, &str)], help: &str) -> Gauge {
         let i = self.register(name, labels, help, || Handle::Gauge(Gauge::new()));
-        let inner = self.inner.lock().expect("registry poisoned");
+        let inner = crate::lock(&self.inner);
         match &inner.entries[i].handle {
             Handle::Gauge(g) => g.clone(),
             _ => panic!("{name:?} already registered with a different kind"),
@@ -159,7 +159,7 @@ impl MetricRegistry {
     /// Get or create a histogram.
     pub fn histogram(&self, name: &str, labels: &[(&str, &str)], help: &str) -> Histogram {
         let i = self.register(name, labels, help, || Handle::Histogram(Histogram::new()));
-        let inner = self.inner.lock().expect("registry poisoned");
+        let inner = crate::lock(&self.inner);
         match &inner.entries[i].handle {
             Handle::Histogram(h) => h.clone(),
             _ => panic!("{name:?} already registered with a different kind"),
@@ -168,7 +168,7 @@ impl MetricRegistry {
 
     /// Number of registered series.
     pub fn len(&self) -> usize {
-        self.inner.lock().expect("registry poisoned").entries.len()
+        crate::lock(&self.inner).entries.len()
     }
 
     /// True when nothing is registered.
@@ -179,7 +179,7 @@ impl MetricRegistry {
     /// Read every metric, compute deltas against the previous scrape, and
     /// advance the window.
     pub fn scrape(&self) -> Snapshot {
-        let mut inner = self.inner.lock().expect("registry poisoned");
+        let mut inner = crate::lock(&self.inner);
         inner.scrapes += 1;
         let seq = inner.scrapes;
         let mut samples = Vec::with_capacity(inner.entries.len());

@@ -40,12 +40,9 @@ struct Sample {
 /// Parse `name{k="v",...} value` (timestamps are not emitted by this crate
 /// and are rejected).
 fn parse_sample(line: &str) -> Result<Sample, String> {
-    let (name_labels, value) = match line.find(' ') {
-        Some(_) => {
-            // Split at the last space: label values may contain spaces.
-            let i = line.rfind(' ').expect("checked above");
-            (&line[..i], &line[i + 1..])
-        }
+    // Split at the last space: label values may contain spaces.
+    let (name_labels, value) = match line.rfind(' ') {
+        Some(i) => (&line[..i], &line[i + 1..]),
         None => return Err("no value".to_string()),
     };
     let value: f64 = value.parse().map_err(|_| format!("bad value {value:?}"))?;
@@ -85,7 +82,9 @@ fn parse_sample(line: &str) -> Result<Sample, String> {
                         }
                         Some(_) => {
                             let s = &after[i..];
-                            let ch = s.chars().next().expect("non-empty");
+                            let Some(ch) = s.chars().next() else {
+                                return Err("unterminated label value".to_string());
+                            };
                             val.push(ch);
                             i += ch.len_utf8();
                         }

@@ -14,6 +14,7 @@
 //! | `/events`           | GET    | the bounded [`EventLog`] as JSONL             |
 //! | `/control/shutdown` | POST   | ask the daemon to flush and exit              |
 //! | `/control/reload`   | POST   | ask the daemon to rebuild its monitor         |
+//! | `/control/checkpoint` | POST | ask the daemon to write a snapshot now        |
 //!
 //! The control endpoints only *set flags* ([`HttpServer::shutdown_requested`],
 //! [`HttpServer::take_reload_request`]); the daemon's own loop polls them
@@ -58,6 +59,7 @@ pub struct HttpServer {
     stop: Arc<AtomicBool>,
     shutdown: Arc<AtomicBool>,
     reload: Arc<AtomicBool>,
+    checkpoint: Arc<AtomicBool>,
     requests: Arc<AtomicU64>,
     thread: Option<JoinHandle<()>>,
 }
@@ -76,6 +78,7 @@ impl HttpServer {
         let stop = Arc::new(AtomicBool::new(false));
         let shutdown = Arc::new(AtomicBool::new(false));
         let reload = Arc::new(AtomicBool::new(false));
+        let checkpoint = Arc::new(AtomicBool::new(false));
         let requests = Arc::new(AtomicU64::new(0));
         let ctx = ServeCtx {
             registry,
@@ -84,6 +87,7 @@ impl HttpServer {
             stop: Arc::clone(&stop),
             shutdown: Arc::clone(&shutdown),
             reload: Arc::clone(&reload),
+            checkpoint: Arc::clone(&checkpoint),
             requests: Arc::clone(&requests),
         };
         let thread = std::thread::Builder::new()
@@ -94,6 +98,7 @@ impl HttpServer {
             stop,
             shutdown,
             reload,
+            checkpoint,
             requests,
             thread: Some(thread),
         })
@@ -127,6 +132,12 @@ impl HttpServer {
     /// once per POST, so the daemon reloads exactly once per ask.
     pub fn take_reload_request(&self) -> bool {
         self.reload.swap(false, Ordering::Relaxed)
+    }
+
+    /// Consume a pending `/control/checkpoint` request: returns true at
+    /// most once per POST, so the daemon snapshots exactly once per ask.
+    pub fn take_checkpoint_request(&self) -> bool {
+        self.checkpoint.swap(false, Ordering::Relaxed)
     }
 
     /// Requests served so far (any endpoint, any status).
@@ -167,6 +178,7 @@ struct ServeCtx {
     stop: Arc<AtomicBool>,
     shutdown: Arc<AtomicBool>,
     reload: Arc<AtomicBool>,
+    checkpoint: Arc<AtomicBool>,
     requests: Arc<AtomicU64>,
 }
 
@@ -285,7 +297,14 @@ fn route(request_line: &str, ctx: &ServeCtx) -> Response {
                 "reload requested\n".to_string(),
             )
         }
-        ("GET", "/control/shutdown" | "/control/reload")
+        ("POST", "/control/checkpoint") => {
+            ctx.checkpoint.store(true, Ordering::Relaxed);
+            Response::ok(
+                "text/plain; charset=utf-8",
+                "checkpoint requested\n".to_string(),
+            )
+        }
+        ("GET", "/control/shutdown" | "/control/reload" | "/control/checkpoint")
         | ("POST", "/metrics" | "/healthz" | "/snapshot" | "/events") => {
             Response::method_not_allowed()
         }
@@ -405,6 +424,10 @@ mod tests {
         assert!(status.contains("200"), "{status}");
         assert!(server.take_reload_request(), "one POST, one reload");
         assert!(!server.take_reload_request(), "consumed");
+        let (status, _) = post(server.addr(), "/control/checkpoint");
+        assert!(status.contains("200"), "{status}");
+        assert!(server.take_checkpoint_request(), "one POST, one checkpoint");
+        assert!(!server.take_checkpoint_request(), "consumed");
         let (status, _) = post(server.addr(), "/control/shutdown");
         assert!(status.contains("200"), "{status}");
         assert!(server.shutdown_requested());
@@ -431,6 +454,87 @@ mod tests {
         let (server, _registry, _events) = spawn_server();
         let (status, _) = get(server.addr(), "/metrics?format=prometheus");
         assert!(status.contains("200"), "{status}");
+        server.stop();
+    }
+
+    /// After any abusive connection, a clean scrape must still succeed —
+    /// the abuse test's real assertion.
+    fn assert_scrape_ok(addr: SocketAddr) {
+        let (status, body) = get(addr, "/metrics");
+        assert!(status.contains("200"), "scrape after abuse: {status}");
+        assert!(
+            body.contains("dart_abuse_probe_total"),
+            "scrape after abuse lost registry contents: {body}"
+        );
+    }
+
+    #[test]
+    fn oversized_request_head_does_not_poison_later_scrapes() {
+        let (server, registry, _events) = spawn_server();
+        registry
+            .counter("dart_abuse_probe_total", &[], "canary")
+            .add(1);
+        // A request head far past MAX_HEAD_BYTES: the reader's take() stops
+        // consuming, the connection is answered or dropped, and the accept
+        // loop moves on.
+        let mut s = TcpStream::connect(server.addr()).expect("connect");
+        let mut junk = String::from("GET /metrics HTTP/1.1\r\n");
+        while junk.len() < 2 * MAX_HEAD_BYTES as usize {
+            junk.push_str("X-Filler: aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa\r\n");
+        }
+        // The server may close mid-write once the head budget is spent;
+        // a send error is an acceptable outcome for the abuser.
+        let _ = s.write_all(junk.as_bytes());
+        drop(s);
+        assert_scrape_ok(server.addr());
+        server.stop();
+    }
+
+    #[test]
+    fn slowloris_partial_write_times_out_and_frees_the_loop() {
+        let (server, registry, _events) = spawn_server();
+        registry
+            .counter("dart_abuse_probe_total", &[], "canary")
+            .add(1);
+        // Send half a request line and go silent. The per-connection read
+        // timeout (IO_TIMEOUT) must cut the connection loose; the follow-up
+        // scrape proves the accept loop was stalled at most that long.
+        let mut s = TcpStream::connect(server.addr()).expect("connect");
+        s.write_all(b"GET /metr").expect("partial send");
+        let start = std::time::Instant::now();
+        assert_scrape_ok(server.addr());
+        assert!(
+            start.elapsed() < IO_TIMEOUT + Duration::from_secs(2),
+            "slowloris held the loop past the timeout: {:?}",
+            start.elapsed()
+        );
+        drop(s);
+        server.stop();
+    }
+
+    #[test]
+    fn pipelined_garbage_gets_one_error_and_a_close() {
+        let (server, registry, _events) = spawn_server();
+        registry
+            .counter("dart_abuse_probe_total", &[], "canary")
+            .add(1);
+        // Several pipelined "requests", the first malformed. The server is
+        // Connection: close — it answers the first parse with an error (or
+        // 404/405) and closes; the trailing garbage must not be replayed
+        // into later connections.
+        let (status, _) = request(
+            server.addr(),
+            "\u{0}\u{1}\u{2} garbage\r\n\r\nGET /metrics HTTP/1.1\r\n\r\nPOST /control/shutdown HTTP/1.1\r\n\r\n",
+        );
+        assert!(
+            status.contains("400") || status.contains("404") || status.contains("405"),
+            "garbage got {status}"
+        );
+        assert!(
+            !server.shutdown_requested(),
+            "pipelined tail must not reach the router"
+        );
+        assert_scrape_ok(server.addr());
         server.stop();
     }
 

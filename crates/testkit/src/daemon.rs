@@ -41,10 +41,11 @@
 use dart_core::sharded::{ShardedConfig, ShardedMonitor, SupervisorHealth};
 use dart_core::stats::EngineStats;
 use dart_core::telemetry::{Stage, StageTimers};
-use dart_core::RttMonitor;
-use dart_packet::{Nanos, PacketError, PacketSource};
-use dart_telemetry::{EventLog, HttpServer, MetricRegistry};
+use dart_core::{RttMonitor, Snapshot};
+use dart_packet::{Nanos, PacketError, PacketSource, SourceCounters};
+use dart_telemetry::{Counter, EventLog, Histogram, HttpServer, MetricRegistry};
 use std::net::SocketAddr;
+use std::path::PathBuf;
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -67,6 +68,18 @@ pub struct DaemonConfig {
     pub bind: String,
     /// Capacity of the `/events` ring buffer.
     pub events_cap: usize,
+    /// Where checkpoints are written (atomic tmp + rename). `None`
+    /// disables checkpointing; a `POST /control/checkpoint` then logs a
+    /// warning instead of snapshotting.
+    pub snapshot_path: Option<PathBuf>,
+    /// Wall-clock cadence between automatic checkpoints. Rotation
+    /// boundaries always checkpoint when `snapshot_path` is set, so the
+    /// cadence bounds staleness *between* rotations.
+    pub checkpoint_every: Option<Duration>,
+    /// Restore engine state from this snapshot before feeding the first
+    /// packet. The snapshot must match the configured shard count and
+    /// engine geometry ([`dart_core::SnapshotError::Mismatch`] otherwise).
+    pub restore_from: Option<PathBuf>,
 }
 
 impl Default for DaemonConfig {
@@ -78,6 +91,9 @@ impl Default for DaemonConfig {
             retain: 10 * dart_packet::SECOND,
             bind: "127.0.0.1:0".to_string(),
             events_cap: 256,
+            snapshot_path: None,
+            checkpoint_every: None,
+            restore_from: None,
         }
     }
 }
@@ -91,6 +107,10 @@ pub struct DaemonReport {
     pub rotations: u64,
     /// Config reloads performed (`/control/reload`).
     pub reloads: u64,
+    /// Checkpoints durably written (cadence + rotation + on-demand).
+    pub checkpoints: u64,
+    /// True when the run began by restoring a snapshot.
+    pub restored: bool,
     /// True when the loop ended because shutdown was requested (false:
     /// the source drained first).
     pub shutdown_requested: bool,
@@ -133,6 +153,56 @@ pub struct Daemon {
     state: Arc<Mutex<LiveState>>,
     monitor: ShardedMonitor,
     stage: StageTimers,
+    restored: bool,
+    ckpt: CheckpointMetrics,
+    source_watch: Option<SourceWatch>,
+}
+
+/// Checkpoint instrumentation: how often, how long the ingest loop paused,
+/// and how many attempts failed (engine degraded, disk trouble).
+struct CheckpointMetrics {
+    written: Counter,
+    failed: Counter,
+    pause_ns: Histogram,
+}
+
+impl CheckpointMetrics {
+    fn register(registry: &MetricRegistry) -> CheckpointMetrics {
+        CheckpointMetrics {
+            written: registry.counter(
+                "dart_daemon_checkpoints_total",
+                &[],
+                "snapshots durably written (cadence + rotation + on-demand)",
+            ),
+            failed: registry.counter(
+                "dart_daemon_checkpoint_failures_total",
+                &[],
+                "checkpoint attempts that failed (engine degraded or I/O error)",
+            ),
+            pause_ns: registry.histogram(
+                "dart_daemon_checkpoint_pause_ns",
+                &[],
+                "ingest-loop pause per checkpoint (quiesce + serialize + fsync)",
+            ),
+        }
+    }
+}
+
+/// Ingest-side counters mirrored into the registry each block so scrapes
+/// see reconnection and decode-tolerance activity live.
+struct SourceWatch {
+    counters: SourceCounters,
+    reconnects: Counter,
+    decode_errors: Counter,
+    io_errors: Counter,
+}
+
+impl SourceWatch {
+    fn sync(&self) {
+        self.reconnects.store(self.counters.reconnects());
+        self.decode_errors.store(self.counters.decode_errors());
+        self.io_errors.store(self.counters.io_errors());
+    }
 }
 
 impl Daemon {
@@ -143,8 +213,33 @@ impl Daemon {
         cfg.block_pkts = cfg.block_pkts.max(1);
         let registry = MetricRegistry::new();
         let events = EventLog::new(cfg.events_cap);
-        let monitor = ShardedMonitor::with_telemetry(cfg.sharded, &registry);
+        let mut monitor = ShardedMonitor::with_telemetry(cfg.sharded, &registry);
+        let mut restored = false;
+        if let Some(path) = &cfg.restore_from {
+            // Restore must precede the first packet; surface any problem
+            // (missing file, checksum, geometry mismatch) as a bind-time
+            // error rather than silently starting cold.
+            let snap = Snapshot::from_file(path).map_err(|e| {
+                std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("restore {}: {e}", path.display()),
+                )
+            })?;
+            monitor.restore(&snap).map_err(|e| {
+                std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("restore {}: {e}", path.display()),
+                )
+            })?;
+            restored = true;
+            events.info(
+                "daemon",
+                "state restored from snapshot",
+                &[("path", &path.display().to_string())],
+            );
+        }
         let stage = StageTimers::register(&registry);
+        let ckpt = CheckpointMetrics::register(&registry);
         let state = Arc::new(Mutex::new(LiveState {
             health: monitor.health(),
             rotations: 0,
@@ -170,7 +265,77 @@ impl Daemon {
             state,
             monitor,
             stage,
+            restored,
+            ckpt,
+            source_watch: None,
         })
+    }
+
+    /// Mirror a source's reconnect/decode-error counters into the registry
+    /// (`dart_source_*`), synced once per ingest block.
+    pub fn watch_source(&mut self, counters: SourceCounters) {
+        self.source_watch = Some(SourceWatch {
+            counters,
+            reconnects: self.registry.counter(
+                "dart_source_reconnects_total",
+                &[],
+                "successful packet-source reconnections",
+            ),
+            decode_errors: self.registry.counter(
+                "dart_source_decode_errors_total",
+                &[],
+                "malformed records skipped by decode tolerance",
+            ),
+            io_errors: self.registry.counter(
+                "dart_source_io_errors_total",
+                &[],
+                "I/O failures that triggered reconnection",
+            ),
+        });
+    }
+
+    /// Quiesce the monitor, serialize, and atomically publish a snapshot.
+    /// Failures are counted and logged, never fatal: a daemon that cannot
+    /// checkpoint is degraded, not dead.
+    fn write_checkpoint(&mut self, written: &mut u64, why: &str) {
+        let Some(path) = self.cfg.snapshot_path.clone() else {
+            self.events.warn(
+                "daemon",
+                "checkpoint requested but no snapshot path configured",
+                &[("why", why)],
+            );
+            return;
+        };
+        let start = Instant::now();
+        let result = self
+            .monitor
+            .checkpoint()
+            .and_then(|snap| snap.to_file(&path));
+        let pause = start.elapsed();
+        self.ckpt.pause_ns.observe(pause.as_nanos() as u64);
+        match result {
+            Ok(()) => {
+                *written += 1;
+                self.ckpt.written.inc();
+                self.events.info(
+                    "daemon",
+                    "checkpoint written",
+                    &[
+                        ("why", why),
+                        ("path", &path.display().to_string()),
+                        ("pause_us", &(pause.as_micros() as u64).to_string()),
+                    ],
+                );
+            }
+            Err(e) => {
+                self.ckpt.failed.inc();
+                self.events.warn(
+                    "daemon",
+                    "checkpoint failed",
+                    &[("why", why), ("error", &e.to_string())],
+                );
+            }
+        }
     }
 
     /// The observability server's resolved listen address.
@@ -197,11 +362,17 @@ impl Daemon {
         let mut carried = EngineStats::default();
         let mut rotations = 0u64;
         let mut reloads = 0u64;
+        let mut checkpoints = 0u64;
         let mut max_ts: Nanos = 0;
         let mut last_rotate = Instant::now();
+        let mut last_checkpoint = Instant::now();
         let shutdown = loop {
             if self.server.shutdown_requested() {
                 break true;
+            }
+            if self.server.take_checkpoint_request() {
+                self.write_checkpoint(&mut checkpoints, "control plane");
+                last_checkpoint = Instant::now();
             }
             if self.server.take_reload_request() {
                 // SIGHUP analogue: retire the current monitor cleanly and
@@ -253,6 +424,21 @@ impl Daemon {
                         ),
                     ],
                 );
+                // A rotation just swept state; snapshotting here means a
+                // restore never resurrects entries the sweep retired.
+                if self.cfg.snapshot_path.is_some() {
+                    self.write_checkpoint(&mut checkpoints, "rotation boundary");
+                    last_checkpoint = Instant::now();
+                }
+            }
+            if let Some(every) = self.cfg.checkpoint_every {
+                if self.cfg.snapshot_path.is_some() && last_checkpoint.elapsed() >= every {
+                    self.write_checkpoint(&mut checkpoints, "cadence");
+                    last_checkpoint = Instant::now();
+                }
+            }
+            if let Some(watch) = &self.source_watch {
+                watch.sync();
             }
             if let Ok(mut state) = self.state.lock() {
                 state.health = self.monitor.health();
@@ -269,6 +455,14 @@ impl Daemon {
             },
             &[],
         );
+        // A final checkpoint *before* the flush retires the workers: a
+        // clean shutdown leaves a snapshot a `--restore` can resume from.
+        if self.cfg.snapshot_path.is_some() {
+            self.write_checkpoint(&mut checkpoints, "shutdown");
+        }
+        if let Some(watch) = &self.source_watch {
+            watch.sync();
+        }
         let stage = &self.stage;
         let monitor = &mut self.monitor;
         stage.time(Stage::Flush, || monitor.flush(&mut sink));
@@ -284,6 +478,8 @@ impl Daemon {
             packets: stats.packets + stats.monitor_miss,
             rotations,
             reloads,
+            checkpoints,
+            restored: self.restored,
             shutdown_requested: shutdown,
             stats,
             health,

@@ -27,8 +27,13 @@
 //!   storms, interception, wireless tails) running the full differential
 //!   matrix with the spin and histogram engines judged;
 //! * [`daemon`] — the long-lived `dartmon serve` core: a supervised
-//!   sharded engine on a live source with wall-clock epoch rotation and
-//!   the embedded observability server (`telemetry` feature);
+//!   sharded engine on a live source with wall-clock epoch rotation,
+//!   crash-consistent checkpointing, and the embedded observability
+//!   server (`telemetry` feature);
+//! * [`recovery`] — the kill–restart harness: seeded crash points
+//!   (mid-block, mid-rotation, mid-checkpoint-write) driven through
+//!   checkpoint/restore cycles and judged against the oracle — zero
+//!   fabricated samples, loss bounded by the checkpoint interval;
 //! * [`shrink`] — `ddmin` trace minimization writing reproducers under
 //!   `tests/shrunk/`;
 //! * [`broken`] — an intentionally unsound engine proving the harness
@@ -57,6 +62,7 @@ pub mod daemon;
 pub mod diff;
 pub mod faults;
 pub mod oracle;
+pub mod recovery;
 pub mod scenarios;
 pub mod shrink;
 pub mod spin_oracle;
@@ -79,6 +85,10 @@ pub use faults::{
     FaultLog, PT_RECORD_BITS, PT_SKETCH_CELL_BITS,
 };
 pub use oracle::{run_oracle, OracleConfig, OracleReport, SampleClass, ScoreCard};
+pub use recovery::{
+    recovery_oracle, recovery_reference, recovery_trace, run_recovery, run_recovery_judged,
+    run_recovery_matrix, CrashPoint, RecoveryConfig, RecoveryReport,
+};
 pub use scenarios::{
     run_scenario, run_scenario_matrix, scenario_artifact_dir, scenario_diff_config,
     write_scorecards, ScenarioConfig, ScenarioOutcome,

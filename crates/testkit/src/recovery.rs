@@ -1,0 +1,543 @@
+//! Kill–restart recovery harness: crash the monitor at seeded points,
+//! restore from the last durable checkpoint, and judge what survives
+//! against the oracle.
+//!
+//! A long-lived monitor that checkpoints (`dartmon serve
+//! --checkpoint-millis`) makes three promises across a `kill -9`:
+//!
+//! 1. **No fabrication** — restoring a snapshot never invents RTT
+//!    samples. Every sample the restored run emits must still classify as
+//!    valid against the unbounded-memory oracle run over the *full*
+//!    capture ([`crate::oracle`]).
+//! 2. **Bounded loss** — only packets that arrived after the last durable
+//!    checkpoint and before the crash are unrecoverable, so the sample
+//!    deficit versus an uncrashed reference run is proportional to one
+//!    checkpoint interval, never to the whole history.
+//! 3. **Conservation** — the restored books still balance:
+//!    `packets + monitor_miss` equals everything fed across both lives
+//!    (the durable prefix plus the post-crash tail).
+//!
+//! The harness drives all three through seeded crash points:
+//!
+//! * [`CrashPoint::MidBlock`] — die between checkpoints, partway through
+//!   an ingest block;
+//! * [`CrashPoint::MidRotation`] — die immediately after an epoch
+//!   rotation whose sweep was never checkpointed (the restored state is
+//!   pre-rotation);
+//! * [`CrashPoint::MidCheckpointWrite`] — die partway through writing the
+//!   snapshot itself: the torn frame must be *detected* (checksum /
+//!   length mismatch) and recovery must fall back to the previous durable
+//!   snapshot, never restore garbage.
+//!
+//! Everything is deterministic in [`RecoveryConfig::seed`]: the crash
+//! position, the torn-write cut, and the generated trace, so a failing
+//! cell of the seeds × crash-points × backends matrix replays exactly.
+
+use crate::oracle::{run_oracle, OracleConfig, OracleReport, ScoreCard};
+use dart_core::sharded::{ShardedConfig, ShardedMonitor, ShardedRun};
+use dart_core::{Backend, DartConfig, RttMonitor, RttSample, Snapshot};
+use dart_packet::{Nanos, PacketMeta, SECOND};
+use dart_sim::scenario::{campus, CampusConfig};
+
+/// Where the first life dies.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CrashPoint {
+    /// Between checkpoints, partway through an ingest block.
+    MidBlock,
+    /// Immediately after an epoch rotation that was never checkpointed.
+    MidRotation,
+    /// Partway through writing the checkpoint: the torn frame must be
+    /// rejected and recovery must fall back to the previous snapshot.
+    MidCheckpointWrite,
+}
+
+impl CrashPoint {
+    /// Every crash point, for matrix drivers.
+    pub const ALL: [CrashPoint; 3] = [
+        CrashPoint::MidBlock,
+        CrashPoint::MidRotation,
+        CrashPoint::MidCheckpointWrite,
+    ];
+}
+
+impl std::fmt::Display for CrashPoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            CrashPoint::MidBlock => "mid-block",
+            CrashPoint::MidRotation => "mid-rotation",
+            CrashPoint::MidCheckpointWrite => "mid-checkpoint-write",
+        })
+    }
+}
+
+/// One cell of the recovery matrix.
+#[derive(Clone, Debug)]
+pub struct RecoveryConfig {
+    /// Flow-state backend under test.
+    pub backend: Backend,
+    /// Where the first life dies.
+    pub crash: CrashPoint,
+    /// Seeds the crash position and the torn-write cut.
+    pub seed: u64,
+    /// Shard workers in the supervised monitor.
+    pub shards: usize,
+    /// Packets between checkpoints (the durability interval).
+    pub checkpoint_every: usize,
+    /// Packets between epoch rotations.
+    pub rotate_every: usize,
+    /// Ingest block size.
+    pub block: usize,
+}
+
+impl Default for RecoveryConfig {
+    fn default() -> RecoveryConfig {
+        RecoveryConfig {
+            backend: Backend::Exact,
+            crash: CrashPoint::MidBlock,
+            seed: 0xC4A5_0001,
+            shards: 2,
+            checkpoint_every: 256,
+            rotate_every: 640,
+            block: 32,
+        }
+    }
+}
+
+/// What one kill–restart cycle produced, plus the judged verdicts.
+#[derive(Clone, Debug)]
+pub struct RecoveryReport {
+    /// Packets in the full capture.
+    pub packets: u64,
+    /// Packet position of the snapshot the second life restored.
+    pub durable_at: u64,
+    /// Packet position where the first life died.
+    pub crash_at: u64,
+    /// Unrecoverable packets: fed before the crash, after the last
+    /// durable checkpoint.
+    pub lost: u64,
+    /// `MidCheckpointWrite` only: the torn frame was rejected by the
+    /// checksum/length validation (it must be).
+    pub torn_write_detected: bool,
+    /// `packets + monitor_miss` in the restored run's final books.
+    pub accounted: u64,
+    /// What conservation demands: `durable_at + (packets − crash_at)`.
+    pub expected_accounted: u64,
+    /// Samples the restored run emitted.
+    pub samples: u64,
+    /// Samples an uncrashed reference run emits on the same schedule.
+    pub reference_samples: u64,
+    /// The restored samples scored against the full-capture oracle.
+    pub card: ScoreCard,
+    /// Every violated invariant, human-readable. Empty means pass.
+    pub violations: Vec<String>,
+}
+
+impl RecoveryReport {
+    /// True when every recovery invariant held.
+    pub fn pass(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+impl std::fmt::Display for RecoveryReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} pkts, durable@{}, crash@{} (lost {}), samples {}/{} ref, \
+             accounted {}/{} — {}",
+            self.packets,
+            self.durable_at,
+            self.crash_at,
+            self.lost,
+            self.samples,
+            self.reference_samples,
+            self.accounted,
+            self.expected_accounted,
+            if self.pass() {
+                "PASS".to_string()
+            } else {
+                format!("FAIL: {}", self.violations.join("; "))
+            }
+        )
+    }
+}
+
+/// SplitMix64 finalizer: one well-mixed word per (seed, salt) pair.
+fn mix64(mut x: u64) -> u64 {
+    x ^= x >> 33;
+    x = x.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    x ^= x >> 33;
+    x = x.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+    x ^ (x >> 33)
+}
+
+/// A campus-style capture sized for the recovery matrix, deterministic in
+/// `seed` (each matrix seed exercises a different traffic pattern, not
+/// just a different crash position). Sized for a 90-cell matrix on a CI
+/// box: a few thousand packets, several checkpoint intervals deep.
+///
+/// The campus mix is heavily incomplete (72.5% of connections never
+/// complete), so a fixed small population can land an almost-empty
+/// capture on an unlucky seed; the population doubles until the capture
+/// spans several default checkpoint intervals.
+pub fn recovery_trace(seed: u64) -> Vec<PacketMeta> {
+    let mut connections = 24;
+    loop {
+        let packets = campus(CampusConfig {
+            connections,
+            duration: 2 * SECOND,
+            seed,
+            ..CampusConfig::default()
+        })
+        .packets;
+        if packets.len() >= 2_048 || connections >= 384 {
+            return packets;
+        }
+        connections *= 2;
+    }
+}
+
+/// Feed `packets[start..end]` in blocks, rotating at every multiple of
+/// `rotate_every`, and hand control to `at_checkpoint` at every multiple
+/// of `checkpoint_every` (both positions measured over the full capture,
+/// so the second life keeps the first life's schedule).
+fn drive(
+    monitor: &mut ShardedMonitor,
+    packets: &[PacketMeta],
+    cfg: &RecoveryConfig,
+    start: usize,
+    end: usize,
+    max_ts: &mut Nanos,
+    mut at_checkpoint: impl FnMut(&mut ShardedMonitor, usize),
+) {
+    let mut sink: Vec<RttSample> = Vec::new();
+    let mut pos = start;
+    while pos < end {
+        let next_ckpt = (pos / cfg.checkpoint_every + 1) * cfg.checkpoint_every;
+        let next_rot = (pos / cfg.rotate_every + 1) * cfg.rotate_every;
+        let stop = end.min(next_ckpt).min(next_rot).min(pos + cfg.block);
+        monitor.on_batch(&packets[pos..stop], &mut sink);
+        if let Some(p) = packets[pos..stop].last() {
+            *max_ts = (*max_ts).max(p.ts);
+        }
+        pos = stop;
+        if pos < end {
+            if pos % cfg.rotate_every == 0 {
+                ShardedMonitor::rotate_epoch(monitor, max_ts.saturating_sub(SECOND));
+            }
+            if pos % cfg.checkpoint_every == 0 {
+                at_checkpoint(monitor, pos);
+            }
+        }
+    }
+}
+
+/// The oracle the recovery matrix judges against: the full capture, with
+/// the role policies every cell's engine shares.
+pub fn recovery_oracle(packets: &[PacketMeta]) -> OracleReport {
+    run_oracle(
+        OracleConfig {
+            syn_policy: DartConfig::default().syn_policy,
+            leg: DartConfig::default().leg,
+        },
+        packets,
+    )
+}
+
+/// The uncrashed reference for a cell: same engine, same rotation
+/// schedule, no crash. Shared across a seed × backend's three crash
+/// points by [`run_recovery_matrix`].
+pub fn recovery_reference(cfg: &RecoveryConfig, packets: &[PacketMeta]) -> ShardedRun {
+    let engine = DartConfig::default().with_backend(cfg.backend);
+    let scfg = ShardedConfig::new(engine, cfg.shards)
+        .with_batch_size(cfg.block)
+        .with_keep_samples(true);
+    let mut reference = ShardedMonitor::new(scfg);
+    let mut ref_ts: Nanos = 0;
+    drive(
+        &mut reference,
+        packets,
+        cfg,
+        0,
+        packets.len(),
+        &mut ref_ts,
+        |_, _| {},
+    );
+    reference.into_run()
+}
+
+/// Run one kill–restart cycle over `packets` and judge the outcome.
+///
+/// # Panics
+///
+/// Panics when the capture is too short to place a crash after the first
+/// checkpoint (needs at least `3 × checkpoint_every` packets).
+pub fn run_recovery(cfg: &RecoveryConfig, packets: &[PacketMeta]) -> RecoveryReport {
+    run_recovery_judged(
+        cfg,
+        packets,
+        &recovery_oracle(packets),
+        &recovery_reference(cfg, packets),
+    )
+}
+
+/// The full seeds × crash-points × backends matrix, amortizing the oracle
+/// (per seed) and the reference run (per seed × backend) across cells.
+pub fn run_recovery_matrix(
+    seeds: &[u64],
+    backends: &[Backend],
+    base: &RecoveryConfig,
+) -> Vec<(RecoveryConfig, RecoveryReport)> {
+    let mut out = Vec::new();
+    for &seed in seeds {
+        let packets = recovery_trace(seed);
+        let oracle = recovery_oracle(&packets);
+        for &backend in backends {
+            let cell = RecoveryConfig {
+                backend,
+                seed,
+                ..base.clone()
+            };
+            let reference = recovery_reference(&cell, &packets);
+            for crash in CrashPoint::ALL {
+                let cfg = RecoveryConfig {
+                    crash,
+                    ..cell.clone()
+                };
+                let report = run_recovery_judged(&cfg, &packets, &oracle, &reference);
+                out.push((cfg, report));
+            }
+        }
+    }
+    out
+}
+
+/// [`run_recovery`] with the oracle and reference precomputed.
+pub fn run_recovery_judged(
+    cfg: &RecoveryConfig,
+    packets: &[PacketMeta],
+    oracle: &OracleReport,
+    reference: &ShardedRun,
+) -> RecoveryReport {
+    let n = packets.len();
+    let interval = cfg.checkpoint_every;
+    assert!(
+        n >= 3 * interval,
+        "recovery harness needs >= {} packets, got {n}",
+        3 * interval
+    );
+    let mut violations: Vec<String> = Vec::new();
+
+    // Seeded crash placement: a checkpoint index k with at least one
+    // interval before and after, then a position derived from the point.
+    let k_max = (n - 1) / interval; // last boundary strictly inside the capture
+    let k = 1 + (mix64(cfg.seed ^ 0xC0FF_EE00) as usize) % k_max.saturating_sub(1).max(1);
+    let durable_at = k * interval;
+    let offset = 1 + (mix64(cfg.seed ^ 0x000F_F5E7) as usize) % (interval - 1);
+    let crash_at = match cfg.crash {
+        CrashPoint::MidBlock | CrashPoint::MidRotation => (durable_at + offset).min(n),
+        // Die exactly at the next boundary, mid-write of its snapshot.
+        CrashPoint::MidCheckpointWrite => ((k + 1) * interval).min(n),
+    };
+
+    let engine = DartConfig::default().with_backend(cfg.backend);
+    let scfg = ShardedConfig::new(engine, cfg.shards)
+        .with_batch_size(cfg.block)
+        .with_keep_samples(true);
+
+    // ---- First life: feed to the crash point, checkpointing on the way.
+    let mut first = ShardedMonitor::new(scfg);
+    let mut max_ts: Nanos = 0;
+    let mut durable: Option<(usize, Vec<u8>)> = None;
+    drive(
+        &mut first,
+        packets,
+        cfg,
+        0,
+        crash_at,
+        &mut max_ts,
+        |monitor, pos| match monitor.checkpoint() {
+            Ok(snap) => durable = Some((pos, snap.into_bytes())),
+            Err(e) => violations.push(format!("checkpoint at {pos} failed: {e}")),
+        },
+    );
+    // The crash itself.
+    let mut torn_write_detected = false;
+    match cfg.crash {
+        CrashPoint::MidBlock => {}
+        CrashPoint::MidRotation => {
+            // The sweep runs; the process dies before any checkpoint
+            // records it. The restored state is pre-rotation.
+            ShardedMonitor::rotate_epoch(&mut first, max_ts.saturating_sub(SECOND));
+        }
+        CrashPoint::MidCheckpointWrite => match first.checkpoint() {
+            Ok(snap) => {
+                // Tear the frame at a seeded byte: whatever survives on
+                // disk must be rejected, not restored.
+                let bytes = snap.into_bytes();
+                let cut = (mix64(cfg.seed ^ 0x7E42) % (bytes.len() as u64 - 1)) as usize + 1;
+                torn_write_detected = Snapshot::from_bytes(bytes[..cut].to_vec()).is_err();
+                if !torn_write_detected {
+                    violations.push(format!(
+                        "torn frame ({cut} of {} bytes) was accepted",
+                        bytes.len()
+                    ));
+                }
+            }
+            Err(e) => violations.push(format!("crash-point checkpoint failed: {e}")),
+        },
+    }
+    drop(first); // kill -9: no flush, no join, the first life's tail is gone
+
+    // ---- Second life: restore the last durable snapshot, feed the tail.
+    let (durable_at, durable_bytes) = match durable {
+        Some(d) => d,
+        None => {
+            violations.push("no durable snapshot before the crash".to_string());
+            return incomplete(cfg, n, 0, crash_at, torn_write_detected, violations);
+        }
+    };
+    let snap = match Snapshot::from_bytes(durable_bytes) {
+        Ok(s) => s,
+        Err(e) => {
+            violations.push(format!("durable snapshot failed validation: {e}"));
+            return incomplete(
+                cfg,
+                n,
+                durable_at,
+                crash_at,
+                torn_write_detected,
+                violations,
+            );
+        }
+    };
+    let mut second = ShardedMonitor::new(scfg);
+    if let Err(e) = second.restore(&snap) {
+        violations.push(format!("restore failed: {e}"));
+        return incomplete(
+            cfg,
+            n,
+            durable_at,
+            crash_at,
+            torn_write_detected,
+            violations,
+        );
+    }
+    let mut max_ts2 = max_ts;
+    drive(
+        &mut second,
+        packets,
+        cfg,
+        crash_at,
+        n,
+        &mut max_ts2,
+        |_, _| {},
+    );
+    let run = second.into_run();
+
+    // ---- Judge.
+    let lost = (crash_at - durable_at) as u64;
+    let accounted = run.stats.packets + run.stats.monitor_miss;
+    let expected_accounted = (durable_at + (n - crash_at)) as u64;
+    if accounted != expected_accounted {
+        violations.push(format!(
+            "conservation broke across the crash: accounted {accounted}, expected {expected_accounted}"
+        ));
+    }
+    if !run.healthy() {
+        violations.push(format!("restored run degraded: {:?}", run.failures));
+    }
+    let card = oracle.score(&run.samples);
+    if card.impossible + card.cross_anchored > 0 {
+        violations.push(format!(
+            "{} fabricated + {} cross-anchored samples after restore",
+            card.impossible, card.cross_anchored
+        ));
+    }
+    // Each lost packet can cost its own sample (a lost ACK) and poison at
+    // most one future match (a lost data packet whose ACK now misses), so
+    // the deficit is bounded by twice the lost window — proportional to
+    // the checkpoint interval, never the history.
+    let deficit = (reference.samples.len() as u64).saturating_sub(run.samples.len() as u64);
+    let budget = 2 * lost + 2;
+    if deficit > budget {
+        violations.push(format!(
+            "sample loss {deficit} exceeds the lost-window budget {budget} (lost {lost} packets)"
+        ));
+    }
+    RecoveryReport {
+        packets: n as u64,
+        durable_at: durable_at as u64,
+        crash_at: crash_at as u64,
+        lost,
+        torn_write_detected,
+        accounted,
+        expected_accounted,
+        samples: run.samples.len() as u64,
+        reference_samples: reference.samples.len() as u64,
+        card,
+        violations,
+    }
+}
+
+/// A report for a cycle that could not reach judging (restore failed);
+/// the violations already say why.
+fn incomplete(
+    _cfg: &RecoveryConfig,
+    n: usize,
+    durable_at: usize,
+    crash_at: usize,
+    torn_write_detected: bool,
+    violations: Vec<String>,
+) -> RecoveryReport {
+    RecoveryReport {
+        packets: n as u64,
+        durable_at: durable_at as u64,
+        crash_at: crash_at as u64,
+        lost: (crash_at - durable_at) as u64,
+        torn_write_detected,
+        accounted: 0,
+        expected_accounted: 0,
+        samples: 0,
+        reference_samples: 0,
+        card: ScoreCard::default(),
+        violations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The full seeds × crash-points × backends matrix lives in
+    // tests/recovery.rs (its own binary, so its load cannot starve the
+    // timing-sensitive daemon tests); these are smoke checks.
+
+    #[test]
+    fn one_cycle_passes_and_is_deterministic() {
+        let cfg = RecoveryConfig::default();
+        let pkts = recovery_trace(cfg.seed);
+        let a = run_recovery(&cfg, &pkts);
+        let b = run_recovery(&cfg, &pkts);
+        assert!(a.pass(), "{a}");
+        assert_eq!(a.crash_at, b.crash_at);
+        assert_eq!(a.samples, b.samples);
+        assert!(a.lost > 0, "crash must land strictly after the checkpoint");
+    }
+
+    #[test]
+    fn torn_write_falls_back_to_the_previous_snapshot() {
+        let cfg = RecoveryConfig {
+            crash: CrashPoint::MidCheckpointWrite,
+            ..RecoveryConfig::default()
+        };
+        let pkts = recovery_trace(cfg.seed);
+        let report = run_recovery(&cfg, &pkts);
+        assert!(report.pass(), "{report}");
+        assert!(report.torn_write_detected, "torn frame restored");
+        assert_eq!(
+            report.lost, cfg.checkpoint_every as u64,
+            "mid-write crash loses exactly one interval"
+        );
+    }
+}

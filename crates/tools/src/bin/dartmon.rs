@@ -1,7 +1,36 @@
 //! `dartmon` — continuous RTT monitoring over packet traces, from the
 //! command line. See `dartmon help`.
 
+/// SIGINT/SIGTERM routing. The library crate forbids `unsafe`, so the one
+/// place that genuinely needs it — registering a signal handler without a
+/// vendored signal crate — lives here in the binary. The handler body is a
+/// single atomic store ([`dart_tools::shutdown::request`]), which is
+/// async-signal-safe; a long-lived `serve` observes the flag and drains
+/// through the same path as `POST /control/shutdown` (final checkpoint
+/// included) instead of dying mid-write.
+mod signals {
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    extern "C" fn on_signal(_signum: i32) {
+        dart_tools::shutdown::request();
+    }
+
+    pub fn install() {
+        const SIGINT: i32 = 2;
+        const SIGTERM: i32 = 15;
+        // SAFETY: `signal` is handed a valid `extern "C" fn(i32)` pointer,
+        // and the handler performs only an atomic store.
+        unsafe {
+            signal(SIGINT, on_signal as *const () as usize);
+            signal(SIGTERM, on_signal as *const () as usize);
+        }
+    }
+}
+
 fn main() {
+    signals::install();
     let args: Vec<String> = std::env::args().skip(1).collect();
     match dart_tools::parse(&args).and_then(|(cmd, opts)| dart_tools::run(cmd, &opts)) {
         Ok(report) => print!("{report}"),

@@ -173,8 +173,20 @@ dapper, strawman, seglist, lean, spin, dart-hist.
         --retain-secs S   (rotation keeps flows touched in the last S
                            seconds of trace time, default 10)
         --block N         (packets per ingest block, default 1024)
+        --snapshot-path P (write crash-consistent state snapshots to P:
+                           at every rotation, on POST /control/checkpoint,
+                           and once more at shutdown)
+        --checkpoint-millis M (also checkpoint every M ms of wall clock;
+                           needs --snapshot-path)
+        --restore P       (restore engine state from snapshot P at startup;
+                           a torn or mismatched snapshot fails loudly)
+        --strict-decode true|false (follow mode: fail on the first
+                           undecodable record instead of skipping and
+                           counting it, default false)
         plus the analyze engine flags (--shards/--backend/--leg/--pt/--rt/
         --stages/--max-recirc)
+        SIGINT/SIGTERM drain through the same path as /control/shutdown
+        (final checkpoint included)
     resources                       Table-1 style resource report
     help                            this text
 

@@ -61,8 +61,9 @@ fn serve(input: &str, opts: &Options) -> Result<String, String> {
     #[cfg(feature = "telemetry")]
     {
         use dart_core::sharded::ShardedConfig;
-        use dart_packet::{CycleSource, Follow, PacketSource, PcapSource};
+        use dart_packet::{CycleSource, Follow, PacketSource, PcapSource, Reconnecting};
         use dart_testkit::{Daemon, DaemonConfig};
+        use std::sync::atomic::Ordering;
         use std::time::Duration;
 
         let mode = opts.get("mode").unwrap_or("once");
@@ -85,51 +86,113 @@ fn serve(input: &str, opts: &Options) -> Result<String, String> {
         if rotate_millis == 0 {
             return Err("--rotate-millis must be at least 1".to_string());
         }
+        let snapshot_path = opts.get("snapshot-path").map(std::path::PathBuf::from);
+        let checkpoint_every = match opts.get("checkpoint-millis") {
+            None => None,
+            Some(_) => {
+                let ms = opts.get_num("checkpoint-millis", 0u64)?;
+                if ms == 0 {
+                    return Err("--checkpoint-millis must be at least 1".to_string());
+                }
+                Some(Duration::from_millis(ms))
+            }
+        };
+        if checkpoint_every.is_some() && snapshot_path.is_none() {
+            return Err("--checkpoint-millis needs --snapshot-path".to_string());
+        }
+        let restore_from = opts.get("restore").map(std::path::PathBuf::from);
+        let strict_decode = match opts.get("strict-decode") {
+            None => false,
+            Some(_) if mode != "follow" => {
+                return Err("--strict-decode needs --mode follow \
+                     (decode tolerance only applies to live tails)"
+                    .to_string())
+            }
+            Some("true") => true,
+            Some("false") => false,
+            Some(other) => {
+                return Err(format!(
+                    "--strict-decode expects true | false, got {other:?}"
+                ))
+            }
+        };
         let cfg = DaemonConfig {
             sharded: ShardedConfig::new(engine_config(opts)?, shards),
             block_pkts: opts.get_num("block", 1024usize)?.max(1),
             rotate_every: Duration::from_millis(rotate_millis),
             retain: opts.get_num("retain-secs", 10u64)?.saturating_mul(SECOND),
             bind: opts.get("listen").unwrap_or("127.0.0.1:9464").to_string(),
+            snapshot_path,
+            checkpoint_every,
+            restore_from,
             ..DaemonConfig::default()
         };
         let internal = internal_prefix(opts)?;
-        let daemon = Daemon::start(cfg).map_err(|e| format!("bind observability server: {e}"))?;
+        let mut daemon = Daemon::start(cfg).map_err(|e| format!("serve startup: {e}"))?;
         let addr = daemon.addr();
         eprintln!(
             "dartmon serve: observability plane on http://{addr} \
              (POST /control/shutdown to stop)"
         );
+        // SIGINT/SIGTERM land in the process-wide shutdown flag (the
+        // binary installs the handlers); this watcher routes each request
+        // into the daemon's control plane exactly as POST
+        // /control/shutdown would, so the drain + final checkpoint path
+        // is the same for a Ctrl-C as for an operator POST.
+        let server_stop = daemon.server().shutdown_flag();
+        let watcher_done = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let watcher = {
+            let done = watcher_done.clone();
+            std::thread::spawn(move || {
+                while !done.load(Ordering::Relaxed) {
+                    if crate::shutdown::take() {
+                        server_stop.store(true, Ordering::Relaxed);
+                    }
+                    std::thread::sleep(Duration::from_millis(25));
+                }
+            })
+        };
         let run = |daemon: Daemon, source: &mut dyn PacketSource| {
             daemon
                 .run(source)
                 .map_err(|e| format!("ingest {input}: {e}"))
         };
-        let (report, mode_note) = match mode {
+        type ModeOutcome = Result<(dart_testkit::DaemonReport, String), String>;
+        let outcome: ModeOutcome = (|| match mode {
             "follow" => {
                 // Build the tail *after* the server is up: the shared
                 // shutdown flag is what wakes a source parked at
                 // end-of-data, so a quiet fifo cannot outlive a POSTed
-                // shutdown.
+                // shutdown. The whole thing is wrapped in `Reconnecting`:
+                // a producer restart or a torn record re-opens the tail
+                // under bounded backoff instead of ending a week-long run.
                 let stop = daemon.server().shutdown_flag();
-                let file = std::fs::File::open(input).map_err(|e| format!("open {input}: {e}"))?;
-                let follow = Follow::new(file, stop);
-                let mut source: Box<dyn PacketSource> = if input.ends_with(".pcap") {
-                    let classifier = dart_packet::parse::PrefixClassifier::new([internal]);
-                    Box::new(
+                let path = input.to_string();
+                let is_pcap = input.ends_with(".pcap");
+                let open = move |_attempt: u32| -> Option<Box<dyn PacketSource + Send>> {
+                    let file = std::fs::File::open(&path).ok()?;
+                    let follow = Follow::new(file, stop.clone());
+                    if is_pcap {
+                        let classifier = dart_packet::parse::PrefixClassifier::new([internal]);
                         PcapSource::new(follow, classifier)
-                            .map_err(|e| format!("open {input}: {e}"))?,
-                    )
-                } else {
-                    Box::new(
+                            .ok()
+                            .map(|s| Box::new(s) as Box<dyn PacketSource + Send>)
+                    } else {
                         dart_packet::trace::TraceReader::new(follow)
-                            .map_err(|e| format!("open {input}: {e}"))?,
-                    )
+                            .ok()
+                            .map(|s| Box::new(s) as Box<dyn PacketSource + Send>)
+                    }
                 };
-                (
-                    run(daemon, source.as_mut())?,
+                // Open eagerly once so a missing file fails loudly at
+                // startup instead of burning the retry budget.
+                std::fs::File::open(input).map_err(|e| format!("open {input}: {e}"))?;
+                let mut source =
+                    Reconnecting::new(Box::new(open)).with_strict_decode(strict_decode);
+                daemon.watch_source(source.counters());
+                Ok((
+                    run(daemon, &mut source)?,
                     "follow (tail until shutdown)".to_string(),
-                )
+                ))
             }
             "cycle" => {
                 let (packets, _) = load_file(input, internal)?;
@@ -139,17 +202,22 @@ fn serve(input: &str, opts: &Options) -> Result<String, String> {
                 }
                 let report = run(daemon, &mut source)?;
                 let note = format!("cycle ({} passes completed)", source.passes_completed());
-                (report, note)
+                Ok((report, note))
             }
             _ => {
                 let (packets, _) = load_file(input, internal)?;
                 let mut source = SliceSource::new(&packets);
-                (
+                Ok((
                     run(daemon, &mut source)?,
                     "once (drain and exit)".to_string(),
-                )
+                ))
             }
-        };
+        })();
+        // Stop the signal watcher before propagating any error so a
+        // failed run never leaks the polling thread.
+        watcher_done.store(true, Ordering::Relaxed);
+        let _ = watcher.join();
+        let (report, mode_note) = outcome?;
         let mut out = String::new();
         writeln!(out, "listened          : http://{addr}").expect("string write");
         writeln!(out, "mode              : {mode_note}").expect("string write");
@@ -157,6 +225,13 @@ fn serve(input: &str, opts: &Options) -> Result<String, String> {
         writeln!(out, "samples           : {}", report.stats.samples).expect("string write");
         writeln!(out, "epoch rotations   : {}", report.rotations).expect("string write");
         writeln!(out, "reloads           : {}", report.reloads).expect("string write");
+        writeln!(out, "checkpoints       : {}", report.checkpoints).expect("string write");
+        writeln!(
+            out,
+            "restored          : {}",
+            if report.restored { "yes" } else { "no" }
+        )
+        .expect("string write");
         writeln!(
             out,
             "ended by          : {}",

@@ -10,6 +10,7 @@
 pub mod cli;
 pub mod commands;
 pub mod io;
+pub mod shutdown;
 
 pub use cli::{parse, Command, Options};
 pub use commands::run;

@@ -1,0 +1,52 @@
+//! Process-wide shutdown requests: the bridge from SIGINT/SIGTERM to the
+//! daemon's control plane.
+//!
+//! This library forbids `unsafe`, so the actual signal-handler
+//! registration lives in the `dartmon` binary (see `src/bin/dartmon.rs`);
+//! the handler body calls [`request`], which is a single atomic store —
+//! async-signal-safe by construction. A long-lived `serve` polls [`take`]
+//! from a watcher thread and routes each request into its observability
+//! server exactly as `POST /control/shutdown` would, so a Ctrl-C or a
+//! `systemctl stop` drains the feed loop, writes the shutdown checkpoint,
+//! and exits cleanly instead of dying mid-write.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static REQUESTED: AtomicBool = AtomicBool::new(false);
+
+/// Record a shutdown request. One atomic store, no allocation, no locks:
+/// safe to call from a signal handler.
+pub fn request() {
+    REQUESTED.store(true, Ordering::Release);
+}
+
+/// Consume a pending request, if any. Exactly one caller observes each
+/// request, so concurrently running daemons (as in the test suite) never
+/// double-consume a single signal.
+pub fn take() -> bool {
+    REQUESTED.swap(false, Ordering::AcqRel)
+}
+
+/// Whether a request is pending, without consuming it.
+pub fn pending() -> bool {
+    REQUESTED.load(Ordering::Acquire)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_consumes_exactly_one_request() {
+        // Serialized against nothing: this is the only lib test touching
+        // the flag, and the serve-level test lives in its own binary.
+        while take() {}
+        assert!(!pending());
+        request();
+        request();
+        assert!(pending());
+        assert!(take());
+        assert!(!take(), "a second take must see the flag already consumed");
+        assert!(!pending());
+    }
+}
